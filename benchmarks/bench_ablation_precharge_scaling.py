@@ -1,0 +1,64 @@
+"""Ablation — the precharge scaling law (the Cpre(n) term of eq. 4).
+
+The paper scales the precharge driving strength with the array size
+(Section II.C) and carries the resulting junction load as ``Cpre(n)`` in
+the analytical formula.  This ablation sweeps the scaling law (cells per
+precharge fin) and reports its effect on the nominal read time and on the
+worst-case LE3 penalty: a heavier precharge adds a variation-independent
+capacitance, so it *dilutes* the relative penalty while slowing the
+absolute read down.
+"""
+
+import pytest
+
+from repro.core.analytical import AnalyticalDelayModel
+from repro.reporting import format_csv
+from repro.sram.precharge import precharge_capacitance_f
+
+
+def test_ablation_precharge_scaling(benchmark, analytical_model, node, worst_case_study):
+    corner = worst_case_study.find_worst_corner("LELELE")
+    rvar = corner.bitline_variation.rvar
+    cvar = corner.bitline_variation.cvar
+    n = 256
+    scalings = (4, 8, 16, 64)
+
+    def run():
+        rows = []
+        for cells_per_fin in scalings:
+            model = analytical_model.with_parameters(
+                cpre_fn=lambda size, cpf=cells_per_fin: precharge_capacitance_f(
+                    size, device=node.sram_devices.pull_up, cells_per_fin=cpf
+                )
+            )
+            rows.append(
+                {
+                    "cells_per_precharge_fin": cells_per_fin,
+                    "cpre_fF": model.cpre_fn(n) * 1e15,
+                    "nominal_td_ps": model.td_nominal_s(n) * 1e12,
+                    "le3_worst_tdp_percent": model.tdp_percent(n, rvar, cvar),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_csv(
+        list(rows[0].keys()),
+        [[f"{value:.4f}" if isinstance(value, float) else value for value in row.values()] for row in rows],
+    ))
+
+    # Fewer cells per fin = bigger precharge = more Cpre = slower reads.
+    cpre_values = [row["cpre_fF"] for row in rows]
+    td_values = [row["nominal_td_ps"] for row in rows]
+    assert all(earlier >= later for earlier, later in zip(cpre_values, cpre_values[1:]))
+    assert all(earlier >= later for earlier, later in zip(td_values, td_values[1:]))
+
+    # ...but the *relative* penalty moves the other way: the heavy precharge
+    # dilutes the wire-capacitance variation.
+    penalties = [row["le3_worst_tdp_percent"] for row in rows]
+    assert all(earlier <= later for earlier, later in zip(penalties, penalties[1:]))
+    assert penalties[0] < penalties[-1]
+    # The effect is second order: the penalty stays in the LE3 ~20% regime.
+    assert all(10.0 < value < 40.0 for value in penalties)
+
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,61 @@
+"""Ablation — numerical settings of the read-path simulation.
+
+Two knobs of the simulated td that are modelling choices rather than
+physics, and therefore need to be shown not to drive the conclusions:
+
+* **Integration method** — backward Euler (default, numerically damped)
+  versus trapezoidal (second order).  The measured td must agree to within
+  a few percent, otherwise the "simulation" column of Tables II/III would
+  be an artefact of the integrator.
+* **Bit-line ladder resolution** — 16 versus 64 versus 256 RC sections for
+  the 256-cell column.  The distributed line must be converged at the
+  default resolution.
+* **VSS strap interval** — the return-path modelling choice that carries
+  the SADP/EUV long-array trends; the *nominal* td must be only weakly
+  sensitive to it (the trends come from the patterning-induced resistance
+  change, not from the strap choice itself).
+"""
+
+import pytest
+
+from repro.circuit.transient import TransientOptions
+from repro.reporting import format_csv
+from repro.sram.read_path import ReadPathSimulator
+
+
+def test_ablation_simulator_settings(benchmark, node):
+    n = 256
+
+    def run():
+        baseline = ReadPathSimulator(node)
+        trapezoidal = ReadPathSimulator(
+            node, transient_options=TransientOptions(method="trapezoidal")
+        )
+        coarse = ReadPathSimulator(node, max_segments=16)
+        fine = ReadPathSimulator(node, max_segments=256)
+        dense_straps = ReadPathSimulator(node, vss_strap_interval_cells=64)
+        sparse_straps = ReadPathSimulator(node, vss_strap_interval_cells=1024)
+        return {
+            "backward_euler_td_ps": baseline.measure_nominal(n).td_ps,
+            "trapezoidal_td_ps": trapezoidal.measure_nominal(n).td_ps,
+            "ladder16_td_ps": coarse.measure_nominal(n).td_ps,
+            "ladder256_td_ps": fine.measure_nominal(n).td_ps,
+            "strap64_td_ps": dense_straps.measure_nominal(n).td_ps,
+            "strap1024_td_ps": sparse_straps.measure_nominal(n).td_ps,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_csv(list(result.keys()), [[f"{v:.3f}" for v in result.values()]]))
+
+    base = result["backward_euler_td_ps"]
+    # Integration method: < 5% effect.
+    assert result["trapezoidal_td_ps"] == pytest.approx(base, rel=0.05)
+    # Ladder resolution: the default (64) sits between 16 and 256 and the
+    # refinement from 64 to 256 sections moves td by well under 5%.
+    assert result["ladder256_td_ps"] == pytest.approx(base, rel=0.05)
+    assert result["ladder16_td_ps"] == pytest.approx(base, rel=0.10)
+    # Strap interval: bounded influence on the nominal read time.
+    assert result["strap64_td_ps"] < base <= result["strap1024_td_ps"] * 1.001
+    assert result["strap1024_td_ps"] < 1.5 * result["strap64_td_ps"]
+
+    benchmark.extra_info.update({k: round(v, 3) for k, v in result.items()})

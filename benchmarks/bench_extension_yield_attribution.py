@@ -1,0 +1,76 @@
+"""Extension — read-time yield and variance attribution.
+
+Two analyses the paper motivates but does not carry out, built on the same
+Monte-Carlo machinery:
+
+* **Spec compliance / yield** — given a read-time budget (a 10 % sense
+  margin), what fraction of bit lines violates it per option, how does
+  that translate into array yield, and what overlay budget does LE3 need
+  to hit a 100 ppm target?
+* **Variance attribution** — the paper claims "the OL error plays a
+  decisive role" for LE3; the first-order variance decomposition of the
+  Monte-Carlo samples quantifies it (overlay versus CD share of the tdp
+  variance across the overlay sweep).
+"""
+
+import pytest
+
+from repro.core.attribution import VarianceAttribution
+from repro.core.yield_analysis import ReadTimeYieldAnalysis
+from repro.reporting import format_csv
+from repro.variability.doe import DOEPoint
+
+
+def test_extension_yield_and_attribution(benchmark, monte_carlo_study):
+    def run():
+        yield_analysis = ReadTimeYieldAnalysis(monte_carlo_study)
+        compliance = yield_analysis.compliance_table(budget_percent=10.0)
+        requirement = yield_analysis.required_overlay_for_target(
+            budget_percent=10.0, target_ppm=100.0
+        )
+        attribution = VarianceAttribution(monte_carlo_study)
+        split = attribution.overlay_versus_cd()
+        le3_loose = attribution.attribute(
+            DOEPoint(n_wordlines=64, option_name="LELELE", overlay_three_sigma_nm=8.0)
+        )
+        return compliance, requirement, split, le3_loose
+
+    compliance, requirement, split, le3_loose = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nSpec compliance at a +10% read-time budget:")
+    print(format_csv(
+        ["option", "violation_ppm", "column_yield", "array_yield"],
+        [
+            [row.label, f"{row.violation.parts_per_million:.2f}",
+             f"{row.column_yield:.6f}", f"{row.array_yield:.6f}"]
+            for row in compliance
+        ],
+    ))
+    print("\nOverlay vs CD variance share of the LE3 tdp:")
+    print(format_csv(
+        ["overlay_3sigma_nm", "overlay_share", "cd_share"],
+        [[f"{overlay:.0f}", f"{shares[0]:.3f}", f"{shares[1]:.3f}"] for overlay, shares in sorted(split.items())],
+    ))
+
+    by_label = {row.label: row for row in compliance}
+    # At a 10% budget every option yields well, but LE3 at 8 nm OL is the
+    # clear laggard and SADP the clear leader.
+    assert by_label["LELELE 8nm OL"].violation.probability >= by_label["SADP"].violation.probability
+    assert by_label["SADP"].array_yield >= 0.999
+    assert 0.0 <= by_label["LELELE 8nm OL"].array_yield <= 1.0
+
+    # The overlay requirement is achievable within the studied sweep.
+    assert requirement.achieved_ppm_by_overlay
+    assert set(requirement.achieved_ppm_by_overlay) == {3.0, 5.0, 7.0, 8.0}
+
+    # Attribution: overlay dominates the LE3 variance at the loose budget and
+    # its share shrinks when the budget is tightened to 3 nm.
+    assert le3_loose.grouped_share("ol:") > le3_loose.grouped_share("cd:")
+    assert split[3.0][0] < split[8.0][0]
+
+    benchmark.extra_info["violation_ppm"] = {
+        row.label: round(row.violation.parts_per_million, 2) for row in compliance
+    }
+    benchmark.extra_info["overlay_share_by_budget"] = {
+        f"{overlay:g}nm": round(shares[0], 3) for overlay, shares in split.items()
+    }

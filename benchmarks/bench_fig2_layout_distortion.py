@@ -1,0 +1,48 @@
+"""Fig. 2 — worst-case metal1 layout distortion per patterning option.
+
+The paper's Fig. 2 shows, for each option, how the worst-case CD and
+overlay assignment distorts the printed metal1 tracks of the cell.  The
+bench regenerates the printed-versus-drawn geometry of the central
+column's VSS / BL / VDD / BLB tracks and checks the qualitative picture:
+
+* LE3's worst corner visibly shifts whole masks (several nm of centre
+  displacement) and squeezes the gaps around the bit line;
+* SADP's self-aligned printing keeps every edge within the small spacer /
+  core budgets;
+* EUV widens every line identically and never moves a centre line.
+"""
+
+import pytest
+
+from repro.reporting import figure2_ascii, figure2_csv
+
+
+def test_fig2_layout_distortion(benchmark, worst_case_study):
+    records = benchmark.pedantic(worst_case_study.figure2, rounds=1, iterations=1)
+    for record in records:
+        print("\n" + figure2_ascii(record))
+    print()
+    print(figure2_csv(records))
+
+    by_name = {record.option_name: record for record in records}
+    assert set(by_name) == {"LELELE", "SADP", "EUV"}
+
+    le3_shifts = [abs(track.center_shift_nm) for track in by_name["LELELE"].tracks]
+    assert max(le3_shifts) > 4.0          # a whole mask moved by the OL error
+
+    sadp_shifts = [abs(track.center_shift_nm) for track in by_name["SADP"].tracks]
+    assert max(sadp_shifts) < 4.0         # self-aligned: no mask-to-mask displacement
+
+    euv_record = by_name["EUV"]
+    assert all(abs(track.center_shift_nm) < 1e-9 for track in euv_record.tracks)
+    width_changes = {round(track.width_change_nm, 6) for track in euv_record.tracks}
+    assert len(width_changes) == 1        # single exposure: identical CD change everywhere
+
+    benchmark.extra_info["max_center_shift_nm"] = {
+        name: round(max(abs(t.center_shift_nm) for t in record.tracks), 3)
+        for name, record in by_name.items()
+    }
+    benchmark.extra_info["max_width_change_nm"] = {
+        name: round(max(abs(t.width_change_nm) for t in record.tracks), 3)
+        for name, record in by_name.items()
+    }

@@ -1,0 +1,43 @@
+"""Fig. 3 — the design-of-experiments SRAM arrays.
+
+Fig. 3 is the schematic overview of the simulated arrays: 16, 64, 256 and
+1024 word lines at a fixed word length of 10 bit-line pairs, with the
+bit-line length proportional to the word-line count.  The bench
+regenerates all four array layouts, exports their summary data and checks
+the structural invariants the rest of the study relies on (track counts,
+bit-line length scaling, edge-effect-free central pair).
+"""
+
+import pytest
+
+from repro.layout.array import PAPER_ARRAY_SIZES, PAPER_BITLINE_PAIRS, paper_doe_layouts
+from repro.reporting import figure3_csv
+
+
+def test_fig3_doe_arrays(benchmark, node):
+    layouts = benchmark.pedantic(
+        paper_doe_layouts, kwargs={"node": node}, rounds=1, iterations=1
+    )
+    summaries = [layouts[f"{PAPER_BITLINE_PAIRS}x{size}"].summary() for size in PAPER_ARRAY_SIZES]
+    print("\n" + figure3_csv(summaries))
+
+    assert set(layouts) == {f"10x{size}" for size in PAPER_ARRAY_SIZES}
+    base = layouts["10x16"]
+    for size in PAPER_ARRAY_SIZES:
+        layout = layouts[f"10x{size}"]
+        # The bit-line length is proportional to the number of word lines.
+        assert layout.bitline_length_nm == pytest.approx(
+            base.bitline_length_nm * size / 16.0
+        )
+        # 4 metal1 tracks per bit-line pair, 10 pairs.
+        assert len(layout.metal1_pattern) == 4 * PAPER_BITLINE_PAIRS
+        # The central pair is surrounded by at least one full pair on each
+        # side, so extraction sees no array-edge effects.
+        bl_net, blb_net = layout.central_pair_nets()
+        bl_index = layout.metal1_pattern.index_of(bl_net)
+        assert 4 <= bl_index <= len(layout.metal1_pattern) - 5
+        assert blb_net in layout.metal1_pattern.nets
+
+    benchmark.extra_info["bitline_length_um"] = {
+        label: round(layout.bitline_length_nm / 1000.0, 2) for label, layout in layouts.items()
+    }

@@ -1,0 +1,49 @@
+"""Fig. 5 — Monte-Carlo tdp distributions (8 nm 3σ OL, n = 64).
+
+The paper samples the process variability of each patterning option with
+the parameterized LPE tool, maps every (Rvar, Cvar) sample through the
+analytical formula and histograms the resulting read-time penalty.  The
+headline observation: the LE3 distribution at an 8 nm overlay budget is
+more than twice as wide (σ) as the SADP one.
+
+The bench regenerates the three distributions and checks their relative
+widths, their centring and their reproducibility.
+"""
+
+import pytest
+
+from repro.reporting import figure5_ascii, figure5_csv
+
+
+def test_fig5_monte_carlo_tdp_distribution(benchmark, monte_carlo_study):
+    records = benchmark.pedantic(
+        monte_carlo_study.figure5,
+        kwargs={"n_wordlines": 64, "overlay_three_sigma_nm": 8.0},
+        rounds=1,
+        iterations=1,
+    )
+    for record in records:
+        print("\n" + figure5_ascii(record))
+    print("\n" + figure5_csv(records))
+
+    by_name = {record.option_name: record for record in records}
+    assert set(by_name) == {"LELELE", "SADP", "EUV"}
+    for record in records:
+        assert record.n_wordlines == 64
+        assert len(record.tdp_percent_samples) == record.n_samples
+        # The distributions are centred near the nominal (0 % penalty): the
+        # worst corners of Table I are multi-sigma tail events.
+        assert abs(record.summary.mean) < 3.0
+        # The histogram covers every sample.
+        assert sum(record.histogram.counts) == record.n_samples
+
+    # LE3 spread dominates — the paper reports sigma(LE3, 8 nm) > 2x sigma(SADP).
+    assert by_name["LELELE"].sigma_percent > 1.8 * by_name["SADP"].sigma_percent
+    assert by_name["LELELE"].sigma_percent > by_name["EUV"].sigma_percent
+    # SADP is the tightest distribution of the three.
+    assert by_name["SADP"].sigma_percent <= by_name["EUV"].sigma_percent
+
+    benchmark.extra_info["sigma_percent"] = {
+        name: round(record.sigma_percent, 3) for name, record in by_name.items()
+    }
+    benchmark.extra_info["paper_sigma_percent"] = {"LELELE": 0.753, "SADP": 0.317, "EUV": 0.415}

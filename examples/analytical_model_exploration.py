@@ -1,0 +1,84 @@
+"""Exploring the analytical read-time model (eqs. 2-5) interactively.
+
+The analytical formula is the piece of the paper a designer would actually
+reuse: given the per-cell bit-line parasitics, the cell's front-end R/C and
+the precharge scaling law, it predicts the read time and — more robustly —
+the read-time *penalty* of any RC variation, in microseconds of compute.
+This example shows the formula's anatomy:
+
+* the discharge constant for different sense thresholds;
+* the polynomial-in-n structure (eq. 5) and where the quadratic wire term
+  overtakes the front-end term;
+* the tdp sensitivity to Rvar versus Cvar as a function of array size,
+  which explains why the penalty of a "wider-lines" corner (Cvar up, Rvar
+  down) is non-monotonic in n;
+* a what-if: how much larger the array can get before a fixed patterning
+  corner exceeds a 10 % read-time budget.
+
+Run with::
+
+    python examples/analytical_model_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import n10
+from repro.core import discharge_constant, model_from_technology
+from repro.core.worst_case import WorstCaseStudy
+from repro.reporting import format_csv
+from repro.variability.doe import StudyDOE
+
+
+def main() -> None:
+    node = n10()
+    model = model_from_technology(node)
+
+    print("=== Discharge constant a = -ln(1 - f) (eq. 3) ===")
+    rows = []
+    for sense_mv in (50.0, 70.0, 100.0, 140.0):
+        fraction = sense_mv / 700.0
+        rows.append([f"{sense_mv:.0f} mV", f"{fraction:.3f}", f"{discharge_constant(fraction):.4f}"])
+    print(format_csv(["sense threshold", "discharge fraction", "a"], rows))
+    print()
+
+    print("=== Polynomial structure of td (eq. 5) ===")
+    rows = []
+    for n in (16, 64, 256, 1024):
+        coefficients = model.polynomial_coefficients(n)
+        quadratic = coefficients.c2 * n * n
+        linear = coefficients.c1 * n
+        constant = coefficients.c0
+        total = quadratic + linear + constant
+        rows.append(
+            [
+                n,
+                f"{total * 1e12:.2f}",
+                f"{100.0 * quadratic / total:.1f}%",
+                f"{100.0 * linear / total:.1f}%",
+                f"{100.0 * constant / total:.1f}%",
+            ]
+        )
+    print(format_csv(["n", "td (ps)", "n^2 (wire RC)", "n (mixed)", "const (FE x pre)"], rows))
+    print()
+
+    print("=== tdp sensitivity to Rvar / Cvar versus array size ===")
+    rows = []
+    for n in (16, 64, 256, 1024):
+        d_r, d_c = model.tdp_sensitivity(n)
+        rows.append([n, f"{d_r:.3f}", f"{d_c:.3f}", f"{d_c / d_r:.2f}"])
+    print(format_csv(["n", "d(tdp)/d(Rvar)", "d(tdp)/d(Cvar)", "C/R sensitivity ratio"], rows))
+    print()
+
+    print("=== What-if: when does the LE3 worst corner exceed a 10% budget? ===")
+    worst_case = WorstCaseStudy(node, doe=StudyDOE(array_sizes=(64,)))
+    corner = worst_case.find_worst_corner("LELELE")
+    rvar, cvar = corner.bitline_variation.rvar, corner.bitline_variation.cvar
+    rows = []
+    for n in (8, 16, 32, 64, 128, 256, 512, 1024, 2048):
+        penalty = model.tdp_percent(n, rvar, cvar)
+        rows.append([n, f"{penalty:.2f}%", "yes" if penalty > 10.0 else "no"])
+    print(format_csv(["n", "LE3 worst-case tdp", "exceeds 10% budget"], rows))
+
+
+if __name__ == "__main__":
+    main()

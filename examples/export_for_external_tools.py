@@ -1,0 +1,72 @@
+"""Exporting the study's artefacts for external tools.
+
+The library is self-contained (its own extraction and its own SPICE-level
+solver), but every intermediate artefact can be handed to an external flow
+for cross-checking:
+
+* the generated SRAM array layout → GDT text (a GDS-like interchange
+  format, re-importable with :func:`repro.layout.read_gdt`);
+* the printed (patterning-distorted) layout at any corner → GDT text;
+* the extracted read-path circuit, with all parasitics and devices → a
+  SPICE deck.
+
+Run with::
+
+    python examples/export_for_external_tools.py out/
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import n10
+from repro.circuit.spice_io import write_spice
+from repro.layout import generate_array_layout, library_from_wires, write_gdt
+from repro.patterning import le3
+from repro.sram import ReadPathSimulator
+
+
+def main(output_directory: str = "export-output") -> None:
+    output = Path(output_directory)
+    output.mkdir(parents=True, exist_ok=True)
+    node = n10()
+
+    # 1. Nominal array layout (10 bit-line pairs x 64 word lines) as GDT.
+    layout = generate_array_layout(64, node=node)
+    nominal_library = library_from_wires("sram_10x64", layout.wires(), layout.layer_map)
+    nominal_path = output / "sram_10x64_nominal.gdt"
+    write_gdt(nominal_library, nominal_path)
+    print(f"wrote {nominal_path} ({len(layout.wires())} shapes)")
+
+    # 2. The same layout printed with LE3 at its worst corner.
+    option = le3()
+    worst_corner = {"cd:A": 3.0, "cd:B": 3.0, "cd:C": 3.0, "ol:B": -8.0, "ol:C": 8.0}
+    printed = option.apply(layout.metal1_pattern, worst_corner)
+    printed_wires = printed.printed.as_wires(layer=node.bitline_layer)
+    printed_library = library_from_wires("sram_10x64_le3_worst", printed_wires, layout.layer_map)
+    printed_path = output / "sram_10x64_le3_worst.gdt"
+    write_gdt(printed_library, printed_path)
+    print(f"wrote {printed_path} ({len(printed_wires)} shapes)")
+
+    # 3. The extracted read-path circuit as a SPICE deck.
+    simulator = ReadPathSimulator(node)
+    column = simulator.column_parasitics(64)
+    read_circuit = simulator.build_circuit(64, column)
+    deck_path = output / "read_path_10x64.sp"
+    write_spice(read_circuit.circuit, deck_path)
+    print(f"wrote {deck_path} ({len(read_circuit.circuit)} elements, "
+          f"{read_circuit.circuit.node_count()} nodes)")
+
+    # 4. A distorted-column deck: the same circuit with the LE3 worst-case
+    #    parasitics, for external SPICE cross-checks of the tdp.
+    distorted_extraction = simulator.lpe.extract_pattern(printed.printed)
+    distorted_column = simulator.column_parasitics(64, distorted_extraction)
+    distorted_circuit = simulator.build_circuit(64, distorted_column)
+    distorted_path = output / "read_path_10x64_le3_worst.sp"
+    write_spice(distorted_circuit.circuit, distorted_path)
+    print(f"wrote {distorted_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "export-output")

@@ -1,0 +1,70 @@
+"""Monte-Carlo read-time-penalty study — the Section III reproduction.
+
+Builds the analytical td/tdp model from the technology node, verifies it
+against the transistor-level simulation (Tables II and III), then runs the
+Monte-Carlo sampling of the patterning variability through the
+parameterized LPE tool to regenerate the tdp distributions (Fig. 5) and
+their standard deviations across the overlay sweep (Table IV).
+
+Run with::
+
+    python examples/monte_carlo_study.py
+"""
+
+from __future__ import annotations
+
+from repro import n10
+from repro.core import FormulaValidation, MonteCarloTdpStudy, model_from_technology
+from repro.reporting import (
+    figure5_ascii,
+    format_table2,
+    format_table3,
+    format_table4,
+    overlay_sweep_csv,
+)
+from repro.variability.doe import paper_doe
+
+
+def main() -> None:
+    node = n10()
+    doe = paper_doe()
+    model = model_from_technology(node)
+
+    print("=== Analytical model parameters (eq. 4) ===")
+    print(f"  a (10% discharge)      : {model.a:.4f}")
+    print(f"  Rbl per cell           : {model.rbl_per_cell_ohm:.2f} ohm")
+    print(f"  Cbl per cell           : {model.cbl_per_cell_f * 1e18:.2f} aF")
+    print(f"  R_FE (discharge path)  : {model.rfe_ohm / 1e3:.1f} kohm")
+    print(f"  C_FE per cell          : {model.cfe_per_cell_f * 1e18:.2f} aF")
+    print(f"  Cpre(64) / Cpre(1024)  : {model.cpre_fn(64) * 1e15:.3f} fF / "
+          f"{model.cpre_fn(1024) * 1e15:.3f} fF")
+    print()
+
+    print("=== Table II: formula versus simulation (nominal td) ===")
+    validation = FormulaValidation(node, doe=doe, model=model)
+    print(format_table2(validation.table2()))
+    print()
+
+    print("=== Table III: formula versus simulation (worst-case tdp) ===")
+    print(format_table3(validation.table3()))
+    print()
+    gaps = validation.tdp_agreement_percent()
+    print("Largest |formula - simulation| gap per option (percentage points):")
+    for option_name, gap in sorted(gaps.items()):
+        print(f"  {option_name:8s} {gap:5.2f}")
+    print()
+
+    print("=== Fig. 5 + Table IV: Monte-Carlo tdp distributions (n = 64) ===")
+    study = MonteCarloTdpStudy(node, doe=doe, model=model, n_samples=1000, seed=2015)
+    for record in study.figure5():
+        print(figure5_ascii(record))
+        print()
+    print(format_table4(study.table4()))
+    print()
+
+    print("=== Overlay sensitivity of LE3 (sigma vs OL budget) ===")
+    print(overlay_sweep_csv(study.overlay_sensitivity()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: which patterning option should print my SRAM's metal1?
+
+Runs the core of the DATE 2015 study on the N10-class node in a few
+seconds: the worst-case bit-line RC impact of each patterning option
+(Table I), the worst-case read-time penalty at one array size, and the
+statistical verdict.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MultiPatterningSRAMStudy, n10
+from repro.core import OptionComparison
+from repro.reporting import format_figure4, format_table1, format_table4
+from repro.variability.doe import StudyDOE
+
+
+def main() -> None:
+    # The technology node bundles the metal stack, the 6T cell devices, the
+    # 0.7 V / 70 mV operating point and the paper's variation assumptions
+    # (3 nm CD, 1.5 nm spacer, 8 nm LE3 overlay).
+    node = n10(overlay_three_sigma_nm=8.0)
+
+    # A reduced grid keeps the quickstart under ~10 seconds: one array size
+    # for the simulated penalty, two overlay budgets for the statistics.
+    study = MultiPatterningSRAMStudy(
+        node,
+        doe=StudyDOE(array_sizes=(64,), overlay_budgets_nm=(3.0, 8.0)),
+        monte_carlo_samples=300,
+        seed=1,
+    )
+
+    print("Step 1 - worst-case bit-line RC impact per patterning option")
+    table1 = study.run_table1()
+    print(format_table1(table1))
+    print()
+
+    print("Step 2 - simulated worst-case read-time penalty (10x64 array)")
+    figure4 = study.run_figure4()
+    print(format_figure4(figure4))
+    print()
+
+    print("Step 3 - Monte-Carlo read-time-penalty sigma (Table IV)")
+    table4 = study.run_table4()
+    print(format_table4(table4))
+    print()
+
+    verdict = OptionComparison(figure4, table4).verdict()
+    print("Recommendation:", verdict.recommended_option)
+    for note in verdict.notes:
+        print("  -", note)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that editable installs work on environments whose setuptools/pip
+predate full PEP 660 support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

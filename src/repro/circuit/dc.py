@@ -1,0 +1,171 @@
+"""DC operating-point analysis.
+
+Newton-Raphson on the static MNA system
+
+    F(x) = G·x + I_nl(x) − b = 0
+
+with a damped update and a gmin-stepping fallback for stubborn circuits
+(large gmin makes the system nearly linear; it is then reduced in decades
+while re-converging, a standard SPICE continuation strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from .mna import MNAAssembler, MNAError
+from .netlist import Circuit
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the DC operating point cannot be found."""
+
+
+@dataclass
+class DCResult:
+    """Result of a DC operating-point analysis."""
+
+    voltages: Dict[str, float]
+    iterations: int
+    converged: bool
+    max_residual_a: float
+
+    def voltage(self, node: str) -> float:
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise MNAError(f"node {node!r} not in the DC solution") from None
+
+
+@dataclass
+class NewtonOptions:
+    """Newton-iteration tuning knobs shared by the DC and transient solvers."""
+
+    max_iterations: int = 100
+    abs_tolerance_a: float = 1e-9
+    rel_tolerance: float = 1e-6
+    damping: float = 1.0
+    max_voltage_step_v: float = 0.3
+
+
+def _newton_solve(
+    assembler: MNAAssembler,
+    g_matrix: sparse.csr_matrix,
+    b: np.ndarray,
+    x0: np.ndarray,
+    options: NewtonOptions,
+) -> tuple[np.ndarray, int, bool, float]:
+    """Newton iteration on ``G x + I_nl(x) = b`` starting from ``x0``."""
+    x = x0.copy()
+    max_residual = float("inf")
+    for iteration in range(1, options.max_iterations + 1):
+        stamp = assembler.nonlinear_stamp(x)
+        residual = g_matrix.dot(x) + stamp.residual - b
+        max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
+        if max_residual < options.abs_tolerance_a:
+            return x, iteration, True, max_residual
+        if stamp.rows:
+            jac_nl = sparse.csr_matrix(
+                (stamp.values, (stamp.rows, stamp.cols)),
+                shape=(assembler.size, assembler.size),
+            )
+            jacobian = g_matrix + jac_nl
+        else:
+            jacobian = g_matrix
+        try:
+            delta = spsolve(jacobian.tocsc(), -residual)
+        except RuntimeError as error:  # pragma: no cover - singular matrix
+            raise ConvergenceError(f"linear solve failed: {error}") from error
+        delta = np.asarray(delta).ravel()
+        # Limit the per-iteration voltage step for robustness.
+        node_delta = delta[: assembler.n_nodes]
+        max_step = float(np.max(np.abs(node_delta))) if node_delta.size else 0.0
+        scale = options.damping
+        if max_step > options.max_voltage_step_v > 0.0:
+            scale *= options.max_voltage_step_v / max_step
+        x = x + scale * delta
+        # Convergence on the update as well (helps linear circuits finish in
+        # one extra iteration).
+        if max_step * scale < options.rel_tolerance * max(1.0, float(np.max(np.abs(x[: assembler.n_nodes]), initial=0.0))):
+            stamp = assembler.nonlinear_stamp(x)
+            residual = g_matrix.dot(x) + stamp.residual - b
+            max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
+            if max_residual < options.abs_tolerance_a * 10.0:
+                return x, iteration, True, max_residual
+    return x, options.max_iterations, False, max_residual
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    initial_voltages: Optional[Dict[str, float]] = None,
+    options: Optional[NewtonOptions] = None,
+    gmin_s: float = 1e-12,
+) -> DCResult:
+    """Find the DC operating point of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve; capacitors are open in DC.
+    initial_voltages:
+        Optional initial guess per node (greatly helps bistable circuits
+        such as the SRAM cell pick the intended state).
+    options:
+        Newton options.
+    gmin_s:
+        Baseline gmin; the gmin-stepping fallback starts three decades
+        higher when plain Newton fails.
+    """
+    chosen_options = options if options is not None else NewtonOptions()
+
+    for gmin_attempt in (gmin_s, gmin_s * 1e3, gmin_s * 1e6):
+        assembler = MNAAssembler(circuit, gmin_s=gmin_attempt)
+        b = assembler.source_vector(0.0)
+        x0 = assembler.initial_solution(initial_voltages)
+        # Seed the voltage-source branch targets so the first iteration does
+        # not start from a wildly inconsistent point.
+        for offset, source in enumerate(assembler.voltage_sources):
+            x0[assembler.n_nodes + offset] = 0.0
+        solution, iterations, converged, max_residual = _newton_solve(
+            assembler, assembler.conductance_matrix, b, x0, chosen_options
+        )
+        if converged and gmin_attempt == gmin_s:
+            return DCResult(
+                voltages=assembler.solution_to_dict(solution),
+                iterations=iterations,
+                converged=True,
+                max_residual_a=max_residual,
+            )
+        if converged:
+            # Found a solution at elevated gmin: walk gmin back down using the
+            # converged solution as the new starting point.
+            current = solution
+            for step_gmin in (gmin_attempt / 10.0, gmin_attempt / 100.0, gmin_s):
+                step_assembler = MNAAssembler(circuit, gmin_s=step_gmin)
+                b = step_assembler.source_vector(0.0)
+                current, iterations, converged, max_residual = _newton_solve(
+                    step_assembler,
+                    step_assembler.conductance_matrix,
+                    b,
+                    current,
+                    chosen_options,
+                )
+                if not converged:
+                    break
+            if converged:
+                return DCResult(
+                    voltages=step_assembler.solution_to_dict(current),
+                    iterations=iterations,
+                    converged=True,
+                    max_residual_a=max_residual,
+                )
+
+    raise ConvergenceError(
+        "DC operating point did not converge "
+        f"(last max residual {max_residual:.3e} A)"
+    )

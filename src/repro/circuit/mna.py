@@ -1,0 +1,270 @@
+"""Modified nodal analysis (MNA) assembly.
+
+The assembler maps a :class:`~repro.circuit.netlist.Circuit` onto the MNA
+unknown vector ``x = [node voltages, voltage-source branch currents]`` and
+produces:
+
+* ``G`` — the constant conductance matrix (resistors, gmin, voltage-source
+  incidence rows/columns);
+* ``C`` — the constant capacitance matrix;
+* ``b(t)`` — the source vector at a given time;
+* per-Newton-iteration stamps of the nonlinear devices (MOSFETs), i.e. the
+  Jacobian contributions and the residual currents.
+
+Sparse matrices (scipy) are used throughout so that kilobit bit-line
+ladders with thousands of nodes stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .elements import Capacitor, CurrentSource, Resistor, VoltageSource
+from .mosfet import MOSFET
+from .netlist import Circuit, NetlistError, is_ground
+
+#: Minimum conductance from every node to ground, for numerical robustness.
+DEFAULT_GMIN_S = 1e-12
+
+
+class MNAError(RuntimeError):
+    """Raised when the MNA system cannot be assembled or is singular."""
+
+
+@dataclass
+class NonlinearStamp:
+    """Jacobian triplets and residual currents of the nonlinear devices."""
+
+    rows: List[int]
+    cols: List[int]
+    values: List[float]
+    residual: np.ndarray
+
+
+class MNAAssembler:
+    """Maps a circuit onto MNA matrices.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to assemble; it is validated on construction.
+    gmin_s:
+        Conductance added from every node to ground.
+    """
+
+    def __init__(self, circuit: Circuit, gmin_s: float = DEFAULT_GMIN_S) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.gmin_s = gmin_s
+
+        self._node_names: List[str] = circuit.nodes()
+        self._node_index: Dict[str, int] = {
+            name: index for index, name in enumerate(self._node_names)
+        }
+        self.voltage_sources: List[VoltageSource] = list(
+            circuit.elements_of_type(VoltageSource)
+        )
+        self.current_sources: List[CurrentSource] = list(
+            circuit.elements_of_type(CurrentSource)
+        )
+        self.mosfets: List[MOSFET] = list(circuit.elements_of_type(MOSFET))
+        self.resistors: List[Resistor] = list(circuit.elements_of_type(Resistor))
+        self.capacitors: List[Capacitor] = list(circuit.elements_of_type(Capacitor))
+
+        self.n_nodes = len(self._node_names)
+        self.n_branches = len(self.voltage_sources)
+        self.size = self.n_nodes + self.n_branches
+
+        self._g_matrix = self._build_conductance_matrix()
+        self._c_matrix = self._build_capacitance_matrix()
+
+    # -- index helpers -------------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._node_names)
+
+    def index_of(self, node: str) -> Optional[int]:
+        """MNA index of a node (``None`` for ground)."""
+        if is_ground(node):
+            return None
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise MNAError(f"unknown node {node!r}") from None
+
+    def branch_index(self, source_name: str) -> int:
+        for offset, source in enumerate(self.voltage_sources):
+            if source.name == source_name:
+                return self.n_nodes + offset
+        raise MNAError(f"no voltage source named {source_name!r}")
+
+    # -- static matrices -------------------------------------------------------------
+
+    def _build_conductance_matrix(self) -> sparse.csr_matrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        values: List[float] = []
+
+        def stamp(row: Optional[int], col: Optional[int], value: float) -> None:
+            if row is None or col is None:
+                return
+            rows.append(row)
+            cols.append(col)
+            values.append(value)
+
+        for resistor in self.resistors:
+            conductance = resistor.conductance_s
+            p = self.index_of(resistor.positive)
+            n = self.index_of(resistor.negative)
+            stamp(p, p, conductance)
+            stamp(n, n, conductance)
+            stamp(p, n, -conductance)
+            stamp(n, p, -conductance)
+
+        if self.gmin_s > 0.0:
+            for index in range(self.n_nodes):
+                rows.append(index)
+                cols.append(index)
+                values.append(self.gmin_s)
+
+        for offset, source in enumerate(self.voltage_sources):
+            branch = self.n_nodes + offset
+            p = self.index_of(source.positive)
+            n = self.index_of(source.negative)
+            if p is not None:
+                rows.extend([p, branch])
+                cols.extend([branch, p])
+                values.extend([1.0, 1.0])
+            if n is not None:
+                rows.extend([n, branch])
+                cols.extend([branch, n])
+                values.extend([-1.0, -1.0])
+
+        return sparse.csr_matrix(
+            (values, (rows, cols)), shape=(self.size, self.size)
+        )
+
+    def _build_capacitance_matrix(self) -> sparse.csr_matrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        values: List[float] = []
+        for capacitor in self.capacitors:
+            if capacitor.capacitance_f == 0.0:
+                continue
+            p = self.index_of(capacitor.positive)
+            n = self.index_of(capacitor.negative)
+            c = capacitor.capacitance_f
+            if p is not None:
+                rows.append(p)
+                cols.append(p)
+                values.append(c)
+            if n is not None:
+                rows.append(n)
+                cols.append(n)
+                values.append(c)
+            if p is not None and n is not None:
+                rows.extend([p, n])
+                cols.extend([n, p])
+                values.extend([-c, -c])
+        return sparse.csr_matrix(
+            (values, (rows, cols)), shape=(self.size, self.size)
+        )
+
+    @property
+    def conductance_matrix(self) -> sparse.csr_matrix:
+        return self._g_matrix
+
+    @property
+    def capacitance_matrix(self) -> sparse.csr_matrix:
+        return self._c_matrix
+
+    # -- sources -----------------------------------------------------------------------
+
+    def source_vector(self, time_s: float) -> np.ndarray:
+        """The right-hand-side source vector at ``time_s``."""
+        b = np.zeros(self.size)
+        for offset, source in enumerate(self.voltage_sources):
+            b[self.n_nodes + offset] = source.value_at(time_s)
+        for source in self.current_sources:
+            value = source.value_at(time_s)
+            p = self.index_of(source.positive)
+            n = self.index_of(source.negative)
+            if p is not None:
+                b[p] -= value
+            if n is not None:
+                b[n] += value
+        return b
+
+    # -- nonlinear stamps ------------------------------------------------------------------
+
+    def _voltage_at(self, solution: np.ndarray, node: str) -> float:
+        index = self.index_of(node)
+        return 0.0 if index is None else float(solution[index])
+
+    def nonlinear_stamp(self, solution: np.ndarray) -> NonlinearStamp:
+        """Linearised companion stamps of all MOSFETs around ``solution``."""
+        rows: List[int] = []
+        cols: List[int] = []
+        values: List[float] = []
+        residual = np.zeros(self.size)
+
+        def add(row: Optional[int], col: Optional[int], value: float) -> None:
+            if row is None or col is None:
+                return
+            rows.append(row)
+            cols.append(col)
+            values.append(value)
+
+        for device in self.mosfets:
+            v_drain = self._voltage_at(solution, device.drain)
+            v_gate = self._voltage_at(solution, device.gate)
+            v_source = self._voltage_at(solution, device.source)
+            op = device.operating_point(v_drain, v_gate, v_source)
+
+            d = self.index_of(device.drain)
+            g = self.index_of(device.gate)
+            s = self.index_of(device.source)
+
+            if d is not None:
+                residual[d] += op.ids_a
+            if s is not None:
+                residual[s] -= op.ids_a
+
+            gds = op.gds_s
+            gm = op.gm_s
+            add(d, d, gds)
+            add(d, g, gm)
+            add(d, s, -(gds + gm))
+            add(s, d, -gds)
+            add(s, g, -gm)
+            add(s, s, gds + gm)
+
+        return NonlinearStamp(rows=rows, cols=cols, values=values, residual=residual)
+
+    # -- solution helpers ----------------------------------------------------------------------
+
+    def solution_to_dict(self, solution: np.ndarray) -> Dict[str, float]:
+        """Map an MNA solution vector to a node-name → voltage dictionary."""
+        voltages = {name: float(solution[index]) for name, index in self._node_index.items()}
+        voltages["0"] = 0.0
+        return voltages
+
+    def initial_solution(self, initial_voltages: Optional[Dict[str, float]] = None) -> np.ndarray:
+        """Build an initial solution vector from a node-voltage dictionary."""
+        solution = np.zeros(self.size)
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                if is_ground(node):
+                    continue
+                index = self._node_index.get(node)
+                if index is None:
+                    raise MNAError(
+                        f"initial condition given for unknown node {node!r}"
+                    )
+                solution[index] = value
+        return solution

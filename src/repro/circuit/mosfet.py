@@ -1,0 +1,178 @@
+"""Alpha-power-law FinFET compact model.
+
+The study needs a transistor model that is (a) smooth enough for Newton
+iteration, (b) calibrated to N10-class drive currents and capacitances and
+(c) honest about the physics that matters for the bit-line discharge: the
+pass-gate/pull-down series path behaves like a saturated current source
+early in the discharge and like a resistor near the end.
+
+The drain current follows Sakurai's alpha-power law with
+
+* a softplus-smoothed overdrive (so the device turns off smoothly and the
+  Jacobian never becomes exactly singular),
+* the classic quadratic linear-region interpolation below ``Vdsat``,
+* channel-length modulation in saturation, and
+* symmetric operation (drain and source swap when ``Vds < 0``).
+
+Gate, drain and source capacitances are taken as constant per-fin values
+from :class:`repro.technology.transistors.FinFETParameters`; the circuit
+builder adds them as explicit linear capacitors, keeping the nonlinear
+element purely resistive (a standard quasi-static simplification).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..technology.transistors import DeviceType, FinFETParameters
+from .elements import CircuitElement, ElementError
+
+#: Smoothing width (volts) of the softplus overdrive.
+OVERDRIVE_SMOOTHING_V = 0.02
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Drain current and small-signal conductances at a bias point."""
+
+    ids_a: float
+    gm_s: float
+    gds_s: float
+    vgs_v: float
+    vds_v: float
+
+    @property
+    def saturated(self) -> bool:
+        """Rough saturation flag (|Vds| above the effective overdrive)."""
+        return abs(self.vds_v) >= max(abs(self.vgs_v), 1e-12)
+
+
+def _softplus(value: float, width: float) -> float:
+    """Numerically safe softplus: ``width * ln(1 + exp(value / width))``."""
+    scaled = value / width
+    if scaled > 40.0:
+        return value
+    if scaled < -40.0:
+        return width * math.exp(scaled)
+    return width * math.log1p(math.exp(scaled))
+
+
+class MOSFET(CircuitElement):
+    """A FinFET between drain, gate and source (bulk tied to source).
+
+    Parameters
+    ----------
+    name:
+        Element name.
+    drain, gate, source:
+        Node names.
+    parameters:
+        The compact-model parameters.
+    nfins:
+        Number of fins (parallel multiplier).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        parameters: FinFETParameters,
+        nfins: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if nfins < 1:
+            raise ElementError(f"MOSFET {name!r}: nfins must be at least 1")
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+        self.parameters = parameters
+        self.nfins = nfins
+
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.drain, self.gate, self.source)
+
+    # -- current equations -------------------------------------------------------
+
+    @property
+    def _polarity(self) -> float:
+        return 1.0 if self.parameters.device_type is DeviceType.NMOS else -1.0
+
+    def _forward_current(self, vgs: float, vds: float) -> float:
+        """Drain current for ``vds >= 0`` of the equivalent N-type device."""
+        p = self.parameters
+        overdrive = _softplus(vgs - p.vth_v, OVERDRIVE_SMOOTHING_V)
+        if overdrive <= 0.0:
+            return 0.0
+        idsat = p.k_a_per_valpha * self.nfins * overdrive**p.alpha
+        vdsat = max(overdrive, 1e-9)
+        clm = 1.0 + p.lambda_per_v * vds
+        if vds >= vdsat:
+            return idsat * clm
+        ratio = vds / vdsat
+        return idsat * (2.0 - ratio) * ratio * clm
+
+    def drain_current_a(self, v_drain: float, v_gate: float, v_source: float) -> float:
+        """Terminal drain current (positive into the drain for NMOS conduction)."""
+        polarity = self._polarity
+        vds = polarity * (v_drain - v_source)
+        if vds >= 0.0:
+            vgs = polarity * (v_gate - v_source)
+            return polarity * self._forward_current(vgs, vds)
+        # Symmetric operation: the physical source is the higher-potential
+        # terminal for NMOS (lower for PMOS); swap and negate.
+        vgs = polarity * (v_gate - v_drain)
+        return -polarity * self._forward_current(vgs, -vds)
+
+    def operating_point(
+        self, v_drain: float, v_gate: float, v_source: float
+    ) -> OperatingPoint:
+        """Current and conductances via central finite differences.
+
+        Finite differences keep the model code simple and are accurate to
+        ~1e-6 relative for the smooth equations above; the Newton solver
+        only needs a descent direction, not exact derivatives.
+        """
+        delta = 1e-6
+        ids = self.drain_current_a(v_drain, v_gate, v_source)
+        gm = (
+            self.drain_current_a(v_drain, v_gate + delta, v_source)
+            - self.drain_current_a(v_drain, v_gate - delta, v_source)
+        ) / (2.0 * delta)
+        gds = (
+            self.drain_current_a(v_drain + delta, v_gate, v_source)
+            - self.drain_current_a(v_drain - delta, v_gate, v_source)
+        ) / (2.0 * delta)
+        return OperatingPoint(
+            ids_a=ids,
+            gm_s=gm,
+            gds_s=gds,
+            vgs_v=v_gate - v_source,
+            vds_v=v_drain - v_source,
+        )
+
+    # -- capacitances -------------------------------------------------------------
+
+    def terminal_capacitances_f(self) -> Dict[str, float]:
+        """Constant lumped capacitances from each terminal to ground."""
+        p = self.parameters
+        return {
+            self.gate: p.cgate_f_per_fin * self.nfins,
+            self.drain: p.cdrain_f_per_fin * self.nfins,
+            self.source: p.csource_f_per_fin * self.nfins,
+        }
+
+    # -- convenience ----------------------------------------------------------------
+
+    def on_current_a(self, vdd_v: float) -> float:
+        """Saturation current at ``Vgs = Vds = Vdd`` (sign-free magnitude)."""
+        return abs(
+            self.drain_current_a(
+                v_drain=vdd_v if self._polarity > 0 else 0.0,
+                v_gate=vdd_v if self._polarity > 0 else 0.0,
+                v_source=0.0 if self._polarity > 0 else vdd_v,
+            )
+        )

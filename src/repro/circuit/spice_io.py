@@ -1,0 +1,210 @@
+"""SPICE-compatible netlist export and a small netlist parser.
+
+The paper's flow stores "netlists (with parasitics)" produced by the LPE
+tool; this module provides the equivalent interchange: any
+:class:`~repro.circuit.netlist.Circuit` can be written as a SPICE deck
+(resistors, capacitors, sources, MOSFETs as ``.model``-less M-cards with
+inline parameters), and a structural subset (R, C, V DC, I DC) can be read
+back — enough to round-trip extracted RC networks through external tools
+or into an external SPICE for cross-checking.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Union
+
+from ..technology.transistors import DeviceType, FinFETParameters
+from .elements import (
+    DC,
+    Capacitor,
+    CurrentSource,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    VoltageSource,
+    Waveform,
+)
+from .mosfet import MOSFET
+from .netlist import Circuit, NetlistError
+
+
+class SpiceFormatError(ValueError):
+    """Raised for netlists that cannot be exported or parsed."""
+
+
+def _format_value(value: float) -> str:
+    """Engineering-style formatting with enough digits for round-tripping."""
+    return f"{value:.9g}"
+
+
+def _format_waveform(waveform: Waveform) -> str:
+    if isinstance(waveform, DC):
+        return f"DC {_format_value(waveform.level)}"
+    if isinstance(waveform, Pulse):
+        return (
+            "PULSE("
+            + " ".join(
+                _format_value(value)
+                for value in (
+                    waveform.initial,
+                    waveform.pulsed,
+                    waveform.delay_s,
+                    waveform.rise_s,
+                    waveform.fall_s,
+                    waveform.width_s,
+                    waveform.period_s,
+                )
+            )
+            + ")"
+        )
+    if isinstance(waveform, PiecewiseLinear):
+        flat = " ".join(
+            f"{_format_value(time)} {_format_value(value)}"
+            for time, value in waveform.points
+        )
+        return f"PWL({flat})"
+    raise SpiceFormatError(f"cannot format waveform of type {type(waveform).__name__}")
+
+
+def write_spice(circuit: Circuit, destination: Union[str, Path, TextIO, None] = None) -> str:
+    """Write a circuit as a SPICE deck; returns the text.
+
+    When ``destination`` is a path or file object the text is also written
+    there.
+    """
+    lines: List[str] = [f"* {circuit.title}"]
+    for element in circuit:
+        if isinstance(element, Resistor):
+            lines.append(
+                f"R{element.name} {element.positive} {element.negative} "
+                f"{_format_value(element.resistance_ohm)}"
+            )
+        elif isinstance(element, Capacitor):
+            suffix = ""
+            if element.initial_voltage_v is not None:
+                suffix = f" IC={_format_value(element.initial_voltage_v)}"
+            lines.append(
+                f"C{element.name} {element.positive} {element.negative} "
+                f"{_format_value(element.capacitance_f)}{suffix}"
+            )
+        elif isinstance(element, VoltageSource):
+            lines.append(
+                f"V{element.name} {element.positive} {element.negative} "
+                f"{_format_waveform(element.waveform)}"
+            )
+        elif isinstance(element, CurrentSource):
+            lines.append(
+                f"I{element.name} {element.positive} {element.negative} "
+                f"{_format_waveform(element.waveform)}"
+            )
+        elif isinstance(element, MOSFET):
+            p = element.parameters
+            model_type = "nmos" if p.device_type is DeviceType.NMOS else "pmos"
+            lines.append(
+                f"M{element.name} {element.drain} {element.gate} {element.source} "
+                f"{element.source} {model_type} nfins={element.nfins} "
+                f"vth={_format_value(p.vth_v)} alpha={_format_value(p.alpha)} "
+                f"k={_format_value(p.k_a_per_valpha)}"
+            )
+        else:
+            raise SpiceFormatError(
+                f"element {element.name!r} of type {type(element).__name__} "
+                "has no SPICE representation"
+            )
+    lines.append(".end")
+    text = "\n".join(lines) + "\n"
+
+    if destination is None:
+        return text
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text, encoding="utf-8")
+        return text
+    destination.write(text)
+    return text
+
+
+def _parse_number(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    suffixes = {
+        "t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3,
+        "m": 1e-3, "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15, "a": 1e-18,
+    }
+    lowered = token.lower()
+    for suffix in ("meg",):
+        if lowered.endswith(suffix):
+            return float(lowered[: -len(suffix)]) * suffixes[suffix]
+    if lowered and lowered[-1] in suffixes and suffixes.get(lowered[-1]) is not None:
+        try:
+            return float(lowered[:-1]) * suffixes[lowered[-1]]
+        except ValueError:
+            pass
+    try:
+        return float(lowered)
+    except ValueError:
+        raise SpiceFormatError(f"cannot parse number {token!r}") from None
+
+
+def read_spice(source: Union[str, Path, TextIO], title: str = "imported") -> Circuit:
+    """Parse a structural SPICE subset (R, C, V DC, I DC) into a circuit.
+
+    Lines starting with ``*`` are comments; ``.``-cards are ignored except
+    ``.end``.  MOSFET cards are rejected (the inline-parameter format is a
+    write-only convenience).
+    """
+    if isinstance(source, (str, Path)) and "\n" not in str(source):
+        text = Path(source).read_text(encoding="utf-8")
+    elif isinstance(source, str):
+        text = source
+    elif isinstance(source, Path):
+        text = source.read_text(encoding="utf-8")
+    else:
+        text = source.read()
+
+    circuit = Circuit(title=title)
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.lower().startswith(".end"):
+            break
+        if line.startswith("."):
+            continue
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        name = card[1:] if len(card) > 1 else card
+        if kind == "R":
+            if len(tokens) < 4:
+                raise SpiceFormatError(f"malformed resistor card: {line!r}")
+            circuit.add(Resistor(name, tokens[1], tokens[2], _parse_number(tokens[3])))
+        elif kind == "C":
+            if len(tokens) < 4:
+                raise SpiceFormatError(f"malformed capacitor card: {line!r}")
+            initial: Optional[float] = None
+            for token in tokens[4:]:
+                if token.upper().startswith("IC="):
+                    initial = _parse_number(token.split("=", 1)[1])
+            circuit.add(
+                Capacitor(name, tokens[1], tokens[2], _parse_number(tokens[3]), initial)
+            )
+        elif kind == "V":
+            if len(tokens) < 4:
+                raise SpiceFormatError(f"malformed voltage-source card: {line!r}")
+            level_token = tokens[4] if tokens[3].upper() == "DC" and len(tokens) > 4 else tokens[3]
+            if level_token.upper() == "DC":
+                raise SpiceFormatError(f"missing DC level in: {line!r}")
+            circuit.add(VoltageSource.dc(name, tokens[1], tokens[2], _parse_number(level_token)))
+        elif kind == "I":
+            if len(tokens) < 4:
+                raise SpiceFormatError(f"malformed current-source card: {line!r}")
+            level_token = tokens[4] if tokens[3].upper() == "DC" and len(tokens) > 4 else tokens[3]
+            circuit.add(CurrentSource.dc(name, tokens[1], tokens[2], _parse_number(level_token)))
+        elif kind == "M":
+            raise SpiceFormatError(
+                "MOSFET cards cannot be re-imported; rebuild devices via the API"
+            )
+        else:
+            raise SpiceFormatError(f"unsupported card {card!r}")
+    return circuit

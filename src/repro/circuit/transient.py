@@ -1,0 +1,234 @@
+"""Transient analysis.
+
+A backward-Euler (optionally trapezoidal) time-stepping solver with Newton
+iteration at every step and a simple adaptive step-size controller:
+
+* a step that converges quickly lets the next step grow;
+* a step that fails to converge is retried with half the step size;
+* an optional stop condition (a callable on the node voltages) ends the
+  simulation early — the SRAM read harness uses it to stop as soon as the
+  sense threshold is reached instead of simulating a fixed window.
+
+Backward Euler is the default because the bit-line discharge is a heavily
+damped RC problem where BE's numerical damping is harmless and its
+robustness is welcome; trapezoidal integration is available for accuracy
+studies (see the integration-method ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from .dc import ConvergenceError, NewtonOptions
+from .mna import MNAAssembler
+from .netlist import Circuit
+from .waveform import TransientResult
+
+#: Signature of an early-stop predicate: (time_s, node-voltage dict) → bool.
+StopCondition = Callable[[float, Dict[str, float]], bool]
+
+
+@dataclass
+class TransientOptions:
+    """Tuning knobs of the transient solver."""
+
+    t_stop_s: float = 1e-9
+    dt_initial_s: float = 1e-13
+    dt_min_s: float = 1e-16
+    dt_max_s: float = 5e-12
+    dt_growth: float = 1.3
+    dt_shrink: float = 0.5
+    method: str = "backward-euler"          # or "trapezoidal"
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+    max_steps: int = 200_000
+    record_nodes: Optional[List[str]] = None  # None = record every node
+
+    def __post_init__(self) -> None:
+        if self.t_stop_s <= 0.0:
+            raise ValueError("t_stop must be positive")
+        if not 0.0 < self.dt_min_s <= self.dt_initial_s <= self.dt_max_s:
+            raise ValueError(
+                "time steps must satisfy 0 < dt_min <= dt_initial <= dt_max"
+            )
+        if self.dt_growth <= 1.0:
+            raise ValueError("dt_growth must exceed 1")
+        if not 0.0 < self.dt_shrink < 1.0:
+            raise ValueError("dt_shrink must be in (0, 1)")
+        if self.method not in ("backward-euler", "trapezoidal"):
+            raise ValueError("method must be 'backward-euler' or 'trapezoidal'")
+
+
+class TransientSolver:
+    """Time-domain solver for a fixed circuit."""
+
+    def __init__(self, circuit: Circuit, options: Optional[TransientOptions] = None,
+                 gmin_s: float = 1e-12) -> None:
+        self.circuit = circuit
+        self.options = options if options is not None else TransientOptions()
+        self.assembler = MNAAssembler(circuit, gmin_s=gmin_s)
+
+    # -- single implicit step -----------------------------------------------------
+
+    def _newton_step(
+        self,
+        x_prev: np.ndarray,
+        time_s: float,
+        dt_s: float,
+        x_guess: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Solve one implicit time step; returns None when Newton fails."""
+        assembler = self.assembler
+        options = self.options.newton
+        g_matrix = assembler.conductance_matrix
+        c_matrix = assembler.capacitance_matrix
+        c_over_dt = c_matrix / dt_s
+        b_now = assembler.source_vector(time_s)
+
+        if self.options.method == "trapezoidal":
+            # Trapezoidal: C (x−x_prev)/dt = −0.5 [f(x, t) + f(x_prev, t_prev)]
+            # Rearranged into Newton form with an extra history term.
+            b_prev = assembler.source_vector(time_s - dt_s)
+            stamp_prev = assembler.nonlinear_stamp(x_prev)
+            history = (
+                c_over_dt.dot(x_prev) * 2.0
+                - g_matrix.dot(x_prev)
+                - stamp_prev.residual
+                + b_prev
+            )
+            static = g_matrix + 2.0 * c_over_dt
+            rhs_const = b_now + history
+        else:
+            static = g_matrix + c_over_dt
+            rhs_const = b_now + c_over_dt.dot(x_prev)
+
+        x = x_guess.copy()
+        for _iteration in range(options.max_iterations):
+            stamp = assembler.nonlinear_stamp(x)
+            residual = static.dot(x) + stamp.residual - rhs_const
+            max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
+            if max_residual < options.abs_tolerance_a:
+                return x
+            if stamp.rows:
+                jac_nl = sparse.csr_matrix(
+                    (stamp.values, (stamp.rows, stamp.cols)),
+                    shape=(assembler.size, assembler.size),
+                )
+                jacobian = static + jac_nl
+            else:
+                jacobian = static
+            try:
+                delta = spsolve(jacobian.tocsc(), -residual)
+            except RuntimeError:
+                return None
+            delta = np.asarray(delta).ravel()
+            if not np.all(np.isfinite(delta)):
+                return None
+            node_delta = delta[: assembler.n_nodes]
+            max_step = float(np.max(np.abs(node_delta))) if node_delta.size else 0.0
+            scale = 1.0
+            if max_step > options.max_voltage_step_v > 0.0:
+                scale = options.max_voltage_step_v / max_step
+            x = x + scale * delta
+        # One last residual check with the final iterate.
+        stamp = assembler.nonlinear_stamp(x)
+        residual = static.dot(x) + stamp.residual - rhs_const
+        if float(np.max(np.abs(residual))) < options.abs_tolerance_a * 100.0:
+            return x
+        return None
+
+    # -- full transient --------------------------------------------------------------
+
+    def run(
+        self,
+        initial_voltages: Optional[Dict[str, float]] = None,
+        stop_condition: Optional[StopCondition] = None,
+    ) -> TransientResult:
+        """Run the transient analysis.
+
+        Parameters
+        ----------
+        initial_voltages:
+            Node voltages at ``t = 0`` (UIC-style start).  Nodes not listed
+            start at 0 V; voltage-source nodes are driven from the first
+            step onwards regardless.
+        stop_condition:
+            Optional predicate evaluated after every accepted step; the
+            simulation ends as soon as it returns true.
+        """
+        options = self.options
+        assembler = self.assembler
+
+        x = assembler.initial_solution(initial_voltages)
+        record_nodes = (
+            options.record_nodes if options.record_nodes is not None else assembler.node_names
+        )
+        for node in record_nodes:
+            assembler.index_of(node)  # raises early for typos
+
+        times: List[float] = [0.0]
+        history: Dict[str, List[float]] = {
+            node: [float(x[assembler.index_of(node)]) if assembler.index_of(node) is not None else 0.0]
+            for node in record_nodes
+        }
+
+        time_s = 0.0
+        dt_s = options.dt_initial_s
+        stop_reason = "tstop"
+        steps = 0
+
+        while time_s < options.t_stop_s and steps < options.max_steps:
+            steps += 1
+            dt_s = min(dt_s, options.t_stop_s - time_s)
+            solution = self._newton_step(x, time_s + dt_s, dt_s, x)
+            if solution is None:
+                dt_s *= options.dt_shrink
+                if dt_s < options.dt_min_s:
+                    raise ConvergenceError(
+                        f"transient step at t={time_s:.3e} s failed below the "
+                        f"minimum step size ({options.dt_min_s:.1e} s)"
+                    )
+                continue
+
+            time_s += dt_s
+            x = solution
+            times.append(time_s)
+            voltages_now: Dict[str, float] = {}
+            for node in record_nodes:
+                index = assembler.index_of(node)
+                value = 0.0 if index is None else float(x[index])
+                history[node].append(value)
+                voltages_now[node] = value
+
+            if stop_condition is not None and stop_condition(time_s, voltages_now):
+                stop_reason = "stop-condition"
+                break
+
+            dt_s = min(dt_s * options.dt_growth, options.dt_max_s)
+
+        if steps >= options.max_steps:
+            raise ConvergenceError(
+                f"transient exceeded {options.max_steps} steps before t_stop"
+            )
+
+        return TransientResult(
+            times_s=np.asarray(times),
+            voltages={node: np.asarray(values) for node, values in history.items()},
+            converged=True,
+            stop_reason=stop_reason,
+        )
+
+
+def run_transient(
+    circuit: Circuit,
+    options: Optional[TransientOptions] = None,
+    initial_voltages: Optional[Dict[str, float]] = None,
+    stop_condition: Optional[StopCondition] = None,
+) -> TransientResult:
+    """Convenience wrapper: build a solver and run it once."""
+    solver = TransientSolver(circuit, options=options)
+    return solver.run(initial_voltages=initial_voltages, stop_condition=stop_condition)

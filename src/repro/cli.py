@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+Exposes the paper's experiments as sub-commands so the study can be run
+without writing Python::
+
+    python -m repro table1                      # worst-case dCbl/dRbl
+    python -m repro fig4 --sizes 16 64          # simulated worst-case penalties
+    python -m repro table4 --samples 500        # Monte-Carlo tdp sigma
+    python -m repro verdict                     # the Section-IV recommendation
+    python -m repro yield --budget 10 --ppm 100 # spec-compliance analysis
+    python -m repro all --output report.txt     # every table, to a file
+
+Global options select the overlay budget, the array sizes, the Monte-Carlo
+sample count and the random seed, so parameter studies are one shell loop
+away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.comparison import OptionComparison
+from .core.study import MultiPatterningSRAMStudy
+from .core.yield_analysis import ReadTimeYieldAnalysis
+from .reporting.figures import figure2_ascii, figure3_csv, figure5_ascii
+from .reporting.tables import (
+    format_csv,
+    format_figure4,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+from .technology.node import n10
+from .variability.doe import StudyDOE
+
+#: Sub-command names in the order they appear in ``--help`` and in ``all``.
+EXPERIMENT_COMMANDS = (
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table2",
+    "table3",
+    "fig5",
+    "table4",
+)
+
+
+def _common_options() -> argparse.ArgumentParser:
+    """Options shared by every sub-command (attached per sub-command so they
+    can be given after the command name, the way users expect)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--overlay-nm",
+        type=float,
+        default=8.0,
+        help="LE3 3-sigma overlay budget in nm (default: 8, the paper's worst case)",
+    )
+    common.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="array sizes (word lines) to simulate; default: the paper's 16 64 256 1024",
+    )
+    common.add_argument(
+        "--samples",
+        type=int,
+        default=500,
+        help="Monte-Carlo samples per study point (default: 500)",
+    )
+    common.add_argument("--seed", type=int, default=2015, help="random seed (default: 2015)")
+    common.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    return common
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Impact of Interconnect Multiple-Patterning "
+            "Variability on SRAMs' (DATE 2015): regenerate any table or "
+            "figure of the paper from the command line."
+        ),
+    )
+    common = _common_options()
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    descriptions = {
+        "table1": "worst-case bit-line RC variability per patterning option",
+        "fig2": "worst-case layout distortion per patterning option",
+        "fig3": "the design-of-experiments arrays",
+        "fig4": "simulated worst-case read-time penalty versus array size",
+        "table2": "analytical formula versus simulation: nominal read time",
+        "table3": "analytical formula versus simulation: worst-case penalty",
+        "fig5": "Monte-Carlo tdp distributions",
+        "table4": "Monte-Carlo tdp sigma per option and overlay budget",
+    }
+    for name in EXPERIMENT_COMMANDS:
+        subparsers.add_parser(name, help=descriptions[name], parents=[common])
+
+    subparsers.add_parser("all", help="run every table and figure", parents=[common])
+    subparsers.add_parser(
+        "verdict", help="recompute the Section-IV recommendation", parents=[common]
+    )
+
+    yield_parser = subparsers.add_parser(
+        "yield", help="read-time spec-compliance (yield) analysis", parents=[common]
+    )
+    yield_parser.add_argument(
+        "--budget",
+        type=float,
+        default=10.0,
+        help="allowed read-time penalty in percent (default: 10)",
+    )
+    yield_parser.add_argument(
+        "--ppm",
+        type=float,
+        default=100.0,
+        help="target violation rate in parts per million (default: 100)",
+    )
+    return parser
+
+
+def _build_study(args: argparse.Namespace) -> MultiPatterningSRAMStudy:
+    sizes = tuple(args.sizes) if args.sizes else (16, 64, 256, 1024)
+    doe = StudyDOE(array_sizes=sizes)
+    node = n10(overlay_three_sigma_nm=args.overlay_nm)
+    return MultiPatterningSRAMStudy(
+        node, doe=doe, monte_carlo_samples=args.samples, seed=args.seed
+    )
+
+
+def _run_experiment(study: MultiPatterningSRAMStudy, command: str) -> str:
+    if command == "table1":
+        return format_table1(study.run_table1())
+    if command == "fig2":
+        return "\n\n".join(figure2_ascii(record) for record in study.run_figure2())
+    if command == "fig3":
+        from .layout.array import paper_doe_layouts
+
+        layouts = paper_doe_layouts(node=study.node, sizes=study.doe.array_sizes)
+        return figure3_csv([layout.summary() for layout in layouts.values()])
+    if command == "fig4":
+        return format_figure4(study.run_figure4())
+    if command == "table2":
+        return format_table2(study.run_table2())
+    if command == "table3":
+        return format_table3(study.run_table3())
+    if command == "fig5":
+        return "\n\n".join(figure5_ascii(record) for record in study.run_figure5())
+    if command == "table4":
+        return format_table4(study.run_table4())
+    raise ValueError(f"unknown experiment {command!r}")
+
+
+def _run_verdict(study: MultiPatterningSRAMStudy) -> str:
+    figure4 = study.run_figure4()
+    table4 = study.run_table4()
+    verdict = OptionComparison(figure4, table4).verdict()
+    lines = [
+        f"Recommended multiple-patterning option: {verdict.recommended_option}",
+        f"  worst-case leader     : {verdict.worst_case_leader}",
+        f"  statistical leader    : {verdict.statistical_leader}",
+    ]
+    if verdict.sigma_ratio_le3_over_sadp is not None:
+        lines.append(
+            f"  sigma(LE3@8nm)/sigma(SADP): {verdict.sigma_ratio_le3_over_sadp:.2f}"
+        )
+    for note in verdict.notes:
+        lines.append(f"  - {note}")
+    return "\n".join(lines)
+
+
+def _run_yield(study: MultiPatterningSRAMStudy, budget_percent: float, target_ppm: float) -> str:
+    analysis = ReadTimeYieldAnalysis(study.monte_carlo)
+    rows = analysis.compliance_table(budget_percent=budget_percent)
+    body = [
+        [
+            row.label,
+            f"{row.violation.probability:.3e}",
+            f"{row.violation.parts_per_million:.1f}",
+            f"{row.column_yield:.6f}",
+            f"{row.array_yield:.6f}",
+        ]
+        for row in rows
+    ]
+    table = format_csv(
+        ["option", "violation_probability", "ppm", "column_yield", "array_yield"], body
+    )
+    requirement = analysis.required_overlay_for_target(
+        budget_percent=budget_percent, target_ppm=target_ppm
+    )
+    if requirement.achievable:
+        closing = (
+            f"LE3 meets the {target_ppm:g} ppm target at a 3-sigma overlay budget of "
+            f"{requirement.required_overlay_nm:g} nm or tighter."
+        )
+    else:
+        closing = (
+            f"LE3 cannot meet the {target_ppm:g} ppm target within the studied overlay "
+            "budgets."
+        )
+    return (
+        f"Read-time budget: +{budget_percent:g}% over nominal\n"
+        + table
+        + "\n"
+        + closing
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    study = _build_study(args)
+
+    sections: List[str] = []
+    if args.command == "all":
+        for command in EXPERIMENT_COMMANDS:
+            sections.append(_run_experiment(study, command))
+        sections.append(_run_verdict(study))
+    elif args.command == "verdict":
+        sections.append(_run_verdict(study))
+    elif args.command == "yield":
+        sections.append(_run_yield(study, args.budget, args.ppm))
+    else:
+        sections.append(_run_experiment(study, args.command))
+
+    report = "\n\n".join(sections) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

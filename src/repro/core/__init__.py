@@ -1,0 +1,95 @@
+"""Core contribution: analytical td/tdp model, worst-case and Monte-Carlo studies.
+
+This package implements the paper's actual contribution on top of the
+substrates (layout, patterning, extraction, circuit, SRAM): the analytical
+read-time formula of Section III, the worst-case variability analysis of
+Section II, the Monte-Carlo tdp study, the formula-versus-simulation
+validation and the option comparison / recommendation logic.
+"""
+
+from .analytical import (
+    AnalyticalDelayModel,
+    AnalyticalModelError,
+    PolynomialCoefficients,
+    discharge_constant,
+    model_from_technology,
+)
+from .attribution import (
+    AttributionError,
+    AttributionResult,
+    ParameterContribution,
+    VarianceAttribution,
+    attribute_from_variations,
+)
+from .comparison import (
+    ComparisonError,
+    ComparisonVerdict,
+    OptionComparison,
+    OverlayRequirement,
+)
+from .montecarlo import MonteCarloStudyError, MonteCarloTdpStudy
+from .results import (
+    FormulaVsSimulationTdRow,
+    FormulaVsSimulationTdpRow,
+    LayoutDistortionRecord,
+    MonteCarloTdpRecord,
+    StudyReport,
+    TdpSigmaRow,
+    TrackDistortion,
+    WorstCaseRCRow,
+    WorstCaseTdRow,
+)
+from .study import MultiPatterningSRAMStudy, StudyError
+from .validation import FormulaValidation, ValidationError
+from .worst_case import WorstCaseCorner, WorstCaseStudy, WorstCaseStudyError
+from .yield_analysis import (
+    ComplianceRow,
+    OverlayYieldRequirement,
+    ReadTimeYieldAnalysis,
+    ViolationEstimate,
+    YieldAnalysisError,
+    array_yield_from_column_probability,
+    violation_probability,
+)
+
+__all__ = [
+    "AnalyticalDelayModel",
+    "AnalyticalModelError",
+    "AttributionError",
+    "AttributionResult",
+    "ComparisonError",
+    "ParameterContribution",
+    "VarianceAttribution",
+    "attribute_from_variations",
+    "ComplianceRow",
+    "OverlayYieldRequirement",
+    "ReadTimeYieldAnalysis",
+    "ViolationEstimate",
+    "YieldAnalysisError",
+    "array_yield_from_column_probability",
+    "violation_probability",
+    "ComparisonVerdict",
+    "FormulaValidation",
+    "FormulaVsSimulationTdRow",
+    "FormulaVsSimulationTdpRow",
+    "LayoutDistortionRecord",
+    "MonteCarloStudyError",
+    "MonteCarloTdpRecord",
+    "MonteCarloTdpStudy",
+    "MultiPatterningSRAMStudy",
+    "OptionComparison",
+    "OverlayRequirement",
+    "PolynomialCoefficients",
+    "StudyError",
+    "StudyReport",
+    "TdpSigmaRow",
+    "TrackDistortion",
+    "ValidationError",
+    "WorstCaseCorner",
+    "WorstCaseRCRow",
+    "WorstCaseStudy",
+    "WorstCaseStudyError",
+    "WorstCaseTdRow",
+    "discharge_constant",
+    "model_from_technology",
+]

@@ -1,0 +1,233 @@
+"""Patterning-option comparison and recommendation logic (Section IV).
+
+The paper's conclusions, turned into code that operates on study results:
+
+* in the worst case, LE3 costs up to ~20 % read time versus <3 % for SADP
+  and EUV;
+* statistically, the LE3 tdp σ at an 8 nm overlay budget is about twice
+  the SADP σ, and the overlay budget is the decisive knob;
+* LE3 only becomes competitive when the 3σ overlay error is tightened to
+  about 3 nm; failing that — and as long as EUV is not manufacturable —
+  SADP is the recommended option.
+
+:class:`OptionComparison` evaluates these statements on actual study
+output so the conclusion can be *recomputed* rather than restated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .results import TdpSigmaRow, WorstCaseTdRow
+
+
+class ComparisonError(ValueError):
+    """Raised when a comparison cannot be evaluated from the given results."""
+
+
+@dataclass(frozen=True)
+class OverlayRequirement:
+    """The overlay budget a litho-etch option needs to match a reference σ."""
+
+    option_name: str
+    reference_option: str
+    reference_sigma_percent: float
+    required_overlay_nm: Optional[float]
+    tolerance_percent: float
+
+    @property
+    def achievable(self) -> bool:
+        return self.required_overlay_nm is not None
+
+
+@dataclass(frozen=True)
+class ComparisonVerdict:
+    """The overall recommendation derived from a study."""
+
+    recommended_option: str
+    worst_case_leader: str
+    statistical_leader: str
+    sigma_ratio_le3_over_sadp: Optional[float]
+    overlay_requirement: Optional[OverlayRequirement]
+    notes: Tuple[str, ...] = ()
+
+
+class OptionComparison:
+    """Compares patterning options from worst-case and Monte-Carlo results."""
+
+    def __init__(
+        self,
+        figure4_rows: Sequence[WorstCaseTdRow],
+        table4_rows: Sequence[TdpSigmaRow],
+        litho_option: str = "LELELE",
+        sadp_option: str = "SADP",
+        euv_option: str = "EUV",
+    ) -> None:
+        if not figure4_rows and not table4_rows:
+            raise ComparisonError("the comparison needs worst-case or Monte-Carlo results")
+        self.figure4_rows = list(figure4_rows)
+        self.table4_rows = list(table4_rows)
+        self.litho_option = litho_option
+        self.sadp_option = sadp_option
+        self.euv_option = euv_option
+
+    # -- worst-case view ----------------------------------------------------------------
+
+    def max_worst_case_tdp_percent(self) -> Dict[str, float]:
+        """Per-option maximum worst-case tdp across array sizes."""
+        if not self.figure4_rows:
+            raise ComparisonError("no worst-case rows available")
+        maxima: Dict[str, float] = {}
+        for row in self.figure4_rows:
+            for option_name, value in row.tdp_percent_by_option.items():
+                maxima[option_name] = max(maxima.get(option_name, float("-inf")), value)
+        return maxima
+
+    def worst_case_leader(self) -> str:
+        """The option with the smallest maximum worst-case penalty."""
+        maxima = self.max_worst_case_tdp_percent()
+        return min(maxima, key=lambda option_name: maxima[option_name])
+
+    # -- statistical view ----------------------------------------------------------------
+
+    def sigma_for(
+        self, option_name: str, overlay_nm: Optional[float] = None
+    ) -> float:
+        for row in self.table4_rows:
+            if row.option_name != option_name:
+                continue
+            if overlay_nm is None and row.overlay_three_sigma_nm is None:
+                return row.sigma_percent
+            if (
+                overlay_nm is not None
+                and row.overlay_three_sigma_nm is not None
+                and abs(row.overlay_three_sigma_nm - overlay_nm) < 1e-9
+            ):
+                return row.sigma_percent
+        # Fall back: an option swept over overlay has no overlay-free row;
+        # report its best (smallest-σ) entry when no budget is specified.
+        candidates = [
+            row.sigma_percent for row in self.table4_rows if row.option_name == option_name
+        ]
+        if candidates and overlay_nm is None:
+            return min(candidates)
+        raise ComparisonError(
+            f"no Table IV row for option {option_name!r} at overlay {overlay_nm}"
+        )
+
+    def statistical_leader(self) -> str:
+        """The option with the smallest tdp σ (litho options at their largest budget)."""
+        if not self.table4_rows:
+            raise ComparisonError("no Monte-Carlo σ rows available")
+        worst_sigma_per_option: Dict[str, float] = {}
+        for row in self.table4_rows:
+            current = worst_sigma_per_option.get(row.option_name, float("-inf"))
+            worst_sigma_per_option[row.option_name] = max(current, row.sigma_percent)
+        return min(worst_sigma_per_option, key=lambda name: worst_sigma_per_option[name])
+
+    def sigma_ratio_le3_over_sadp(self, overlay_nm: float = 8.0) -> float:
+        """The paper's headline ratio: σ(LE3 @ overlay) / σ(SADP)."""
+        le3_sigma = self.sigma_for(self.litho_option, overlay_nm)
+        sadp_sigma = self.sigma_for(self.sadp_option, None)
+        if sadp_sigma <= 0.0:
+            raise ComparisonError("the SADP σ must be positive")
+        return le3_sigma / sadp_sigma
+
+    def required_overlay_for_parity(
+        self, tolerance_percent: float = 25.0
+    ) -> OverlayRequirement:
+        """Largest overlay budget at which LE3's σ is within tolerance of SADP's.
+
+        Reproduces the conclusion "limiting the 3σ OL error to ≤ 3 nm allows
+        LE3 to reach comparable performance variations".
+        """
+        sadp_sigma = self.sigma_for(self.sadp_option, None)
+        target = sadp_sigma * (1.0 + tolerance_percent / 100.0)
+        litho_rows = sorted(
+            (
+                row
+                for row in self.table4_rows
+                if row.option_name == self.litho_option
+                and row.overlay_three_sigma_nm is not None
+            ),
+            key=lambda row: row.overlay_three_sigma_nm,
+        )
+        if not litho_rows:
+            raise ComparisonError(f"no overlay sweep found for {self.litho_option!r}")
+        achievable = [
+            row.overlay_three_sigma_nm
+            for row in litho_rows
+            if row.sigma_percent <= target
+        ]
+        return OverlayRequirement(
+            option_name=self.litho_option,
+            reference_option=self.sadp_option,
+            reference_sigma_percent=sadp_sigma,
+            required_overlay_nm=max(achievable) if achievable else None,
+            tolerance_percent=tolerance_percent,
+        )
+
+    # -- overall verdict ----------------------------------------------------------------------
+
+    def verdict(self, euv_manufacturable: bool = False) -> ComparisonVerdict:
+        """The Section-IV recommendation, recomputed from the results.
+
+        ``euv_manufacturable`` mirrors the paper's caveat that EUV was not
+        yet a manufacturable option at the time; with it set to False the
+        recommendation is restricted to the multiple-patterning options.
+        """
+        notes: List[str] = []
+        worst_leader = (
+            self.worst_case_leader() if self.figure4_rows else self.sadp_option
+        )
+        stat_leader = (
+            self.statistical_leader() if self.table4_rows else worst_leader
+        )
+
+        sigma_ratio: Optional[float] = None
+        requirement: Optional[OverlayRequirement] = None
+        if self.table4_rows:
+            try:
+                sigma_ratio = self.sigma_ratio_le3_over_sadp()
+            except ComparisonError:
+                sigma_ratio = None
+            try:
+                requirement = self.required_overlay_for_parity()
+            except ComparisonError:
+                requirement = None
+
+        candidates = {worst_leader, stat_leader}
+        if not euv_manufacturable:
+            candidates.discard(self.euv_option)
+            notes.append(
+                "EUV excluded from the recommendation (not manufacturable at study time)"
+            )
+        if not candidates:
+            candidates = {self.sadp_option}
+        # Prefer the statistical leader among the remaining candidates.
+        recommended = stat_leader if stat_leader in candidates else sorted(candidates)[0]
+
+        if sigma_ratio is not None and sigma_ratio > 1.5:
+            notes.append(
+                f"LE3 tdp sigma is {sigma_ratio:.2f}x the SADP sigma at the 8 nm overlay budget"
+            )
+        if requirement is not None:
+            if requirement.achievable:
+                notes.append(
+                    f"LE3 reaches SADP-comparable sigma at a 3-sigma overlay budget of "
+                    f"{requirement.required_overlay_nm:g} nm or tighter"
+                )
+            else:
+                notes.append(
+                    "LE3 does not reach SADP-comparable sigma within the studied overlay budgets"
+                )
+
+        return ComparisonVerdict(
+            recommended_option=recommended,
+            worst_case_leader=worst_leader,
+            statistical_leader=stat_leader,
+            sigma_ratio_le3_over_sadp=sigma_ratio,
+            overlay_requirement=requirement,
+            notes=tuple(notes),
+        )

@@ -1,0 +1,183 @@
+"""Monte-Carlo read-time-penalty study (Section III.B: Fig. 5, Table IV).
+
+The paper's key methodological point: simulating full parasitic netlists
+for thousands of samples is prohibitive, but the analytical formula of
+Section III.A turns each sampled RC variation into a tdp value in
+microseconds of CPU time.  The flow here follows the paper exactly:
+
+1. the parameterized LPE tool samples the patterning parameters and
+   extracts the bit-line ``(Rvar, Cvar)`` distribution (the expensive but
+   still fast part — a quasi-2D extraction per sample);
+2. the analytical formula maps every ``(Rvar, Cvar)`` sample to a tdp;
+3. the tdp distribution (Fig. 5) and its standard deviation (Table IV) are
+   reported per option and — for LE3 — per overlay budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..extraction.lpe import ParameterizedLPE, RCVariation
+from ..layout.array import SRAMArrayLayout, generate_array_layout
+from ..patterning import create_option
+from ..patterning.base import PatterningOption
+from ..technology.node import TechnologyNode
+from ..variability.doe import DOEPoint, StudyDOE, paper_doe
+from ..variability.statistics import Histogram, SummaryStatistics
+from .analytical import AnalyticalDelayModel, model_from_technology
+from .results import MonteCarloTdpRecord, TdpSigmaRow
+
+
+class MonteCarloStudyError(RuntimeError):
+    """Raised when the Monte-Carlo study cannot be evaluated."""
+
+
+class MonteCarloTdpStudy:
+    """Monte-Carlo distribution of the read-time penalty.
+
+    Parameters
+    ----------
+    node:
+        Technology node; its variation assumptions provide the sampling
+        budgets (the LE3 overlay budget is overridden per study point).
+    doe:
+        Experiment grid (options, overlay sweep, array sizes).
+    model:
+        Analytical delay model; derived from the node when omitted.
+    n_samples:
+        Monte-Carlo samples per study point.
+    seed:
+        Base random seed; each study point derives its own stream from it
+        so points are independent yet reproducible.
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        doe: Optional[StudyDOE] = None,
+        model: Optional[AnalyticalDelayModel] = None,
+        n_samples: int = 1000,
+        seed: int = 2015,
+    ) -> None:
+        if n_samples < 2:
+            raise MonteCarloStudyError("the Monte-Carlo study needs at least two samples")
+        self.node = node
+        self.doe = doe if doe is not None else paper_doe()
+        self.model = model if model is not None else model_from_technology(
+            node, n_bitline_pairs=self.doe.n_bitline_pairs
+        )
+        self.n_samples = n_samples
+        self.seed = seed
+        self._layout_cache: Dict[int, SRAMArrayLayout] = {}
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _layout_for(self, n_wordlines: int) -> SRAMArrayLayout:
+        if n_wordlines not in self._layout_cache:
+            self._layout_cache[n_wordlines] = generate_array_layout(
+                n_wordlines=n_wordlines,
+                n_bitline_pairs=self.doe.n_bitline_pairs,
+                node=self.node,
+            )
+        return self._layout_cache[n_wordlines]
+
+    def _node_for_point(self, point: DOEPoint) -> TechnologyNode:
+        if point.overlay_three_sigma_nm is None:
+            return self.node
+        return self.node.with_variations(
+            self.node.variations.for_overlay(point.overlay_three_sigma_nm)
+        )
+
+    def _seed_for_point(self, point: DOEPoint) -> int:
+        return abs(hash((self.seed, point.label))) % (2**31)
+
+    # -- sampling ------------------------------------------------------------------------
+
+    def rc_variation_samples(self, point: DOEPoint) -> List[RCVariation]:
+        """The LPE Monte-Carlo loop: per-sample (Rvar, Cvar) of the bit line."""
+        node = self._node_for_point(point)
+        option = create_option(point.option_name)
+        layout = self._layout_for(point.n_wordlines)
+        bl_net, _ = layout.central_pair_nets()
+        lpe = ParameterizedLPE(node)
+        return lpe.monte_carlo_variations(
+            layout.metal1_pattern,
+            option,
+            bl_net,
+            n_samples=self.n_samples,
+            seed=self._seed_for_point(point),
+        )
+
+    def tdp_record(self, point: DOEPoint, bins: int = 30) -> MonteCarloTdpRecord:
+        """Fig. 5 record for one study point: tdp samples, summary, histogram."""
+        variations = self.rc_variation_samples(point)
+        tdp_percent = tuple(
+            self.model.tdp_percent(point.n_wordlines, variation.rvar, variation.cvar)
+            for variation in variations
+        )
+        summary = SummaryStatistics.from_samples(tdp_percent)
+        histogram = Histogram.from_samples(tdp_percent, bins=bins)
+        return MonteCarloTdpRecord(
+            option_name=point.option_name,
+            overlay_three_sigma_nm=point.overlay_three_sigma_nm,
+            n_wordlines=point.n_wordlines,
+            n_samples=self.n_samples,
+            tdp_percent_samples=tdp_percent,
+            summary=summary,
+            histogram=histogram,
+        )
+
+    # -- paper experiments ------------------------------------------------------------------
+
+    def figure5(
+        self, n_wordlines: int = 64, overlay_three_sigma_nm: float = 8.0, bins: int = 30
+    ) -> List[MonteCarloTdpRecord]:
+        """Fig. 5: tdp distributions of the three options at 8 nm OL, n = 64."""
+        records = []
+        for option_name in self.doe.option_names:
+            overlay = (
+                overlay_three_sigma_nm if option_name.upper().startswith("LE") else None
+            )
+            point = DOEPoint(
+                n_wordlines=n_wordlines,
+                option_name=option_name,
+                overlay_three_sigma_nm=overlay,
+            )
+            records.append(self.tdp_record(point, bins=bins))
+        return records
+
+    def table4(self, n_wordlines: int = 64) -> List[TdpSigmaRow]:
+        """Table IV: tdp standard deviation per option and OL budget."""
+        rows: List[TdpSigmaRow] = []
+        for point in self.doe.monte_carlo_points(n_wordlines=n_wordlines):
+            record = self.tdp_record(point)
+            rows.append(
+                TdpSigmaRow(
+                    array_label=point.array_label,
+                    option_name=point.option_name,
+                    overlay_three_sigma_nm=point.overlay_three_sigma_nm,
+                    sigma_percent=record.sigma_percent,
+                )
+            )
+        return rows
+
+    def overlay_sensitivity(
+        self, option_name: str = "LELELE", n_wordlines: int = 64
+    ) -> List[Tuple[float, float]]:
+        """σ(tdp) versus overlay budget for one litho-etch option.
+
+        The data behind the paper's conclusion that the OL budget is the
+        decisive knob for LE3: returns ``(overlay_nm, sigma_percent)``
+        pairs over the DOE's overlay sweep.
+        """
+        pairs: List[Tuple[float, float]] = []
+        for budget in self.doe.overlay_budgets_nm:
+            point = DOEPoint(
+                n_wordlines=n_wordlines,
+                option_name=option_name,
+                overlay_three_sigma_nm=budget,
+            )
+            record = self.tdp_record(point)
+            pairs.append((budget, record.sigma_percent))
+        return pairs

@@ -1,0 +1,192 @@
+"""Result containers for the paper's tables and figures.
+
+Each experiment of the evaluation section has a typed row/record class so
+benches, examples and the reporting layer share one vocabulary.  All
+percentages are in percent (not fractions); all times carry explicit
+units in their field names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..variability.statistics import Histogram, SummaryStatistics
+
+
+@dataclass(frozen=True)
+class WorstCaseRCRow:
+    """One row of Table I: the worst-case RC impact of a patterning option."""
+
+    option_name: str
+    corner_parameters: Dict[str, float]
+    delta_cbl_percent: float
+    delta_rbl_percent: float
+    delta_rvss_percent: float = 0.0
+
+    @property
+    def cvar(self) -> float:
+        return 1.0 + self.delta_cbl_percent / 100.0
+
+    @property
+    def rvar(self) -> float:
+        return 1.0 + self.delta_rbl_percent / 100.0
+
+    @property
+    def vss_rvar(self) -> float:
+        return 1.0 + self.delta_rvss_percent / 100.0
+
+
+@dataclass(frozen=True)
+class TrackDistortion:
+    """Printed-versus-drawn geometry of one track (Fig. 2 data)."""
+
+    net: str
+    mask: Optional[str]
+    drawn_left_nm: float
+    drawn_right_nm: float
+    printed_left_nm: float
+    printed_right_nm: float
+
+    @property
+    def width_change_nm(self) -> float:
+        return (self.printed_right_nm - self.printed_left_nm) - (
+            self.drawn_right_nm - self.drawn_left_nm
+        )
+
+    @property
+    def center_shift_nm(self) -> float:
+        return 0.5 * (self.printed_left_nm + self.printed_right_nm) - 0.5 * (
+            self.drawn_left_nm + self.drawn_right_nm
+        )
+
+
+@dataclass(frozen=True)
+class LayoutDistortionRecord:
+    """Worst-case layout distortion of one option (one panel of Fig. 2)."""
+
+    option_name: str
+    corner_parameters: Dict[str, float]
+    tracks: Tuple[TrackDistortion, ...]
+
+    def track_for(self, net: str) -> TrackDistortion:
+        for track in self.tracks:
+            if track.net == net:
+                return track
+        raise KeyError(f"no track for net {net!r}")
+
+
+@dataclass(frozen=True)
+class WorstCaseTdRow:
+    """One array size of Fig. 4: nominal td plus per-option worst-case tdp."""
+
+    array_label: str
+    n_wordlines: int
+    nominal_td_ps: float
+    tdp_percent_by_option: Dict[str, float]
+
+    def tdp_percent(self, option_name: str) -> float:
+        try:
+            return self.tdp_percent_by_option[option_name]
+        except KeyError:
+            raise KeyError(
+                f"no tdp recorded for option {option_name!r}; "
+                f"options: {sorted(self.tdp_percent_by_option)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FormulaVsSimulationTdRow:
+    """One row of Table II: nominal td from simulation versus formula."""
+
+    array_label: str
+    n_wordlines: int
+    simulation_td_s: float
+    formula_td_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.simulation_td_s / self.formula_td_s
+
+
+@dataclass(frozen=True)
+class FormulaVsSimulationTdpRow:
+    """One (method, array) row of Table III: per-option worst-case tdp."""
+
+    method: str                     # "simulation" or "formula"
+    array_label: str
+    n_wordlines: int
+    tdp_percent_by_option: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class MonteCarloTdpRecord:
+    """Monte-Carlo tdp distribution of one option (Fig. 5 + Table IV input).
+
+    ``tdp_percent_samples`` holds the per-sample read-time penalty in
+    percent; the summary and histogram are precomputed views of the same
+    samples.
+    """
+
+    option_name: str
+    overlay_three_sigma_nm: Optional[float]
+    n_wordlines: int
+    n_samples: int
+    tdp_percent_samples: Tuple[float, ...]
+    summary: SummaryStatistics
+    histogram: Histogram
+
+    @property
+    def label(self) -> str:
+        if self.overlay_three_sigma_nm is None:
+            return self.option_name
+        return f"{self.option_name} {self.overlay_three_sigma_nm:g}nm OL"
+
+    @property
+    def sigma_percent(self) -> float:
+        """The σ value reported in Table IV (percentage points of tdp)."""
+        return self.summary.std
+
+
+@dataclass(frozen=True)
+class TdpSigmaRow:
+    """One row of Table IV: patterning option (and OL budget) → tdp σ."""
+
+    array_label: str
+    option_name: str
+    overlay_three_sigma_nm: Optional[float]
+    sigma_percent: float
+
+    @property
+    def label(self) -> str:
+        if self.overlay_three_sigma_nm is None:
+            return self.option_name
+        return f"{self.option_name} {self.overlay_three_sigma_nm:g}nm OL"
+
+
+@dataclass
+class StudyReport:
+    """Everything a full study run produced, keyed by experiment."""
+
+    table1: List[WorstCaseRCRow] = field(default_factory=list)
+    figure2: List[LayoutDistortionRecord] = field(default_factory=list)
+    figure4: List[WorstCaseTdRow] = field(default_factory=list)
+    table2: List[FormulaVsSimulationTdRow] = field(default_factory=list)
+    table3: List[FormulaVsSimulationTdpRow] = field(default_factory=list)
+    figure5: List[MonteCarloTdpRecord] = field(default_factory=list)
+    table4: List[TdpSigmaRow] = field(default_factory=list)
+
+    def is_complete(self) -> bool:
+        """Whether every experiment of the evaluation has at least one entry."""
+        return all(
+            bool(collection)
+            for collection in (
+                self.table1,
+                self.figure2,
+                self.figure4,
+                self.table2,
+                self.table3,
+                self.figure5,
+                self.table4,
+            )
+        )

@@ -1,0 +1,241 @@
+"""Worst-case variability study (Section II: Table I, Fig. 2, Fig. 4).
+
+The study enumerates every ±3σ corner of each patterning option's
+parameters, extracts the printed layout at every corner and keeps the one
+that maximises the bit-line capacitance — the paper's selection criterion,
+since Cbl dominates the read time.  The winning corner then feeds:
+
+* Table I — the ΔCbl / ΔRbl values of the worst corner;
+* Fig. 2  — the printed-versus-drawn track geometry at that corner;
+* Fig. 4  — worst-case td penalties from full read-path simulation across
+  the DOE array sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..extraction.lpe import ParameterizedLPE, RCVariation
+from ..layout.array import SRAMArrayLayout, generate_array_layout
+from ..patterning import create_option
+from ..patterning.base import PatterningOption
+from ..patterning.sampler import enumerate_worst_case_corners
+from ..sram.read_path import ReadPathSimulator
+from ..technology.node import TechnologyNode
+from ..variability.doe import StudyDOE, paper_doe
+from .results import (
+    LayoutDistortionRecord,
+    TrackDistortion,
+    WorstCaseRCRow,
+    WorstCaseTdRow,
+)
+
+
+class WorstCaseStudyError(RuntimeError):
+    """Raised when the worst-case study cannot be evaluated."""
+
+
+@dataclass(frozen=True)
+class WorstCaseCorner:
+    """The worst corner of one option: its parameters and RC variations."""
+
+    option_name: str
+    parameters: Dict[str, float]
+    bitline_variation: RCVariation
+    vss_variation: RCVariation
+
+    @property
+    def delta_cbl_percent(self) -> float:
+        return self.bitline_variation.delta_c_percent
+
+    @property
+    def delta_rbl_percent(self) -> float:
+        return self.bitline_variation.delta_r_percent
+
+    @property
+    def delta_rvss_percent(self) -> float:
+        return self.vss_variation.delta_r_percent
+
+    def as_table1_row(self) -> WorstCaseRCRow:
+        return WorstCaseRCRow(
+            option_name=self.option_name,
+            corner_parameters=dict(self.parameters),
+            delta_cbl_percent=self.delta_cbl_percent,
+            delta_rbl_percent=self.delta_rbl_percent,
+            delta_rvss_percent=self.delta_rvss_percent,
+        )
+
+
+class WorstCaseStudy:
+    """Runs the worst-case variability analysis of Section II.
+
+    Parameters
+    ----------
+    node:
+        Technology node (its variation assumptions set the corner budgets;
+        use :meth:`repro.technology.node.TechnologyNode.with_variations` or
+        :func:`repro.technology.node.n10` with a different overlay budget
+        to change them).
+    doe:
+        The experiment grid; defaults to the paper's DOE.
+    reference_wordlines:
+        Array size used for the corner search itself (per-cell RC ratios do
+        not depend on the array size, so one reference extraction is
+        enough).
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        doe: Optional[StudyDOE] = None,
+        reference_wordlines: int = 64,
+    ) -> None:
+        self.node = node
+        self.doe = doe if doe is not None else paper_doe()
+        self.reference_wordlines = reference_wordlines
+        self._lpe = ParameterizedLPE(node)
+        self._reference_layout: Optional[SRAMArrayLayout] = None
+        self._worst_corner_cache: Dict[str, WorstCaseCorner] = {}
+
+    # -- helpers ------------------------------------------------------------------------
+
+    @property
+    def reference_layout(self) -> SRAMArrayLayout:
+        if self._reference_layout is None:
+            self._reference_layout = generate_array_layout(
+                n_wordlines=self.reference_wordlines,
+                n_bitline_pairs=self.doe.n_bitline_pairs,
+                node=self.node,
+            )
+        return self._reference_layout
+
+    def _target_nets(self) -> Tuple[str, str]:
+        """Central bit-line net and its VSS rail net."""
+        layout = self.reference_layout
+        bl_net, _ = layout.central_pair_nets()
+        central_column = layout.n_bitline_pairs // 2
+        suffix = "" if central_column == 0 else f"@{central_column}"
+        return bl_net, f"VSS{suffix}"
+
+    def _option(self, option_name: str) -> PatterningOption:
+        return create_option(option_name)
+
+    # -- worst-corner search (Table I) -----------------------------------------------------
+
+    def find_worst_corner(self, option_name: str) -> WorstCaseCorner:
+        """Exhaustively search the ±3σ corners for the maximum ΔCbl."""
+        if option_name in self._worst_corner_cache:
+            return self._worst_corner_cache[option_name]
+
+        option = self._option(option_name)
+        corners = enumerate_worst_case_corners(option, self.node.variations)
+        layout = self.reference_layout
+        bl_net, vss_net = self._target_nets()
+
+        best: Optional[WorstCaseCorner] = None
+        for corner in corners:
+            parameters = corner.as_dict()
+            extraction = self._lpe.extract_with_patterning(
+                layout.metal1_pattern, option, parameters
+            )
+            bitline_variation = extraction.variation_for(bl_net)
+            vss_variation = extraction.variation_for(vss_net)
+            candidate = WorstCaseCorner(
+                option_name=option.name,
+                parameters=parameters,
+                bitline_variation=bitline_variation,
+                vss_variation=vss_variation,
+            )
+            if best is None or candidate.bitline_variation.cvar > best.bitline_variation.cvar:
+                best = candidate
+        if best is None:  # pragma: no cover - enumerate always yields corners
+            raise WorstCaseStudyError(f"no corners found for option {option_name!r}")
+        self._worst_corner_cache[option_name] = best
+        return best
+
+    def table1(self, option_names: Optional[Sequence[str]] = None) -> List[WorstCaseRCRow]:
+        """Table I: worst-case ΔCbl / ΔRbl per patterning option."""
+        names = list(option_names) if option_names is not None else list(self.doe.option_names)
+        return [self.find_worst_corner(name).as_table1_row() for name in names]
+
+    # -- layout distortion (Fig. 2) -----------------------------------------------------------
+
+    def layout_distortion(
+        self, option_name: str, nets: Optional[Sequence[str]] = None
+    ) -> LayoutDistortionRecord:
+        """Printed-versus-drawn track geometry at the option's worst corner.
+
+        By default the tracks of the central column (VSS, BL, VDD, BLB) are
+        reported — the cell-level view of Fig. 2.
+        """
+        corner = self.find_worst_corner(option_name)
+        option = self._option(option_name)
+        layout = self.reference_layout
+        patterned = option.apply(layout.metal1_pattern, corner.parameters)
+
+        if nets is None:
+            central_column = layout.n_bitline_pairs // 2
+            suffix = "" if central_column == 0 else f"@{central_column}"
+            nets = [f"VSS{suffix}", f"BL{suffix}", f"VDD{suffix}", f"BLB{suffix}"]
+
+        tracks = []
+        for net in nets:
+            drawn = patterned.nominal.track_for(net)
+            printed = patterned.printed.track_for(net)
+            tracks.append(
+                TrackDistortion(
+                    net=net,
+                    mask=printed.mask,
+                    drawn_left_nm=drawn.left_edge_nm,
+                    drawn_right_nm=drawn.right_edge_nm,
+                    printed_left_nm=printed.left_edge_nm,
+                    printed_right_nm=printed.right_edge_nm,
+                )
+            )
+        return LayoutDistortionRecord(
+            option_name=corner.option_name,
+            corner_parameters=dict(corner.parameters),
+            tracks=tuple(tracks),
+        )
+
+    def figure2(self) -> List[LayoutDistortionRecord]:
+        return [self.layout_distortion(name) for name in self.doe.option_names]
+
+    # -- worst-case td penalties (Fig. 4) ---------------------------------------------------------
+
+    def figure4(
+        self,
+        simulator: Optional[ReadPathSimulator] = None,
+        array_sizes: Optional[Sequence[int]] = None,
+    ) -> List[WorstCaseTdRow]:
+        """Fig. 4: nominal td and worst-case td penalty per option and array size.
+
+        Each option's worst corner (from the Table I search) is re-applied
+        to every array size and simulated with the full read-path circuit.
+        """
+        chosen_simulator = simulator if simulator is not None else ReadPathSimulator(
+            self.node, n_bitline_pairs=self.doe.n_bitline_pairs
+        )
+        sizes = list(array_sizes) if array_sizes is not None else list(self.doe.array_sizes)
+
+        rows: List[WorstCaseTdRow] = []
+        for size in sizes:
+            nominal = chosen_simulator.measure_nominal(size)
+            penalties: Dict[str, float] = {}
+            for option_name in self.doe.option_names:
+                corner = self.find_worst_corner(option_name)
+                option = self._option(option_name)
+                varied = chosen_simulator.measure_with_patterning(
+                    size, option, corner.parameters
+                )
+                penalties[option_name] = varied.penalty_percent_vs(nominal)
+            rows.append(
+                WorstCaseTdRow(
+                    array_label=f"{self.doe.n_bitline_pairs}x{size}",
+                    n_wordlines=size,
+                    nominal_td_ps=nominal.td_ps,
+                    tdp_percent_by_option=penalties,
+                )
+            )
+        return rows

@@ -1,0 +1,57 @@
+"""Parasitic extraction substrate: profiles, R/C models, cross-section extractor, LPE driver."""
+
+from .capacitance import (
+    CapacitanceComponents,
+    CapacitanceError,
+    NeighborGeometry,
+    fringe_shielding_factor,
+    isolated_wire_capacitance_per_nm,
+    parallel_plate_capacitance_f,
+    sakurai_tamaru_coupling,
+    sakurai_tamaru_ground,
+    wire_capacitance_per_nm,
+)
+from .field import (
+    CrossSectionExtractor,
+    ExtractionError,
+    ExtractionResult,
+    WireParasitics,
+)
+from .lpe import ParameterizedLPE, PatternedExtraction, RCVariation
+from .profiles import ProfileError, TrapezoidalProfile, profile_for_layer
+from .resistance import (
+    ResistanceError,
+    ResistanceResult,
+    resistance_per_unit_length,
+    sheet_resistance_ohm_per_sq,
+    via_resistance_ohm,
+    wire_resistance,
+)
+
+__all__ = [
+    "CapacitanceComponents",
+    "CapacitanceError",
+    "CrossSectionExtractor",
+    "ExtractionError",
+    "ExtractionResult",
+    "NeighborGeometry",
+    "ParameterizedLPE",
+    "PatternedExtraction",
+    "ProfileError",
+    "RCVariation",
+    "ResistanceError",
+    "ResistanceResult",
+    "TrapezoidalProfile",
+    "WireParasitics",
+    "fringe_shielding_factor",
+    "isolated_wire_capacitance_per_nm",
+    "parallel_plate_capacitance_f",
+    "profile_for_layer",
+    "resistance_per_unit_length",
+    "sakurai_tamaru_coupling",
+    "sakurai_tamaru_ground",
+    "sheet_resistance_ohm_per_sq",
+    "via_resistance_ohm",
+    "wire_capacitance_per_nm",
+    "wire_resistance",
+]

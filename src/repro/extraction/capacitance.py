@@ -1,0 +1,245 @@
+"""Wire-capacitance models.
+
+The study needs the per-unit-length capacitance of a metal1 wire embedded
+in a dense parallel track pattern, split into:
+
+* **ground capacitance** to the conducting planes below (FEOL / contact
+  level) and above (metal2 word lines, which cross the bit lines and form
+  an effective plane), including fringe; and
+* **coupling capacitance** to the left and right neighbouring tracks.
+
+Closed-form models in the Sakurai-Tamaru family are used: they are
+published, smooth in the geometric parameters, and — crucially for this
+study — capture the strong super-linear growth of the coupling
+capacitance as the space to a neighbour collapses, which is exactly the
+mechanism behind the LE3 worst case.
+
+References
+----------
+T. Sakurai and K. Tamaru, "Simple formulas for two- and three-dimensional
+capacitances", IEEE Trans. Electron Devices, 1983.
+
+Units: dimensions in nm, capacitances in F (per nm of wire length for the
+per-unit-length quantities).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..technology.materials import MaterialSystem
+from ..technology.metal_stack import MetalLayer
+from .profiles import TrapezoidalProfile, profile_for_layer
+
+
+class CapacitanceError(ValueError):
+    """Raised for impossible capacitance computations."""
+
+
+@dataclass(frozen=True)
+class CapacitanceComponents:
+    """Per-unit-length capacitance breakdown of one wire (F/nm)."""
+
+    ground_below: float
+    ground_above: float
+    coupling_left: float
+    coupling_right: float
+
+    @property
+    def ground_total(self) -> float:
+        return self.ground_below + self.ground_above
+
+    @property
+    def coupling_total(self) -> float:
+        return self.coupling_left + self.coupling_right
+
+    @property
+    def total(self) -> float:
+        return self.ground_total + self.coupling_total
+
+    def coupling_fraction(self) -> float:
+        """Fraction of the total that is lateral coupling."""
+        total = self.total
+        if total <= 0.0:
+            raise CapacitanceError("total capacitance must be positive")
+        return self.coupling_total / total
+
+    def scaled(self, factor: float) -> "CapacitanceComponents":
+        return CapacitanceComponents(
+            ground_below=self.ground_below * factor,
+            ground_above=self.ground_above * factor,
+            coupling_left=self.coupling_left * factor,
+            coupling_right=self.coupling_right * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "ground_below": self.ground_below,
+            "ground_above": self.ground_above,
+            "coupling_left": self.coupling_left,
+            "coupling_right": self.coupling_right,
+            "total": self.total,
+        }
+
+
+def sakurai_tamaru_ground(
+    width_nm: float,
+    thickness_nm: float,
+    height_nm: float,
+    permittivity_f_per_nm: float,
+) -> float:
+    """Single-line capacitance to one ground plane, per unit length (F/nm).
+
+    ``C/ε = 1.15 (w/h) + 2.80 (t/h)^0.222`` — the plate term plus a fringe
+    term that depends on the sidewall height.
+    """
+    if min(width_nm, thickness_nm, height_nm) <= 0.0:
+        raise CapacitanceError("width, thickness and height must be positive")
+    w_over_h = width_nm / height_nm
+    t_over_h = thickness_nm / height_nm
+    return permittivity_f_per_nm * (1.15 * w_over_h + 2.80 * t_over_h**0.222)
+
+
+def sakurai_tamaru_coupling(
+    width_nm: float,
+    thickness_nm: float,
+    height_nm: float,
+    space_nm: float,
+    permittivity_f_per_nm: float,
+) -> float:
+    """Coupling capacitance between two parallel lines, per unit length (F/nm).
+
+    ``C/ε = [0.03 (w/h) + 0.83 (t/h) − 0.07 (t/h)^0.222] (s/h)^−1.34``
+
+    The ``(s/h)^−1.34`` factor is the key sensitivity of the whole study:
+    when multiple-patterning errors squeeze a space, the coupling term
+    grows super-linearly.
+    """
+    if min(width_nm, thickness_nm, height_nm) <= 0.0:
+        raise CapacitanceError("width, thickness and height must be positive")
+    if space_nm <= 0.0:
+        raise CapacitanceError(
+            f"the space between coupled lines must be positive, got {space_nm}"
+        )
+    w_over_h = width_nm / height_nm
+    t_over_h = thickness_nm / height_nm
+    s_over_h = space_nm / height_nm
+    shape_term = 0.03 * w_over_h + 0.83 * t_over_h - 0.07 * t_over_h**0.222
+    shape_term = max(shape_term, 0.0)
+    return permittivity_f_per_nm * shape_term * s_over_h**-1.34
+
+
+def fringe_shielding_factor(space_nm: float, height_nm: float) -> float:
+    """Attenuation of the fringe-to-ground capacitance by a close neighbour.
+
+    A wire with a very close neighbour loses part of its fringe field to
+    that neighbour (it reappears as coupling).  The factor tends to 1 for
+    isolated wires (``s ≫ h``) and drops towards ~0.15 for tight spaces,
+    which is what keeps the lateral coupling the dominant capacitance term
+    in dense minimum-pitch patterns.
+    """
+    if space_nm <= 0.0 or height_nm <= 0.0:
+        raise CapacitanceError("space and height must be positive")
+    ratio = space_nm / height_nm
+    return 1.0 - 0.85 * math.exp(-ratio / 2.0)
+
+
+@dataclass(frozen=True)
+class NeighborGeometry:
+    """Geometry of one lateral neighbour as seen from the victim wire."""
+
+    space_nm: float
+    thickness_nm: float
+
+    def __post_init__(self) -> None:
+        if self.space_nm <= 0.0:
+            raise CapacitanceError("neighbour space must be positive")
+        if self.thickness_nm <= 0.0:
+            raise CapacitanceError("neighbour thickness must be positive")
+
+
+def wire_capacitance_per_nm(
+    profile: TrapezoidalProfile,
+    layer: MetalLayer,
+    left_neighbor: Optional[NeighborGeometry],
+    right_neighbor: Optional[NeighborGeometry],
+) -> CapacitanceComponents:
+    """Per-unit-length capacitance of a wire in its local environment.
+
+    Parameters
+    ----------
+    profile:
+        Cross-section of the victim wire.
+    layer:
+        Metal layer (provides dielectric heights and permittivities).
+    left_neighbor, right_neighbor:
+        Lateral neighbours; ``None`` means the wire is unshielded on that
+        side (full fringe to ground, no coupling).
+    """
+    materials: MaterialSystem = layer.materials
+    eps_inter = materials.layer_to_layer_permittivity()
+    eps_intra = materials.line_to_line_permittivity()
+
+    width = profile.mean_width_nm
+    thickness = profile.sidewall_height_nm
+
+    ground_below = sakurai_tamaru_ground(width, thickness, layer.ild_below_nm, eps_inter)
+    ground_above = sakurai_tamaru_ground(width, thickness, layer.ild_above_nm, eps_inter)
+
+    # Split each ground capacitance into a plate part and a fringe part so
+    # that only the fringe part is shielded by close neighbours.
+    plate_below = eps_inter * 1.15 * width / layer.ild_below_nm
+    plate_above = eps_inter * 1.15 * width / layer.ild_above_nm
+    fringe_below = ground_below - plate_below
+    fringe_above = ground_above - plate_above
+
+    coupling_left = 0.0
+    coupling_right = 0.0
+    shield_left = 1.0
+    shield_right = 1.0
+    if left_neighbor is not None:
+        coupling_thickness = min(thickness, left_neighbor.thickness_nm)
+        coupling_left = sakurai_tamaru_coupling(
+            width, coupling_thickness, layer.ild_below_nm, left_neighbor.space_nm, eps_intra
+        )
+        shield_left = fringe_shielding_factor(left_neighbor.space_nm, layer.ild_below_nm)
+    if right_neighbor is not None:
+        coupling_thickness = min(thickness, right_neighbor.thickness_nm)
+        coupling_right = sakurai_tamaru_coupling(
+            width, coupling_thickness, layer.ild_below_nm, right_neighbor.space_nm, eps_intra
+        )
+        shield_right = fringe_shielding_factor(right_neighbor.space_nm, layer.ild_below_nm)
+
+    # Each side contributes half of the fringe; shield each half by its own
+    # neighbour.
+    shield = 0.5 * (shield_left + shield_right)
+    ground_below_shielded = plate_below + fringe_below * shield
+    ground_above_shielded = plate_above + fringe_above * shield
+
+    return CapacitanceComponents(
+        ground_below=ground_below_shielded,
+        ground_above=ground_above_shielded,
+        coupling_left=coupling_left,
+        coupling_right=coupling_right,
+    )
+
+
+def isolated_wire_capacitance_per_nm(
+    layer: MetalLayer, width_nm: float
+) -> CapacitanceComponents:
+    """Capacitance of an isolated wire (no lateral neighbours) on a layer."""
+    profile = profile_for_layer(layer, width_nm)
+    return wire_capacitance_per_nm(profile, layer, None, None)
+
+
+def parallel_plate_capacitance_f(
+    area_nm2: float, distance_nm: float, permittivity_f_per_nm: float
+) -> float:
+    """Elementary parallel-plate capacitance (used for via / overlap caps)."""
+    if area_nm2 < 0.0:
+        raise CapacitanceError("plate area cannot be negative")
+    if distance_nm <= 0.0:
+        raise CapacitanceError("plate distance must be positive")
+    return permittivity_f_per_nm * area_nm2 / distance_nm

@@ -1,0 +1,175 @@
+"""Quasi-2D cross-section extraction of a track pattern.
+
+Given a :class:`~repro.layout.wire.TrackPattern` (printed or nominal) and
+the :class:`~repro.technology.metal_stack.MetalLayer` it lives on, the
+extractor computes, for every track, the per-unit-length resistance and
+the capacitance breakdown of :mod:`repro.extraction.capacitance`.  The
+result object also provides per-length totals, which is what the SRAM
+netlist builder and the analytical formula consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..layout.wire import NetRole, Track, TrackPattern
+from ..technology.metal_stack import MetalLayer
+from .capacitance import (
+    CapacitanceComponents,
+    NeighborGeometry,
+    wire_capacitance_per_nm,
+)
+from .profiles import TrapezoidalProfile, profile_for_layer
+from .resistance import resistance_per_unit_length
+
+
+class ExtractionError(ValueError):
+    """Raised when a pattern cannot be extracted."""
+
+
+@dataclass(frozen=True)
+class WireParasitics:
+    """Extracted parasitics of one track.
+
+    All per-unit-length quantities are per nanometre of wire length; the
+    ``*_total`` properties integrate over ``length_nm``.
+    """
+
+    net: str
+    role: NetRole
+    width_nm: float
+    length_nm: float
+    resistance_per_nm: float
+    capacitance_per_nm: CapacitanceComponents
+    profile: TrapezoidalProfile
+
+    @property
+    def resistance_total_ohm(self) -> float:
+        return self.resistance_per_nm * self.length_nm
+
+    @property
+    def capacitance_total_f(self) -> float:
+        return self.capacitance_per_nm.total * self.length_nm
+
+    @property
+    def coupling_total_f(self) -> float:
+        return self.capacitance_per_nm.coupling_total * self.length_nm
+
+    @property
+    def ground_total_f(self) -> float:
+        return self.capacitance_per_nm.ground_total * self.length_nm
+
+    def per_cell(self, cell_length_nm: float) -> "WireParasitics":
+        """The same parasitics re-expressed over one SRAM-cell length."""
+        if cell_length_nm <= 0.0:
+            raise ExtractionError("cell length must be positive")
+        return WireParasitics(
+            net=self.net,
+            role=self.role,
+            width_nm=self.width_nm,
+            length_nm=cell_length_nm,
+            resistance_per_nm=self.resistance_per_nm,
+            capacitance_per_nm=self.capacitance_per_nm,
+            profile=self.profile,
+        )
+
+
+@dataclass
+class ExtractionResult:
+    """Extraction of a whole track pattern: parasitics keyed by net name."""
+
+    layer_name: str
+    wire_length_nm: float
+    parasitics: Dict[str, WireParasitics] = field(default_factory=dict)
+
+    def __getitem__(self, net: str) -> WireParasitics:
+        try:
+            return self.parasitics[net]
+        except KeyError:
+            raise ExtractionError(
+                f"net {net!r} was not extracted; nets: {sorted(self.parasitics)}"
+            ) from None
+
+    def __contains__(self, net: str) -> bool:
+        return net in self.parasitics
+
+    def __iter__(self) -> Iterator[WireParasitics]:
+        return iter(self.parasitics.values())
+
+    def __len__(self) -> int:
+        return len(self.parasitics)
+
+    @property
+    def nets(self) -> List[str]:
+        return list(self.parasitics)
+
+    def nets_with_role(self, role: NetRole) -> List[WireParasitics]:
+        return [entry for entry in self.parasitics.values() if entry.role is role]
+
+    def total_capacitance_f(self, net: str) -> float:
+        return self[net].capacitance_total_f
+
+    def total_resistance_ohm(self, net: str) -> float:
+        return self[net].resistance_total_ohm
+
+
+class CrossSectionExtractor:
+    """Extracts R and C of every track in a pattern on a given layer.
+
+    Parameters
+    ----------
+    layer:
+        The metal layer the pattern lives on; supplies thickness, tapering,
+        barrier, dielectric environment and materials.
+    thickness_delta_nm:
+        Global metal-thickness variation (etch/CMP), added to every wire.
+    """
+
+    def __init__(self, layer: MetalLayer, thickness_delta_nm: float = 0.0) -> None:
+        self.layer = layer
+        self.thickness_delta_nm = thickness_delta_nm
+
+    def _neighbor_geometry(
+        self, pattern: TrackPattern, index: int, neighbor_index: int
+    ) -> Optional[NeighborGeometry]:
+        if not 0 <= neighbor_index < len(pattern):
+            return None
+        space = pattern.space_between(index, neighbor_index)
+        if space <= 0.0:
+            raise ExtractionError(
+                f"tracks {pattern[index].net!r} and {pattern[neighbor_index].net!r} "
+                "touch or overlap after patterning; extraction is not defined"
+            )
+        neighbor_profile = profile_for_layer(
+            self.layer, pattern[neighbor_index].width_nm, self.thickness_delta_nm
+        )
+        return NeighborGeometry(space_nm=space, thickness_nm=neighbor_profile.thickness_nm)
+
+    def extract_track(self, pattern: TrackPattern, index: int) -> WireParasitics:
+        """Extract a single track of the pattern (by index)."""
+        track = pattern[index]
+        profile = profile_for_layer(self.layer, track.width_nm, self.thickness_delta_nm)
+        resistance = resistance_per_unit_length(profile, self.layer.materials)
+        left = self._neighbor_geometry(pattern, index, index - 1)
+        right = self._neighbor_geometry(pattern, index, index + 1)
+        capacitance = wire_capacitance_per_nm(profile, self.layer, left, right)
+        return WireParasitics(
+            net=track.net,
+            role=track.role,
+            width_nm=track.width_nm,
+            length_nm=pattern.wire_length_nm,
+            resistance_per_nm=resistance.resistance_per_nm,
+            capacitance_per_nm=capacitance,
+            profile=profile,
+        )
+
+    def extract(self, pattern: TrackPattern) -> ExtractionResult:
+        """Extract every track of the pattern."""
+        result = ExtractionResult(
+            layer_name=self.layer.name, wire_length_nm=pattern.wire_length_nm
+        )
+        for index in range(len(pattern)):
+            parasitics = self.extract_track(pattern, index)
+            result.parasitics[parasitics.net] = parasitics
+        return result

@@ -1,0 +1,212 @@
+"""The parameterized layout parasitic extraction (LPE) tool.
+
+This is the reproduction of the imec in-house tool described in
+Section II.A of the paper: its inputs are the technology parameters, the
+multiple-patterning layer operations (CD, overlay and spacer variation)
+and the target layout; it produces the target metrics (R, C, CC) or
+netlists with parasitics, in an iterative loop that supports Monte-Carlo
+sampling of the input variability parameters.
+
+The central quantities the rest of the study consumes are the **relative
+RC variations** of the bit line:
+
+* ``Rvar = R(printed) / R(nominal)``
+* ``Cvar = C(printed) / C(nominal)``
+
+expressed as ratios (``1 + x``), exactly as they enter the analytical
+formula (eq. 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..layout.array import SRAMArrayLayout
+from ..layout.wire import NetRole, TrackPattern
+from ..patterning.base import ParameterValues, PatternedResult, PatterningOption
+from ..patterning.sampler import ParameterSampler
+from ..technology.node import TechnologyNode
+from .field import CrossSectionExtractor, ExtractionError, ExtractionResult, WireParasitics
+
+
+@dataclass(frozen=True)
+class RCVariation:
+    """Relative R and C variation of one net, printed versus nominal.
+
+    ``rvar`` and ``cvar`` are ratios: 1.0 means nominal, 1.10 means +10 %.
+    """
+
+    net: str
+    option_name: str
+    rvar: float
+    cvar: float
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def delta_r_percent(self) -> float:
+        return (self.rvar - 1.0) * 100.0
+
+    @property
+    def delta_c_percent(self) -> float:
+        return (self.cvar - 1.0) * 100.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.option_name}/{self.net}: "
+            f"dC={self.delta_c_percent:+.2f}% dR={self.delta_r_percent:+.2f}%"
+        )
+
+
+@dataclass
+class PatternedExtraction:
+    """Nominal and printed extraction of a pattern plus the derived variations."""
+
+    option_name: str
+    patterned: PatternedResult
+    nominal_extraction: ExtractionResult
+    printed_extraction: ExtractionResult
+
+    def variation_for(self, net: str) -> RCVariation:
+        nominal = self.nominal_extraction[net]
+        printed = self.printed_extraction[net]
+        if nominal.capacitance_total_f <= 0.0 or nominal.resistance_total_ohm <= 0.0:
+            raise ExtractionError(f"nominal parasitics of net {net!r} are degenerate")
+        return RCVariation(
+            net=net,
+            option_name=self.option_name,
+            rvar=printed.resistance_total_ohm / nominal.resistance_total_ohm,
+            cvar=printed.capacitance_total_f / nominal.capacitance_total_f,
+            parameters=dict(self.patterned.parameters),
+        )
+
+    def variations(self, nets: Iterable[str]) -> Dict[str, RCVariation]:
+        return {net: self.variation_for(net) for net in nets}
+
+
+class ParameterizedLPE:
+    """Patterning-aware parasitic extraction driver.
+
+    Parameters
+    ----------
+    node:
+        Technology node providing the metal stack and variation assumptions.
+    layer_name:
+        The layer to extract; defaults to the node's bit-line layer
+        (metal1), which the paper identifies as the critical layer.
+    """
+
+    def __init__(self, node: TechnologyNode, layer_name: Optional[str] = None) -> None:
+        self.node = node
+        self.layer_name = layer_name if layer_name is not None else node.bitline_layer
+        self.layer = node.metal_stack.layer(self.layer_name)
+
+    # -- plain extraction -----------------------------------------------------
+
+    def extract_pattern(
+        self, pattern: TrackPattern, thickness_delta_nm: float = 0.0
+    ) -> ExtractionResult:
+        """Extract a (nominal or printed) track pattern."""
+        extractor = CrossSectionExtractor(self.layer, thickness_delta_nm)
+        return extractor.extract(pattern)
+
+    def extract_array(self, layout: SRAMArrayLayout) -> ExtractionResult:
+        """Extract the nominal metal1 pattern of an SRAM array layout."""
+        return self.extract_pattern(layout.metal1_pattern)
+
+    # -- patterning-aware extraction -------------------------------------------
+
+    def extract_with_patterning(
+        self,
+        pattern: TrackPattern,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        thickness_delta_nm: float = 0.0,
+    ) -> PatternedExtraction:
+        """Print the pattern with ``option`` at ``parameters`` and extract both views."""
+        patterned = option.apply(pattern, parameters)
+        nominal_extraction = self.extract_pattern(pattern, thickness_delta_nm)
+        printed_extraction = self.extract_pattern(patterned.printed, thickness_delta_nm)
+        return PatternedExtraction(
+            option_name=option.name,
+            patterned=patterned,
+            nominal_extraction=nominal_extraction,
+            printed_extraction=printed_extraction,
+        )
+
+    def rc_variation(
+        self,
+        pattern: TrackPattern,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        net: str,
+    ) -> RCVariation:
+        """R/C variation of one net under one parameter assignment."""
+        extraction = self.extract_with_patterning(pattern, option, parameters)
+        return extraction.variation_for(net)
+
+    # -- the iterative / Monte-Carlo loop ---------------------------------------
+
+    def monte_carlo_variations(
+        self,
+        pattern: TrackPattern,
+        option: PatterningOption,
+        net: str,
+        n_samples: int,
+        seed: Optional[int] = None,
+        truncate_at_three_sigma: bool = False,
+    ) -> List[RCVariation]:
+        """Monte-Carlo RC-variation distribution of ``net``.
+
+        This is the "iterative loop" of the paper's tool: each iteration
+        samples the patterning parameters, prints the layout, extracts it
+        and stores the target metrics.
+        """
+        sampler = ParameterSampler(
+            option,
+            self.node.variations,
+            seed=seed,
+            truncate_at_three_sigma=truncate_at_three_sigma,
+        )
+        nominal_extraction = self.extract_pattern(pattern)
+        nominal = nominal_extraction[net]
+        results: List[RCVariation] = []
+        for sample in sampler.draw_many(n_samples):
+            patterned = option.apply(pattern, sample.values)
+            printed_extraction = self.extract_pattern(patterned.printed)
+            printed = printed_extraction[net]
+            results.append(
+                RCVariation(
+                    net=net,
+                    option_name=option.name,
+                    rvar=printed.resistance_total_ohm / nominal.resistance_total_ohm,
+                    cvar=printed.capacitance_total_f / nominal.capacitance_total_f,
+                    parameters=dict(sample.values),
+                )
+            )
+        return results
+
+    def corner_variations(
+        self,
+        pattern: TrackPattern,
+        option: PatterningOption,
+        net: str,
+        corners: Sequence[Mapping[str, float]],
+    ) -> List[RCVariation]:
+        """RC variations of ``net`` for an explicit list of corner assignments."""
+        nominal_extraction = self.extract_pattern(pattern)
+        nominal = nominal_extraction[net]
+        results = []
+        for corner in corners:
+            patterned = option.apply(pattern, corner)
+            printed = self.extract_pattern(patterned.printed)[net]
+            results.append(
+                RCVariation(
+                    net=net,
+                    option_name=option.name,
+                    rvar=printed.resistance_total_ohm / nominal.resistance_total_ohm,
+                    cvar=printed.capacitance_total_f / nominal.capacitance_total_f,
+                    parameters=dict(corner),
+                )
+            )
+        return results

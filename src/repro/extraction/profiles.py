@@ -1,0 +1,162 @@
+"""Wire cross-section profiles.
+
+Damascene copper wires are not perfect rectangles: the trench sidewalls
+taper (narrower at the bottom), a barrier/liner consumes part of the
+cross-section, and CMP dishing removes some thickness from wide lines.
+The :class:`TrapezoidalProfile` captures these effects and reports the
+quantities the resistance and capacitance models need: conducting area,
+mean conducting width, effective thickness and the sidewall height seen by
+a lateral (coupling) capacitance.
+
+All dimensions in nanometres, areas in nm².
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology.materials import BarrierLiner
+from ..technology.metal_stack import MetalLayer
+
+
+class ProfileError(ValueError):
+    """Raised for physically impossible wire profiles."""
+
+
+@dataclass(frozen=True)
+class TrapezoidalProfile:
+    """Trapezoidal damascene wire cross-section.
+
+    Parameters
+    ----------
+    top_width_nm:
+        Printed (top) trench width — this is the CD the patterning options
+        modulate.
+    thickness_nm:
+        Metal thickness after CMP (already net of dishing).
+    tapering_angle_deg:
+        Sidewall angle from the vertical; the bottom width is
+        ``top_width − 2·thickness·tan(angle)``.
+    barrier_thickness_nm:
+        Barrier/liner thickness per side (bottom and both sidewalls).
+    """
+
+    top_width_nm: float
+    thickness_nm: float
+    tapering_angle_deg: float = 0.0
+    barrier_thickness_nm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.top_width_nm <= 0.0:
+            raise ProfileError(f"top width must be positive, got {self.top_width_nm}")
+        if self.thickness_nm <= 0.0:
+            raise ProfileError(f"thickness must be positive, got {self.thickness_nm}")
+        if not 0.0 <= self.tapering_angle_deg < 45.0:
+            raise ProfileError("tapering angle must be in [0, 45) degrees")
+        if self.barrier_thickness_nm < 0.0:
+            raise ProfileError("barrier thickness cannot be negative")
+        if self.bottom_width_nm <= 0.0:
+            raise ProfileError(
+                "tapering angle too aggressive: bottom width would be "
+                f"{self.bottom_width_nm:.3f} nm"
+            )
+        if self.conductor_width_top_nm <= 0.0 or self.conductor_thickness_nm <= 0.0:
+            raise ProfileError(
+                "barrier consumes the whole cross-section "
+                f"(top width {self.top_width_nm} nm, barrier "
+                f"{self.barrier_thickness_nm} nm per side)"
+            )
+
+    # -- geometric quantities -------------------------------------------------
+
+    @property
+    def taper_run_nm(self) -> float:
+        """Horizontal inset of the bottom edge relative to the top edge (per side)."""
+        return self.thickness_nm * math.tan(math.radians(self.tapering_angle_deg))
+
+    @property
+    def bottom_width_nm(self) -> float:
+        return self.top_width_nm - 2.0 * self.taper_run_nm
+
+    @property
+    def mean_width_nm(self) -> float:
+        """Average trench width over the height."""
+        return 0.5 * (self.top_width_nm + self.bottom_width_nm)
+
+    @property
+    def trench_area_nm2(self) -> float:
+        """Full trench cross-section area (metal + barrier)."""
+        return self.mean_width_nm * self.thickness_nm
+
+    # -- conductor (copper) quantities -----------------------------------------
+
+    @property
+    def conductor_thickness_nm(self) -> float:
+        """Copper thickness (trench depth minus the bottom barrier)."""
+        return self.thickness_nm - self.barrier_thickness_nm
+
+    @property
+    def conductor_width_top_nm(self) -> float:
+        return self.top_width_nm - 2.0 * self.barrier_thickness_nm
+
+    @property
+    def conductor_width_bottom_nm(self) -> float:
+        return self.bottom_width_nm - 2.0 * self.barrier_thickness_nm
+
+    @property
+    def conductor_mean_width_nm(self) -> float:
+        return 0.5 * (self.conductor_width_top_nm + self.conductor_width_bottom_nm)
+
+    @property
+    def conductor_area_nm2(self) -> float:
+        """Copper cross-section area available for conduction."""
+        return self.conductor_mean_width_nm * self.conductor_thickness_nm
+
+    # -- capacitance-facing quantities -----------------------------------------
+
+    @property
+    def sidewall_height_nm(self) -> float:
+        """Height of the sidewall facing a neighbouring wire."""
+        return self.thickness_nm
+
+    def scaled_width(self, delta_nm: float) -> "TrapezoidalProfile":
+        """Return a copy with the top width changed by ``delta_nm``."""
+        return TrapezoidalProfile(
+            top_width_nm=self.top_width_nm + delta_nm,
+            thickness_nm=self.thickness_nm,
+            tapering_angle_deg=self.tapering_angle_deg,
+            barrier_thickness_nm=self.barrier_thickness_nm,
+        )
+
+
+def profile_for_layer(
+    layer: MetalLayer,
+    width_nm: float,
+    thickness_delta_nm: float = 0.0,
+) -> TrapezoidalProfile:
+    """Build the cross-section profile of a wire of ``width_nm`` on ``layer``.
+
+    CMP dishing is applied proportionally to how much wider than minimum
+    the line is drawn (wide lines dish more); ``thickness_delta_nm`` adds a
+    process-variation thickness change on top.
+    """
+    if width_nm <= 0.0:
+        raise ProfileError("wire width must be positive")
+    dishing = 0.0
+    if layer.cmp_dishing_nm > 0.0 and width_nm > layer.min_width_nm:
+        dishing = layer.cmp_dishing_nm * (width_nm / layer.min_width_nm - 1.0)
+    thickness = layer.thickness_nm - dishing + thickness_delta_nm
+    if thickness <= 0.0:
+        raise ProfileError(
+            f"layer {layer.name!r}: thickness becomes non-positive "
+            f"({thickness:.3f} nm) for width {width_nm} nm"
+        )
+    barrier: BarrierLiner = layer.materials.barrier
+    return TrapezoidalProfile(
+        top_width_nm=width_nm,
+        thickness_nm=thickness,
+        tapering_angle_deg=layer.tapering_angle_deg,
+        barrier_thickness_nm=barrier.thickness_nm,
+    )

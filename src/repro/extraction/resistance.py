@@ -1,0 +1,127 @@
+"""Wire-resistance models.
+
+Resistance per unit length of a damascene wire follows from the
+size-effect-corrected copper resistivity and the conducting cross-section
+of its :class:`~repro.extraction.profiles.TrapezoidalProfile`.  The barrier
+can optionally conduct in parallel (it barely matters for copper wires but
+the hook exists for barrier-first metals such as ruthenium).
+
+Units: ohm, nanometre; resistance per unit length is ohm/nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology.materials import Conductor, MaterialSystem
+from ..technology.metal_stack import MetalLayer
+from .profiles import ProfileError, TrapezoidalProfile, profile_for_layer
+
+
+class ResistanceError(ValueError):
+    """Raised for impossible resistance computations."""
+
+
+@dataclass(frozen=True)
+class ResistanceResult:
+    """Resistance of one wire.
+
+    Attributes
+    ----------
+    resistance_per_nm:
+        Resistance per unit length (ohm/nm).
+    resistance_ohm:
+        Total resistance over the wire length (ohm); ``None`` when no
+        length was supplied.
+    effective_resistivity_ohm_nm:
+        The size-effect-corrected resistivity that was used.
+    conductor_area_nm2:
+        Conducting (copper) cross-section area.
+    """
+
+    resistance_per_nm: float
+    resistance_ohm: Optional[float]
+    effective_resistivity_ohm_nm: float
+    conductor_area_nm2: float
+
+
+def resistance_per_unit_length(
+    profile: TrapezoidalProfile, materials: MaterialSystem
+) -> ResistanceResult:
+    """Resistance per unit length of a wire with the given cross-section."""
+    conductor: Conductor = materials.conductor
+    area = profile.conductor_area_nm2
+    if area <= 0.0:
+        raise ResistanceError("conductor area must be positive")
+    rho = conductor.effective_resistivity(
+        width_nm=profile.conductor_mean_width_nm,
+        thickness_nm=profile.conductor_thickness_nm,
+    )
+    per_nm = rho / area
+
+    barrier = materials.barrier
+    if barrier.conductive and barrier.thickness_nm > 0.0:
+        barrier_area = profile.trench_area_nm2 - area
+        if barrier_area > 0.0:
+            barrier_per_nm = barrier.resistivity_ohm_nm / barrier_area
+            per_nm = (per_nm * barrier_per_nm) / (per_nm + barrier_per_nm)
+
+    return ResistanceResult(
+        resistance_per_nm=per_nm,
+        resistance_ohm=None,
+        effective_resistivity_ohm_nm=rho,
+        conductor_area_nm2=area,
+    )
+
+
+def wire_resistance(
+    layer: MetalLayer,
+    width_nm: float,
+    length_nm: float,
+    thickness_delta_nm: float = 0.0,
+) -> ResistanceResult:
+    """Total resistance of a wire of ``width_nm`` × ``length_nm`` on ``layer``."""
+    if length_nm <= 0.0:
+        raise ResistanceError("wire length must be positive")
+    profile = profile_for_layer(layer, width_nm, thickness_delta_nm)
+    result = resistance_per_unit_length(profile, layer.materials)
+    return ResistanceResult(
+        resistance_per_nm=result.resistance_per_nm,
+        resistance_ohm=result.resistance_per_nm * length_nm,
+        effective_resistivity_ohm_nm=result.effective_resistivity_ohm_nm,
+        conductor_area_nm2=result.conductor_area_nm2,
+    )
+
+
+def sheet_resistance_ohm_per_sq(layer: MetalLayer, width_nm: Optional[float] = None) -> float:
+    """Effective sheet resistance of a layer at a given drawn width.
+
+    A convenience for sanity checks and documentation tables; uses the
+    minimum width when none is given.
+    """
+    width = width_nm if width_nm is not None else layer.min_width_nm
+    profile = profile_for_layer(layer, width)
+    result = resistance_per_unit_length(profile, layer.materials)
+    # R = rho * L / A;  Rs = R * W / L = rho * W / A.
+    return result.resistance_per_nm * width
+
+
+def via_resistance_ohm(
+    layer: MetalLayer,
+    via_side_nm: float = 20.0,
+    height_nm: Optional[float] = None,
+) -> float:
+    """Resistance of a single square via landing on ``layer``.
+
+    The paper notes vias are part of the simulation deck but not of the
+    analytical formula; the SRAM netlist builder uses this to add the
+    bit-line-to-cell via resistance.
+    """
+    if via_side_nm <= 0.0:
+        raise ResistanceError("via side must be positive")
+    via_height = height_nm if height_nm is not None else layer.ild_below_nm
+    conductor = layer.materials.conductor
+    rho = conductor.effective_resistivity(width_nm=via_side_nm, thickness_nm=via_side_nm)
+    area = via_side_nm * via_side_nm
+    return rho * via_height / area

@@ -1,0 +1,198 @@
+"""SRAM array layout generation (the DOE arrays of Fig. 3).
+
+The paper's design-of-experiments uses arrays of 16, 64, 256 and 1024 word
+lines with a fixed word length of 10 bit-line pairs.  Because metal1 is
+horizontal and carries the bit lines, the array grows *along* the bit line
+with the number of word lines and the metal1 cross-section repeats
+*across* the bit lines with the number of bit-line pairs.
+
+The generator produces:
+
+* the full metal1 cross-section :class:`~repro.layout.wire.TrackPattern`
+  (cells tiled across the word direction, net names suffixed per column);
+* the bit-line length (``n_wordlines × cell_length``);
+* plan-view wires for export and inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..technology.node import TechnologyNode
+from .geometry import Rect, bounding_box_of
+from .layers import LayerMap, default_layer_map
+from .sram_cell import SRAMCellLayout, SRAMCellTemplate, generate_cell_layout
+from .wire import NetRole, Track, TrackPattern, Wire
+
+
+class ArrayLayoutError(ValueError):
+    """Raised when an array layout cannot be constructed."""
+
+#: The array sizes (number of word lines) of the paper's DOE, Fig. 3.
+PAPER_ARRAY_SIZES: Tuple[int, ...] = (16, 64, 256, 1024)
+
+#: The fixed word length (number of bit-line pairs) of the paper's DOE.
+PAPER_BITLINE_PAIRS: int = 10
+
+
+@dataclass(frozen=True)
+class ArrayDimensions:
+    """Logical dimensions of an SRAM array."""
+
+    n_wordlines: int
+    n_bitline_pairs: int = PAPER_BITLINE_PAIRS
+
+    def __post_init__(self) -> None:
+        if self.n_wordlines < 1:
+            raise ArrayLayoutError("an array needs at least one word line")
+        if self.n_bitline_pairs < 1:
+            raise ArrayLayoutError("an array needs at least one bit-line pair")
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_wordlines * self.n_bitline_pairs
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``"10x64"`` (bit pairs × word lines)."""
+        return f"{self.n_bitline_pairs}x{self.n_wordlines}"
+
+
+@dataclass
+class SRAMArrayLayout:
+    """Layout view of an SRAM array.
+
+    Attributes
+    ----------
+    dimensions:
+        Logical array dimensions.
+    cell:
+        The unit-cell layout the array is tiled from.
+    metal1_pattern:
+        Metal1 cross-section of the whole array: the cell's track stack
+        repeated ``n_bitline_pairs`` times (wire length equals the bit-line
+        length).  Net names of the first column keep the plain names
+        (``BL``, ``BLB``, ``VSS``, ``VDD``); subsequent columns carry an
+        ``@k`` suffix.
+    bitline_length_nm:
+        Physical length of each bit line.
+    """
+
+    dimensions: ArrayDimensions
+    cell: SRAMCellLayout
+    metal1_pattern: TrackPattern
+    bitline_length_nm: float
+    layer_map: LayerMap = field(default_factory=default_layer_map)
+
+    @property
+    def n_wordlines(self) -> int:
+        return self.dimensions.n_wordlines
+
+    @property
+    def n_bitline_pairs(self) -> int:
+        return self.dimensions.n_bitline_pairs
+
+    @property
+    def label(self) -> str:
+        return self.dimensions.label
+
+    def central_pair_nets(self) -> Tuple[str, str]:
+        """Net names of the BL/BLB pair in the central column.
+
+        The paper keeps the bit-line count at 10 precisely so the central
+        lines are free of array-edge effects; extraction therefore targets
+        the central pair.
+        """
+        central_column = self.n_bitline_pairs // 2
+        suffix = "" if central_column == 0 else f"@{central_column}"
+        return (f"BL{suffix}", f"BLB{suffix}")
+
+    def wires(self) -> List[Wire]:
+        """Plan-view metal1 wires of the full array plus the word lines."""
+        bitline_layer = self.cell.wires[0].layer
+        result = self.metal1_pattern.as_wires(layer=bitline_layer, start_nm=0.0)
+        wordline_layer = next(
+            (wire.layer for wire in self.cell.wires if wire.role is NetRole.WORDLINE),
+            "metal2",
+        )
+        height = self.metal1_pattern.extent.high
+        cell_length = self.cell.cell_length_nm
+        wordline_width = self.cell.template.wordline_width_nm
+        for word_index in range(self.n_wordlines):
+            center_x = (word_index + 0.5) * cell_length
+            rect = Rect.from_center(
+                center_x=center_x,
+                center_y=height / 2.0,
+                width=wordline_width,
+                height=height,
+            )
+            result.append(
+                Wire(
+                    net=f"WL{word_index}",
+                    layer=wordline_layer,
+                    rect=rect,
+                    role=NetRole.WORDLINE,
+                )
+            )
+        return result
+
+    def boundary(self) -> Rect:
+        return bounding_box_of(wire.rect for wire in self.wires())
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "n_wordlines": self.n_wordlines,
+            "n_bitline_pairs": self.n_bitline_pairs,
+            "bitline_length_nm": self.bitline_length_nm,
+            "metal1_tracks": len(self.metal1_pattern),
+        }
+
+
+def generate_array_layout(
+    n_wordlines: int,
+    n_bitline_pairs: int = PAPER_BITLINE_PAIRS,
+    node: Optional[TechnologyNode] = None,
+    template: Optional[SRAMCellTemplate] = None,
+    layer_map: Optional[LayerMap] = None,
+) -> SRAMArrayLayout:
+    """Generate the layout of an ``n_bitline_pairs × n_wordlines`` array.
+
+    Parameters
+    ----------
+    n_wordlines:
+        Number of word lines; the bit-line length is
+        ``n_wordlines × cell_length``.
+    n_bitline_pairs:
+        Number of bit-line pairs (columns); the paper fixes this at 10.
+    node, template, layer_map:
+        Forwarded to :func:`~repro.layout.sram_cell.generate_cell_layout`.
+    """
+    dimensions = ArrayDimensions(n_wordlines=n_wordlines, n_bitline_pairs=n_bitline_pairs)
+    cell = generate_cell_layout(node=node, template=template, layer_map=layer_map)
+    bitline_length = cell.cell_length_nm * n_wordlines
+    pattern = cell.metal1_pattern.with_wire_length(bitline_length)
+    tiled = pattern.tiled(copies=n_bitline_pairs, period_nm=cell.cell_height_nm)
+    return SRAMArrayLayout(
+        dimensions=dimensions,
+        cell=cell,
+        metal1_pattern=tiled,
+        bitline_length_nm=bitline_length,
+        layer_map=cell.layer_map,
+    )
+
+
+def paper_doe_layouts(
+    node: Optional[TechnologyNode] = None,
+    sizes: Sequence[int] = PAPER_ARRAY_SIZES,
+    n_bitline_pairs: int = PAPER_BITLINE_PAIRS,
+) -> Dict[str, SRAMArrayLayout]:
+    """Generate all arrays of the paper's DOE keyed by their label."""
+    layouts = {}
+    for size in sizes:
+        layout = generate_array_layout(
+            n_wordlines=size, n_bitline_pairs=n_bitline_pairs, node=node
+        )
+        layouts[layout.label] = layout
+    return layouts

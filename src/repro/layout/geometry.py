@@ -1,0 +1,250 @@
+"""Planar geometry primitives used by the layout and extraction engines.
+
+Only what the study needs: axis-aligned rectangles (damascene wires are
+rectangles in plan view), simple rectilinear polygons, and 1-D intervals
+for cross-section reasoning.  Coordinates are nanometres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class GeometryError(ValueError):
+    """Raised for degenerate or inconsistent geometry."""
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the layout plane."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed 1-D interval ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise GeometryError(f"interval high < low ({self.high} < {self.low})")
+
+    @property
+    def length(self) -> float:
+        return self.high - self.low
+
+    @property
+    def center(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def contains(self, value: float, tolerance: float = 0.0) -> bool:
+        return self.low - tolerance <= value <= self.high + tolerance
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if high < low:
+            return None
+        return Interval(low, high)
+
+    def gap_to(self, other: "Interval") -> float:
+        """Edge-to-edge distance to ``other`` (0 if they touch or overlap)."""
+        if self.overlaps(other):
+            return 0.0
+        return max(other.low - self.high, self.low - other.high)
+
+    def shifted(self, delta: float) -> "Interval":
+        return Interval(self.low + delta, self.high + delta)
+
+    def grown(self, delta: float) -> "Interval":
+        """Grow (or shrink for negative delta) symmetrically by ``delta`` per side."""
+        if self.length + 2.0 * delta < 0.0:
+            raise GeometryError(
+                f"growing interval of length {self.length} by {delta} per side "
+                "would make it negative"
+            )
+        return Interval(self.low - delta, self.high + delta)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_min, x_max] × [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise GeometryError(
+                f"degenerate rectangle: ({self.x_min}, {self.y_min}) .. "
+                f"({self.x_max}, {self.y_max})"
+            )
+
+    @classmethod
+    def from_center(
+        cls, center_x: float, center_y: float, width: float, height: float
+    ) -> "Rect":
+        if width < 0.0 or height < 0.0:
+            raise GeometryError("width and height must be non-negative")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return cls(center_x - half_w, center_y - half_h, center_x + half_w, center_y + half_h)
+
+    @classmethod
+    def from_points(cls, first: Point, second: Point) -> "Rect":
+        return cls(
+            min(first.x, second.x),
+            min(first.y, second.y),
+            max(first.x, second.x),
+            max(first.y, second.y),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(0.5 * (self.x_min + self.x_max), 0.5 * (self.y_min + self.y_max))
+
+    @property
+    def x_interval(self) -> Interval:
+        return Interval(self.x_min, self.x_max)
+
+    @property
+    def y_interval(self) -> Interval:
+        return Interval(self.y_min, self.y_max)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x_min + dx, self.y_min + dy, self.x_max + dx, self.y_max + dy)
+
+    def grown(self, delta: float) -> "Rect":
+        """Grow (or shrink) the rectangle by ``delta`` on every side."""
+        return Rect(
+            self.x_min - delta, self.y_min - delta, self.x_max + delta, self.y_max + delta
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.x_min <= other.x_max
+            and other.x_min <= self.x_max
+            and self.y_min <= other.y_max
+            and other.y_min <= self.y_max
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x_min, other.x_min),
+            max(self.y_min, other.y_min),
+            min(self.x_max, other.x_max),
+            min(self.y_max, other.y_max),
+        )
+
+    def contains_point(self, point: Point, tolerance: float = 0.0) -> bool:
+        return (
+            self.x_min - tolerance <= point.x <= self.x_max + tolerance
+            and self.y_min - tolerance <= point.y <= self.y_max + tolerance
+        )
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def corners(self) -> List[Point]:
+        return [
+            Point(self.x_min, self.y_min),
+            Point(self.x_max, self.y_min),
+            Point(self.x_max, self.y_max),
+            Point(self.x_min, self.y_max),
+        ]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon given by its vertex loop (not self-intersecting)."""
+
+    vertices: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise GeometryError("a polygon needs at least three vertices")
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        return cls(vertices=tuple(rect.corners()))
+
+    @classmethod
+    def from_xy(cls, coords: Sequence[Tuple[float, float]]) -> "Polygon":
+        return cls(vertices=tuple(Point(x, y) for x, y in coords))
+
+    @property
+    def area(self) -> float:
+        """Unsigned polygon area via the shoelace formula."""
+        total = 0.0
+        count = len(self.vertices)
+        for index in range(count):
+            current = self.vertices[index]
+            following = self.vertices[(index + 1) % count]
+            total += current.x * following.y - following.x * current.y
+        return abs(total) / 2.0
+
+    @property
+    def perimeter(self) -> float:
+        total = 0.0
+        count = len(self.vertices)
+        for index in range(count):
+            total += self.vertices[index].distance_to(self.vertices[(index + 1) % count])
+        return total
+
+    def bounding_box(self) -> Rect:
+        xs = [vertex.x for vertex in self.vertices]
+        ys = [vertex.y for vertex in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        return Polygon(vertices=tuple(v.translated(dx, dy) for v in self.vertices))
+
+
+def bounding_box_of(rects: Iterable[Rect]) -> Rect:
+    """The bounding box of a non-empty collection of rectangles."""
+    rect_list = list(rects)
+    if not rect_list:
+        raise GeometryError("cannot compute the bounding box of nothing")
+    result = rect_list[0]
+    for rect in rect_list[1:]:
+        result = result.union_bbox(rect)
+    return result

@@ -1,0 +1,114 @@
+"""Layer map: names, GDS layer/datatype numbers and purposes.
+
+The layout generator annotates each shape with a :class:`Layer`; the
+GDS-like exporter and the extraction engine both key off the layer name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List
+
+
+class LayerError(ValueError):
+    """Raised for unknown or duplicated layers."""
+
+
+class LayerPurpose(str, Enum):
+    """What a layer is used for in the SRAM layout."""
+
+    DIFFUSION = "diffusion"
+    GATE = "gate"
+    CONTACT = "contact"
+    METAL = "metal"
+    VIA = "via"
+    MARKER = "marker"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A drawing layer.
+
+    Parameters
+    ----------
+    name:
+        Layer name (``"metal1"``, ``"via1"``...), must match the metal
+        stack names for routing layers.
+    gds_layer / gds_datatype:
+        Numbers used by the GDS-like exporter.
+    purpose:
+        Functional classification.
+    """
+
+    name: str
+    gds_layer: int
+    gds_datatype: int = 0
+    purpose: LayerPurpose = LayerPurpose.METAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LayerError("layer name cannot be empty")
+        if self.gds_layer < 0 or self.gds_datatype < 0:
+            raise LayerError(f"layer {self.name!r}: GDS numbers cannot be negative")
+
+
+class LayerMap:
+    """A registry of layers addressable by name or GDS number pair."""
+
+    def __init__(self, layers: Iterable[Layer] = ()) -> None:
+        self._by_name: Dict[str, Layer] = {}
+        for layer in layers:
+            self.add(layer)
+
+    def add(self, layer: Layer) -> None:
+        if layer.name in self._by_name:
+            raise LayerError(f"duplicate layer name {layer.name!r}")
+        self._by_name[layer.name] = layer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def by_name(self, name: str) -> Layer:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LayerError(
+                f"unknown layer {name!r}; known layers: {self.names}"
+            ) from None
+
+    def by_gds(self, gds_layer: int, gds_datatype: int = 0) -> Layer:
+        for layer in self._by_name.values():
+            if layer.gds_layer == gds_layer and layer.gds_datatype == gds_datatype:
+                return layer
+        raise LayerError(f"no layer with GDS pair ({gds_layer}, {gds_datatype})")
+
+    def metals(self) -> List[Layer]:
+        return [layer for layer in self if layer.purpose is LayerPurpose.METAL]
+
+
+def default_layer_map() -> LayerMap:
+    """The layer map used by the N10 SRAM layout generator."""
+    return LayerMap(
+        [
+            Layer("diffusion", gds_layer=1, purpose=LayerPurpose.DIFFUSION),
+            Layer("gate", gds_layer=5, purpose=LayerPurpose.GATE),
+            Layer("contact", gds_layer=10, purpose=LayerPurpose.CONTACT),
+            Layer("metal1", gds_layer=15, purpose=LayerPurpose.METAL),
+            Layer("via1", gds_layer=16, purpose=LayerPurpose.VIA),
+            Layer("metal2", gds_layer=17, purpose=LayerPurpose.METAL),
+            Layer("via2", gds_layer=18, purpose=LayerPurpose.VIA),
+            Layer("metal3", gds_layer=19, purpose=LayerPurpose.METAL),
+            Layer("boundary", gds_layer=63, purpose=LayerPurpose.MARKER),
+        ]
+    )

@@ -1,0 +1,239 @@
+"""Parametric layout of the high-density 6T SRAM cell (imec N10 style).
+
+The paper's target layout (Fig. 1b) uses:
+
+* unidirectional **horizontal metal1** at minimum spacing for the bit lines
+  and the power grid — per cell the track stack is ``VSS | BL | VDD | BLB``,
+  with the bit lines drawn at a non-minimum CD (which is why the bit-line
+  *resistance* stays low and the capacitance dominates);
+* unidirectional **vertical metal2** for the word lines.
+
+This module generates that structure parametrically from a
+:class:`~repro.technology.node.TechnologyNode`, returning both the
+plan-view wires (for the GDS-like export) and the metal1
+:class:`~repro.layout.wire.TrackPattern` that the patterning and extraction
+engines operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..technology.node import TechnologyNode
+from .geometry import Rect
+from .layers import LayerMap, default_layer_map
+from .wire import NetRole, Track, TrackPattern, Wire, WireError
+
+
+class CellLayoutError(ValueError):
+    """Raised when a cell layout cannot be constructed."""
+
+
+@dataclass(frozen=True)
+class TrackSpec:
+    """Specification of one metal1 track of the cell (before placement)."""
+
+    net: str
+    role: NetRole
+    width_nm: float
+
+    def __post_init__(self) -> None:
+        if self.width_nm <= 0.0:
+            raise CellLayoutError(f"track {self.net!r} must have positive width")
+
+
+@dataclass(frozen=True)
+class SRAMCellTemplate:
+    """Geometric template of the 6T cell.
+
+    Parameters
+    ----------
+    track_specs:
+        Ordered metal1 tracks across the cell (bottom to top in the layout
+        of Fig. 1b).  The default is the ``VSS | BL | VDD | BLB`` stack with
+        28 nm bit lines (non-minimum CD) and 24 nm power rails.
+    track_space_nm:
+        Edge-to-edge space between consecutive metal1 tracks (the paper
+        uses minimum spacing).
+    cell_length_nm:
+        Cell dimension along the bit line (one word-line pitch); this is
+        the bit-line length contributed per cell.
+    wordline_width_nm:
+        Drawn metal2 word-line width.
+    """
+
+    track_specs: Tuple[TrackSpec, ...] = (
+        TrackSpec("VSS", NetRole.VSS, 24.0),
+        TrackSpec("BL", NetRole.BITLINE, 30.0),
+        TrackSpec("VDD", NetRole.VDD, 24.0),
+        TrackSpec("BLB", NetRole.BITLINE_BAR, 30.0),
+    )
+    track_space_nm: float = 24.0
+    cell_length_nm: float = 240.0
+    wordline_width_nm: float = 24.0
+
+    def __post_init__(self) -> None:
+        if not self.track_specs:
+            raise CellLayoutError("the cell template needs at least one metal1 track")
+        if self.track_space_nm <= 0.0:
+            raise CellLayoutError("the track space must be positive")
+        if self.cell_length_nm <= 0.0:
+            raise CellLayoutError("the cell length must be positive")
+        if self.wordline_width_nm <= 0.0:
+            raise CellLayoutError("the word-line width must be positive")
+        roles = [spec.role for spec in self.track_specs]
+        if NetRole.BITLINE not in roles or NetRole.BITLINE_BAR not in roles:
+            raise CellLayoutError(
+                "the cell template must contain a BL and a BLB track"
+            )
+
+    @property
+    def cell_height_nm(self) -> float:
+        """Total metal1 stack height of one cell, including the top space.
+
+        The trailing space belongs to the cell so that vertically tiled
+        cells repeat with this exact period.
+        """
+        widths = sum(spec.width_nm for spec in self.track_specs)
+        spaces = self.track_space_nm * len(self.track_specs)
+        return widths + spaces
+
+    def track_centers_nm(self, origin_nm: float = 0.0) -> List[float]:
+        """Centre positions of the tracks, starting at ``origin_nm``."""
+        centers = []
+        cursor = origin_nm
+        for spec in self.track_specs:
+            centers.append(cursor + spec.width_nm / 2.0)
+            cursor += spec.width_nm + self.track_space_nm
+        return centers
+
+
+@dataclass
+class SRAMCellLayout:
+    """The generated layout of one 6T SRAM cell.
+
+    Attributes
+    ----------
+    template:
+        The geometric template the layout was generated from.
+    metal1_pattern:
+        The metal1 cross-section of the cell (one track per net).
+    wires:
+        Plan-view wires: the metal1 tracks (running along x, the bit-line
+        direction) plus the metal2 word line (running along y).
+    """
+
+    template: SRAMCellTemplate
+    metal1_pattern: TrackPattern
+    wires: List[Wire] = field(default_factory=list)
+    layer_map: LayerMap = field(default_factory=default_layer_map)
+
+    @property
+    def bitline_track(self) -> Track:
+        return self.metal1_pattern.tracks_with_role(NetRole.BITLINE)[0]
+
+    @property
+    def bitline_bar_track(self) -> Track:
+        return self.metal1_pattern.tracks_with_role(NetRole.BITLINE_BAR)[0]
+
+    @property
+    def cell_height_nm(self) -> float:
+        return self.template.cell_height_nm
+
+    @property
+    def cell_length_nm(self) -> float:
+        return self.template.cell_length_nm
+
+    def boundary(self) -> Rect:
+        return Rect(0.0, 0.0, self.cell_length_nm, self.cell_height_nm)
+
+
+def default_cell_template(node: Optional[TechnologyNode] = None) -> SRAMCellTemplate:
+    """Build the default cell template for a technology node.
+
+    Bit lines are drawn 4 nm above the layer's minimum width (non-minimum
+    CD, as stated in Section II.B of the paper), power rails at minimum
+    width, all spaces at the layer minimum.
+    """
+    if node is None:
+        track_space = 24.0
+        rail_width = 24.0
+        bitline_width = 30.0
+        cell_length = 240.0
+        wordline_width = 24.0
+    else:
+        metal1 = node.bitline_metal
+        track_space = metal1.min_space_nm
+        rail_width = metal1.min_width_nm
+        bitline_width = metal1.min_width_nm + 6.0
+        cell_length = node.sram_cell_width_nm
+        wordline_width = node.wordline_metal.min_width_nm
+    return SRAMCellTemplate(
+        track_specs=(
+            TrackSpec("VSS", NetRole.VSS, rail_width),
+            TrackSpec("BL", NetRole.BITLINE, bitline_width),
+            TrackSpec("VDD", NetRole.VDD, rail_width),
+            TrackSpec("BLB", NetRole.BITLINE_BAR, bitline_width),
+        ),
+        track_space_nm=track_space,
+        cell_length_nm=cell_length,
+        wordline_width_nm=wordline_width,
+    )
+
+
+def generate_cell_layout(
+    node: Optional[TechnologyNode] = None,
+    template: Optional[SRAMCellTemplate] = None,
+    layer_map: Optional[LayerMap] = None,
+) -> SRAMCellLayout:
+    """Generate the 6T cell layout.
+
+    Parameters
+    ----------
+    node:
+        Technology node; defaults to N10-class dimensions when omitted.
+    template:
+        Explicit cell template; overrides the node-derived default.
+    layer_map:
+        Layer registry for the generated wires.
+    """
+    chosen_template = template if template is not None else default_cell_template(node)
+    chosen_layer_map = layer_map if layer_map is not None else default_layer_map()
+
+    bitline_layer = node.bitline_layer if node is not None else "metal1"
+    wordline_layer = node.wordline_layer if node is not None else "metal2"
+    if bitline_layer not in chosen_layer_map:
+        raise CellLayoutError(f"layer map has no {bitline_layer!r} layer")
+    if wordline_layer not in chosen_layer_map:
+        raise CellLayoutError(f"layer map has no {wordline_layer!r} layer")
+
+    centers = chosen_template.track_centers_nm()
+    tracks = [
+        Track(
+            net=spec.net,
+            center_nm=center,
+            width_nm=spec.width_nm,
+            role=spec.role,
+        )
+        for spec, center in zip(chosen_template.track_specs, centers)
+    ]
+    pattern = TrackPattern(tracks, wire_length_nm=chosen_template.cell_length_nm)
+
+    wires = pattern.as_wires(layer=bitline_layer, start_nm=0.0)
+    # One vertical metal2 word line crossing the cell at mid-length.
+    wordline_rect = Rect.from_center(
+        center_x=chosen_template.cell_length_nm / 2.0,
+        center_y=chosen_template.cell_height_nm / 2.0,
+        width=chosen_template.wordline_width_nm,
+        height=chosen_template.cell_height_nm,
+    )
+    wires.append(
+        Wire(net="WL", layer=wordline_layer, rect=wordline_rect, role=NetRole.WORDLINE)
+    )
+    return SRAMCellLayout(
+        template=chosen_template,
+        metal1_pattern=pattern,
+        wires=wires,
+        layer_map=chosen_layer_map,
+    )

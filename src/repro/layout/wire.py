@@ -1,0 +1,359 @@
+"""Wires, routing tracks and cross-section track patterns.
+
+The heart of the variability study is a set of long parallel metal1 wires
+(bit lines and power rails) whose widths and positions are perturbed by the
+patterning process.  Two views of the same structure are provided:
+
+* :class:`Wire` — a plan-view rectangle on a layer carrying a net, used by
+  the full layout and the GDS exporter.
+* :class:`TrackPattern` — the 1-D cross-section perpendicular to the wires:
+  an ordered list of :class:`Track` objects (centre position + width + net
+  + role).  Patterning operates on track patterns, and the quasi-2D
+  extraction consumes them.
+
+Coordinates and dimensions are nanometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .geometry import GeometryError, Interval, Rect
+
+
+class WireError(ValueError):
+    """Raised for inconsistent wire or track definitions."""
+
+
+class NetRole(str, Enum):
+    """Functional role of a net in the SRAM array."""
+
+    BITLINE = "bitline"
+    BITLINE_BAR = "bitline_bar"
+    WORDLINE = "wordline"
+    VDD = "vdd"
+    VSS = "vss"
+    INTERNAL = "internal"
+    OTHER = "other"
+
+    @property
+    def is_bitline_pair(self) -> bool:
+        return self in (NetRole.BITLINE, NetRole.BITLINE_BAR)
+
+    @property
+    def is_supply(self) -> bool:
+        return self in (NetRole.VDD, NetRole.VSS)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A straight wire segment: a rectangle on a layer carrying a net."""
+
+    net: str
+    layer: str
+    rect: Rect
+    role: NetRole = NetRole.OTHER
+
+    def __post_init__(self) -> None:
+        if not self.net:
+            raise WireError("wire net name cannot be empty")
+        if not self.layer:
+            raise WireError("wire layer name cannot be empty")
+        if self.rect.area <= 0.0:
+            raise WireError(f"wire on net {self.net!r} has zero area")
+
+    @property
+    def length_nm(self) -> float:
+        """The long dimension of the wire."""
+        return max(self.rect.width, self.rect.height)
+
+    @property
+    def width_nm(self) -> float:
+        """The short dimension of the wire."""
+        return min(self.rect.width, self.rect.height)
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.rect.width >= self.rect.height
+
+
+@dataclass(frozen=True)
+class Track:
+    """One routing track in a cross-section.
+
+    Parameters
+    ----------
+    net:
+        Net name (``"BL0"``, ``"VSS"``...).
+    center_nm:
+        Centre position of the track along the cross-section axis.
+    width_nm:
+        Drawn (or printed) line width.
+    role:
+        Functional role of the net.
+    mask:
+        Patterning mask identifier (``"A"``, ``"B"``, ``"C"``, ``"core"``,
+        ``"spacer"``, ``"euv"``); assigned by the patterning option, ``None``
+        for an un-decomposed nominal pattern.
+    """
+
+    net: str
+    center_nm: float
+    width_nm: float
+    role: NetRole = NetRole.OTHER
+    mask: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.net:
+            raise WireError("track net name cannot be empty")
+        if self.width_nm <= 0.0:
+            raise WireError(
+                f"track on net {self.net!r} must have positive width, got {self.width_nm}"
+            )
+
+    @property
+    def left_edge_nm(self) -> float:
+        return self.center_nm - self.width_nm / 2.0
+
+    @property
+    def right_edge_nm(self) -> float:
+        return self.center_nm + self.width_nm / 2.0
+
+    @property
+    def extent(self) -> Interval:
+        return Interval(self.left_edge_nm, self.right_edge_nm)
+
+    def shifted(self, delta_nm: float) -> "Track":
+        """Return a copy displaced by ``delta_nm`` along the cross-section."""
+        return replace(self, center_nm=self.center_nm + delta_nm)
+
+    def widened(self, delta_nm: float) -> "Track":
+        """Return a copy with the width changed by ``delta_nm`` (centre fixed)."""
+        new_width = self.width_nm + delta_nm
+        if new_width <= 0.0:
+            raise WireError(
+                f"widening track {self.net!r} by {delta_nm} nm would give a "
+                f"non-positive width ({new_width} nm)"
+            )
+        return replace(self, width_nm=new_width)
+
+    def with_mask(self, mask: str) -> "Track":
+        return replace(self, mask=mask)
+
+    def with_edges(self, left_nm: float, right_nm: float) -> "Track":
+        """Return a copy with explicit left/right printed edges."""
+        if right_nm <= left_nm:
+            raise WireError(
+                f"track {self.net!r}: right edge ({right_nm}) must exceed left "
+                f"edge ({left_nm})"
+            )
+        return replace(
+            self,
+            center_nm=0.5 * (left_nm + right_nm),
+            width_nm=right_nm - left_nm,
+        )
+
+
+class TrackPattern:
+    """An ordered cross-section of parallel tracks.
+
+    Tracks are stored sorted by centre position.  The pattern knows how to
+    report spaces between neighbours, find a net's track, and produce
+    perturbed copies — everything the patterning and extraction layers
+    need.
+    """
+
+    def __init__(self, tracks: Iterable[Track], wire_length_nm: float) -> None:
+        track_list = sorted(tracks, key=lambda track: track.center_nm)
+        if not track_list:
+            raise WireError("a track pattern needs at least one track")
+        if wire_length_nm <= 0.0:
+            raise WireError("wire length must be positive")
+        self._tracks: Tuple[Track, ...] = tuple(track_list)
+        self._wire_length_nm = float(wire_length_nm)
+        self._validate_no_overlap()
+
+    def _validate_no_overlap(self) -> None:
+        for left, right in zip(self._tracks, self._tracks[1:]):
+            if right.left_edge_nm < left.right_edge_nm - 1e-9:
+                raise WireError(
+                    f"tracks {left.net!r} and {right.net!r} overlap "
+                    f"({left.right_edge_nm:.3f} > {right.left_edge_nm:.3f})"
+                )
+
+    # -- basic container protocol -----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tracks)
+
+    def __iter__(self) -> Iterator[Track]:
+        return iter(self._tracks)
+
+    def __getitem__(self, index: int) -> Track:
+        return self._tracks[index]
+
+    @property
+    def tracks(self) -> Tuple[Track, ...]:
+        return self._tracks
+
+    @property
+    def wire_length_nm(self) -> float:
+        """Length of the wires perpendicular to the cross-section."""
+        return self._wire_length_nm
+
+    @property
+    def nets(self) -> List[str]:
+        return [track.net for track in self._tracks]
+
+    @property
+    def extent(self) -> Interval:
+        return Interval(self._tracks[0].left_edge_nm, self._tracks[-1].right_edge_nm)
+
+    # -- queries ------------------------------------------------------------
+
+    def index_of(self, net: str) -> int:
+        """Index of the first track carrying ``net``."""
+        for index, track in enumerate(self._tracks):
+            if track.net == net:
+                return index
+        raise KeyError(f"no track carries net {net!r}; nets: {self.nets}")
+
+    def track_for(self, net: str) -> Track:
+        return self._tracks[self.index_of(net)]
+
+    def tracks_with_role(self, role: NetRole) -> List[Track]:
+        return [track for track in self._tracks if track.role is role]
+
+    def neighbors_of(self, index: int) -> Tuple[Optional[Track], Optional[Track]]:
+        """The tracks immediately left and right of ``index`` (``None`` at edges)."""
+        if not 0 <= index < len(self._tracks):
+            raise IndexError(f"track index {index} out of range")
+        left = self._tracks[index - 1] if index > 0 else None
+        right = self._tracks[index + 1] if index < len(self._tracks) - 1 else None
+        return left, right
+
+    def space_between(self, left_index: int, right_index: int) -> float:
+        """Edge-to-edge space between two tracks (they must not overlap)."""
+        left = self._tracks[left_index]
+        right = self._tracks[right_index]
+        if left.center_nm > right.center_nm:
+            left, right = right, left
+        space = right.left_edge_nm - left.right_edge_nm
+        if space < 0.0:
+            raise WireError(
+                f"tracks {left.net!r} and {right.net!r} overlap by {-space:.3f} nm"
+            )
+        return space
+
+    def spaces(self) -> List[float]:
+        """All neighbour-to-neighbour spaces, left to right."""
+        return [
+            self.space_between(index, index + 1) for index in range(len(self._tracks) - 1)
+        ]
+
+    def pitches(self) -> List[float]:
+        """Centre-to-centre pitches, left to right."""
+        return [
+            self._tracks[index + 1].center_nm - self._tracks[index].center_nm
+            for index in range(len(self._tracks) - 1)
+        ]
+
+    def min_space(self) -> float:
+        spaces = self.spaces()
+        if not spaces:
+            raise WireError("a single-track pattern has no spaces")
+        return min(spaces)
+
+    # -- transformations ----------------------------------------------------
+
+    def with_tracks(self, tracks: Sequence[Track]) -> "TrackPattern":
+        """A new pattern with the same wire length but different tracks."""
+        return TrackPattern(tracks, wire_length_nm=self._wire_length_nm)
+
+    def with_wire_length(self, wire_length_nm: float) -> "TrackPattern":
+        return TrackPattern(self._tracks, wire_length_nm=wire_length_nm)
+
+    def replace_track(self, index: int, new_track: Track) -> "TrackPattern":
+        tracks = list(self._tracks)
+        tracks[index] = new_track
+        return self.with_tracks(tracks)
+
+    def translated(self, delta_nm: float) -> "TrackPattern":
+        return self.with_tracks([track.shifted(delta_nm) for track in self._tracks])
+
+    def tiled(self, copies: int, period_nm: float) -> "TrackPattern":
+        """Repeat the pattern ``copies`` times at ``period_nm`` spacing.
+
+        Net names of the copies are suffixed with ``@k`` (k = 1..copies-1)
+        so each track keeps a unique net name; the first copy keeps the
+        original names.
+        """
+        if copies < 1:
+            raise WireError("the number of copies must be at least 1")
+        if period_nm <= 0.0:
+            raise WireError("the tiling period must be positive")
+        tracks: List[Track] = []
+        for copy_index in range(copies):
+            offset = copy_index * period_nm
+            for track in self._tracks:
+                net = track.net if copy_index == 0 else f"{track.net}@{copy_index}"
+                tracks.append(replace(track, net=net, center_nm=track.center_nm + offset))
+        return self.with_tracks(tracks)
+
+    def as_wires(self, layer: str, start_nm: float = 0.0) -> List[Wire]:
+        """Materialise the pattern as plan-view wires running along x."""
+        wires = []
+        for track in self._tracks:
+            rect = Rect(
+                x_min=start_nm,
+                y_min=track.left_edge_nm,
+                x_max=start_nm + self._wire_length_nm,
+                y_max=track.right_edge_nm,
+            )
+            wires.append(Wire(net=track.net, layer=layer, rect=rect, role=track.role))
+        return wires
+
+    def summary(self) -> Dict[str, object]:
+        """A small diagnostic dictionary (used by reports and tests)."""
+        return {
+            "tracks": len(self._tracks),
+            "nets": self.nets,
+            "wire_length_nm": self._wire_length_nm,
+            "min_space_nm": self.min_space() if len(self._tracks) > 1 else None,
+            "extent_nm": (self.extent.low, self.extent.high),
+        }
+
+
+def uniform_track_pattern(
+    nets: Sequence[str],
+    pitch_nm: float,
+    width_nm: float,
+    wire_length_nm: float,
+    roles: Optional[Sequence[NetRole]] = None,
+    start_center_nm: float = 0.0,
+) -> TrackPattern:
+    """Build a pattern of equally pitched, equally wide tracks.
+
+    A convenience used by tests and by the simple examples; the SRAM cell
+    generator builds richer patterns directly.
+    """
+    if pitch_nm <= 0.0:
+        raise WireError("pitch must be positive")
+    if width_nm <= 0.0 or width_nm >= pitch_nm:
+        raise WireError("width must be positive and smaller than the pitch")
+    if roles is not None and len(roles) != len(nets):
+        raise WireError("roles, when given, must match the number of nets")
+    tracks = []
+    for index, net in enumerate(nets):
+        role = roles[index] if roles is not None else NetRole.OTHER
+        tracks.append(
+            Track(
+                net=net,
+                center_nm=start_center_nm + index * pitch_nm,
+                width_nm=width_nm,
+                role=role,
+            )
+        )
+    return TrackPattern(tracks, wire_length_nm=wire_length_nm)

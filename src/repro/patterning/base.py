@@ -1,0 +1,168 @@
+"""Abstract interface of a patterning option.
+
+A *patterning option* (LE3, SADP, EUV...) knows three things:
+
+1. how a nominal :class:`~repro.layout.wire.TrackPattern` is decomposed
+   onto its masks / process steps (:meth:`PatterningOption.decompose`);
+2. which variation parameters it introduces and their 3σ budgets
+   (:meth:`PatterningOption.parameter_specs`);
+3. how a concrete assignment of those parameters distorts the printed
+   pattern (:meth:`PatterningOption.apply`).
+
+The worst-case enumeration, Monte-Carlo sampling and parasitic extraction
+all operate on this interface only, so adding a new patterning option
+(for example LE2, or SAQP) does not touch the analysis code.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..layout.wire import Track, TrackPattern
+from ..technology.corners import GaussianSpec, VariationAssumptions
+
+
+class PatterningError(ValueError):
+    """Raised for invalid patterning configurations or parameter sets."""
+
+
+#: A concrete assignment of variation-parameter values in nanometres,
+#: keyed by the names returned by :meth:`PatterningOption.parameter_specs`
+#: (for example ``{"cd:A": +3.0, "ol:B": -8.0}``).
+ParameterValues = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class PatternedResult:
+    """The outcome of printing a track pattern with a patterning option.
+
+    Attributes
+    ----------
+    option_name:
+        Name of the patterning option that produced the result.
+    nominal:
+        The drawn (input) pattern.
+    printed:
+        The printed pattern, with distorted widths/positions and with each
+        track's ``mask`` attribute filled in.
+    parameters:
+        The parameter values that were applied.
+    """
+
+    option_name: str
+    nominal: TrackPattern
+    printed: TrackPattern
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    def width_change_nm(self, net: str) -> float:
+        """Printed-minus-drawn width of the track carrying ``net``."""
+        return self.printed.track_for(net).width_nm - self.nominal.track_for(net).width_nm
+
+    def center_shift_nm(self, net: str) -> float:
+        """Printed-minus-drawn centre position of the track carrying ``net``."""
+        return self.printed.track_for(net).center_nm - self.nominal.track_for(net).center_nm
+
+    def space_changes_nm(self) -> List[float]:
+        """Per-gap change of the neighbour spaces (printed minus drawn)."""
+        return [
+            printed - drawn
+            for printed, drawn in zip(self.printed.spaces(), self.nominal.spaces())
+        ]
+
+
+class PatterningOption(abc.ABC):
+    """Base class for all patterning options."""
+
+    #: Short machine-readable name (``"LELELE"``, ``"SADP"``, ``"EUV"``).
+    name: str = "abstract"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+    # -- mandatory interface -------------------------------------------------
+
+    @abc.abstractmethod
+    def decompose(self, pattern: TrackPattern) -> TrackPattern:
+        """Assign every track of ``pattern`` to a mask / process step.
+
+        Returns a copy of the pattern whose tracks carry a ``mask`` label;
+        geometry is unchanged.
+        """
+
+    @abc.abstractmethod
+    def parameter_specs(
+        self, assumptions: VariationAssumptions
+    ) -> Dict[str, GaussianSpec]:
+        """The variation parameters this option introduces and their budgets."""
+
+    @abc.abstractmethod
+    def apply(
+        self, pattern: TrackPattern, parameters: ParameterValues
+    ) -> PatternedResult:
+        """Print ``pattern`` with the given parameter values.
+
+        Unknown parameter names raise :class:`PatterningError`; missing
+        parameters default to zero (nominal).
+        """
+
+    # -- shared helpers -------------------------------------------------------
+
+    def nominal_result(self, pattern: TrackPattern) -> PatternedResult:
+        """Print the pattern with all variation parameters at zero."""
+        return self.apply(pattern, {})
+
+    def _check_parameters(
+        self, parameters: ParameterValues, known: Iterable[str]
+    ) -> Dict[str, float]:
+        known_set = set(known)
+        unknown = [name for name in parameters if name not in known_set]
+        if unknown:
+            raise PatterningError(
+                f"{self.name}: unknown parameter(s) {sorted(unknown)}; "
+                f"known parameters: {sorted(known_set)}"
+            )
+        values = {name: 0.0 for name in known_set}
+        values.update({name: float(value) for name, value in parameters.items()})
+        return values
+
+
+class PatterningRegistry:
+    """A name → option factory registry.
+
+    Studies are configured with option *names* (strings); the registry maps
+    them to constructed option objects.  The default registry is populated
+    by :mod:`repro.patterning` at import time with LE2, LE3 (LELELE), SADP
+    and EUV.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, object] = {}
+
+    def register(self, name: str, factory) -> None:
+        key = name.upper()
+        if key in self._factories:
+            raise PatterningError(f"patterning option {name!r} already registered")
+        self._factories[key] = factory
+
+    def create(self, name: str, **kwargs) -> PatterningOption:
+        key = name.upper()
+        try:
+            factory = self._factories[key]
+        except KeyError:
+            raise PatterningError(
+                f"unknown patterning option {name!r}; known: {sorted(self._factories)}"
+            ) from None
+        return factory(**kwargs)
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._factories
+
+
+#: The module-level default registry used by the studies.
+default_registry = PatterningRegistry()

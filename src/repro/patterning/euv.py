@@ -1,0 +1,61 @@
+"""Single-patterning extreme-UV (EUV).
+
+With a single EUV exposure the whole layer is printed at once: every line
+shares the same mask, so there is no line-to-line overlay error and the
+only variability knob is the CD error of the (single) exposure.  The paper
+uses the same 3 nm 3σ CD budget as for the litho-etch masks while noting
+this may be pessimistic for EUV — the budget is a parameter here so the
+sensitivity can be explored (see the EUV CD-budget ablation bench).
+
+Parameter names:
+
+* ``"cd:euv"`` — CD error of the single exposure (full width change, nm).
+  A uniform CD error widens every line and therefore shrinks every space
+  by the same amount.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..layout.wire import TrackPattern
+from ..technology.corners import EUVAssumptions, GaussianSpec, VariationAssumptions
+from .base import ParameterValues, PatternedResult, PatterningOption
+
+#: Mask label used for all tracks of a single EUV exposure.
+EUV_MASK = "euv"
+
+
+class EUVSinglePatterning(PatterningOption):
+    """Single-exposure EUV patterning of a parallel track pattern."""
+
+    name = "EUV"
+
+    def decompose(self, pattern: TrackPattern) -> TrackPattern:
+        return pattern.with_tracks([track.with_mask(EUV_MASK) for track in pattern])
+
+    def parameter_specs(
+        self, assumptions: VariationAssumptions
+    ) -> Dict[str, GaussianSpec]:
+        euv: EUVAssumptions = assumptions.euv
+        return {"cd:euv": euv.cd}
+
+    def apply(
+        self, pattern: TrackPattern, parameters: ParameterValues
+    ) -> PatternedResult:
+        decomposed = self.decompose(pattern)
+        values = self._check_parameters(parameters, ["cd:euv"])
+        cd_delta = values["cd:euv"]
+        printed_tracks = [track.widened(cd_delta) for track in decomposed]
+        printed_pattern = decomposed.with_tracks(printed_tracks)
+        return PatternedResult(
+            option_name=self.name,
+            nominal=pattern,
+            printed=printed_pattern,
+            parameters=dict(values),
+        )
+
+
+def euv() -> EUVSinglePatterning:
+    """Construct the single-patterning EUV option."""
+    return EUVSinglePatterning()

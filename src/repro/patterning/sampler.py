@@ -1,0 +1,130 @@
+"""Monte-Carlo sampling and worst-case enumeration of patterning parameters.
+
+Two ways of exercising a patterning option's variation space:
+
+* :class:`ParameterSampler` draws random parameter vectors from the
+  per-parameter normal distributions (σ = 3σ budget / 3), optionally
+  truncated at ±3σ — this feeds the Monte-Carlo tdp study (Fig. 5,
+  Table IV);
+* :func:`enumerate_worst_case_corners` enumerates all ±3σ corner
+  combinations — this feeds the worst-case study (Table I, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..technology.corners import (
+    CornerPoint,
+    GaussianSpec,
+    VariationAssumptions,
+    enumerate_corner_points,
+)
+from .base import PatterningError, PatterningOption
+
+
+@dataclass(frozen=True)
+class SampledParameters:
+    """One Monte-Carlo draw: parameter values plus the draw index."""
+
+    index: int
+    values: Dict[str, float]
+
+
+class ParameterSampler:
+    """Draws patterning-parameter vectors for a given option.
+
+    Parameters
+    ----------
+    option:
+        The patterning option whose parameters are sampled.
+    assumptions:
+        The variation assumptions providing the 3σ budgets.
+    seed:
+        Seed for the underlying :class:`numpy.random.Generator`; pass a
+        fixed value for reproducible studies.
+    truncate_at_three_sigma:
+        When true, draws are clipped to the ±3σ interval (the budgets are
+        *specification* limits); when false the full normal is used.
+    """
+
+    def __init__(
+        self,
+        option: PatterningOption,
+        assumptions: VariationAssumptions,
+        seed: Optional[int] = None,
+        truncate_at_three_sigma: bool = False,
+    ) -> None:
+        self.option = option
+        self.assumptions = assumptions
+        self.specs: Dict[str, GaussianSpec] = option.parameter_specs(assumptions)
+        if not self.specs:
+            raise PatterningError(
+                f"option {option.name!r} exposes no variation parameters"
+            )
+        self.truncate_at_three_sigma = truncate_at_three_sigma
+        self._rng = np.random.default_rng(seed)
+        self._names: List[str] = sorted(self.specs)
+
+    @property
+    def parameter_names(self) -> List[str]:
+        return list(self._names)
+
+    def draw(self, index: int = 0) -> SampledParameters:
+        """Draw a single parameter vector."""
+        values: Dict[str, float] = {}
+        for name in self._names:
+            spec = self.specs[name]
+            sigma = spec.sigma_nm
+            if sigma == 0.0:
+                values[name] = 0.0
+                continue
+            sample = float(self._rng.normal(0.0, sigma))
+            if self.truncate_at_three_sigma:
+                bound = spec.three_sigma_nm
+                sample = float(np.clip(sample, -bound, bound))
+            values[name] = sample
+        return SampledParameters(index=index, values=values)
+
+    def draw_many(self, count: int) -> List[SampledParameters]:
+        """Draw ``count`` parameter vectors."""
+        if count < 1:
+            raise PatterningError("the number of Monte-Carlo samples must be positive")
+        return [self.draw(index) for index in range(count)]
+
+    def __iter__(self) -> Iterator[SampledParameters]:
+        index = 0
+        while True:
+            yield self.draw(index)
+            index += 1
+
+    def draw_matrix(self, count: int) -> np.ndarray:
+        """Draw ``count`` vectors as a ``(count, n_parameters)`` array.
+
+        Column order follows :attr:`parameter_names`.  Useful for vectorised
+        surrogate evaluations.
+        """
+        samples = self.draw_many(count)
+        return np.array(
+            [[sample.values[name] for name in self._names] for sample in samples]
+        )
+
+
+def enumerate_worst_case_corners(
+    option: PatterningOption,
+    assumptions: VariationAssumptions,
+    include_nominal: bool = False,
+) -> List[CornerPoint]:
+    """All ±3σ corner combinations of an option's parameters.
+
+    The number of corners is ``2**n`` (or ``3**n`` with
+    ``include_nominal``); LE3 has 5 parameters (3 CDs + 2 overlays) → 32
+    corners, SADP and EUV have 2 and 1 → 4 and 2 corners.
+    """
+    specs = option.parameter_specs(assumptions)
+    if not specs:
+        raise PatterningError(f"option {option.name!r} exposes no variation parameters")
+    return enumerate_corner_points(specs, include_nominal=include_nominal)

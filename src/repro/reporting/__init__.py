@@ -1,0 +1,43 @@
+"""Reporting: paper-style table formatters and figure data exporters."""
+
+from .figures import (
+    ascii_bar_chart,
+    figure2_ascii,
+    figure2_csv,
+    figure3_csv,
+    figure4_ascii,
+    figure4_csv,
+    figure5_ascii,
+    figure5_csv,
+    overlay_sweep_csv,
+)
+from .tables import (
+    ReportingError,
+    format_csv,
+    format_figure4,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    render_table,
+)
+
+__all__ = [
+    "ReportingError",
+    "ascii_bar_chart",
+    "figure2_ascii",
+    "figure2_csv",
+    "figure3_csv",
+    "figure4_ascii",
+    "figure4_csv",
+    "figure5_ascii",
+    "figure5_csv",
+    "format_csv",
+    "format_figure4",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "overlay_sweep_csv",
+    "render_table",
+]

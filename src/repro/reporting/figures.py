@@ -1,0 +1,162 @@
+"""Figure-data export: ASCII renderings and CSV series.
+
+The benches regenerate the paper's figures as *data* (series / histograms)
+rather than images, so results stay inspectable without a plotting
+dependency.  Each figure has an ASCII renderer (quick visual check in a
+terminal or log) and a CSV exporter (for external plotting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.results import (
+    LayoutDistortionRecord,
+    MonteCarloTdpRecord,
+    WorstCaseTdRow,
+)
+from .tables import ReportingError, format_csv
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (all values must share a sign-free scale)."""
+    if len(labels) != len(values):
+        raise ReportingError("labels and values must have the same length")
+    if not values:
+        raise ReportingError("nothing to chart")
+    peak = max(abs(value) for value in values)
+    lines = [title] if title else []
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        bar_length = 0 if peak == 0 else round(width * abs(value) / peak)
+        bar = "#" * bar_length
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+# -- Fig. 2: layout distortion ----------------------------------------------------------------
+
+
+def figure2_ascii(record: LayoutDistortionRecord, scale_nm_per_char: float = 2.0) -> str:
+    """Render the printed-versus-drawn tracks of one option as ASCII strips."""
+    if scale_nm_per_char <= 0.0:
+        raise ReportingError("the scale must be positive")
+    origin = min(track.drawn_left_nm for track in record.tracks)
+    lines = [f"Fig. 2 ({record.option_name}) worst-case layout distortion"]
+    for track in record.tracks:
+        def strip(left: float, right: float) -> str:
+            start = int(round((left - origin) / scale_nm_per_char))
+            end = max(start + 1, int(round((right - origin) / scale_nm_per_char)))
+            return " " * start + "#" * (end - start)
+
+        mask = f"[{track.mask}]" if track.mask else ""
+        lines.append(f"{track.net:>8} {mask:>8} drawn   |{strip(track.drawn_left_nm, track.drawn_right_nm)}")
+        lines.append(f"{'':>8} {'':>8} printed |{strip(track.printed_left_nm, track.printed_right_nm)}")
+    return "\n".join(lines)
+
+
+def figure2_csv(records: Sequence[LayoutDistortionRecord]) -> str:
+    rows = []
+    for record in records:
+        for track in record.tracks:
+            rows.append(
+                [
+                    record.option_name,
+                    track.net,
+                    track.mask or "",
+                    f"{track.drawn_left_nm:.3f}",
+                    f"{track.drawn_right_nm:.3f}",
+                    f"{track.printed_left_nm:.3f}",
+                    f"{track.printed_right_nm:.3f}",
+                    f"{track.width_change_nm:+.3f}",
+                    f"{track.center_shift_nm:+.3f}",
+                ]
+            )
+    return format_csv(
+        [
+            "option", "net", "mask",
+            "drawn_left_nm", "drawn_right_nm",
+            "printed_left_nm", "printed_right_nm",
+            "width_change_nm", "center_shift_nm",
+        ],
+        rows,
+    )
+
+
+# -- Fig. 3: the DOE ---------------------------------------------------------------------------
+
+
+def figure3_csv(array_summaries: Sequence[Dict[str, object]]) -> str:
+    """Export the DOE array summaries (Fig. 3 is a schematic; data suffices)."""
+    if not array_summaries:
+        raise ReportingError("no arrays to export")
+    headers = list(array_summaries[0].keys())
+    rows = [[summary[key] for key in headers] for summary in array_summaries]
+    return format_csv(headers, rows)
+
+
+# -- Fig. 4: worst-case td impact ----------------------------------------------------------------
+
+
+def figure4_csv(rows: Sequence[WorstCaseTdRow]) -> str:
+    if not rows:
+        raise ReportingError("no Fig. 4 rows to export")
+    options = sorted(rows[0].tdp_percent_by_option)
+    headers = ["array", "n_wordlines", "nominal_td_ps"] + [f"tdp_{name}_percent" for name in options]
+    body = []
+    for row in rows:
+        body.append(
+            [row.array_label, row.n_wordlines, f"{row.nominal_td_ps:.3f}"]
+            + [f"{row.tdp_percent(name):.3f}" for name in options]
+        )
+    return format_csv(headers, body)
+
+
+def figure4_ascii(rows: Sequence[WorstCaseTdRow]) -> str:
+    """One bar chart per array size: worst-case tdp per option."""
+    blocks = []
+    for row in rows:
+        options = sorted(row.tdp_percent_by_option)
+        blocks.append(
+            ascii_bar_chart(
+                labels=options,
+                values=[row.tdp_percent(name) for name in options],
+                unit="%",
+                title=f"{row.array_label}: nominal td = {row.nominal_td_ps:.2f} ps, worst-case tdp",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+# -- Fig. 5: Monte-Carlo tdp distribution ------------------------------------------------------------
+
+
+def figure5_ascii(record: MonteCarloTdpRecord, width: int = 40) -> str:
+    """ASCII histogram of one option's tdp distribution."""
+    lines = [
+        f"Fig. 5 ({record.label}, n={record.n_wordlines}): tdp distribution over "
+        f"{record.n_samples} samples, sigma = {record.sigma_percent:.3f} % points"
+    ]
+    lines.extend(record.histogram.ascii_rows(width=width))
+    return "\n".join(lines)
+
+
+def figure5_csv(records: Sequence[MonteCarloTdpRecord]) -> str:
+    rows = []
+    for record in records:
+        centers = record.histogram.bin_centers
+        for center, count in zip(centers, record.histogram.counts):
+            rows.append([record.label, f"{center:.4f}", count])
+    return format_csv(["option", "tdp_percent_bin_center", "count"], rows)
+
+
+def overlay_sweep_csv(pairs: Sequence[Tuple[float, float]], option_name: str = "LELELE") -> str:
+    """σ(tdp) versus overlay budget (the ablation behind Table IV)."""
+    rows = [[option_name, f"{overlay:.2f}", f"{sigma:.4f}"] for overlay, sigma in pairs]
+    return format_csv(["option", "overlay_3sigma_nm", "tdp_sigma_percent"], rows)

@@ -1,0 +1,142 @@
+"""Paper-style table formatting.
+
+Every table of the evaluation section has a formatter that takes the typed
+result rows of :mod:`repro.core.results` and renders a plain-text table
+with the same structure as the paper, so a bench or example run can be
+compared against the original side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.results import (
+    FormulaVsSimulationTdRow,
+    FormulaVsSimulationTdpRow,
+    TdpSigmaRow,
+    WorstCaseRCRow,
+    WorstCaseTdRow,
+)
+
+
+class ReportingError(ValueError):
+    """Raised when results cannot be formatted."""
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render a simple monospaced table with column alignment."""
+    if not headers:
+        raise ReportingError("a table needs at least one column")
+    widths = [len(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReportingError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table1(rows: Sequence[WorstCaseRCRow]) -> str:
+    """Table I: worst-case variability per patterning option."""
+    body = []
+    for row in rows:
+        corner = ", ".join(
+            f"{name}={value:+.1f}" for name, value in sorted(row.corner_parameters.items())
+            if value != 0.0
+        )
+        body.append(
+            [
+                row.option_name,
+                corner if corner else "(nominal)",
+                f"{row.delta_cbl_percent:+.2f}%",
+                f"{row.delta_rbl_percent:+.2f}%",
+                f"{row.delta_rvss_percent:+.2f}%",
+            ]
+        )
+    return render_table(
+        ["Pat. option", "Worst corner (nm)", "Cbl impact", "Rbl impact", "Rvss impact"],
+        body,
+        title="Table I: worst-case variability for each patterning option",
+    )
+
+
+def format_figure4(rows: Sequence[WorstCaseTdRow]) -> str:
+    """Fig. 4 data: nominal td and worst-case tdp per option and array size."""
+    if not rows:
+        raise ReportingError("no Fig. 4 rows to format")
+    options = sorted(rows[0].tdp_percent_by_option)
+    headers = ["Array size", "Nominal td (ps)"] + [f"tdp {name} (%)" for name in options]
+    body = []
+    for row in rows:
+        body.append(
+            [row.array_label, f"{row.nominal_td_ps:.2f}"]
+            + [f"{row.tdp_percent(name):+.2f}" for name in options]
+        )
+    return render_table(headers, body, title="Fig. 4: worst-case wire variability impact on td")
+
+
+def format_table2(rows: Sequence[FormulaVsSimulationTdRow]) -> str:
+    """Table II: formula versus simulation nominal td values."""
+    body = [
+        [
+            row.array_label,
+            f"{row.simulation_td_s:.2E}",
+            f"{row.formula_td_s:.2E}",
+            f"{row.ratio:.2f}x",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["Array size", "Simulation (s)", "Formula (s)", "Sim/Formula"],
+        body,
+        title="Table II: formula versus simulation td_nom values",
+    )
+
+
+def format_table3(rows: Sequence[FormulaVsSimulationTdpRow]) -> str:
+    """Table III: formula versus simulation tdp values (%) at the worst cases."""
+    if not rows:
+        raise ReportingError("no Table III rows to format")
+    options = sorted(rows[0].tdp_percent_by_option)
+    headers = ["Method", "Array size"] + list(options)
+    body = []
+    for row in rows:
+        body.append(
+            [row.method, row.array_label]
+            + [f"{row.tdp_percent_by_option[name]:+.2f}" for name in options]
+        )
+    return render_table(
+        headers, body, title="Table III: formula versus simulation tdp values (%)"
+    )
+
+
+def format_table4(rows: Sequence[TdpSigmaRow]) -> str:
+    """Table IV: tdp standard deviation per option and overlay budget."""
+    body = [
+        [row.array_label, row.label, f"{row.sigma_percent:.3f}"]
+        for row in rows
+    ]
+    return render_table(
+        ["Array size", "Patterning option", "Std. deviation (% points)"],
+        body,
+        title="Table IV: patterning options & tdp sigma values",
+    )
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal CSV rendering (no quoting needed for the study's values)."""
+    lines = [",".join(str(cell) for cell in headers)]
+    lines.extend(",".join(str(cell) for cell in row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""SRAM substrate: 6T cell, bit-line ladders, precharge, sense amp, read-path harness."""
+
+from .array import (
+    ArrayCircuitError,
+    ReadCircuitSpec,
+    SRAMReadCircuit,
+    build_read_circuit,
+)
+from .bitline import (
+    BitlineLadder,
+    BitlineModelError,
+    BitlineSpec,
+    build_bitline_ladder,
+    supply_rail_resistance_ohm,
+)
+from .cell import (
+    CellCircuitError,
+    CellNodes,
+    SRAMCellCircuit,
+    bitline_loading_per_unselected_cell_f,
+    build_cell,
+)
+from .precharge import (
+    CELLS_PER_PRECHARGE_FIN,
+    PrechargeCircuit,
+    PrechargeError,
+    build_precharge,
+    precharge_capacitance_f,
+    precharge_fins,
+)
+from .read_path import (
+    ColumnParasitics,
+    ReadMeasurement,
+    ReadPathSimulator,
+    ReadSimulationError,
+)
+from .sense_amp import SenseAmpError, SenseAmplifier
+
+__all__ = [
+    "ArrayCircuitError",
+    "BitlineLadder",
+    "BitlineModelError",
+    "BitlineSpec",
+    "CELLS_PER_PRECHARGE_FIN",
+    "CellCircuitError",
+    "CellNodes",
+    "ColumnParasitics",
+    "PrechargeCircuit",
+    "PrechargeError",
+    "ReadCircuitSpec",
+    "ReadMeasurement",
+    "ReadPathSimulator",
+    "ReadSimulationError",
+    "SRAMCellCircuit",
+    "SRAMReadCircuit",
+    "SenseAmpError",
+    "SenseAmplifier",
+    "bitline_loading_per_unselected_cell_f",
+    "build_bitline_ladder",
+    "build_cell",
+    "build_precharge",
+    "build_read_circuit",
+    "precharge_capacitance_f",
+    "precharge_fins",
+    "supply_rail_resistance_ohm",
+]

@@ -1,0 +1,175 @@
+"""The 6T SRAM cell as a circuit sub-block.
+
+The cell of Fig. 1a: two cross-coupled inverters (pull-up PMOS + pull-down
+NMOS) plus two NMOS pass-gates connecting the internal nodes to the
+bit-line pair under word-line control.  The builder returns the circuit
+elements (transistors plus their lumped terminal capacitances) with
+caller-chosen node names so the array builder can instantiate the cell
+anywhere along the bit line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuit.elements import Capacitor, CircuitElement
+from ..circuit.mosfet import MOSFET
+from ..technology.transistors import SRAMTransistorSet, default_sram_transistors
+
+
+class CellCircuitError(ValueError):
+    """Raised for inconsistent cell instantiations."""
+
+
+@dataclass(frozen=True)
+class CellNodes:
+    """Node names of one 6T cell instance."""
+
+    bitline: str
+    bitline_bar: str
+    wordline: str
+    vdd: str
+    vss: str
+    internal_q: str
+    internal_qb: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "BL": self.bitline,
+            "BLB": self.bitline_bar,
+            "WL": self.wordline,
+            "VDD": self.vdd,
+            "VSS": self.vss,
+            "Q": self.internal_q,
+            "QB": self.internal_qb,
+        }
+
+
+@dataclass
+class SRAMCellCircuit:
+    """The elements of one instantiated 6T cell."""
+
+    name: str
+    nodes: CellNodes
+    devices: SRAMTransistorSet
+    elements: List[CircuitElement] = field(default_factory=list)
+
+    def initial_conditions(self, vdd_v: float, stored_value: int) -> Dict[str, float]:
+        """Internal-node initial voltages for a stored ``0`` or ``1``.
+
+        ``stored_value`` is the logic value on the Q (bit-line side) node:
+        reading a stored 0 discharges BL, reading a stored 1 discharges BLB.
+        """
+        if stored_value not in (0, 1):
+            raise CellCircuitError("stored_value must be 0 or 1")
+        q = 0.0 if stored_value == 0 else vdd_v
+        qb = vdd_v - q
+        return {self.nodes.internal_q: q, self.nodes.internal_qb: qb}
+
+
+def build_cell(
+    name: str,
+    nodes: CellNodes,
+    devices: Optional[SRAMTransistorSet] = None,
+    include_terminal_capacitances: bool = True,
+) -> SRAMCellCircuit:
+    """Build the six transistors (and terminal capacitances) of one cell.
+
+    Parameters
+    ----------
+    name:
+        Instance prefix; element names become ``<name>_pg1`` etc.
+    nodes:
+        The external and internal node names of this instance.
+    devices:
+        Device flavours and fin counts; defaults to the N10 high-density
+        1-1-1 set.
+    include_terminal_capacitances:
+        When true, the per-terminal lumped device capacitances are added as
+        explicit grounded capacitors (they represent the gate and junction
+        loading of the cell).
+    """
+    chosen = devices if devices is not None else default_sram_transistors()
+    elements: List[CircuitElement] = []
+
+    pass_gate_1 = MOSFET(
+        f"{name}_pg1",
+        drain=nodes.bitline,
+        gate=nodes.wordline,
+        source=nodes.internal_q,
+        parameters=chosen.pass_gate,
+        nfins=chosen.pass_gate_fins,
+    )
+    pass_gate_2 = MOSFET(
+        f"{name}_pg2",
+        drain=nodes.bitline_bar,
+        gate=nodes.wordline,
+        source=nodes.internal_qb,
+        parameters=chosen.pass_gate,
+        nfins=chosen.pass_gate_fins,
+    )
+    pull_down_1 = MOSFET(
+        f"{name}_pd1",
+        drain=nodes.internal_q,
+        gate=nodes.internal_qb,
+        source=nodes.vss,
+        parameters=chosen.pull_down,
+        nfins=chosen.pull_down_fins,
+    )
+    pull_down_2 = MOSFET(
+        f"{name}_pd2",
+        drain=nodes.internal_qb,
+        gate=nodes.internal_q,
+        source=nodes.vss,
+        parameters=chosen.pull_down,
+        nfins=chosen.pull_down_fins,
+    )
+    pull_up_1 = MOSFET(
+        f"{name}_pu1",
+        drain=nodes.internal_q,
+        gate=nodes.internal_qb,
+        source=nodes.vdd,
+        parameters=chosen.pull_up,
+        nfins=chosen.pull_up_fins,
+    )
+    pull_up_2 = MOSFET(
+        f"{name}_pu2",
+        drain=nodes.internal_qb,
+        gate=nodes.internal_q,
+        source=nodes.vdd,
+        parameters=chosen.pull_up,
+        nfins=chosen.pull_up_fins,
+    )
+    transistors = [pass_gate_1, pass_gate_2, pull_down_1, pull_down_2, pull_up_1, pull_up_2]
+    elements.extend(transistors)
+
+    if include_terminal_capacitances:
+        # Lump each device's terminal capacitances to ground; skip supply
+        # and ground terminals (they are at fixed potential anyway).
+        node_caps: Dict[str, float] = {}
+        for device in transistors:
+            for node, value in device.terminal_capacitances_f().items():
+                if node in (nodes.vdd, nodes.vss):
+                    continue
+                node_caps[node] = node_caps.get(node, 0.0) + value
+        for index, (node, value) in enumerate(sorted(node_caps.items())):
+            if value > 0.0:
+                elements.append(
+                    Capacitor(f"{name}_cload{index}", node, "0", value)
+                )
+
+    return SRAMCellCircuit(name=name, nodes=nodes, devices=chosen, elements=elements)
+
+
+def bitline_loading_per_unselected_cell_f(
+    devices: Optional[SRAMTransistorSet] = None,
+) -> float:
+    """Bit-line load added by one *unselected* cell (off pass-gate drain).
+
+    This is the ``C_FE`` of the paper's analytical formula (eq. 4): every
+    cell on the bit line loads it with the junction capacitance of its off
+    pass-gate, whether or not it is accessed.
+    """
+    chosen = devices if devices is not None else default_sram_transistors()
+    return chosen.bitline_loading_capacitance_f()

@@ -1,0 +1,152 @@
+"""Precharge circuit model.
+
+During the read the precharge devices are off, but they still matter in
+two ways that the paper's formula captures through its ``Cpre(n)`` term:
+
+* their (large) junction capacitance loads the periphery end of the bit
+  line, and
+* their size — and hence that capacitance — is scaled with the array
+  height so the precharge phase completes in bounded time ("driving
+  strength of the precharge circuit scales with array size", Section II.C).
+
+The same scaling law is exposed as :func:`precharge_capacitance_f` so the
+analytical formula (:mod:`repro.core.analytical`) and the simulated
+netlist stay consistent with each other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..circuit.elements import CircuitElement, VoltageSource
+from ..circuit.mosfet import MOSFET
+from ..technology.transistors import FinFETParameters, SRAMTransistorSet, default_n10_pmos
+
+
+class PrechargeError(ValueError):
+    """Raised for inconsistent precharge configurations."""
+
+#: Number of cells each precharge fin is expected to drive.  One fin per 8
+#: word lines keeps the precharge time roughly constant across the DOE.
+CELLS_PER_PRECHARGE_FIN = 8
+
+
+def precharge_fins(n_cells: int, cells_per_fin: int = CELLS_PER_PRECHARGE_FIN) -> int:
+    """Number of fins of each precharge device for an ``n_cells`` bit line."""
+    if n_cells < 1:
+        raise PrechargeError("a bit line needs at least one cell")
+    if cells_per_fin < 1:
+        raise PrechargeError("cells_per_fin must be at least 1")
+    return max(1, math.ceil(n_cells / cells_per_fin))
+
+
+def precharge_capacitance_f(
+    n_cells: int,
+    device: Optional[FinFETParameters] = None,
+    cells_per_fin: int = CELLS_PER_PRECHARGE_FIN,
+    devices_per_bitline: int = 2,
+) -> float:
+    """The ``Cpre(n)`` of eq. 4: precharge junction load on one bit line.
+
+    ``devices_per_bitline`` counts the off devices whose drains hang on the
+    bit line: the precharge pull-up plus (half of) the equalisation device.
+    """
+    chosen = device if device is not None else default_n10_pmos()
+    fins = precharge_fins(n_cells, cells_per_fin)
+    return devices_per_bitline * fins * chosen.cdrain_f_per_fin
+
+
+@dataclass
+class PrechargeCircuit:
+    """The precharge / equalisation devices of one bit-line pair."""
+
+    name: str
+    n_cells: int
+    fins: int
+    elements: List[CircuitElement] = field(default_factory=list)
+    enable_node: str = "pch_n"
+
+    @property
+    def capacitance_f(self) -> float:
+        """Junction capacitance presented to each bit line.
+
+        Reported from the explicit junction capacitors of the netlist so it
+        stays consistent with :func:`precharge_capacitance_f` and with what
+        the simulator actually sees.
+        """
+        from ..circuit.elements import Capacitor
+
+        total = sum(
+            element.capacitance_f
+            for element in self.elements
+            if isinstance(element, Capacitor)
+        )
+        return total / 2.0 if total else 0.0
+
+
+def build_precharge(
+    name: str,
+    bitline_node: str,
+    bitline_bar_node: str,
+    vdd_node: str,
+    n_cells: int,
+    vdd_v: float,
+    device: Optional[FinFETParameters] = None,
+    cells_per_fin: int = CELLS_PER_PRECHARGE_FIN,
+) -> PrechargeCircuit:
+    """Build the (off) precharge circuit of one bit-line pair.
+
+    Three PMOS devices: one precharge pull-up per bit line plus an
+    equalisation device across the pair.  The enable node is tied to Vdd
+    through an ideal source, keeping the devices off for the whole read —
+    only their junction capacitance acts on the circuit, exactly the
+    ``Cpre(n)`` role of the formula.
+    """
+    chosen = device if device is not None else default_n10_pmos()
+    fins = precharge_fins(n_cells, cells_per_fin)
+    enable_node = f"{name}_en"
+
+    elements: List[CircuitElement] = [
+        VoltageSource.dc(f"{name}_ven", enable_node, "0", vdd_v),
+        MOSFET(
+            f"{name}_pcu1",
+            drain=bitline_node,
+            gate=enable_node,
+            source=vdd_node,
+            parameters=chosen,
+            nfins=fins,
+        ),
+        MOSFET(
+            f"{name}_pcu2",
+            drain=bitline_bar_node,
+            gate=enable_node,
+            source=vdd_node,
+            parameters=chosen,
+            nfins=fins,
+        ),
+        MOSFET(
+            f"{name}_peq",
+            drain=bitline_node,
+            gate=enable_node,
+            source=bitline_bar_node,
+            parameters=chosen,
+            nfins=fins,
+        ),
+    ]
+    # Junction loading of the off devices on each bit line: the pull-up
+    # drain plus one terminal of the equalisation device.
+    from ..circuit.elements import Capacitor  # local import to avoid a cycle at module load
+
+    junction = chosen.cdrain_f_per_fin * fins
+    elements.append(Capacitor(f"{name}_cjbl", bitline_node, "0", 2.0 * junction))
+    elements.append(Capacitor(f"{name}_cjblb", bitline_bar_node, "0", 2.0 * junction))
+
+    return PrechargeCircuit(
+        name=name,
+        n_cells=n_cells,
+        fins=fins,
+        elements=elements,
+        enable_node=enable_node,
+    )

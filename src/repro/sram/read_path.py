@@ -1,0 +1,340 @@
+"""High-level SRAM read simulation harness.
+
+This module wires the whole flow together for one column of the DOE
+arrays: generate the layout, (optionally) print it with a patterning
+option, extract the bit-line pair and the VSS rail, build the read-path
+circuit and run the transient until the sense amplifier fires.  The
+figure of merit is the paper's ``td`` — the time from word-line activation
+to the moment the differential bit-line voltage reaches the
+sense-amplifier sensitivity — and the derived ``tdp`` penalty ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..circuit.transient import TransientOptions, TransientSolver
+from ..circuit.waveform import TransientResult
+from ..extraction.field import ExtractionResult
+from ..extraction.lpe import ParameterizedLPE, RCVariation
+from ..layout.array import SRAMArrayLayout, generate_array_layout
+from ..layout.wire import NetRole
+from ..patterning.base import ParameterValues, PatterningOption
+from ..technology.node import TechnologyNode
+from .array import ReadCircuitSpec, SRAMReadCircuit, build_read_circuit
+from .bitline import BitlineSpec, supply_rail_resistance_ohm
+from .cell import bitline_loading_per_unselected_cell_f
+
+
+class ReadSimulationError(RuntimeError):
+    """Raised when a read simulation cannot produce a td measurement."""
+
+
+@dataclass(frozen=True)
+class ReadMeasurement:
+    """Outcome of one read simulation."""
+
+    n_cells: int
+    label: str
+    td_s: float
+    wordline_time_s: float
+    sense_time_s: float
+    bitline_resistance_ohm: float
+    bitline_capacitance_f: float
+    vss_rail_resistance_ohm: float
+    stop_reason: str
+
+    @property
+    def td_ps(self) -> float:
+        return self.td_s * 1e12
+
+    def penalty_vs(self, nominal: "ReadMeasurement") -> float:
+        """Read-time penalty ``tdp`` relative to a nominal measurement.
+
+        Returned as a ratio (1.0 = no penalty), matching the paper's
+        definition ``td(varied) / td(nominal)``.
+        """
+        if nominal.td_s <= 0.0:
+            raise ReadSimulationError("nominal td must be positive")
+        return self.td_s / nominal.td_s
+
+    def penalty_percent_vs(self, nominal: "ReadMeasurement") -> float:
+        return (self.penalty_vs(nominal) - 1.0) * 100.0
+
+
+@dataclass
+class ColumnParasitics:
+    """Extracted per-column electrical quantities feeding the circuit."""
+
+    bitline: BitlineSpec
+    bitline_bar: BitlineSpec
+    vss_rail_resistance_ohm: float
+
+
+class ReadPathSimulator:
+    """Simulates worst-case reads of the DOE columns.
+
+    Parameters
+    ----------
+    node:
+        Technology node (devices, metal stack, operating conditions,
+        variation assumptions).
+    n_bitline_pairs:
+        Word length of the arrays (10 in the paper); only the central pair
+        is simulated but the full pattern is extracted so edge effects do
+        not contaminate it.
+    max_segments:
+        Maximum RC-ladder sections per bit line.
+    vss_strap_interval_cells:
+        Distance (in cells) between VSS straps along the array: the VSS
+        return path of the accessed cell runs on metal1 only up to the
+        nearest strap, so its resistance saturates at
+        ``strap_interval × R_vss_per_cell`` for long arrays.  256 cells is
+        a conservative strap pitch for an un-meshed test macro.
+    transient_options:
+        Optional overrides of the transient-solver settings (the time
+        window and step limits are always derived from the array size).
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        n_bitline_pairs: int = 10,
+        max_segments: int = 64,
+        vss_strap_interval_cells: int = 256,
+        transient_options: Optional[TransientOptions] = None,
+    ) -> None:
+        if vss_strap_interval_cells < 1:
+            raise ReadSimulationError("the VSS strap interval must be at least one cell")
+        self.node = node
+        self.n_bitline_pairs = n_bitline_pairs
+        self.max_segments = max_segments
+        self.vss_strap_interval_cells = vss_strap_interval_cells
+        self._base_transient_options = transient_options
+        self._lpe = ParameterizedLPE(node)
+        self._layout_cache: Dict[int, SRAMArrayLayout] = {}
+        self._nominal_extraction_cache: Dict[int, ExtractionResult] = {}
+
+    # -- layout & extraction helpers ------------------------------------------------
+
+    @property
+    def lpe(self) -> ParameterizedLPE:
+        """The patterning-aware extraction driver used by this simulator."""
+        return self._lpe
+
+    def layout_for(self, n_cells: int) -> SRAMArrayLayout:
+        if n_cells not in self._layout_cache:
+            self._layout_cache[n_cells] = generate_array_layout(
+                n_wordlines=n_cells,
+                n_bitline_pairs=self.n_bitline_pairs,
+                node=self.node,
+            )
+        return self._layout_cache[n_cells]
+
+    def nominal_extraction(self, n_cells: int) -> ExtractionResult:
+        if n_cells not in self._nominal_extraction_cache:
+            layout = self.layout_for(n_cells)
+            self._nominal_extraction_cache[n_cells] = self._lpe.extract_pattern(
+                layout.metal1_pattern
+            )
+        return self._nominal_extraction_cache[n_cells]
+
+    def _column_nets(self, layout: SRAMArrayLayout) -> Tuple[str, str, str]:
+        """Net names of the central column's BL, BLB and its VSS rail."""
+        bl_net, blb_net = layout.central_pair_nets()
+        central_column = layout.n_bitline_pairs // 2
+        suffix = "" if central_column == 0 else f"@{central_column}"
+        return bl_net, blb_net, f"VSS{suffix}"
+
+    def column_parasitics(
+        self, n_cells: int, extraction: Optional[ExtractionResult] = None
+    ) -> ColumnParasitics:
+        """Build the column's electrical description from an extraction.
+
+        ``extraction`` defaults to the nominal one; pass a printed-pattern
+        extraction to obtain the patterning-distorted column.
+        """
+        layout = self.layout_for(n_cells)
+        chosen = extraction if extraction is not None else self.nominal_extraction(n_cells)
+        bl_net, blb_net, vss_net = self._column_nets(layout)
+        cell_length = layout.cell.cell_length_nm
+        frontend = bitline_loading_per_unselected_cell_f(self.node.sram_devices)
+
+        bitline = BitlineSpec.from_extraction(
+            chosen[bl_net], n_cells, cell_length, frontend
+        )
+        bitline_bar = BitlineSpec.from_extraction(
+            chosen[blb_net], n_cells, cell_length, frontend
+        )
+        vss_span_cells = min(n_cells, self.vss_strap_interval_cells)
+        vss_resistance = supply_rail_resistance_ohm(
+            chosen[vss_net], vss_span_cells, cell_length
+        )
+        return ColumnParasitics(
+            bitline=bitline,
+            bitline_bar=bitline_bar,
+            vss_rail_resistance_ohm=vss_resistance,
+        )
+
+    # -- circuit construction and simulation --------------------------------------------
+
+    def _transient_options_for(self, column: ColumnParasitics) -> TransientOptions:
+        """Derive a safe simulation window from the column's time constants."""
+        conditions = self.node.operating_conditions
+        pass_gate = self.node.sram_devices.pass_gate
+        drive_a = max(
+            pass_gate.on_current_a(conditions.vdd_v, self.node.sram_devices.pass_gate_fins),
+            1e-9,
+        )
+        total_c = column.bitline.total_capacitance_f
+        # Current-limited estimate of the time to build the sense margin,
+        # padded for the RC tail, the VSS bounce and the word-line delay.
+        estimate_s = total_c * conditions.sense_amp_sensitivity_v / drive_a
+        rc_s = column.bitline.total_resistance_ohm * total_c
+        t_stop = 20.0 * (estimate_s + rc_s) + 100e-12
+        base = self._base_transient_options
+        dt_max = max(min(t_stop / 200.0, 10e-12), 2e-13)
+        if base is None:
+            return TransientOptions(
+                t_stop_s=t_stop,
+                dt_initial_s=min(1e-13, dt_max / 10.0),
+                dt_max_s=dt_max,
+            )
+        return TransientOptions(
+            t_stop_s=t_stop,
+            dt_initial_s=base.dt_initial_s,
+            dt_min_s=base.dt_min_s,
+            dt_max_s=min(base.dt_max_s, dt_max),
+            dt_growth=base.dt_growth,
+            dt_shrink=base.dt_shrink,
+            method=base.method,
+            newton=base.newton,
+            max_steps=base.max_steps,
+            record_nodes=base.record_nodes,
+        )
+
+    def build_circuit(
+        self,
+        n_cells: int,
+        column: ColumnParasitics,
+        stored_value: int = 0,
+    ) -> SRAMReadCircuit:
+        spec = ReadCircuitSpec(
+            n_cells=n_cells,
+            bitline=column.bitline,
+            bitline_bar=column.bitline_bar,
+            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm,
+            devices=self.node.sram_devices,
+            conditions=self.node.operating_conditions,
+            stored_value=stored_value,
+            segments=min(n_cells, self.max_segments),
+        )
+        return build_read_circuit(spec)
+
+    def simulate_column(
+        self,
+        n_cells: int,
+        column: ColumnParasitics,
+        label: str,
+        stored_value: int = 0,
+        return_waveforms: bool = False,
+    ):
+        """Run one read and measure td.
+
+        Returns a :class:`ReadMeasurement`, or a ``(measurement, result)``
+        tuple when ``return_waveforms`` is true.
+        """
+        read_circuit = self.build_circuit(n_cells, column, stored_value)
+        options = self._transient_options_for(column)
+        solver = TransientSolver(read_circuit.circuit, options=options)
+        result = solver.run(
+            initial_voltages=read_circuit.initial_voltages,
+            stop_condition=read_circuit.sense.stop_condition(),
+        )
+
+        conditions = self.node.operating_conditions
+        wordline_time = result.crossing_time_s(
+            read_circuit.wordline_node,
+            conditions.effective_wordline_voltage_v / 2.0,
+            direction="rising",
+        )
+        sense_time = read_circuit.sense.firing_time_s(result)
+        if wordline_time is None:
+            raise ReadSimulationError("the word line never rose; check the waveform setup")
+        if sense_time is None:
+            raise ReadSimulationError(
+                f"the sense threshold was never reached within {options.t_stop_s:.3e} s "
+                f"(label={label!r}, n={n_cells})"
+            )
+        measurement = ReadMeasurement(
+            n_cells=n_cells,
+            label=label,
+            td_s=sense_time - wordline_time,
+            wordline_time_s=wordline_time,
+            sense_time_s=sense_time,
+            bitline_resistance_ohm=column.bitline.total_resistance_ohm,
+            bitline_capacitance_f=column.bitline.total_capacitance_f,
+            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm,
+            stop_reason=result.stop_reason,
+        )
+        if return_waveforms:
+            return measurement, result
+        return measurement
+
+    # -- public measurement entry points ----------------------------------------------------
+
+    def measure_nominal(self, n_cells: int) -> ReadMeasurement:
+        """Nominal read time of an ``n_cells`` column (no patterning variation)."""
+        column = self.column_parasitics(n_cells)
+        return self.simulate_column(n_cells, column, label="nominal")
+
+    def measure_with_patterning(
+        self,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        label: Optional[str] = None,
+    ) -> ReadMeasurement:
+        """Read time with the column printed by ``option`` at ``parameters``."""
+        layout = self.layout_for(n_cells)
+        patterned = option.apply(layout.metal1_pattern, parameters)
+        extraction = self._lpe.extract_pattern(patterned.printed)
+        column = self.column_parasitics(n_cells, extraction)
+        return self.simulate_column(
+            n_cells, column, label=label if label is not None else option.name
+        )
+
+    def measure_with_variation(
+        self,
+        n_cells: int,
+        rvar: float,
+        cvar: float,
+        vss_rvar: float = 1.0,
+        label: str = "scaled",
+    ) -> ReadMeasurement:
+        """Read time with the nominal column scaled by explicit RC ratios.
+
+        This is the fast path used for cross-checking the analytical
+        formula: instead of re-extracting a printed layout, the nominal
+        bit-line R and C are multiplied by ``rvar``/``cvar`` (and the VSS
+        rail by ``vss_rvar``).
+        """
+        column = self.column_parasitics(n_cells)
+        scaled = ColumnParasitics(
+            bitline=column.bitline.scaled(rvar, cvar),
+            bitline_bar=column.bitline_bar.scaled(rvar, cvar),
+            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
+        )
+        return self.simulate_column(n_cells, scaled, label=label)
+
+    def penalty_percent(
+        self,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+    ) -> float:
+        """Convenience: simulated tdp (%) of one option/corner versus nominal."""
+        nominal = self.measure_nominal(n_cells)
+        varied = self.measure_with_patterning(n_cells, option, parameters)
+        return varied.penalty_percent_vs(nominal)

@@ -1,0 +1,237 @@
+"""Material models for BEOL interconnect stacks.
+
+The parasitic extraction flow needs, per metal layer, the effective
+conductor resistivity (including size effects and the barrier/liner) and
+the dielectric permittivities of the surrounding inter-layer and
+intra-layer dielectrics.  This module provides small, explicit material
+descriptions that the :mod:`repro.extraction` package consumes.
+
+All dimensions are expressed in **nanometres** and resistivities in
+**ohm·nm** unless stated otherwise; converting at the boundaries keeps
+the geometric code free of unit juggling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Vacuum permittivity in farad per nanometre.
+EPSILON_0_F_PER_NM = 8.8541878128e-21
+
+#: Bulk resistivity of copper at room temperature, in ohm·nm
+#: (1.68 µΩ·cm = 16.8 Ω·nm).
+COPPER_BULK_RESISTIVITY_OHM_NM = 16.8
+
+#: Electron mean free path in copper, in nm.  Used by the size-effect
+#: (Fuchs-Sondheimer / Mayadas-Shatzkes style) resistivity correction.
+COPPER_MEAN_FREE_PATH_NM = 39.0
+
+
+class MaterialError(ValueError):
+    """Raised when a material description is physically inconsistent."""
+
+
+@dataclass(frozen=True)
+class Conductor:
+    """A BEOL conductor material.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier (``"Cu"``, ``"W"``, ``"Ru"``...).
+    bulk_resistivity_ohm_nm:
+        Bulk (large-dimension) resistivity in ohm·nm.
+    mean_free_path_nm:
+        Electron mean free path; drives the thin-wire resistivity
+        increase.  ``0`` disables the size-effect correction.
+    specularity:
+        Fuchs-Sondheimer surface-specularity parameter ``p`` in
+        ``[0, 1]``; ``1`` means perfectly specular surfaces (no size
+        effect from surface scattering).
+    reflection_coefficient:
+        Mayadas-Shatzkes grain-boundary reflection coefficient ``R`` in
+        ``[0, 1)``.
+    """
+
+    name: str
+    bulk_resistivity_ohm_nm: float
+    mean_free_path_nm: float = 0.0
+    specularity: float = 0.5
+    reflection_coefficient: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.bulk_resistivity_ohm_nm <= 0.0:
+            raise MaterialError(
+                f"conductor {self.name!r}: bulk resistivity must be positive, "
+                f"got {self.bulk_resistivity_ohm_nm}"
+            )
+        if self.mean_free_path_nm < 0.0:
+            raise MaterialError(
+                f"conductor {self.name!r}: mean free path cannot be negative"
+            )
+        if not 0.0 <= self.specularity <= 1.0:
+            raise MaterialError(
+                f"conductor {self.name!r}: specularity must be within [0, 1]"
+            )
+        if not 0.0 <= self.reflection_coefficient < 1.0:
+            raise MaterialError(
+                f"conductor {self.name!r}: reflection coefficient must be within [0, 1)"
+            )
+
+    def effective_resistivity(self, width_nm: float, thickness_nm: float) -> float:
+        """Return the size-effect corrected resistivity in ohm·nm.
+
+        A compact combination of the Fuchs-Sondheimer surface term and the
+        Mayadas-Shatzkes grain-boundary term is used.  The model is
+        intentionally simple — the study needs the correct *direction* and
+        a realistic magnitude of the resistivity increase for ~20 nm wide
+        copper lines, not a fitted nanowire model.
+
+        Parameters
+        ----------
+        width_nm, thickness_nm:
+            The conducting cross-section dimensions (excluding barrier).
+        """
+        if width_nm <= 0.0 or thickness_nm <= 0.0:
+            raise MaterialError(
+                f"conductor {self.name!r}: cross-section dimensions must be "
+                f"positive (width={width_nm}, thickness={thickness_nm})"
+            )
+        rho = self.bulk_resistivity_ohm_nm
+        if self.mean_free_path_nm <= 0.0:
+            return rho
+
+        # Surface scattering: thin-limit Fuchs-Sondheimer approximation,
+        # applied to the smaller confining dimension.
+        critical = min(width_nm, thickness_nm)
+        k = critical / self.mean_free_path_nm
+        surface_factor = 1.0 + 0.375 * (1.0 - self.specularity) / k
+
+        # Grain-boundary scattering: damascene grains grow during anneal to
+        # a size set by the trench depth (film thickness), so the thickness
+        # is the critical dimension here — this keeps the wire resistance
+        # close to inversely proportional to the drawn width, which is the
+        # sensitivity the SRAM bit lines actually show.
+        grain_size = thickness_nm
+        r = self.reflection_coefficient
+        if r > 0.0:
+            alpha = (self.mean_free_path_nm / grain_size) * r / (1.0 - r)
+            gb_factor = 1.0 / max(
+                1e-9,
+                1.0 - 1.5 * alpha + 3.0 * alpha**2 - 3.0 * alpha**3 * math.log(1.0 + 1.0 / alpha),
+            )
+        else:
+            gb_factor = 1.0
+        return rho * surface_factor * gb_factor
+
+
+@dataclass(frozen=True)
+class Dielectric:
+    """A BEOL dielectric material.
+
+    Parameters
+    ----------
+    name:
+        Identifier (``"low-k"``, ``"SiO2"``, ``"air-gap"``...).
+    relative_permittivity:
+        Relative permittivity ``k``.
+    """
+
+    name: str
+    relative_permittivity: float
+
+    def __post_init__(self) -> None:
+        if self.relative_permittivity < 1.0:
+            raise MaterialError(
+                f"dielectric {self.name!r}: relative permittivity must be >= 1, "
+                f"got {self.relative_permittivity}"
+            )
+
+    @property
+    def permittivity_f_per_nm(self) -> float:
+        """Absolute permittivity in F/nm."""
+        return self.relative_permittivity * EPSILON_0_F_PER_NM
+
+
+@dataclass(frozen=True)
+class BarrierLiner:
+    """Diffusion-barrier / liner stack on the sidewalls and bottom of a wire.
+
+    The barrier consumes part of the damascene trench without contributing
+    meaningfully to conduction, so it reduces the effective copper
+    cross-section.
+
+    Parameters
+    ----------
+    thickness_nm:
+        Barrier thickness per side.
+    resistivity_ohm_nm:
+        Barrier resistivity; used only when ``conductive`` is true.
+    conductive:
+        Whether the barrier is treated as a (poor) parallel conductor.
+    """
+
+    thickness_nm: float = 1.5
+    resistivity_ohm_nm: float = 2000.0
+    conductive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.thickness_nm < 0.0:
+            raise MaterialError("barrier thickness cannot be negative")
+        if self.resistivity_ohm_nm <= 0.0:
+            raise MaterialError("barrier resistivity must be positive")
+
+
+@dataclass(frozen=True)
+class MaterialSystem:
+    """The full material selection for one metal layer.
+
+    Combines the conductor, the barrier and the intra-/inter-layer
+    dielectrics.  This is the object the extraction engine receives.
+    """
+
+    conductor: Conductor = field(default_factory=lambda: COPPER)
+    barrier: BarrierLiner = field(default_factory=BarrierLiner)
+    intra_layer_dielectric: Dielectric = field(default_factory=lambda: LOW_K)
+    inter_layer_dielectric: Dielectric = field(default_factory=lambda: LOW_K)
+
+    def line_to_line_permittivity(self) -> float:
+        """Permittivity (F/nm) between two neighbouring lines on the layer."""
+        return self.intra_layer_dielectric.permittivity_f_per_nm
+
+    def layer_to_layer_permittivity(self) -> float:
+        """Permittivity (F/nm) between this layer and the planes above/below."""
+        return self.inter_layer_dielectric.permittivity_f_per_nm
+
+
+# --- Canonical materials -------------------------------------------------
+
+COPPER = Conductor(
+    name="Cu",
+    bulk_resistivity_ohm_nm=COPPER_BULK_RESISTIVITY_OHM_NM,
+    mean_free_path_nm=COPPER_MEAN_FREE_PATH_NM,
+    specularity=0.5,
+    reflection_coefficient=0.3,
+)
+
+TUNGSTEN = Conductor(
+    name="W",
+    bulk_resistivity_ohm_nm=52.8,
+    mean_free_path_nm=15.5,
+    specularity=0.2,
+    reflection_coefficient=0.4,
+)
+
+SIO2 = Dielectric(name="SiO2", relative_permittivity=3.9)
+LOW_K = Dielectric(name="low-k", relative_permittivity=2.55)
+ULTRA_LOW_K = Dielectric(name="ultra-low-k", relative_permittivity=2.2)
+AIR_GAP = Dielectric(name="air-gap", relative_permittivity=1.0)
+
+#: Default N10-class BEOL material system (copper damascene in low-k).
+N10_MATERIALS = MaterialSystem(
+    conductor=COPPER,
+    barrier=BarrierLiner(thickness_nm=1.5),
+    intra_layer_dielectric=LOW_K,
+    inter_layer_dielectric=LOW_K,
+)

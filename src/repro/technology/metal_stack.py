@@ -1,0 +1,249 @@
+"""Metal-stack description for the interconnect layers used by the study.
+
+The paper's SRAM cell uses unidirectional horizontal metal1 (bit lines and
+power rails, minimum spacing) and unidirectional vertical metal2 (word
+lines).  Each :class:`MetalLayer` carries the nominal drawn dimensions and
+the physical cross-section parameters (thickness, tapering angle, barrier,
+dielectric heights) that the extraction engine needs, plus which
+patterning options are allowed on the layer.
+
+Dimensions are nanometres throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .materials import MaterialSystem, N10_MATERIALS
+
+
+class StackError(ValueError):
+    """Raised when a metal-stack description is inconsistent."""
+
+
+class Orientation(str, Enum):
+    """Preferred routing direction of a unidirectional metal layer."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+
+class PatterningClass(str, Enum):
+    """Which family of patterning options a layer can be printed with."""
+
+    SINGLE = "single"          # single exposure (EUV or relaxed-pitch 193i)
+    DOUBLE = "double"          # LE2 / SADP
+    TRIPLE = "triple"          # LE3 (LELELE)
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One metal layer of the BEOL stack.
+
+    Parameters
+    ----------
+    name:
+        Layer name (``"metal1"``, ``"metal2"``...).
+    pitch_nm:
+        Minimum line pitch (width + minimum space).
+    min_width_nm:
+        Minimum drawn line width.
+    min_space_nm:
+        Minimum drawn space between lines.
+    thickness_nm:
+        Metal thickness after CMP.
+    tapering_angle_deg:
+        Sidewall angle measured from the vertical; damascene trenches are
+        narrower at the bottom, so the physical cross-section is a
+        trapezoid.  ``0`` means perfectly vertical sidewalls.
+    ild_below_nm / ild_above_nm:
+        Dielectric distance to the conducting plane below / above
+        (substrate or neighbouring metal layer), used for area and fringe
+        capacitance.
+    orientation:
+        Preferred routing direction.
+    materials:
+        Conductor / barrier / dielectric selection.
+    patterning_class:
+        Which patterning family is required to print the minimum pitch.
+    cmp_dishing_nm:
+        Mean thickness loss from CMP dishing on wide lines (applied by the
+        extraction engine proportionally to the line width).
+    """
+
+    name: str
+    pitch_nm: float
+    min_width_nm: float
+    min_space_nm: float
+    thickness_nm: float
+    tapering_angle_deg: float = 3.0
+    ild_below_nm: float = 40.0
+    ild_above_nm: float = 40.0
+    orientation: Orientation = Orientation.HORIZONTAL
+    materials: MaterialSystem = field(default_factory=lambda: N10_MATERIALS)
+    patterning_class: PatterningClass = PatterningClass.ANY
+    cmp_dishing_nm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pitch_nm <= 0.0:
+            raise StackError(f"layer {self.name!r}: pitch must be positive")
+        if self.min_width_nm <= 0.0 or self.min_space_nm <= 0.0:
+            raise StackError(
+                f"layer {self.name!r}: min width/space must be positive"
+            )
+        if abs((self.min_width_nm + self.min_space_nm) - self.pitch_nm) > 1e-6:
+            raise StackError(
+                f"layer {self.name!r}: pitch ({self.pitch_nm}) must equal "
+                f"min_width + min_space "
+                f"({self.min_width_nm} + {self.min_space_nm})"
+            )
+        if self.thickness_nm <= 0.0:
+            raise StackError(f"layer {self.name!r}: thickness must be positive")
+        if not 0.0 <= self.tapering_angle_deg < 45.0:
+            raise StackError(
+                f"layer {self.name!r}: tapering angle must be in [0, 45) degrees"
+            )
+        if self.ild_below_nm <= 0.0 or self.ild_above_nm <= 0.0:
+            raise StackError(f"layer {self.name!r}: ILD thicknesses must be positive")
+        if self.cmp_dishing_nm < 0.0:
+            raise StackError(f"layer {self.name!r}: CMP dishing cannot be negative")
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Thickness over minimum width."""
+        return self.thickness_nm / self.min_width_nm
+
+    @property
+    def half_pitch_nm(self) -> float:
+        return self.pitch_nm / 2.0
+
+    def with_updates(self, **changes: object) -> "MetalLayer":
+        """Return a copy of the layer with selected fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MetalStack:
+    """An ordered collection of metal layers (bottom-up)."""
+
+    layers: tuple
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise StackError("a metal stack needs at least one layer")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise StackError(f"duplicate layer names in stack: {names}")
+
+    @classmethod
+    def from_layers(cls, layers: Iterable[MetalLayer]) -> "MetalStack":
+        return cls(layers=tuple(layers))
+
+    def __iter__(self) -> Iterator[MetalLayer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def names(self) -> List[str]:
+        return [layer.name for layer in self.layers]
+
+    def layer(self, name: str) -> MetalLayer:
+        """Return the layer called ``name``.
+
+        Raises
+        ------
+        KeyError
+            If the layer does not exist in the stack.
+        """
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no layer named {name!r}; available: {self.names}")
+
+    def index(self, name: str) -> int:
+        for position, candidate in enumerate(self.layers):
+            if candidate.name == name:
+                return position
+        raise KeyError(f"no layer named {name!r}; available: {self.names}")
+
+    def below(self, name: str) -> Optional[MetalLayer]:
+        """Layer immediately below ``name`` or ``None`` if it is the lowest."""
+        position = self.index(name)
+        if position == 0:
+            return None
+        return self.layers[position - 1]
+
+    def above(self, name: str) -> Optional[MetalLayer]:
+        """Layer immediately above ``name`` or ``None`` if it is the highest."""
+        position = self.index(name)
+        if position == len(self.layers) - 1:
+            return None
+        return self.layers[position + 1]
+
+    def replace_layer(self, name: str, new_layer: MetalLayer) -> "MetalStack":
+        """Return a new stack with the named layer replaced."""
+        position = self.index(name)
+        layers = list(self.layers)
+        layers[position] = new_layer
+        return MetalStack(layers=tuple(layers))
+
+    def as_dict(self) -> Dict[str, MetalLayer]:
+        return {layer.name: layer for layer in self.layers}
+
+
+def default_n10_metal_stack() -> MetalStack:
+    """The N10-class metal stack used throughout the reproduction.
+
+    The numbers follow public imec N10 descriptions: a 48 nm metal1/metal2
+    pitch (24 nm lines / 24 nm spaces at minimum), an aspect ratio around
+    1.8, and low-k intra-layer dielectric.  metal1 is horizontal (bit lines
+    and power rails), metal2 vertical (word lines).
+    """
+    metal1 = MetalLayer(
+        name="metal1",
+        pitch_nm=48.0,
+        min_width_nm=24.0,
+        min_space_nm=24.0,
+        thickness_nm=42.0,
+        tapering_angle_deg=4.0,
+        ild_below_nm=38.0,
+        ild_above_nm=42.0,
+        orientation=Orientation.HORIZONTAL,
+        materials=N10_MATERIALS,
+        patterning_class=PatterningClass.ANY,
+        cmp_dishing_nm=0.5,
+    )
+    metal2 = MetalLayer(
+        name="metal2",
+        pitch_nm=48.0,
+        min_width_nm=24.0,
+        min_space_nm=24.0,
+        thickness_nm=46.0,
+        tapering_angle_deg=4.0,
+        ild_below_nm=42.0,
+        ild_above_nm=46.0,
+        orientation=Orientation.VERTICAL,
+        materials=N10_MATERIALS,
+        patterning_class=PatterningClass.ANY,
+        cmp_dishing_nm=0.5,
+    )
+    metal3 = MetalLayer(
+        name="metal3",
+        pitch_nm=64.0,
+        min_width_nm=32.0,
+        min_space_nm=32.0,
+        thickness_nm=60.0,
+        tapering_angle_deg=3.0,
+        ild_below_nm=46.0,
+        ild_above_nm=60.0,
+        orientation=Orientation.HORIZONTAL,
+        materials=N10_MATERIALS,
+        patterning_class=PatterningClass.DOUBLE,
+        cmp_dishing_nm=0.5,
+    )
+    return MetalStack.from_layers([metal1, metal2, metal3])

@@ -1,0 +1,139 @@
+"""Top-level technology-node description.
+
+A :class:`TechnologyNode` bundles everything the rest of the library needs
+to know about the process: the BEOL metal stack, the FinFET device set, the
+operating conditions (supply voltage, sense-amplifier sensitivity) and the
+patterning-variation assumptions.  :func:`n10` returns the imec-N10-class
+node used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .corners import VariationAssumptions, paper_assumptions
+from .metal_stack import MetalStack, default_n10_metal_stack
+from .transistors import SRAMTransistorSet, default_sram_transistors
+
+
+class NodeError(ValueError):
+    """Raised for inconsistent node descriptions."""
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """Electrical operating conditions of the SRAM read experiment.
+
+    The paper's simulation assumptions (Section II.C): 0.7 V supply,
+    precharge and word-line enable at Vdd, and a sense amplifier that
+    fires once the differential bit-line voltage reaches 70 mV.
+    """
+
+    vdd_v: float = 0.7
+    temperature_c: float = 25.0
+    sense_amp_sensitivity_v: float = 0.07
+    wordline_voltage_v: Optional[float] = None
+    precharge_voltage_v: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.vdd_v <= 0.0:
+            raise NodeError("Vdd must be positive")
+        if self.sense_amp_sensitivity_v <= 0.0:
+            raise NodeError("sense-amplifier sensitivity must be positive")
+        if self.sense_amp_sensitivity_v >= self.vdd_v:
+            raise NodeError(
+                "sense-amplifier sensitivity must be below Vdd "
+                f"({self.sense_amp_sensitivity_v} >= {self.vdd_v})"
+            )
+
+    @property
+    def effective_wordline_voltage_v(self) -> float:
+        return self.wordline_voltage_v if self.wordline_voltage_v is not None else self.vdd_v
+
+    @property
+    def effective_precharge_voltage_v(self) -> float:
+        return (
+            self.precharge_voltage_v
+            if self.precharge_voltage_v is not None
+            else self.vdd_v
+        )
+
+    @property
+    def discharge_fraction(self) -> float:
+        """Fraction of the precharge level the bit line must lose before sensing.
+
+        For a 0.7 V precharge and 70 mV sensitivity this is 10%, matching
+        the discharge level used to derive the constant ``a ≈ 0.105`` of
+        eq. (3).
+        """
+        return self.sense_amp_sensitivity_v / self.effective_precharge_voltage_v
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Complete description of a technology node for the SRAM study."""
+
+    name: str
+    metal_stack: MetalStack = field(default_factory=default_n10_metal_stack)
+    sram_devices: SRAMTransistorSet = field(default_factory=default_sram_transistors)
+    operating_conditions: OperatingConditions = field(default_factory=OperatingConditions)
+    variations: VariationAssumptions = field(default_factory=paper_assumptions)
+    #: Layer carrying the bit lines (and power rails) in the target layout.
+    bitline_layer: str = "metal1"
+    #: Layer carrying the word lines.
+    wordline_layer: str = "metal2"
+    #: Height of the 6T SRAM cell (bit-line direction pitch per cell), nm.
+    sram_cell_width_nm: float = 240.0
+    #: Width of the 6T SRAM cell along the word-line direction, nm.
+    sram_cell_height_nm: float = 192.0
+
+    def __post_init__(self) -> None:
+        stack_names = set(self.metal_stack.names)
+        if self.bitline_layer not in stack_names:
+            raise NodeError(
+                f"bit-line layer {self.bitline_layer!r} not in stack {sorted(stack_names)}"
+            )
+        if self.wordline_layer not in stack_names:
+            raise NodeError(
+                f"word-line layer {self.wordline_layer!r} not in stack {sorted(stack_names)}"
+            )
+        if self.sram_cell_width_nm <= 0.0 or self.sram_cell_height_nm <= 0.0:
+            raise NodeError("SRAM cell dimensions must be positive")
+
+    def with_variations(self, variations: VariationAssumptions) -> "TechnologyNode":
+        """Return a copy of the node with different variation assumptions."""
+        return replace(self, variations=variations)
+
+    def with_operating_conditions(
+        self, conditions: OperatingConditions
+    ) -> "TechnologyNode":
+        return replace(self, operating_conditions=conditions)
+
+    @property
+    def bitline_metal(self):
+        """The :class:`~repro.technology.metal_stack.MetalLayer` of the bit lines."""
+        return self.metal_stack.layer(self.bitline_layer)
+
+    @property
+    def wordline_metal(self):
+        return self.metal_stack.layer(self.wordline_layer)
+
+
+def n10(overlay_three_sigma_nm: float = 8.0) -> TechnologyNode:
+    """The imec-N10-class node used by the paper.
+
+    Parameters
+    ----------
+    overlay_three_sigma_nm:
+        LE3 3σ overlay budget; the paper's worst-case study uses 8 nm and
+        the Monte-Carlo sweep uses 3/5/7/8 nm.
+    """
+    variations = paper_assumptions().for_overlay(overlay_three_sigma_nm)
+    return TechnologyNode(
+        name="imec-N10",
+        metal_stack=default_n10_metal_stack(),
+        sram_devices=default_sram_transistors(),
+        operating_conditions=OperatingConditions(),
+        variations=variations,
+    )

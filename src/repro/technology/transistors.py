@@ -1,0 +1,229 @@
+"""FinFET compact-model parameters for the N10-class devices.
+
+The paper uses imec's proprietary N10 transistor compact models inside a
+commercial SPICE.  We substitute an alpha-power-law FinFET description
+whose headline figures (drive current per fin, threshold voltage, gate and
+junction capacitances) are tuned to public 10 nm-class numbers.  The
+actual current equations live in :mod:`repro.circuit.mosfet`; this module
+only holds the parameter containers and the named device flavours used by
+the 6T SRAM cell (pull-down, pass-gate, pull-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict
+
+
+class DeviceError(ValueError):
+    """Raised for inconsistent device descriptions."""
+
+
+class DeviceType(str, Enum):
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class FinFETParameters:
+    """Alpha-power-law FinFET parameters.
+
+    The model implemented in :class:`repro.circuit.mosfet.MOSFET` is
+
+    ``Id_sat = k * nfins * (Vgs - Vth)**alpha``
+
+    with a linear-region interpolation below ``Vdsat`` and a simple
+    channel-length-modulation term.  Capacitances are lumped per fin.
+
+    Parameters
+    ----------
+    name:
+        Flavour name, e.g. ``"n10_nmos_rvt"``.
+    device_type:
+        NMOS or PMOS.
+    vth_v:
+        Saturation threshold voltage (positive number for both types; the
+        sign convention is handled by the circuit model).
+    alpha:
+        Velocity-saturation exponent (≈1.2–1.4 for short-channel devices).
+    k_a_per_valpha:
+        Transconductance-like coefficient: drain current per fin at
+        ``(Vgs - Vth) = 1 V`` in amperes.
+    lambda_per_v:
+        Channel-length modulation coefficient (1/V).
+    cgate_f_per_fin:
+        Total gate capacitance per fin (F).
+    cdrain_f_per_fin:
+        Drain junction + fringe capacitance per fin (F).
+    csource_f_per_fin:
+        Source junction + fringe capacitance per fin (F).
+    subthreshold_swing_mv_dec:
+        Subthreshold swing; used for leakage estimation.
+    ioff_a_per_fin:
+        Off-state leakage per fin at nominal Vdd.
+    """
+
+    name: str
+    device_type: DeviceType
+    vth_v: float
+    alpha: float
+    k_a_per_valpha: float
+    lambda_per_v: float = 0.05
+    cgate_f_per_fin: float = 0.045e-15
+    cdrain_f_per_fin: float = 0.030e-15
+    csource_f_per_fin: float = 0.030e-15
+    subthreshold_swing_mv_dec: float = 72.0
+    ioff_a_per_fin: float = 1.0e-9
+
+    def __post_init__(self) -> None:
+        if self.vth_v <= 0.0:
+            raise DeviceError(f"device {self.name!r}: Vth must be positive")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise DeviceError(
+                f"device {self.name!r}: alpha must be within [1, 2], got {self.alpha}"
+            )
+        if self.k_a_per_valpha <= 0.0:
+            raise DeviceError(f"device {self.name!r}: k must be positive")
+        if self.lambda_per_v < 0.0:
+            raise DeviceError(f"device {self.name!r}: lambda cannot be negative")
+        for attr in ("cgate_f_per_fin", "cdrain_f_per_fin", "csource_f_per_fin"):
+            if getattr(self, attr) < 0.0:
+                raise DeviceError(f"device {self.name!r}: {attr} cannot be negative")
+        if self.subthreshold_swing_mv_dec <= 0.0:
+            raise DeviceError(
+                f"device {self.name!r}: subthreshold swing must be positive"
+            )
+        if self.ioff_a_per_fin < 0.0:
+            raise DeviceError(f"device {self.name!r}: Ioff cannot be negative")
+
+    def scaled(self, **changes: object) -> "FinFETParameters":
+        """Return a copy with selected parameters replaced."""
+        return replace(self, **changes)
+
+    def on_current_a(self, vdd_v: float, nfins: int = 1) -> float:
+        """Saturation drive current at ``Vgs = Vds = vdd_v`` (per ``nfins``)."""
+        if vdd_v <= self.vth_v:
+            return 0.0
+        overdrive = vdd_v - self.vth_v
+        return self.k_a_per_valpha * nfins * overdrive**self.alpha * (
+            1.0 + self.lambda_per_v * vdd_v
+        )
+
+    def effective_resistance_ohm(self, vdd_v: float, nfins: int = 1) -> float:
+        """Crude switch-resistance estimate ``Vdd / Ion`` used for sanity checks."""
+        ion = self.on_current_a(vdd_v, nfins)
+        if ion <= 0.0:
+            raise DeviceError(
+                f"device {self.name!r} does not conduct at Vdd={vdd_v} V"
+            )
+        return vdd_v / ion
+
+
+@dataclass(frozen=True)
+class SRAMTransistorSet:
+    """The three device flavours of a 6T SRAM cell and their fin counts.
+
+    High-density 6T cells at N10 use a 1-1-1 fin configuration
+    (pull-up : pass-gate : pull-down); performance-oriented cells use
+    1-1-2 or 1-2-2.  The beta ratio (pull-down vs pass-gate strength) is
+    what guarantees read stability, and the pass-gate + pull-down series
+    path is the discharge path whose resistance enters the paper's
+    analytical formula as ``R_FE``.
+    """
+
+    pull_down: FinFETParameters
+    pass_gate: FinFETParameters
+    pull_up: FinFETParameters
+    pull_down_fins: int = 1
+    pass_gate_fins: int = 1
+    pull_up_fins: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pull_down.device_type is not DeviceType.NMOS:
+            raise DeviceError("pull-down device must be NMOS")
+        if self.pass_gate.device_type is not DeviceType.NMOS:
+            raise DeviceError("pass-gate device must be NMOS")
+        if self.pull_up.device_type is not DeviceType.PMOS:
+            raise DeviceError("pull-up device must be PMOS")
+        for attr in ("pull_down_fins", "pass_gate_fins", "pull_up_fins"):
+            if getattr(self, attr) < 1:
+                raise DeviceError(f"{attr} must be at least 1")
+
+    def beta_ratio(self, vdd_v: float) -> float:
+        """Pull-down to pass-gate drive-strength ratio at ``vdd_v``."""
+        pd = self.pull_down.on_current_a(vdd_v, self.pull_down_fins)
+        pg = self.pass_gate.on_current_a(vdd_v, self.pass_gate_fins)
+        return pd / pg
+
+    def discharge_path_resistance_ohm(self, vdd_v: float) -> float:
+        """Series resistance of pass-gate + pull-down (the R_FE of eq. 4)."""
+        return self.pass_gate.effective_resistance_ohm(
+            vdd_v, self.pass_gate_fins
+        ) + self.pull_down.effective_resistance_ohm(vdd_v, self.pull_down_fins)
+
+    def bitline_loading_capacitance_f(self) -> float:
+        """Per-cell front-end load on the bit line (the C_FE of eq. 4).
+
+        Dominated by the pass-gate drain junction capacitance; the off
+        pass-gates of unselected rows still load the bit line.
+        """
+        return self.pass_gate.cdrain_f_per_fin * self.pass_gate_fins
+
+    def as_dict(self) -> Dict[str, FinFETParameters]:
+        return {
+            "pull_down": self.pull_down,
+            "pass_gate": self.pass_gate,
+            "pull_up": self.pull_up,
+        }
+
+
+def default_n10_nmos() -> FinFETParameters:
+    """N10-class regular-Vt NMOS (per-fin numbers)."""
+    return FinFETParameters(
+        name="n10_nmos_rvt",
+        device_type=DeviceType.NMOS,
+        vth_v=0.30,
+        alpha=1.3,
+        k_a_per_valpha=1.15e-4,
+        lambda_per_v=0.06,
+        cgate_f_per_fin=0.050e-15,
+        cdrain_f_per_fin=0.032e-15,
+        csource_f_per_fin=0.032e-15,
+        subthreshold_swing_mv_dec=70.0,
+        ioff_a_per_fin=1.0e-9,
+    )
+
+
+def default_n10_pmos() -> FinFETParameters:
+    """N10-class regular-Vt PMOS (per-fin numbers)."""
+    return FinFETParameters(
+        name="n10_pmos_rvt",
+        device_type=DeviceType.PMOS,
+        vth_v=0.32,
+        alpha=1.35,
+        k_a_per_valpha=0.85e-4,
+        lambda_per_v=0.07,
+        cgate_f_per_fin=0.052e-15,
+        cdrain_f_per_fin=0.034e-15,
+        csource_f_per_fin=0.034e-15,
+        subthreshold_swing_mv_dec=74.0,
+        ioff_a_per_fin=0.8e-9,
+    )
+
+
+def default_sram_transistors() -> SRAMTransistorSet:
+    """Device set of the high-density (1-1-1 fin) N10 6T cell."""
+    nmos = default_n10_nmos()
+    pmos = default_n10_pmos()
+    # The pass-gate is drawn slightly weaker (higher Vt flavour) than the
+    # pull-down to preserve read stability in a 1-1-1 cell.
+    pass_gate = nmos.scaled(name="n10_nmos_pg", vth_v=0.34, k_a_per_valpha=1.05e-4)
+    return SRAMTransistorSet(
+        pull_down=nmos,
+        pass_gate=pass_gate,
+        pull_up=pmos,
+        pull_down_fins=1,
+        pass_gate_fins=1,
+        pull_up_fins=1,
+    )

@@ -1,0 +1,45 @@
+"""Variability substrate: distributions, statistics, generic Monte-Carlo engine, DOE."""
+
+from .distributions import (
+    CornerDistribution,
+    Distribution,
+    DistributionError,
+    NormalDistribution,
+    TruncatedNormalDistribution,
+)
+from .doe import DOEError, DOEPoint, StudyDOE, paper_doe, reduced_doe
+from .montecarlo import (
+    MonteCarloEngine,
+    MonteCarloError,
+    MonteCarloRun,
+    MonteCarloSample,
+)
+from .statistics import (
+    Histogram,
+    StatisticsError,
+    SummaryStatistics,
+    correlation,
+    standard_deviation,
+)
+
+__all__ = [
+    "CornerDistribution",
+    "DOEError",
+    "DOEPoint",
+    "Distribution",
+    "DistributionError",
+    "Histogram",
+    "MonteCarloEngine",
+    "MonteCarloError",
+    "MonteCarloRun",
+    "MonteCarloSample",
+    "NormalDistribution",
+    "StatisticsError",
+    "StudyDOE",
+    "SummaryStatistics",
+    "TruncatedNormalDistribution",
+    "correlation",
+    "paper_doe",
+    "reduced_doe",
+    "standard_deviation",
+]

@@ -1,0 +1,119 @@
+"""Design-of-experiments description of the study.
+
+The paper's DOE (Fig. 3) is the cross product of:
+
+* four array sizes — 16, 64, 256 and 1024 word lines — at a fixed word
+  length of 10 bit-line pairs;
+* three patterning options — LELELE, SADP and EUV;
+* (for the Monte-Carlo study) four LE3 overlay budgets — 3, 5, 7 and 8 nm.
+
+:class:`StudyDOE` captures that grid so the worst-case and Monte-Carlo
+studies, the benches and the examples all iterate the same cells in the
+same order as the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..layout.array import PAPER_ARRAY_SIZES, PAPER_BITLINE_PAIRS
+from ..patterning import PAPER_OPTIONS
+
+
+class DOEError(ValueError):
+    """Raised for malformed DOE descriptions."""
+
+
+@dataclass(frozen=True)
+class DOEPoint:
+    """One cell of the study grid."""
+
+    n_wordlines: int
+    option_name: str
+    overlay_three_sigma_nm: Optional[float] = None
+
+    @property
+    def array_label(self) -> str:
+        return f"{PAPER_BITLINE_PAIRS}x{self.n_wordlines}"
+
+    @property
+    def label(self) -> str:
+        if self.overlay_three_sigma_nm is None:
+            return f"{self.array_label}/{self.option_name}"
+        return (
+            f"{self.array_label}/{self.option_name}"
+            f"@OL{self.overlay_three_sigma_nm:g}nm"
+        )
+
+
+@dataclass(frozen=True)
+class StudyDOE:
+    """The full experiment grid of the reproduction."""
+
+    array_sizes: Tuple[int, ...] = PAPER_ARRAY_SIZES
+    option_names: Tuple[str, ...] = PAPER_OPTIONS
+    n_bitline_pairs: int = PAPER_BITLINE_PAIRS
+    overlay_budgets_nm: Tuple[float, ...] = (3.0, 5.0, 7.0, 8.0)
+
+    def __post_init__(self) -> None:
+        if not self.array_sizes:
+            raise DOEError("the DOE needs at least one array size")
+        if any(size < 1 for size in self.array_sizes):
+            raise DOEError("array sizes must be positive")
+        if not self.option_names:
+            raise DOEError("the DOE needs at least one patterning option")
+        if self.n_bitline_pairs < 1:
+            raise DOEError("the word length must be at least one bit-line pair")
+        if any(budget <= 0.0 for budget in self.overlay_budgets_nm):
+            raise DOEError("overlay budgets must be positive")
+
+    # -- grids ------------------------------------------------------------------------
+
+    def worst_case_points(self) -> List[DOEPoint]:
+        """Array × option grid of the worst-case study (Fig. 4 / Table III)."""
+        return [
+            DOEPoint(n_wordlines=size, option_name=option)
+            for size in self.array_sizes
+            for option in self.option_names
+        ]
+
+    def monte_carlo_points(self, n_wordlines: Optional[int] = None) -> List[DOEPoint]:
+        """Option × overlay grid of the Monte-Carlo study (Table IV).
+
+        The overlay budget only applies to litho-etch options; SADP and EUV
+        appear once each.  The paper runs this at ``n = 64``.
+        """
+        size = n_wordlines if n_wordlines is not None else 64
+        if size < 1:
+            raise DOEError("the Monte-Carlo array size must be positive")
+        points: List[DOEPoint] = []
+        for option in self.option_names:
+            if option.upper().startswith("LE"):
+                for budget in self.overlay_budgets_nm:
+                    points.append(
+                        DOEPoint(
+                            n_wordlines=size,
+                            option_name=option,
+                            overlay_three_sigma_nm=budget,
+                        )
+                    )
+            else:
+                points.append(DOEPoint(n_wordlines=size, option_name=option))
+        return points
+
+    def __iter__(self) -> Iterator[DOEPoint]:
+        return iter(self.worst_case_points())
+
+
+def paper_doe() -> StudyDOE:
+    """The exact DOE of the paper."""
+    return StudyDOE()
+
+
+def reduced_doe(max_wordlines: int = 64) -> StudyDOE:
+    """A smaller DOE (array sizes capped) for fast tests and CI runs."""
+    sizes = tuple(size for size in PAPER_ARRAY_SIZES if size <= max_wordlines)
+    if not sizes:
+        sizes = (min(PAPER_ARRAY_SIZES),)
+    return StudyDOE(array_sizes=sizes)

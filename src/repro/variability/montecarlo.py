@@ -1,0 +1,143 @@
+"""A small generic Monte-Carlo engine.
+
+The LPE driver has its own specialised Monte-Carlo loop; this engine is
+the generic counterpart used by the core study when the evaluated quantity
+is a cheap function of the sampled parameters (for example the analytical
+tdp formula evaluated on sampled RC variations).  It takes care of
+seeding, batching and collecting per-sample records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from .distributions import Distribution
+from .statistics import Histogram, SummaryStatistics
+
+ResultT = TypeVar("ResultT")
+
+
+class MonteCarloError(ValueError):
+    """Raised for invalid Monte-Carlo configurations."""
+
+
+@dataclass(frozen=True)
+class MonteCarloSample(Generic[ResultT]):
+    """One Monte-Carlo record: the drawn parameters and the evaluated result."""
+
+    index: int
+    parameters: Dict[str, float]
+    result: ResultT
+
+
+@dataclass
+class MonteCarloRun(Generic[ResultT]):
+    """All records of a Monte-Carlo run plus convenience statistics."""
+
+    samples: List[MonteCarloSample[ResultT]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def results(self) -> List[ResultT]:
+        return [sample.result for sample in self.samples]
+
+    def values(self, extractor: Callable[[ResultT], float]) -> List[float]:
+        return [extractor(sample.result) for sample in self.samples]
+
+    def parameter_values(self, name: str) -> List[float]:
+        return [sample.parameters[name] for sample in self.samples]
+
+    def summary(self, extractor: Callable[[ResultT], float]) -> SummaryStatistics:
+        return SummaryStatistics.from_samples(self.values(extractor))
+
+    def histogram(
+        self, extractor: Callable[[ResultT], float], bins: int = 30
+    ) -> Histogram:
+        return Histogram.from_samples(self.values(extractor), bins=bins)
+
+
+class MonteCarloEngine:
+    """Samples named parameters from distributions and evaluates a model.
+
+    Parameters
+    ----------
+    parameter_distributions:
+        Mapping parameter name → :class:`~repro.variability.distributions.Distribution`.
+    model:
+        Callable evaluated per sample with the drawn parameter dictionary.
+    seed:
+        Seed of the numpy random generator (fixed seeds make studies
+        reproducible; the benches always pass one).
+    """
+
+    def __init__(
+        self,
+        parameter_distributions: Dict[str, Distribution],
+        model: Callable[[Dict[str, float]], ResultT],
+        seed: Optional[int] = None,
+    ) -> None:
+        if not parameter_distributions:
+            raise MonteCarloError("at least one parameter distribution is required")
+        self.parameter_distributions = dict(parameter_distributions)
+        self.model = model
+        self._rng = np.random.default_rng(seed)
+
+    def draw_parameters(self) -> Dict[str, float]:
+        return {
+            name: float(distribution.sample(self._rng))
+            for name, distribution in sorted(self.parameter_distributions.items())
+        }
+
+    def run(self, n_samples: int) -> MonteCarloRun[ResultT]:
+        """Evaluate the model on ``n_samples`` independent draws."""
+        if n_samples < 1:
+            raise MonteCarloError("the sample count must be positive")
+        run: MonteCarloRun[ResultT] = MonteCarloRun()
+        for index in range(n_samples):
+            parameters = self.draw_parameters()
+            result = self.model(parameters)
+            run.samples.append(
+                MonteCarloSample(index=index, parameters=parameters, result=result)
+            )
+        return run
+
+    def run_until(
+        self,
+        extractor: Callable[[ResultT], float],
+        relative_std_error: float = 0.02,
+        min_samples: int = 100,
+        max_samples: int = 20_000,
+        batch: int = 100,
+    ) -> MonteCarloRun[ResultT]:
+        """Run until the standard error of the mean is small enough.
+
+        A convergence-controlled alternative to a fixed sample count; the
+        relative standard error is measured against the sample standard
+        deviation (not the mean) so zero-centred quantities behave.
+        """
+        if not 0.0 < relative_std_error < 1.0:
+            raise MonteCarloError("relative_std_error must be in (0, 1)")
+        if min_samples < 2 or max_samples < min_samples:
+            raise MonteCarloError("need max_samples >= min_samples >= 2")
+        run: MonteCarloRun[ResultT] = MonteCarloRun()
+        while len(run) < max_samples:
+            target = min(batch, max_samples - len(run))
+            for _ in range(target):
+                parameters = self.draw_parameters()
+                run.samples.append(
+                    MonteCarloSample(
+                        index=len(run), parameters=parameters, result=self.model(parameters)
+                    )
+                )
+            if len(run) >= min_samples:
+                summary = run.summary(extractor)
+                if summary.std == 0.0:
+                    break
+                standard_error = summary.std / (len(run) ** 0.5)
+                if standard_error <= relative_std_error * summary.std:
+                    break
+        return run

@@ -1,0 +1,132 @@
+"""Summary statistics and histograms for variability studies.
+
+The Monte-Carlo tdp study reports its results as distributions (Fig. 5)
+and as standard deviations (Table IV); this module provides the small set
+of statistics the reporting layer needs, with explicit dataclasses instead
+of loose tuples so results are self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class StatisticsError(ValueError):
+    """Raised for empty or malformed sample sets."""
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Moments and quantiles of a sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    percentile_1: float
+    percentile_99: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SummaryStatistics":
+        array = np.asarray(list(samples), dtype=float)
+        if array.size == 0:
+            raise StatisticsError("cannot summarise an empty sample set")
+        if not np.all(np.isfinite(array)):
+            raise StatisticsError("samples contain non-finite values")
+        return cls(
+            count=int(array.size),
+            mean=float(np.mean(array)),
+            std=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+            minimum=float(np.min(array)),
+            maximum=float(np.max(array)),
+            median=float(np.median(array)),
+            percentile_1=float(np.percentile(array, 1.0)),
+            percentile_99=float(np.percentile(array, 99.0)),
+        )
+
+    @property
+    def spread(self) -> float:
+        """Max minus min."""
+        return self.maximum - self.minimum
+
+    def three_sigma_interval(self) -> Tuple[float, float]:
+        return (self.mean - 3.0 * self.std, self.mean + 3.0 * self.std)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A fixed-bin histogram of a sample set (the data behind Fig. 5)."""
+
+    bin_edges: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    total: int
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[float],
+        bins: int = 30,
+        value_range: Optional[Tuple[float, float]] = None,
+    ) -> "Histogram":
+        array = np.asarray(list(samples), dtype=float)
+        if array.size == 0:
+            raise StatisticsError("cannot histogram an empty sample set")
+        if bins < 1:
+            raise StatisticsError("a histogram needs at least one bin")
+        counts, edges = np.histogram(array, bins=bins, range=value_range)
+        return cls(
+            bin_edges=tuple(float(edge) for edge in edges),
+            counts=tuple(int(count) for count in counts),
+            total=int(array.size),
+        )
+
+    @property
+    def bin_centers(self) -> List[float]:
+        return [
+            0.5 * (self.bin_edges[index] + self.bin_edges[index + 1])
+            for index in range(len(self.counts))
+        ]
+
+    @property
+    def densities(self) -> List[float]:
+        """Counts normalised to unit total (probability per bin)."""
+        if self.total == 0:
+            raise StatisticsError("empty histogram")
+        return [count / self.total for count in self.counts]
+
+    def mode_bin_center(self) -> float:
+        """Centre of the most populated bin."""
+        index = int(np.argmax(self.counts))
+        return self.bin_centers[index]
+
+    def ascii_rows(self, width: int = 40) -> List[str]:
+        """Render the histogram as text rows (used by the reporting layer)."""
+        peak = max(self.counts) if self.counts else 0
+        rows = []
+        for center, count in zip(self.bin_centers, self.counts):
+            bar = "" if peak == 0 else "#" * max(0, round(width * count / peak))
+            rows.append(f"{center:10.4f} | {bar} {count}")
+        return rows
+
+
+def standard_deviation(samples: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1), the σ reported in Table IV."""
+    return SummaryStatistics.from_samples(samples).std
+
+
+def correlation(first: Sequence[float], second: Sequence[float]) -> float:
+    """Pearson correlation between two equally long sample sets."""
+    a = np.asarray(list(first), dtype=float)
+    b = np.asarray(list(second), dtype=float)
+    if a.size != b.size:
+        raise StatisticsError("correlation needs equally long sample sets")
+    if a.size < 2:
+        raise StatisticsError("correlation needs at least two samples")
+    if np.std(a) == 0.0 or np.std(b) == 0.0:
+        raise StatisticsError("correlation is undefined for constant samples")
+    return float(np.corrcoef(a, b)[0, 1])

@@ -1,0 +1,112 @@
+"""Tests of the alpha-power-law MOSFET model."""
+
+import pytest
+
+from repro.circuit.elements import ElementError
+from repro.circuit.mosfet import MOSFET
+from repro.technology.transistors import default_n10_nmos, default_n10_pmos
+
+
+def nmos(nfins=1):
+    return MOSFET("mn", "d", "g", "s", default_n10_nmos(), nfins=nfins)
+
+
+def pmos(nfins=1):
+    return MOSFET("mp", "d", "g", "s", default_n10_pmos(), nfins=nfins)
+
+
+class TestNMOSCurrents:
+    def test_off_below_threshold(self):
+        assert nmos().drain_current_a(0.7, 0.0, 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_on_current_positive(self):
+        assert nmos().drain_current_a(0.7, 0.7, 0.0) > 1e-5
+
+    def test_saturation_current_nearly_flat_in_vds(self):
+        device = nmos()
+        i_sat1 = device.drain_current_a(0.5, 0.7, 0.0)
+        i_sat2 = device.drain_current_a(0.7, 0.7, 0.0)
+        assert i_sat2 > i_sat1
+        assert (i_sat2 - i_sat1) / i_sat2 < 0.05
+
+    def test_linear_region_current_smaller_than_saturation(self):
+        device = nmos()
+        assert device.drain_current_a(0.05, 0.7, 0.0) < device.drain_current_a(0.7, 0.7, 0.0)
+
+    def test_current_monotonic_in_vgs(self):
+        device = nmos()
+        currents = [device.drain_current_a(0.7, vgs, 0.0) for vgs in (0.3, 0.4, 0.5, 0.6, 0.7)]
+        assert all(later > earlier for earlier, later in zip(currents, currents[1:]))
+
+    def test_current_monotonic_in_vds(self):
+        device = nmos()
+        currents = [device.drain_current_a(vds, 0.7, 0.0) for vds in (0.05, 0.1, 0.2, 0.4, 0.7)]
+        assert all(later > earlier for earlier, later in zip(currents, currents[1:]))
+
+    def test_symmetric_conduction_reverses_sign(self):
+        device = nmos()
+        forward = device.drain_current_a(0.3, 0.7, 0.0)
+        reverse = device.drain_current_a(0.0, 0.7, 0.3)
+        assert reverse == pytest.approx(-forward, rel=1e-6)
+
+    def test_zero_vds_zero_current(self):
+        assert nmos().drain_current_a(0.0, 0.7, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fins_multiply_current(self):
+        assert nmos(nfins=3).drain_current_a(0.7, 0.7, 0.0) == pytest.approx(
+            3.0 * nmos(nfins=1).drain_current_a(0.7, 0.7, 0.0)
+        )
+
+    def test_nfins_must_be_positive(self):
+        with pytest.raises(ElementError):
+            MOSFET("m", "d", "g", "s", default_n10_nmos(), nfins=0)
+
+
+class TestPMOSCurrents:
+    def test_off_when_gate_high(self):
+        # Source at Vdd, gate at Vdd: |Vgs| = 0, device off.
+        assert abs(pmos().drain_current_a(0.0, 0.7, 0.7)) < 1e-9
+
+    def test_on_when_gate_low(self):
+        # Source at Vdd, gate at 0: current flows out of the drain (negative
+        # by the NMOS drain-current sign convention).
+        assert pmos().drain_current_a(0.0, 0.0, 0.7) < -1e-6
+
+    def test_weaker_than_nmos(self):
+        n_current = nmos().drain_current_a(0.7, 0.7, 0.0)
+        p_current = abs(pmos().drain_current_a(0.0, 0.0, 0.7))
+        assert p_current < n_current
+
+
+class TestOperatingPoint:
+    def test_conductances_positive_in_on_state(self):
+        op = nmos().operating_point(0.35, 0.7, 0.0)
+        assert op.ids_a > 0.0
+        assert op.gm_s > 0.0
+        assert op.gds_s > 0.0
+
+    def test_gm_larger_than_gds_in_saturation(self):
+        op = nmos().operating_point(0.7, 0.7, 0.0)
+        assert op.gm_s > op.gds_s
+
+    def test_off_state_conductances_negligible(self):
+        op = nmos().operating_point(0.7, 0.0, 0.0)
+        assert abs(op.ids_a) < 1e-9
+        assert abs(op.gm_s) < 1e-6
+
+    def test_saturated_flag(self):
+        assert nmos().operating_point(0.7, 0.7, 0.0).saturated
+
+
+class TestCapacitancesAndHelpers:
+    def test_terminal_capacitances_scale_with_fins(self):
+        single = nmos(nfins=1).terminal_capacitances_f()
+        double = nmos(nfins=2).terminal_capacitances_f()
+        assert double["g"] == pytest.approx(2.0 * single["g"])
+
+    def test_on_current_helper_positive_for_both_types(self):
+        assert nmos().on_current_a(0.7) > 0.0
+        assert pmos().on_current_a(0.7) > 0.0
+
+    def test_nodes(self):
+        assert nmos().nodes() == ("d", "g", "s")

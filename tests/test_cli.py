@@ -1,0 +1,100 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_COMMANDS, build_parser, main
+
+
+FAST = ["--sizes", "16", "--samples", "40", "--seed", "3"]
+
+
+class TestParser:
+    def test_all_experiment_commands_registered(self):
+        parser = build_parser()
+        for command in EXPERIMENT_COMMANDS + ("all", "verdict", "yield"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_common_options_after_subcommand(self):
+        args = build_parser().parse_args(["table4", "--samples", "123", "--overlay-nm", "5"])
+        assert args.samples == 123
+        assert args.overlay_nm == 5.0
+
+    def test_sizes_accept_multiple_values(self):
+        args = build_parser().parse_args(["fig4", "--sizes", "16", "64"])
+        assert args.sizes == [16, 64]
+
+    def test_yield_specific_options(self):
+        args = build_parser().parse_args(["yield", "--budget", "12", "--ppm", "50"])
+        assert args.budget == 12.0
+        assert args.ppm == 50.0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_table1_prints_paper_style_table(self, capsys):
+        assert main(["table1"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "LELELE" in out and "SADP" in out and "EUV" in out
+
+    def test_table4_respects_sample_count(self, capsys):
+        assert main(["table4"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "LELELE 8nm OL" in out
+
+    def test_fig3_emits_csv(self, capsys):
+        assert main(["fig3"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("label,")
+
+    def test_fig2_emits_distortion_strips(self, capsys):
+        assert main(["fig2"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "drawn" in out and "printed" in out
+
+    def test_fig4_runs_simulations(self, capsys):
+        assert main(["fig4"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Nominal td (ps)" in out
+        assert "10x16" in out
+
+    def test_verdict_names_an_option(self, capsys):
+        assert main(["verdict"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Recommended multiple-patterning option:" in out
+
+    def test_yield_reports_ppm_and_requirement(self, capsys):
+        assert main(["yield", "--budget", "8", "--ppm", "1000"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "violation_probability" in out
+        assert "ppm target" in out
+
+    def test_overlay_option_changes_the_study(self, capsys):
+        assert main(["table1", "--overlay-nm", "3"] + FAST) == 0
+        tight = capsys.readouterr().out
+        assert main(["table1", "--overlay-nm", "8"] + FAST) == 0
+        loose = capsys.readouterr().out
+        assert tight != loose
+        assert "ol:B=-3.0" in tight or "ol:B=+3.0" in tight
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["table1", "--output", str(target)] + FAST) == 0
+        assert capsys.readouterr().out == ""
+        assert "Table I" in target.read_text()
+
+    def test_table2_and_table3(self, capsys):
+        assert main(["table2"] + FAST) == 0
+        assert "Table II" in capsys.readouterr().out
+        assert main(["table3"] + FAST) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_fig5_prints_histograms(self, capsys):
+        assert main(["fig5"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "tdp distribution" in out

@@ -1,0 +1,141 @@
+"""Tests of the capacitance models."""
+
+import pytest
+
+from repro.extraction.capacitance import (
+    CapacitanceComponents,
+    CapacitanceError,
+    NeighborGeometry,
+    fringe_shielding_factor,
+    isolated_wire_capacitance_per_nm,
+    parallel_plate_capacitance_f,
+    sakurai_tamaru_coupling,
+    sakurai_tamaru_ground,
+    wire_capacitance_per_nm,
+)
+from repro.extraction.profiles import profile_for_layer
+from repro.technology.materials import EPSILON_0_F_PER_NM, LOW_K
+from repro.technology.metal_stack import default_n10_metal_stack
+
+EPS = LOW_K.permittivity_f_per_nm
+
+
+@pytest.fixture(scope="module")
+def metal1():
+    return default_n10_metal_stack().layer("metal1")
+
+
+class TestClosedForms:
+    def test_ground_capacitance_exceeds_plate_only(self):
+        total = sakurai_tamaru_ground(30.0, 42.0, 40.0, EPS)
+        plate = EPS * 1.15 * 30.0 / 40.0
+        assert total > plate
+
+    def test_ground_capacitance_increases_with_width(self):
+        narrow = sakurai_tamaru_ground(24.0, 42.0, 40.0, EPS)
+        wide = sakurai_tamaru_ground(30.0, 42.0, 40.0, EPS)
+        assert wide > narrow
+
+    def test_ground_capacitance_decreases_with_height(self):
+        close = sakurai_tamaru_ground(30.0, 42.0, 30.0, EPS)
+        far = sakurai_tamaru_ground(30.0, 42.0, 60.0, EPS)
+        assert close > far
+
+    def test_coupling_grows_superlinearly_as_space_shrinks(self):
+        """The (s/h)^-1.34 law: halving the space more than doubles the coupling."""
+        at_24 = sakurai_tamaru_coupling(30.0, 42.0, 40.0, 24.0, EPS)
+        at_12 = sakurai_tamaru_coupling(30.0, 42.0, 40.0, 12.0, EPS)
+        assert at_12 > 2.0 * at_24
+
+    def test_coupling_increases_with_thickness(self):
+        thin = sakurai_tamaru_coupling(30.0, 30.0, 40.0, 24.0, EPS)
+        thick = sakurai_tamaru_coupling(30.0, 50.0, 40.0, 24.0, EPS)
+        assert thick > thin
+
+    def test_coupling_rejects_nonpositive_space(self):
+        with pytest.raises(CapacitanceError):
+            sakurai_tamaru_coupling(30.0, 42.0, 40.0, 0.0, EPS)
+
+    def test_ground_rejects_nonpositive_dimensions(self):
+        with pytest.raises(CapacitanceError):
+            sakurai_tamaru_ground(0.0, 42.0, 40.0, EPS)
+
+    def test_shielding_factor_bounds(self):
+        tight = fringe_shielding_factor(5.0, 40.0)
+        loose = fringe_shielding_factor(400.0, 40.0)
+        assert 0.0 < tight < loose <= 1.0
+
+    def test_parallel_plate(self):
+        cap = parallel_plate_capacitance_f(100.0, 10.0, EPSILON_0_F_PER_NM)
+        assert cap == pytest.approx(EPSILON_0_F_PER_NM * 10.0)
+
+    def test_parallel_plate_rejects_bad_distance(self):
+        with pytest.raises(CapacitanceError):
+            parallel_plate_capacitance_f(100.0, 0.0, EPSILON_0_F_PER_NM)
+
+
+class TestCapacitanceComponents:
+    def make(self):
+        return CapacitanceComponents(
+            ground_below=2.0e-19, ground_above=1.5e-19, coupling_left=1.0e-19, coupling_right=1.2e-19
+        )
+
+    def test_totals(self):
+        components = self.make()
+        assert components.ground_total == pytest.approx(3.5e-19)
+        assert components.coupling_total == pytest.approx(2.2e-19)
+        assert components.total == pytest.approx(5.7e-19)
+
+    def test_coupling_fraction(self):
+        assert self.make().coupling_fraction() == pytest.approx(2.2 / 5.7, rel=1e-6)
+
+    def test_scaled(self):
+        doubled = self.make().scaled(2.0)
+        assert doubled.total == pytest.approx(2.0 * self.make().total)
+
+    def test_as_dict_keys(self):
+        assert set(self.make().as_dict()) == {
+            "ground_below", "ground_above", "coupling_left", "coupling_right", "total",
+        }
+
+
+class TestWireCapacitance:
+    def test_isolated_wire_has_no_coupling(self, metal1):
+        components = isolated_wire_capacitance_per_nm(metal1, 30.0)
+        assert components.coupling_total == 0.0
+        assert components.ground_total > 0.0
+
+    def test_neighbours_add_coupling_and_shield_fringe(self, metal1):
+        profile = profile_for_layer(metal1, 30.0)
+        neighbor = NeighborGeometry(space_nm=24.0, thickness_nm=profile.thickness_nm)
+        dense = wire_capacitance_per_nm(profile, metal1, neighbor, neighbor)
+        isolated = wire_capacitance_per_nm(profile, metal1, None, None)
+        assert dense.coupling_total > 0.0
+        assert dense.ground_total < isolated.ground_total
+
+    def test_dense_pattern_coupling_fraction_is_substantial(self, metal1):
+        profile = profile_for_layer(metal1, 30.0)
+        neighbor = NeighborGeometry(space_nm=24.0, thickness_nm=profile.thickness_nm)
+        dense = wire_capacitance_per_nm(profile, metal1, neighbor, neighbor)
+        assert 0.3 < dense.coupling_fraction() < 0.8
+
+    def test_asymmetric_neighbours(self, metal1):
+        profile = profile_for_layer(metal1, 30.0)
+        close = NeighborGeometry(space_nm=13.0, thickness_nm=profile.thickness_nm)
+        far = NeighborGeometry(space_nm=35.0, thickness_nm=profile.thickness_nm)
+        components = wire_capacitance_per_nm(profile, metal1, close, far)
+        assert components.coupling_left > components.coupling_right
+
+    def test_per_cell_bitline_capacitance_in_expected_range(self, metal1):
+        """A 240 nm bit-line segment at 48 nm pitch carries a few tens of aF."""
+        profile = profile_for_layer(metal1, 30.0)
+        neighbor = NeighborGeometry(space_nm=24.0, thickness_nm=profile.thickness_nm)
+        per_nm = wire_capacitance_per_nm(profile, metal1, neighbor, neighbor)
+        per_cell_af = per_nm.total * 240.0 * 1e18
+        assert 15.0 < per_cell_af < 90.0
+
+    def test_neighbor_geometry_validation(self):
+        with pytest.raises(CapacitanceError):
+            NeighborGeometry(space_nm=0.0, thickness_nm=42.0)
+        with pytest.raises(CapacitanceError):
+            NeighborGeometry(space_nm=24.0, thickness_nm=0.0)

@@ -1,0 +1,120 @@
+"""Tests of wire profiles and resistance extraction."""
+
+import pytest
+
+from repro.extraction.profiles import ProfileError, TrapezoidalProfile, profile_for_layer
+from repro.extraction.resistance import (
+    ResistanceError,
+    resistance_per_unit_length,
+    sheet_resistance_ohm_per_sq,
+    via_resistance_ohm,
+    wire_resistance,
+)
+from repro.technology.materials import BarrierLiner, MaterialSystem
+from repro.technology.metal_stack import default_n10_metal_stack
+
+
+@pytest.fixture(scope="module")
+def metal1():
+    return default_n10_metal_stack().layer("metal1")
+
+
+class TestTrapezoidalProfile:
+    def test_rectangular_profile(self):
+        profile = TrapezoidalProfile(top_width_nm=30.0, thickness_nm=40.0)
+        assert profile.bottom_width_nm == pytest.approx(30.0)
+        assert profile.mean_width_nm == pytest.approx(30.0)
+        assert profile.trench_area_nm2 == pytest.approx(1200.0)
+
+    def test_tapered_profile_is_narrower_at_bottom(self):
+        profile = TrapezoidalProfile(top_width_nm=30.0, thickness_nm=40.0, tapering_angle_deg=5.0)
+        assert profile.bottom_width_nm < profile.top_width_nm
+        assert profile.mean_width_nm < profile.top_width_nm
+
+    def test_barrier_reduces_conductor_area(self):
+        bare = TrapezoidalProfile(top_width_nm=30.0, thickness_nm=40.0)
+        lined = TrapezoidalProfile(top_width_nm=30.0, thickness_nm=40.0, barrier_thickness_nm=2.0)
+        assert lined.conductor_area_nm2 < bare.conductor_area_nm2
+        assert lined.conductor_width_top_nm == pytest.approx(26.0)
+        assert lined.conductor_thickness_nm == pytest.approx(38.0)
+
+    def test_scaled_width(self):
+        profile = TrapezoidalProfile(top_width_nm=30.0, thickness_nm=40.0)
+        assert profile.scaled_width(3.0).top_width_nm == pytest.approx(33.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ProfileError):
+            TrapezoidalProfile(top_width_nm=0.0, thickness_nm=40.0)
+        with pytest.raises(ProfileError):
+            TrapezoidalProfile(top_width_nm=30.0, thickness_nm=-1.0)
+
+    def test_rejects_barrier_consuming_cross_section(self):
+        with pytest.raises(ProfileError):
+            TrapezoidalProfile(top_width_nm=10.0, thickness_nm=40.0, barrier_thickness_nm=5.0)
+
+    def test_rejects_extreme_taper(self):
+        with pytest.raises(ProfileError):
+            TrapezoidalProfile(top_width_nm=10.0, thickness_nm=100.0, tapering_angle_deg=30.0)
+
+    def test_profile_for_layer_applies_dishing_to_wide_lines(self, metal1):
+        narrow = profile_for_layer(metal1, metal1.min_width_nm)
+        wide = profile_for_layer(metal1, metal1.min_width_nm * 3.0)
+        assert wide.thickness_nm < narrow.thickness_nm
+
+    def test_profile_for_layer_rejects_nonpositive_width(self, metal1):
+        with pytest.raises(ProfileError):
+            profile_for_layer(metal1, 0.0)
+
+
+class TestResistance:
+    def test_resistance_decreases_with_width(self, metal1):
+        narrow = wire_resistance(metal1, 24.0, 1000.0)
+        wide = wire_resistance(metal1, 30.0, 1000.0)
+        assert wide.resistance_ohm < narrow.resistance_ohm
+
+    def test_resistance_scales_linearly_with_length(self, metal1):
+        short = wire_resistance(metal1, 30.0, 1000.0)
+        long = wire_resistance(metal1, 30.0, 2000.0)
+        assert long.resistance_ohm == pytest.approx(2.0 * short.resistance_ohm)
+
+    def test_per_cell_bitline_resistance_in_expected_range(self, metal1):
+        """A 30 nm x 240 nm N10 bit-line segment is a few ohms to ~20 ohms."""
+        result = wire_resistance(metal1, 30.0, 240.0)
+        assert 2.0 < result.resistance_ohm < 30.0
+
+    def test_effective_resistivity_above_bulk(self, metal1):
+        result = wire_resistance(metal1, 24.0, 1000.0)
+        assert result.effective_resistivity_ohm_nm > metal1.materials.conductor.bulk_resistivity_ohm_nm
+
+    def test_conductive_barrier_lowers_resistance(self, metal1):
+        insulating = resistance_per_unit_length(
+            profile_for_layer(metal1, 30.0), metal1.materials
+        )
+        conductive_materials = MaterialSystem(
+            conductor=metal1.materials.conductor,
+            barrier=BarrierLiner(thickness_nm=1.5, resistivity_ohm_nm=500.0, conductive=True),
+            intra_layer_dielectric=metal1.materials.intra_layer_dielectric,
+            inter_layer_dielectric=metal1.materials.inter_layer_dielectric,
+        )
+        with_barrier = resistance_per_unit_length(
+            profile_for_layer(metal1, 30.0), conductive_materials
+        )
+        assert with_barrier.resistance_per_nm < insulating.resistance_per_nm
+
+    def test_nonpositive_length_rejected(self, metal1):
+        with pytest.raises(ResistanceError):
+            wire_resistance(metal1, 30.0, 0.0)
+
+    def test_sheet_resistance_in_plausible_range(self, metal1):
+        # N10-class copper M1 sheet resistance is of order 1-10 ohm/sq once
+        # size effects and the barrier are accounted for.
+        rs = sheet_resistance_ohm_per_sq(metal1)
+        assert 0.5 < rs < 20.0
+
+    def test_via_resistance_positive_and_small(self, metal1):
+        r_via = via_resistance_ohm(metal1)
+        assert 0.5 < r_via < 200.0
+
+    def test_via_resistance_rejects_bad_side(self, metal1):
+        with pytest.raises(ResistanceError):
+            via_resistance_ohm(metal1, via_side_nm=0.0)

@@ -1,0 +1,173 @@
+"""Tests of the SRAM cell and array layout generators and the layer map."""
+
+import pytest
+
+from repro.layout.array import (
+    PAPER_ARRAY_SIZES,
+    PAPER_BITLINE_PAIRS,
+    ArrayDimensions,
+    ArrayLayoutError,
+    generate_array_layout,
+    paper_doe_layouts,
+)
+from repro.layout.layers import Layer, LayerError, LayerMap, LayerPurpose, default_layer_map
+from repro.layout.sram_cell import (
+    CellLayoutError,
+    SRAMCellTemplate,
+    TrackSpec,
+    default_cell_template,
+    generate_cell_layout,
+)
+from repro.layout.wire import NetRole
+
+
+class TestLayerMap:
+    def test_default_map_has_routing_layers(self):
+        layer_map = default_layer_map()
+        assert "metal1" in layer_map
+        assert "metal2" in layer_map
+        assert "via1" in layer_map
+
+    def test_lookup_by_gds_pair(self):
+        layer_map = default_layer_map()
+        metal1 = layer_map.by_name("metal1")
+        assert layer_map.by_gds(metal1.gds_layer, metal1.gds_datatype).name == "metal1"
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(LayerError):
+            default_layer_map().by_name("metal42")
+        with pytest.raises(LayerError):
+            default_layer_map().by_gds(999)
+
+    def test_duplicate_names_rejected(self):
+        layer_map = LayerMap([Layer("m1", gds_layer=1)])
+        with pytest.raises(LayerError):
+            layer_map.add(Layer("m1", gds_layer=2))
+
+    def test_metals_filter(self):
+        metal_names = {layer.name for layer in default_layer_map().metals()}
+        assert {"metal1", "metal2", "metal3"} <= metal_names
+
+    def test_rejects_empty_name_and_negative_numbers(self):
+        with pytest.raises(LayerError):
+            Layer("", gds_layer=1)
+        with pytest.raises(LayerError):
+            Layer("x", gds_layer=-1)
+
+
+class TestCellTemplate:
+    def test_default_track_order_is_vss_bl_vdd_blb(self):
+        template = default_cell_template()
+        assert [spec.net for spec in template.track_specs] == ["VSS", "BL", "VDD", "BLB"]
+
+    def test_bitline_drawn_above_minimum_width(self):
+        template = default_cell_template()
+        widths = {spec.net: spec.width_nm for spec in template.track_specs}
+        assert widths["BL"] > widths["VSS"]
+        assert widths["BLB"] == widths["BL"]
+
+    def test_cell_height_is_sum_of_widths_and_spaces(self):
+        template = default_cell_template()
+        expected = sum(spec.width_nm for spec in template.track_specs) + (
+            template.track_space_nm * len(template.track_specs)
+        )
+        assert template.cell_height_nm == pytest.approx(expected)
+
+    def test_track_centers_are_increasing(self):
+        centers = default_cell_template().track_centers_nm()
+        assert all(later > earlier for earlier, later in zip(centers, centers[1:]))
+
+    def test_node_derived_template_respects_min_space(self, node):
+        template = default_cell_template(node)
+        assert template.track_space_nm == pytest.approx(node.bitline_metal.min_space_nm)
+
+    def test_template_requires_bitline_pair(self):
+        with pytest.raises(CellLayoutError):
+            SRAMCellTemplate(track_specs=(TrackSpec("VSS", NetRole.VSS, 24.0),))
+
+    def test_template_rejects_nonpositive_dimensions(self):
+        with pytest.raises(CellLayoutError):
+            default_cell_template().__class__(
+                track_specs=default_cell_template().track_specs, track_space_nm=0.0
+            )
+
+
+class TestCellLayout:
+    def test_pattern_has_four_tracks(self, cell_layout):
+        assert len(cell_layout.metal1_pattern) == 4
+
+    def test_bitline_tracks_resolvable(self, cell_layout):
+        assert cell_layout.bitline_track.net == "BL"
+        assert cell_layout.bitline_bar_track.net == "BLB"
+
+    def test_minimum_spacing_between_tracks(self, cell_layout, node):
+        assert min(cell_layout.metal1_pattern.spaces()) == pytest.approx(
+            node.bitline_metal.min_space_nm
+        )
+
+    def test_wires_include_wordline(self, cell_layout):
+        roles = {wire.role for wire in cell_layout.wires}
+        assert NetRole.WORDLINE in roles
+
+    def test_boundary_covers_cell(self, cell_layout):
+        boundary = cell_layout.boundary()
+        assert boundary.width == pytest.approx(cell_layout.cell_length_nm)
+        assert boundary.height == pytest.approx(cell_layout.cell_height_nm)
+
+    def test_generation_without_node_uses_defaults(self):
+        layout = generate_cell_layout()
+        assert len(layout.metal1_pattern) == 4
+        assert layout.cell_length_nm == pytest.approx(240.0)
+
+
+class TestArrayDimensions:
+    def test_paper_label_format(self):
+        assert ArrayDimensions(n_wordlines=64).label == "10x64"
+
+    def test_cell_count(self):
+        assert ArrayDimensions(n_wordlines=16, n_bitline_pairs=10).n_cells == 160
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ArrayLayoutError):
+            ArrayDimensions(n_wordlines=0)
+        with pytest.raises(ArrayLayoutError):
+            ArrayDimensions(n_wordlines=16, n_bitline_pairs=0)
+
+
+class TestArrayLayout:
+    def test_bitline_length_scales_with_wordlines(self, array16, array64):
+        assert array64.bitline_length_nm == pytest.approx(4.0 * array16.bitline_length_nm)
+
+    def test_track_count_is_four_per_pair(self, array64):
+        assert len(array64.metal1_pattern) == 4 * PAPER_BITLINE_PAIRS
+
+    def test_central_pair_nets_exist_in_pattern(self, array64):
+        bl, blb = array64.central_pair_nets()
+        assert bl in array64.metal1_pattern.nets
+        assert blb in array64.metal1_pattern.nets
+
+    def test_central_pair_is_away_from_edges(self, array64):
+        bl, _ = array64.central_pair_nets()
+        index = array64.metal1_pattern.index_of(bl)
+        assert 4 <= index <= len(array64.metal1_pattern) - 5
+
+    def test_wires_contain_one_wordline_per_row(self, array16):
+        wordlines = [wire for wire in array16.wires() if wire.role is NetRole.WORDLINE]
+        assert len(wordlines) == 16
+
+    def test_summary(self, array64):
+        summary = array64.summary()
+        assert summary["label"] == "10x64"
+        assert summary["n_wordlines"] == 64
+
+    def test_paper_doe_layouts_cover_all_sizes(self, node):
+        layouts = paper_doe_layouts(node=node, sizes=(16, 64))
+        assert set(layouts) == {"10x16", "10x64"}
+
+    def test_paper_constants(self):
+        assert PAPER_ARRAY_SIZES == (16, 64, 256, 1024)
+        assert PAPER_BITLINE_PAIRS == 10
+
+    def test_boundary_is_positive(self, array16):
+        boundary = array16.boundary()
+        assert boundary.area > 0.0

@@ -1,0 +1,119 @@
+"""Tests of the GDS-like text export / import."""
+
+import io
+
+import pytest
+
+from repro.layout.gds import (
+    GDSCell,
+    GDSFormatError,
+    GDSLibrary,
+    dumps_gdt,
+    library_from_wires,
+    loads_gdt,
+    read_gdt,
+    write_gdt,
+)
+from repro.layout.geometry import Rect
+from repro.layout.wire import NetRole, Wire
+
+
+def sample_wires():
+    return [
+        Wire(net="BL", layer="metal1", rect=Rect(0.0, 24.0, 960.0, 54.0), role=NetRole.BITLINE),
+        Wire(net="VSS", layer="metal1", rect=Rect(0.0, 0.0, 960.0, 24.0), role=NetRole.VSS),
+        Wire(net="WL0", layer="metal2", rect=Rect(100.0, 0.0, 124.0, 200.0), role=NetRole.WORDLINE),
+    ]
+
+
+class TestExport:
+    def test_dumps_contains_cell_and_boundaries(self):
+        library = library_from_wires("sram_cell", sample_wires())
+        text = dumps_gdt(library)
+        assert "CELL sram_cell" in text
+        assert text.count("BOUNDARY") == 3
+        assert "net=BL" in text
+        assert "role=bitline" in text
+
+    def test_write_to_file(self, tmp_path):
+        library = library_from_wires("cellA", sample_wires())
+        path = tmp_path / "cell.gdt"
+        write_gdt(library, path)
+        assert path.exists()
+        assert "CELL cellA" in path.read_text()
+
+    def test_duplicate_cells_rejected(self):
+        library = library_from_wires("cellA", sample_wires())
+        with pytest.raises(GDSFormatError):
+            library.add_cell(GDSCell(name="cellA"))
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_geometry(self):
+        library = library_from_wires("cellA", sample_wires())
+        recovered = loads_gdt(dumps_gdt(library))
+        cell = recovered.cell("cellA")
+        assert len(cell.wires) == 3
+        original = {wire.net: wire for wire in sample_wires()}
+        for wire in cell.wires:
+            assert wire.rect.x_min == pytest.approx(original[wire.net].rect.x_min, abs=1e-3)
+            assert wire.rect.y_max == pytest.approx(original[wire.net].rect.y_max, abs=1e-3)
+            assert wire.layer == original[wire.net].layer
+            assert wire.role == original[wire.net].role
+
+    def test_round_trip_through_file(self, tmp_path):
+        library = library_from_wires("cellA", sample_wires())
+        path = tmp_path / "cell.gdt"
+        write_gdt(library, path)
+        recovered = read_gdt(path)
+        assert recovered.cell("cellA").nets() == ["BL", "VSS", "WL0"]
+
+    def test_array_layout_round_trip(self, array16):
+        library = library_from_wires("array", array16.wires(), layer_map=array16.layer_map)
+        recovered = loads_gdt(dumps_gdt(library), layer_map=array16.layer_map)
+        assert len(recovered.cell("array").wires) == len(array16.wires())
+
+
+class TestParserErrors:
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GDSFormatError):
+            loads_gdt("HEADER unit_nm=1.0\nFOO bar\n")
+
+    def test_unclosed_cell_rejected(self):
+        with pytest.raises(GDSFormatError):
+            loads_gdt("HEADER unit_nm=1.0\nCELL open_cell\n")
+
+    def test_xy_outside_boundary_rejected(self):
+        text = "HEADER unit_nm=1.0\nCELL c\nXY 0 0 1 0 1 1 0 1\nENDCELL\n"
+        with pytest.raises(GDSFormatError):
+            loads_gdt(text)
+
+    def test_endcell_without_cell_rejected(self):
+        with pytest.raises(GDSFormatError):
+            loads_gdt("ENDCELL\n")
+
+    def test_malformed_xy_rejected(self):
+        text = (
+            "HEADER unit_nm=1.0\nCELL c\n"
+            "BOUNDARY layer=15 datatype=0 net=BL role=bitline\nXY 0 0 1\nENDEL\nENDCELL\n"
+        )
+        with pytest.raises(GDSFormatError):
+            loads_gdt(text)
+
+    def test_unknown_cell_lookup_raises(self):
+        library = GDSLibrary()
+        with pytest.raises(GDSFormatError):
+            library.cell("missing")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# a comment\n\nHEADER unit_nm=1.0\nCELL c\n"
+            "BOUNDARY layer=15 datatype=0 net=BL role=bitline\n"
+            "XY 0 0 10 0 10 5 0 5\nENDEL\nENDCELL\n"
+        )
+        library = loads_gdt(text)
+        assert len(library.cell("c").wires) == 1
+
+    def test_header_unit_parsed(self):
+        library = loads_gdt("HEADER unit_nm=0.5\nCELL c\nENDCELL\n")
+        assert library.unit_nm == pytest.approx(0.5)

@@ -1,0 +1,146 @@
+"""Tests of the geometry primitives."""
+
+import pytest
+
+from repro.layout.geometry import (
+    GeometryError,
+    Interval,
+    Point,
+    Polygon,
+    Rect,
+    bounding_box_of,
+)
+
+
+class TestPoint:
+    def test_translation(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestInterval:
+    def test_length_and_center(self):
+        interval = Interval(2.0, 6.0)
+        assert interval.length == 4.0
+        assert interval.center == 4.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(GeometryError):
+            Interval(5.0, 1.0)
+
+    def test_contains_with_tolerance(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(1.0)
+        assert not interval.contains(1.01)
+        assert interval.contains(1.01, tolerance=0.02)
+
+    def test_overlap_and_intersection(self):
+        a = Interval(0.0, 5.0)
+        b = Interval(3.0, 8.0)
+        assert a.overlaps(b)
+        assert a.intersection(b) == Interval(3.0, 5.0)
+        assert a.intersection(Interval(6.0, 7.0)) is None
+
+    def test_gap_to(self):
+        assert Interval(0.0, 1.0).gap_to(Interval(3.0, 4.0)) == pytest.approx(2.0)
+        assert Interval(3.0, 4.0).gap_to(Interval(0.0, 1.0)) == pytest.approx(2.0)
+        assert Interval(0.0, 2.0).gap_to(Interval(1.0, 3.0)) == 0.0
+
+    def test_shift_and_grow(self):
+        assert Interval(0.0, 2.0).shifted(1.0) == Interval(1.0, 3.0)
+        assert Interval(0.0, 2.0).grown(0.5) == Interval(-0.5, 2.5)
+
+    def test_grow_cannot_invert(self):
+        with pytest.raises(GeometryError):
+            Interval(0.0, 1.0).grown(-1.0)
+
+
+class TestRect:
+    def test_from_center(self):
+        rect = Rect.from_center(5.0, 5.0, 4.0, 2.0)
+        assert rect == Rect(3.0, 4.0, 7.0, 6.0)
+
+    def test_from_points_normalises_order(self):
+        rect = Rect.from_points(Point(4.0, 1.0), Point(1.0, 3.0))
+        assert rect == Rect(1.0, 1.0, 4.0, 3.0)
+
+    def test_dimensions_and_area(self):
+        rect = Rect(0.0, 0.0, 4.0, 2.0)
+        assert rect.width == 4.0
+        assert rect.height == 2.0
+        assert rect.area == 8.0
+        assert rect.center == Point(2.0, 1.0)
+
+    def test_rejects_inverted_rect(self):
+        with pytest.raises(GeometryError):
+            Rect(1.0, 0.0, 0.0, 2.0)
+
+    def test_intersection(self):
+        a = Rect(0.0, 0.0, 4.0, 4.0)
+        b = Rect(2.0, 2.0, 6.0, 6.0)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(2.0, 2.0, 4.0, 4.0)
+        assert a.intersection(Rect(5.0, 5.0, 6.0, 6.0)) is None
+
+    def test_grown_and_translated(self):
+        rect = Rect(1.0, 1.0, 3.0, 3.0)
+        assert rect.grown(1.0) == Rect(0.0, 0.0, 4.0, 4.0)
+        assert rect.translated(1.0, -1.0) == Rect(2.0, 0.0, 4.0, 2.0)
+
+    def test_contains_point(self):
+        rect = Rect(0.0, 0.0, 2.0, 2.0)
+        assert rect.contains_point(Point(1.0, 1.0))
+        assert rect.contains_point(Point(2.0, 2.0))
+        assert not rect.contains_point(Point(2.1, 1.0))
+
+    def test_union_bbox(self):
+        assert Rect(0.0, 0.0, 1.0, 1.0).union_bbox(Rect(2.0, 2.0, 3.0, 3.0)) == Rect(0.0, 0.0, 3.0, 3.0)
+
+    def test_corners_count(self):
+        assert len(Rect(0.0, 0.0, 1.0, 1.0).corners()) == 4
+
+    def test_intervals(self):
+        rect = Rect(0.0, 1.0, 4.0, 3.0)
+        assert rect.x_interval == Interval(0.0, 4.0)
+        assert rect.y_interval == Interval(1.0, 3.0)
+
+
+class TestPolygon:
+    def test_area_of_rectangle_polygon(self):
+        polygon = Polygon.from_rect(Rect(0.0, 0.0, 4.0, 2.0))
+        assert polygon.area == pytest.approx(8.0)
+
+    def test_area_of_triangle(self):
+        polygon = Polygon.from_xy([(0.0, 0.0), (4.0, 0.0), (0.0, 3.0)])
+        assert polygon.area == pytest.approx(6.0)
+
+    def test_perimeter(self):
+        polygon = Polygon.from_rect(Rect(0.0, 0.0, 3.0, 4.0))
+        assert polygon.perimeter == pytest.approx(14.0)
+
+    def test_bounding_box(self):
+        polygon = Polygon.from_xy([(0.0, 0.0), (4.0, 1.0), (2.0, 5.0)])
+        assert polygon.bounding_box() == Rect(0.0, 0.0, 4.0, 5.0)
+
+    def test_translation(self):
+        polygon = Polygon.from_xy([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]).translated(2.0, 3.0)
+        assert polygon.vertices[0] == Point(2.0, 3.0)
+
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_xy([(0.0, 0.0), (1.0, 1.0)])
+
+
+class TestBoundingBoxOf:
+    def test_multiple_rects(self):
+        rects = [Rect(0.0, 0.0, 1.0, 1.0), Rect(-1.0, 2.0, 0.5, 3.0)]
+        assert bounding_box_of(rects) == Rect(-1.0, 0.0, 1.0, 3.0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(GeometryError):
+            bounding_box_of([])

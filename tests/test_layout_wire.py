@@ -1,0 +1,195 @@
+"""Tests of wires, tracks and track patterns."""
+
+import pytest
+
+from repro.layout.geometry import Rect
+from repro.layout.wire import (
+    NetRole,
+    Track,
+    TrackPattern,
+    Wire,
+    WireError,
+    uniform_track_pattern,
+)
+
+
+class TestNetRole:
+    def test_bitline_pair_classification(self):
+        assert NetRole.BITLINE.is_bitline_pair
+        assert NetRole.BITLINE_BAR.is_bitline_pair
+        assert not NetRole.VSS.is_bitline_pair
+
+    def test_supply_classification(self):
+        assert NetRole.VDD.is_supply
+        assert NetRole.VSS.is_supply
+        assert not NetRole.BITLINE.is_supply
+
+
+class TestWire:
+    def test_length_and_width(self):
+        wire = Wire(net="BL", layer="metal1", rect=Rect(0.0, 0.0, 1000.0, 30.0))
+        assert wire.length_nm == 1000.0
+        assert wire.width_nm == 30.0
+        assert wire.is_horizontal
+
+    def test_vertical_wire(self):
+        wire = Wire(net="WL", layer="metal2", rect=Rect(0.0, 0.0, 24.0, 500.0))
+        assert not wire.is_horizontal
+        assert wire.length_nm == 500.0
+
+    def test_rejects_empty_net(self):
+        with pytest.raises(WireError):
+            Wire(net="", layer="metal1", rect=Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(WireError):
+            Wire(net="BL", layer="metal1", rect=Rect(0.0, 0.0, 0.0, 1.0))
+
+
+class TestTrack:
+    def test_edges(self):
+        track = Track(net="BL", center_nm=50.0, width_nm=30.0)
+        assert track.left_edge_nm == 35.0
+        assert track.right_edge_nm == 65.0
+        assert track.extent.length == 30.0
+
+    def test_shift_preserves_width(self):
+        track = Track(net="BL", center_nm=50.0, width_nm=30.0).shifted(-8.0)
+        assert track.center_nm == 42.0
+        assert track.width_nm == 30.0
+
+    def test_widen_preserves_center(self):
+        track = Track(net="BL", center_nm=50.0, width_nm=30.0).widened(3.0)
+        assert track.center_nm == 50.0
+        assert track.width_nm == 33.0
+
+    def test_widen_cannot_erase_track(self):
+        with pytest.raises(WireError):
+            Track(net="BL", center_nm=50.0, width_nm=30.0).widened(-30.0)
+
+    def test_with_edges(self):
+        track = Track(net="BL", center_nm=50.0, width_nm=30.0).with_edges(40.0, 70.0)
+        assert track.center_nm == pytest.approx(55.0)
+        assert track.width_nm == pytest.approx(30.0)
+
+    def test_with_edges_rejects_inverted(self):
+        with pytest.raises(WireError):
+            Track(net="BL", center_nm=50.0, width_nm=30.0).with_edges(70.0, 40.0)
+
+    def test_with_mask(self):
+        assert Track(net="BL", center_nm=0.0, width_nm=10.0).with_mask("A").mask == "A"
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(WireError):
+            Track(net="BL", center_nm=0.0, width_nm=0.0)
+
+
+class TestTrackPattern:
+    def make_pattern(self):
+        return uniform_track_pattern(
+            nets=["VSS", "BL", "VDD", "BLB"],
+            pitch_nm=48.0,
+            width_nm=24.0,
+            wire_length_nm=1000.0,
+            roles=[NetRole.VSS, NetRole.BITLINE, NetRole.VDD, NetRole.BITLINE_BAR],
+        )
+
+    def test_tracks_are_sorted_by_center(self):
+        pattern = TrackPattern(
+            [
+                Track("B", center_nm=100.0, width_nm=10.0),
+                Track("A", center_nm=0.0, width_nm=10.0),
+            ],
+            wire_length_nm=100.0,
+        )
+        assert pattern.nets == ["A", "B"]
+
+    def test_spaces_and_pitches(self):
+        pattern = self.make_pattern()
+        assert pattern.pitches() == [48.0, 48.0, 48.0]
+        assert pattern.spaces() == [24.0, 24.0, 24.0]
+        assert pattern.min_space() == 24.0
+
+    def test_index_and_track_lookup(self):
+        pattern = self.make_pattern()
+        assert pattern.index_of("VDD") == 2
+        assert pattern.track_for("BL").role is NetRole.BITLINE
+        with pytest.raises(KeyError):
+            pattern.index_of("nonexistent")
+
+    def test_roles_lookup(self):
+        pattern = self.make_pattern()
+        assert [track.net for track in pattern.tracks_with_role(NetRole.BITLINE)] == ["BL"]
+
+    def test_neighbors(self):
+        pattern = self.make_pattern()
+        left, right = pattern.neighbors_of(0)
+        assert left is None and right.net == "BL"
+        left, right = pattern.neighbors_of(3)
+        assert left.net == "VDD" and right is None
+
+    def test_overlapping_tracks_rejected(self):
+        with pytest.raises(WireError):
+            TrackPattern(
+                [
+                    Track("A", center_nm=0.0, width_nm=30.0),
+                    Track("B", center_nm=10.0, width_nm=30.0),
+                ],
+                wire_length_nm=100.0,
+            )
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(WireError):
+            TrackPattern([], wire_length_nm=100.0)
+
+    def test_replace_track(self):
+        pattern = self.make_pattern()
+        modified = pattern.replace_track(1, pattern[1].widened(4.0))
+        assert modified.track_for("BL").width_nm == 28.0
+        assert pattern.track_for("BL").width_nm == 24.0
+
+    def test_translated(self):
+        pattern = self.make_pattern().translated(10.0)
+        assert pattern[0].center_nm == 10.0
+
+    def test_tiled_net_naming_and_period(self):
+        pattern = self.make_pattern().tiled(copies=3, period_nm=200.0)
+        assert len(pattern) == 12
+        assert "BL" in pattern.nets
+        assert "BL@1" in pattern.nets and "BL@2" in pattern.nets
+        assert pattern.track_for("BL@1").center_nm == pattern.track_for("BL").center_nm + 200.0
+
+    def test_tiled_rejects_bad_arguments(self):
+        pattern = self.make_pattern()
+        with pytest.raises(WireError):
+            pattern.tiled(copies=0, period_nm=200.0)
+        with pytest.raises(WireError):
+            pattern.tiled(copies=2, period_nm=0.0)
+
+    def test_as_wires(self):
+        pattern = self.make_pattern()
+        wires = pattern.as_wires(layer="metal1")
+        assert len(wires) == 4
+        assert all(wire.rect.width == 1000.0 for wire in wires)
+        assert wires[1].net == "BL"
+        assert wires[1].rect.height == pytest.approx(24.0)
+
+    def test_with_wire_length(self):
+        pattern = self.make_pattern().with_wire_length(2000.0)
+        assert pattern.wire_length_nm == 2000.0
+
+    def test_summary_keys(self):
+        summary = self.make_pattern().summary()
+        assert {"tracks", "nets", "wire_length_nm", "min_space_nm", "extent_nm"} <= set(summary)
+
+
+class TestUniformTrackPattern:
+    def test_rejects_width_wider_than_pitch(self):
+        with pytest.raises(WireError):
+            uniform_track_pattern(["A", "B"], pitch_nm=48.0, width_nm=48.0, wire_length_nm=10.0)
+
+    def test_rejects_mismatched_roles(self):
+        with pytest.raises(WireError):
+            uniform_track_pattern(
+                ["A", "B"], pitch_nm=48.0, width_nm=24.0, wire_length_nm=10.0, roles=[NetRole.VSS]
+            )

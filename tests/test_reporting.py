@@ -1,0 +1,215 @@
+"""Tests of the table formatters and figure exporters."""
+
+import pytest
+
+from repro.core.results import (
+    FormulaVsSimulationTdRow,
+    FormulaVsSimulationTdpRow,
+    LayoutDistortionRecord,
+    MonteCarloTdpRecord,
+    TdpSigmaRow,
+    TrackDistortion,
+    WorstCaseRCRow,
+    WorstCaseTdRow,
+)
+from repro.reporting.figures import (
+    ascii_bar_chart,
+    figure2_ascii,
+    figure2_csv,
+    figure3_csv,
+    figure4_ascii,
+    figure4_csv,
+    figure5_ascii,
+    figure5_csv,
+    overlay_sweep_csv,
+)
+from repro.reporting.tables import (
+    ReportingError,
+    format_csv,
+    format_figure4,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    render_table,
+)
+from repro.variability.statistics import Histogram, SummaryStatistics
+
+
+def sample_table1():
+    return [
+        WorstCaseRCRow("LELELE", {"cd:A": 3.0, "ol:B": -8.0}, 53.7, -13.2, -17.6),
+        WorstCaseRCRow("SADP", {"cd:core": -3.0, "spacer": -1.5}, 8.3, -23.4, 26.8),
+        WorstCaseRCRow("EUV", {"cd:euv": 3.0}, 9.6, -13.2, -17.6),
+    ]
+
+
+def sample_figure4():
+    return [
+        WorstCaseTdRow("10x16", 16, 5.4, {"LELELE": 23.0, "SADP": 3.6, "EUV": 3.9}),
+        WorstCaseTdRow("10x64", 64, 21.5, {"LELELE": 24.6, "SADP": 4.6, "EUV": 3.6}),
+    ]
+
+
+def sample_mc_record():
+    samples = tuple(float(x) for x in range(-5, 6))
+    return MonteCarloTdpRecord(
+        option_name="LELELE",
+        overlay_three_sigma_nm=8.0,
+        n_wordlines=64,
+        n_samples=len(samples),
+        tdp_percent_samples=samples,
+        summary=SummaryStatistics.from_samples(samples),
+        histogram=Histogram.from_samples(samples, bins=5),
+    )
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ReportingError):
+            render_table(["a", "b"], [["1"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReportingError):
+            render_table([], [])
+
+
+class TestTableFormatters:
+    def test_table1_mentions_every_option_and_sign(self):
+        text = format_table1(sample_table1())
+        assert "LELELE" in text and "SADP" in text and "EUV" in text
+        assert "+53.70%" in text
+        assert "-23.40%" in text
+
+    def test_figure4_columns(self):
+        text = format_figure4(sample_figure4())
+        assert "Nominal td (ps)" in text
+        assert "tdp LELELE (%)" in text
+        assert "10x64" in text
+
+    def test_table2(self):
+        rows = [FormulaVsSimulationTdRow("10x16", 16, 5.4e-12, 5.7e-12)]
+        text = format_table2(rows)
+        assert "5.40E-12" in text
+        assert "0.95x" in text
+
+    def test_table3(self):
+        rows = [
+            FormulaVsSimulationTdpRow("simulation", "10x16", 16, {"LELELE": 23.0, "SADP": 3.6}),
+            FormulaVsSimulationTdpRow("formula", "10x16", 16, {"LELELE": 25.8, "SADP": 3.9}),
+        ]
+        text = format_table3(rows)
+        assert "simulation" in text and "formula" in text
+        assert "+25.80" in text
+
+    def test_table4(self):
+        rows = [
+            TdpSigmaRow("10x64", "LELELE", 8.0, 2.05),
+            TdpSigmaRow("10x64", "SADP", None, 0.85),
+        ]
+        text = format_table4(rows)
+        assert "LELELE 8nm OL" in text
+        assert "SADP" in text
+        assert "2.050" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReportingError):
+            format_figure4([])
+        with pytest.raises(ReportingError):
+            format_table3([])
+
+    def test_format_csv(self):
+        text = format_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestFigureExporters:
+    def test_ascii_bar_chart(self):
+        chart = ascii_bar_chart(["LE3", "SADP"], [20.0, 4.0], unit="%")
+        assert "LE3" in chart and "#" in chart
+
+    def test_ascii_bar_chart_validation(self):
+        with pytest.raises(ReportingError):
+            ascii_bar_chart(["a"], [])
+        with pytest.raises(ReportingError):
+            ascii_bar_chart(["a", "b"], [1.0])
+
+    def test_figure2_outputs(self):
+        record = LayoutDistortionRecord(
+            option_name="LELELE",
+            corner_parameters={"cd:A": 3.0},
+            tracks=(
+                TrackDistortion("VSS", "A", 0.0, 24.0, 0.0, 27.0),
+                TrackDistortion("BL", "B", 48.0, 78.0, 40.0, 73.0),
+            ),
+        )
+        ascii_view = figure2_ascii(record)
+        assert "LELELE" in ascii_view and "drawn" in ascii_view and "printed" in ascii_view
+        csv_view = figure2_csv([record])
+        assert "width_change_nm" in csv_view.splitlines()[0]
+        assert len(csv_view.splitlines()) == 3
+
+    def test_figure3_csv(self):
+        text = figure3_csv([{"label": "10x16", "n_wordlines": 16}, {"label": "10x64", "n_wordlines": 64}])
+        assert text.splitlines()[0] == "label,n_wordlines"
+        assert "10x64,64" in text
+
+    def test_figure3_empty_rejected(self):
+        with pytest.raises(ReportingError):
+            figure3_csv([])
+
+    def test_figure4_outputs(self):
+        csv_view = figure4_csv(sample_figure4())
+        assert "tdp_LELELE_percent" in csv_view.splitlines()[0]
+        ascii_view = figure4_ascii(sample_figure4())
+        assert "10x16" in ascii_view and "#" in ascii_view
+
+    def test_figure5_outputs(self):
+        record = sample_mc_record()
+        ascii_view = figure5_ascii(record)
+        assert "LELELE 8nm OL" in ascii_view
+        csv_view = figure5_csv([record])
+        assert csv_view.splitlines()[0] == "option,tdp_percent_bin_center,count"
+        assert len(csv_view.splitlines()) == 1 + 5
+
+    def test_overlay_sweep_csv(self):
+        text = overlay_sweep_csv([(3.0, 1.0), (8.0, 2.0)])
+        assert "overlay_3sigma_nm" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3
+
+
+class TestResultContainers:
+    def test_worst_case_row_ratios(self):
+        row = sample_table1()[0]
+        assert row.cvar == pytest.approx(1.537)
+        assert row.rvar == pytest.approx(0.868)
+        assert row.vss_rvar == pytest.approx(0.824)
+
+    def test_track_distortion_metrics(self):
+        track = TrackDistortion("BL", "B", 48.0, 78.0, 40.0, 73.0)
+        assert track.width_change_nm == pytest.approx(3.0)
+        assert track.center_shift_nm == pytest.approx(-6.5)
+
+    def test_layout_record_lookup(self):
+        record = LayoutDistortionRecord("EUV", {}, (TrackDistortion("BL", None, 0, 1, 0, 1),))
+        assert record.track_for("BL").net == "BL"
+        with pytest.raises(KeyError):
+            record.track_for("VDD")
+
+    def test_worst_case_td_row_lookup(self):
+        row = sample_figure4()[0]
+        assert row.tdp_percent("SADP") == pytest.approx(3.6)
+        with pytest.raises(KeyError):
+            row.tdp_percent("SAQP")
+
+    def test_mc_record_label_and_sigma(self):
+        record = sample_mc_record()
+        assert record.label == "LELELE 8nm OL"
+        assert record.sigma_percent == record.summary.std

@@ -1,0 +1,230 @@
+"""Tests of the SRAM circuit building blocks (cell, bit line, precharge, sense amp)."""
+
+import pytest
+
+from repro.circuit.elements import Capacitor, Resistor
+from repro.circuit.mosfet import MOSFET
+from repro.sram.bitline import (
+    BitlineModelError,
+    BitlineSpec,
+    build_bitline_ladder,
+    supply_rail_resistance_ohm,
+)
+from repro.sram.cell import (
+    CellCircuitError,
+    CellNodes,
+    bitline_loading_per_unselected_cell_f,
+    build_cell,
+)
+from repro.sram.precharge import (
+    PrechargeError,
+    build_precharge,
+    precharge_capacitance_f,
+    precharge_fins,
+)
+from repro.sram.sense_amp import SenseAmpError, SenseAmplifier
+
+
+def cell_nodes():
+    return CellNodes(
+        bitline="bl",
+        bitline_bar="blb",
+        wordline="wl",
+        vdd="vdd",
+        vss="vss_cell",
+        internal_q="q",
+        internal_qb="qb",
+    )
+
+
+class TestCellCircuit:
+    def test_six_transistors(self):
+        cell = build_cell("cell", cell_nodes())
+        transistors = [element for element in cell.elements if isinstance(element, MOSFET)]
+        assert len(transistors) == 6
+
+    def test_pass_gates_connect_bitlines_to_internal_nodes(self):
+        cell = build_cell("cell", cell_nodes())
+        pg1 = next(e for e in cell.elements if e.name == "cell_pg1")
+        assert pg1.drain == "bl" and pg1.source == "q" and pg1.gate == "wl"
+        pg2 = next(e for e in cell.elements if e.name == "cell_pg2")
+        assert pg2.drain == "blb" and pg2.source == "qb"
+
+    def test_terminal_capacitances_included_by_default(self):
+        cell = build_cell("cell", cell_nodes())
+        caps = [element for element in cell.elements if isinstance(element, Capacitor)]
+        assert caps
+        cap_nodes = {cap.positive for cap in caps}
+        assert "q" in cap_nodes and "qb" in cap_nodes
+        # Supply / local-VSS terminals are intentionally not loaded.
+        assert "vdd" not in cap_nodes and "vss_cell" not in cap_nodes
+
+    def test_capacitances_can_be_omitted(self):
+        cell = build_cell("cell", cell_nodes(), include_terminal_capacitances=False)
+        assert not [e for e in cell.elements if isinstance(e, Capacitor)]
+
+    def test_initial_conditions_for_stored_zero_and_one(self):
+        cell = build_cell("cell", cell_nodes())
+        zero = cell.initial_conditions(0.7, stored_value=0)
+        one = cell.initial_conditions(0.7, stored_value=1)
+        assert zero == {"q": 0.0, "qb": 0.7}
+        assert one == {"q": 0.7, "qb": 0.0}
+
+    def test_invalid_stored_value_rejected(self):
+        cell = build_cell("cell", cell_nodes())
+        with pytest.raises(CellCircuitError):
+            cell.initial_conditions(0.7, stored_value=2)
+
+    def test_frontend_loading_positive(self):
+        assert bitline_loading_per_unselected_cell_f() > 0.0
+
+
+class TestBitlineSpec:
+    def make(self, n=64):
+        return BitlineSpec(
+            n_cells=n,
+            resistance_per_cell_ohm=8.5,
+            capacitance_per_cell_f=38e-18,
+            frontend_capacitance_per_cell_f=32e-18,
+        )
+
+    def test_totals(self):
+        spec = self.make(64)
+        assert spec.total_resistance_ohm == pytest.approx(64 * 8.5)
+        assert spec.total_capacitance_f == pytest.approx(64 * 70e-18)
+        assert spec.wire_capacitance_f == pytest.approx(64 * 38e-18)
+
+    def test_elmore_delay(self):
+        spec = self.make(64)
+        assert spec.elmore_delay_s() == pytest.approx(
+            0.5 * spec.total_resistance_ohm * spec.total_capacitance_f
+        )
+
+    def test_scaled_touches_only_wire_parasitics(self):
+        scaled = self.make().scaled(rvar=0.9, cvar=1.5)
+        assert scaled.resistance_per_cell_ohm == pytest.approx(8.5 * 0.9)
+        assert scaled.capacitance_per_cell_f == pytest.approx(38e-18 * 1.5)
+        assert scaled.frontend_capacitance_per_cell_f == pytest.approx(32e-18)
+
+    def test_scaled_rejects_nonpositive_ratio(self):
+        with pytest.raises(BitlineModelError):
+            self.make().scaled(rvar=0.0, cvar=1.0)
+
+    def test_from_extraction(self, nominal_extraction64, array64, node):
+        net, _ = array64.central_pair_nets()
+        spec = BitlineSpec.from_extraction(
+            nominal_extraction64[net], 64, array64.cell.cell_length_nm, 32e-18
+        )
+        assert spec.n_cells == 64
+        assert spec.resistance_per_cell_ohm > 0.0
+        assert spec.capacitance_per_cell_f > 0.0
+
+    def test_validation(self):
+        with pytest.raises(BitlineModelError):
+            BitlineSpec(0, 1.0, 1e-18, 1e-18)
+        with pytest.raises(BitlineModelError):
+            BitlineSpec(16, -1.0, 1e-18, 1e-18)
+        with pytest.raises(BitlineModelError):
+            BitlineSpec(16, 1.0, -1e-18, 1e-18)
+
+
+class TestBitlineLadder:
+    def test_segment_count_defaults_to_min_of_cells_and_cap(self):
+        assert build_bitline_ladder(TestBitlineSpec().make(16), "bl").segments == 16
+        assert build_bitline_ladder(TestBitlineSpec().make(1024), "bl").segments == 64
+
+    def test_ladder_conserves_totals(self):
+        spec = TestBitlineSpec().make(1024)
+        ladder = build_bitline_ladder(spec, "bl", segments=32)
+        total_r = sum(
+            e.resistance_ohm for e in ladder.elements if isinstance(e, Resistor)
+        )
+        total_c = sum(
+            e.capacitance_f for e in ladder.elements if isinstance(e, Capacitor)
+        )
+        assert total_r == pytest.approx(spec.total_resistance_ohm, rel=1e-9)
+        assert total_c == pytest.approx(spec.total_capacitance_f, rel=1e-9)
+
+    def test_node_names_run_near_to_far(self):
+        ladder = build_bitline_ladder(TestBitlineSpec().make(64), "bl", segments=8)
+        assert ladder.near_node == "bl_0"
+        assert ladder.far_node == "bl_8"
+        assert len(ladder.node_names) == 9
+
+    def test_segments_never_exceed_cells(self):
+        ladder = build_bitline_ladder(TestBitlineSpec().make(4), "bl", segments=100)
+        assert ladder.segments == 4
+
+    def test_invalid_segment_count_rejected(self):
+        with pytest.raises(BitlineModelError):
+            build_bitline_ladder(TestBitlineSpec().make(16), "bl", segments=0)
+
+    def test_supply_rail_resistance_scales_with_cells(self, nominal_extraction64, array64):
+        column = array64.n_bitline_pairs // 2
+        vss = nominal_extraction64[f"VSS@{column}"]
+        short = supply_rail_resistance_ohm(vss, 16, 240.0)
+        long = supply_rail_resistance_ohm(vss, 64, 240.0)
+        assert long == pytest.approx(4.0 * short)
+
+    def test_supply_rail_rejects_bad_arguments(self, nominal_extraction64, array64):
+        column = array64.n_bitline_pairs // 2
+        vss = nominal_extraction64[f"VSS@{column}"]
+        with pytest.raises(BitlineModelError):
+            supply_rail_resistance_ohm(vss, 0, 240.0)
+
+
+class TestPrecharge:
+    def test_fins_scale_with_array_size(self):
+        assert precharge_fins(16) < precharge_fins(256) < precharge_fins(1024)
+
+    def test_fins_at_least_one(self):
+        assert precharge_fins(1) == 1
+
+    def test_capacitance_scales_with_array_size(self):
+        assert precharge_capacitance_f(1024) > precharge_capacitance_f(64)
+
+    def test_capacitance_matches_circuit(self, node):
+        built = build_precharge("pch", "bl_0", "blb_0", "vdd", 64, 0.7, device=node.sram_devices.pull_up)
+        assert built.capacitance_f == pytest.approx(
+            precharge_capacitance_f(64, device=node.sram_devices.pull_up), rel=1e-9
+        )
+
+    def test_circuit_contains_three_devices_and_enable_source(self):
+        built = build_precharge("pch", "bl_0", "blb_0", "vdd", 64, 0.7)
+        devices = [e for e in built.elements if isinstance(e, MOSFET)]
+        assert len(devices) == 3
+        assert built.fins == precharge_fins(64)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(PrechargeError):
+            precharge_fins(0)
+        with pytest.raises(PrechargeError):
+            precharge_fins(16, cells_per_fin=0)
+
+
+class TestSenseAmplifier:
+    def make(self):
+        return SenseAmplifier(sensitivity_v=0.07, bitline_node="bl_0", bitline_bar_node="blb_0")
+
+    def test_fires_only_above_sensitivity(self):
+        sense = self.make()
+        assert not sense.fires({"bl_0": 0.66, "blb_0": 0.70})
+        assert sense.fires({"bl_0": 0.60, "blb_0": 0.70})
+
+    def test_differential_is_absolute(self):
+        sense = self.make()
+        assert sense.differential_v({"bl_0": 0.70, "blb_0": 0.60}) == pytest.approx(0.10)
+
+    def test_stop_condition_uses_margin(self):
+        sense = self.make()
+        stop = sense.stop_condition(margin=1.2)
+        assert not stop(0.0, {"bl_0": 0.625, "blb_0": 0.70})   # 75 mV < 84 mV target
+        assert stop(0.0, {"bl_0": 0.61, "blb_0": 0.70})        # 90 mV >= 84 mV
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SenseAmpError):
+            SenseAmplifier(sensitivity_v=0.0, bitline_node="a", bitline_bar_node="b")
+        with pytest.raises(SenseAmpError):
+            SenseAmplifier(sensitivity_v=0.07, bitline_node="a", bitline_bar_node="a")
+        with pytest.raises(SenseAmpError):
+            self.make().stop_condition(margin=0.5)

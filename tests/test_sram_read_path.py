@@ -1,0 +1,167 @@
+"""Tests of the read-path circuit builder and the read simulation harness."""
+
+import pytest
+
+from repro.circuit.mosfet import MOSFET
+from repro.sram.array import ArrayCircuitError, ReadCircuitSpec, build_read_circuit
+from repro.sram.bitline import BitlineSpec
+from repro.sram.read_path import ReadMeasurement, ReadPathSimulator, ReadSimulationError
+from repro.technology.node import OperatingConditions
+from tests.conftest import EUV_WORST_CORNER, LE3_WORST_CORNER, SADP_WORST_CORNER
+
+
+def small_spec(node, n_cells=16):
+    bitline = BitlineSpec(
+        n_cells=n_cells,
+        resistance_per_cell_ohm=8.5,
+        capacitance_per_cell_f=38e-18,
+        frontend_capacitance_per_cell_f=32e-18,
+    )
+    return ReadCircuitSpec(
+        n_cells=n_cells,
+        bitline=bitline,
+        bitline_bar=bitline,
+        vss_rail_resistance_ohm=n_cells * 11.0,
+        devices=node.sram_devices,
+        conditions=node.operating_conditions,
+    )
+
+
+class TestReadCircuitBuilder:
+    def test_circuit_validates(self, node):
+        read_circuit = build_read_circuit(small_spec(node))
+        read_circuit.circuit.validate()
+
+    def test_contains_cell_precharge_and_ladders(self, node):
+        read_circuit = build_read_circuit(small_spec(node))
+        mosfets = read_circuit.circuit.elements_of_type(MOSFET)
+        # 6 cell transistors + 3 precharge devices.
+        assert len(mosfets) == 9
+        assert read_circuit.bitline_ladder.segments == 16
+        assert read_circuit.sense.bitline_node == read_circuit.bitline_ladder.near_node
+
+    def test_accessed_cell_sits_at_far_end(self, node):
+        read_circuit = build_read_circuit(small_spec(node))
+        assert read_circuit.cell.nodes.bitline == read_circuit.bitline_ladder.far_node
+
+    def test_initial_conditions_precharge_bitlines(self, node):
+        read_circuit = build_read_circuit(small_spec(node))
+        for ladder_node in read_circuit.bitline_ladder.node_names:
+            assert read_circuit.initial_voltages[ladder_node] == pytest.approx(0.7)
+        assert read_circuit.initial_voltages["q"] == 0.0
+        assert read_circuit.initial_voltages["qb"] == pytest.approx(0.7)
+
+    def test_stored_one_swaps_internal_nodes(self, node):
+        spec = small_spec(node)
+        spec = ReadCircuitSpec(
+            n_cells=spec.n_cells,
+            bitline=spec.bitline,
+            bitline_bar=spec.bitline_bar,
+            vss_rail_resistance_ohm=spec.vss_rail_resistance_ohm,
+            devices=spec.devices,
+            conditions=spec.conditions,
+            stored_value=1,
+        )
+        read_circuit = build_read_circuit(spec)
+        assert read_circuit.initial_voltages["q"] == pytest.approx(0.7)
+        assert read_circuit.initial_voltages["qb"] == 0.0
+
+    def test_invalid_spec_rejected(self, node):
+        bitline = small_spec(node).bitline
+        with pytest.raises(ArrayCircuitError):
+            ReadCircuitSpec(
+                n_cells=16,
+                bitline=bitline,
+                bitline_bar=bitline,
+                vss_rail_resistance_ohm=0.0,
+                devices=node.sram_devices,
+                conditions=node.operating_conditions,
+            )
+        with pytest.raises(ArrayCircuitError):
+            ReadCircuitSpec(
+                n_cells=16,
+                bitline=bitline,
+                bitline_bar=bitline,
+                vss_rail_resistance_ohm=100.0,
+                devices=node.sram_devices,
+                conditions=node.operating_conditions,
+                stored_value=5,
+            )
+
+
+class TestReadPathSimulator:
+    def test_nominal_td_positive_and_under_a_nanosecond(self, simulator):
+        measurement = simulator.measure_nominal(16)
+        assert 1e-12 < measurement.td_s < 1e-9
+        assert measurement.stop_reason == "stop-condition"
+
+    def test_td_grows_with_array_size(self, simulator):
+        td16 = simulator.measure_nominal(16).td_s
+        td64 = simulator.measure_nominal(64).td_s
+        assert td64 > 2.0 * td16
+
+    def test_nominal_td16_matches_paper_order_of_magnitude(self, simulator):
+        """Paper Table II: simulated td at 10x16 is 5.59 ps; ours must be single-digit ps."""
+        td_ps = simulator.measure_nominal(16).td_ps
+        assert 2.0 < td_ps < 20.0
+
+    def test_le3_worst_corner_penalty_large(self, simulator, le3_option):
+        penalty = simulator.penalty_percent(16, le3_option, LE3_WORST_CORNER)
+        assert penalty > 10.0
+
+    def test_sadp_and_euv_worst_corner_penalties_small(self, simulator, sadp_option, euv_option):
+        sadp_penalty = simulator.penalty_percent(16, sadp_option, SADP_WORST_CORNER)
+        euv_penalty = simulator.penalty_percent(16, euv_option, EUV_WORST_CORNER)
+        assert abs(sadp_penalty) < 10.0
+        assert abs(euv_penalty) < 10.0
+
+    def test_scaled_variation_increases_td(self, simulator):
+        nominal = simulator.measure_nominal(16)
+        varied = simulator.measure_with_variation(16, rvar=1.0, cvar=1.5)
+        assert varied.td_s > nominal.td_s
+
+    def test_penalty_vs_nominal_round_trip(self, simulator):
+        nominal = simulator.measure_nominal(16)
+        assert nominal.penalty_vs(nominal) == pytest.approx(1.0)
+        assert nominal.penalty_percent_vs(nominal) == pytest.approx(0.0)
+
+    def test_column_parasitics_roles(self, simulator):
+        column = simulator.column_parasitics(16)
+        assert column.bitline.n_cells == 16
+        assert column.vss_rail_resistance_ohm > 0.0
+        assert column.bitline.total_capacitance_f > column.bitline.wire_capacitance_f
+
+    def test_waveforms_returned_when_requested(self, simulator):
+        column = simulator.column_parasitics(16)
+        measurement, result = simulator.simulate_column(
+            16, column, label="probe", return_waveforms=True
+        )
+        assert isinstance(measurement, ReadMeasurement)
+        bl_wave = result.voltage(simulator.build_circuit(16, column).sense.bitline_node)
+        assert bl_wave[0] == pytest.approx(0.7)
+        assert bl_wave[-1] < 0.7
+
+    def test_bitline_discharges_while_complement_holds(self, simulator):
+        column = simulator.column_parasitics(16)
+        circuit = simulator.build_circuit(16, column)
+        _measurement, result = simulator.simulate_column(
+            16, column, label="probe", return_waveforms=True
+        )
+        bl_final = result.final_voltage(circuit.sense.bitline_node)
+        blb_final = result.final_voltage(circuit.sense.bitline_bar_node)
+        assert bl_final < 0.68
+        assert blb_final > 0.65
+
+    def test_layout_and_extraction_caching(self, simulator):
+        first = simulator.layout_for(16)
+        second = simulator.layout_for(16)
+        assert first is second
+        assert simulator.nominal_extraction(16) is simulator.nominal_extraction(16)
+
+    def test_penalty_sign_matches_capacitance_change(self, simulator, euv_option):
+        """A pure capacitance increase must slow the read down."""
+        nominal = simulator.measure_nominal(16)
+        slower = simulator.measure_with_variation(16, rvar=1.0, cvar=1.2)
+        faster = simulator.measure_with_variation(16, rvar=0.8, cvar=1.0)
+        assert slower.td_s > nominal.td_s
+        assert faster.td_s < nominal.td_s

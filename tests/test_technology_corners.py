@@ -1,0 +1,101 @@
+"""Tests of the variation-assumption containers and corner enumeration."""
+
+import pytest
+
+from repro.technology.corners import (
+    CornerError,
+    GaussianSpec,
+    LithoEtchAssumptions,
+    SADPAssumptions,
+    VariationAssumptions,
+    enumerate_corner_points,
+    paper_assumptions,
+)
+
+
+class TestGaussianSpec:
+    def test_sigma_is_one_third_of_budget(self):
+        assert GaussianSpec(3.0).sigma_nm == pytest.approx(1.0)
+
+    def test_corner_values(self):
+        assert GaussianSpec(3.0).corner_values() == (-3.0, 0.0, 3.0)
+
+    def test_zero_budget_is_allowed(self):
+        assert GaussianSpec(0.0).sigma_nm == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(CornerError):
+            GaussianSpec(-1.0)
+
+
+class TestPaperAssumptions:
+    def test_cd_budgets_are_three_nm(self):
+        assumptions = paper_assumptions()
+        assert assumptions.litho_etch.cd.three_sigma_nm == 3.0
+        assert assumptions.sadp.core_cd.three_sigma_nm == 3.0
+        assert assumptions.euv.cd.three_sigma_nm == 3.0
+
+    def test_spacer_budget_is_one_and_a_half_nm(self):
+        assert paper_assumptions().sadp.spacer.three_sigma_nm == 1.5
+
+    def test_default_overlay_is_eight_nm(self):
+        assert paper_assumptions().litho_etch.overlay.three_sigma_nm == 8.0
+
+    def test_overlay_sweep_is_three_to_eight(self):
+        assert paper_assumptions().le3_overlay_sweep_nm == (3.0, 5.0, 7.0, 8.0)
+
+    def test_masks_aligned_to_first(self):
+        assert paper_assumptions().litho_etch.masks_aligned_to_first
+
+    def test_bitlines_are_spacer_defined(self):
+        assert paper_assumptions().sadp.spacer_defined_lines
+
+    def test_for_overlay_returns_modified_copy(self):
+        assumptions = paper_assumptions()
+        tightened = assumptions.for_overlay(3.0)
+        assert tightened.litho_etch.overlay.three_sigma_nm == 3.0
+        assert assumptions.litho_etch.overlay.three_sigma_nm == 8.0
+        # Non-overlay fields unchanged.
+        assert tightened.sadp == assumptions.sadp
+
+    def test_empty_overlay_sweep_rejected(self):
+        with pytest.raises(CornerError):
+            VariationAssumptions(le3_overlay_sweep_nm=())
+
+    def test_negative_overlay_sweep_rejected(self):
+        with pytest.raises(CornerError):
+            VariationAssumptions(le3_overlay_sweep_nm=(3.0, -1.0))
+
+
+class TestCornerEnumeration:
+    def test_two_parameters_give_four_corners(self):
+        specs = {"a": GaussianSpec(1.0), "b": GaussianSpec(2.0)}
+        corners = enumerate_corner_points(specs)
+        assert len(corners) == 4
+        values = {tuple(sorted(corner.as_dict().items())) for corner in corners}
+        assert (("a", 1.0), ("b", 2.0)) in values
+        assert (("a", -1.0), ("b", -2.0)) in values
+
+    def test_include_nominal_gives_three_to_the_n(self):
+        specs = {"a": GaussianSpec(1.0), "b": GaussianSpec(2.0)}
+        corners = enumerate_corner_points(specs, include_nominal=True)
+        assert len(corners) == 9
+
+    def test_labels_encode_signs(self):
+        corners = enumerate_corner_points({"cd:A": GaussianSpec(3.0)})
+        labels = sorted(corner.label for corner in corners)
+        assert labels == ["cd:A=+3s", "cd:A=-3s"]
+
+    def test_corner_point_length(self):
+        corners = enumerate_corner_points({"a": GaussianSpec(1.0), "b": GaussianSpec(1.0)})
+        assert all(len(corner) == 2 for corner in corners)
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(CornerError):
+            enumerate_corner_points({})
+
+    def test_enumeration_is_deterministic(self):
+        specs = {"b": GaussianSpec(1.0), "a": GaussianSpec(2.0)}
+        first = [corner.label for corner in enumerate_corner_points(specs)]
+        second = [corner.label for corner in enumerate_corner_points(specs)]
+        assert first == second

@@ -1,0 +1,112 @@
+"""Tests of the BEOL material models."""
+
+import math
+
+import pytest
+
+from repro.technology.materials import (
+    AIR_GAP,
+    COPPER,
+    EPSILON_0_F_PER_NM,
+    LOW_K,
+    N10_MATERIALS,
+    SIO2,
+    TUNGSTEN,
+    BarrierLiner,
+    Conductor,
+    Dielectric,
+    MaterialError,
+    MaterialSystem,
+)
+
+
+class TestConductor:
+    def test_copper_bulk_resistivity_in_expected_range(self):
+        assert 15.0 < COPPER.bulk_resistivity_ohm_nm < 18.0
+
+    def test_effective_resistivity_exceeds_bulk_for_narrow_wires(self):
+        rho = COPPER.effective_resistivity(width_nm=20.0, thickness_nm=40.0)
+        assert rho > COPPER.bulk_resistivity_ohm_nm
+
+    def test_effective_resistivity_approaches_bulk_for_wide_wires(self):
+        rho_wide = COPPER.effective_resistivity(width_nm=10_000.0, thickness_nm=10_000.0)
+        assert rho_wide == pytest.approx(COPPER.bulk_resistivity_ohm_nm, rel=0.02)
+
+    def test_effective_resistivity_monotonically_decreases_with_width(self):
+        widths = [15.0, 20.0, 30.0, 60.0, 120.0]
+        rhos = [COPPER.effective_resistivity(w, 42.0) for w in widths]
+        assert all(earlier >= later for earlier, later in zip(rhos, rhos[1:]))
+
+    def test_no_size_effect_when_mean_free_path_is_zero(self):
+        ideal = Conductor(name="ideal", bulk_resistivity_ohm_nm=10.0, mean_free_path_nm=0.0)
+        assert ideal.effective_resistivity(5.0, 5.0) == 10.0
+
+    def test_tungsten_more_resistive_than_copper(self):
+        assert TUNGSTEN.bulk_resistivity_ohm_nm > COPPER.bulk_resistivity_ohm_nm
+
+    def test_rejects_nonpositive_resistivity(self):
+        with pytest.raises(MaterialError):
+            Conductor(name="bad", bulk_resistivity_ohm_nm=0.0)
+
+    def test_rejects_negative_mean_free_path(self):
+        with pytest.raises(MaterialError):
+            Conductor(name="bad", bulk_resistivity_ohm_nm=10.0, mean_free_path_nm=-1.0)
+
+    def test_rejects_specularity_outside_unit_interval(self):
+        with pytest.raises(MaterialError):
+            Conductor(name="bad", bulk_resistivity_ohm_nm=10.0, specularity=1.5)
+
+    def test_rejects_reflection_coefficient_of_one(self):
+        with pytest.raises(MaterialError):
+            Conductor(name="bad", bulk_resistivity_ohm_nm=10.0, reflection_coefficient=1.0)
+
+    def test_rejects_degenerate_cross_section(self):
+        with pytest.raises(MaterialError):
+            COPPER.effective_resistivity(width_nm=0.0, thickness_nm=10.0)
+
+
+class TestDielectric:
+    def test_low_k_below_sio2(self):
+        assert LOW_K.relative_permittivity < SIO2.relative_permittivity
+
+    def test_air_gap_is_unity(self):
+        assert AIR_GAP.relative_permittivity == 1.0
+
+    def test_permittivity_conversion(self):
+        assert SIO2.permittivity_f_per_nm == pytest.approx(3.9 * EPSILON_0_F_PER_NM)
+
+    def test_rejects_sub_unity_permittivity(self):
+        with pytest.raises(MaterialError):
+            Dielectric(name="bad", relative_permittivity=0.5)
+
+
+class TestBarrierLiner:
+    def test_default_barrier_is_nonconductive(self):
+        assert not BarrierLiner().conductive
+
+    def test_rejects_negative_thickness(self):
+        with pytest.raises(MaterialError):
+            BarrierLiner(thickness_nm=-0.1)
+
+    def test_rejects_nonpositive_resistivity(self):
+        with pytest.raises(MaterialError):
+            BarrierLiner(resistivity_ohm_nm=0.0)
+
+
+class TestMaterialSystem:
+    def test_default_system_uses_copper_and_low_k(self):
+        assert N10_MATERIALS.conductor.name == "Cu"
+        assert N10_MATERIALS.intra_layer_dielectric.name == "low-k"
+
+    def test_permittivity_helpers_match_dielectrics(self):
+        system = MaterialSystem()
+        assert system.line_to_line_permittivity() == pytest.approx(
+            system.intra_layer_dielectric.permittivity_f_per_nm
+        )
+        assert system.layer_to_layer_permittivity() == pytest.approx(
+            system.inter_layer_dielectric.permittivity_f_per_nm
+        )
+
+    def test_mixed_dielectric_system(self):
+        system = MaterialSystem(intra_layer_dielectric=AIR_GAP, inter_layer_dielectric=SIO2)
+        assert system.line_to_line_permittivity() < system.layer_to_layer_permittivity()

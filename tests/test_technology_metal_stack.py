@@ -1,0 +1,118 @@
+"""Tests of the metal-stack description."""
+
+import pytest
+
+from repro.technology.metal_stack import (
+    MetalLayer,
+    MetalStack,
+    Orientation,
+    PatterningClass,
+    StackError,
+    default_n10_metal_stack,
+)
+
+
+def make_layer(name="metal1", pitch=48.0, width=24.0, space=24.0, **kwargs):
+    return MetalLayer(
+        name=name,
+        pitch_nm=pitch,
+        min_width_nm=width,
+        min_space_nm=space,
+        thickness_nm=kwargs.pop("thickness_nm", 42.0),
+        **kwargs,
+    )
+
+
+class TestMetalLayer:
+    def test_aspect_ratio(self):
+        layer = make_layer()
+        assert layer.aspect_ratio == pytest.approx(42.0 / 24.0)
+
+    def test_half_pitch(self):
+        assert make_layer().half_pitch_nm == pytest.approx(24.0)
+
+    def test_pitch_must_equal_width_plus_space(self):
+        with pytest.raises(StackError):
+            make_layer(pitch=50.0, width=24.0, space=24.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(StackError):
+            make_layer(width=0.0, space=48.0)
+
+    def test_rejects_extreme_taper(self):
+        with pytest.raises(StackError):
+            make_layer(tapering_angle_deg=60.0)
+
+    def test_rejects_negative_dishing(self):
+        with pytest.raises(StackError):
+            make_layer(cmp_dishing_nm=-1.0)
+
+    def test_with_updates_returns_modified_copy(self):
+        layer = make_layer()
+        thicker = layer.with_updates(thickness_nm=50.0)
+        assert thicker.thickness_nm == 50.0
+        assert layer.thickness_nm == 42.0
+        assert thicker.name == layer.name
+
+
+class TestMetalStack:
+    def test_default_stack_has_metal1_to_metal3(self):
+        stack = default_n10_metal_stack()
+        assert stack.names == ["metal1", "metal2", "metal3"]
+
+    def test_metal1_is_horizontal_metal2_vertical(self):
+        stack = default_n10_metal_stack()
+        assert stack.layer("metal1").orientation is Orientation.HORIZONTAL
+        assert stack.layer("metal2").orientation is Orientation.VERTICAL
+
+    def test_metal1_pitch_requires_multiple_patterning(self):
+        # 48 nm pitch (24 nm half pitch) is well below the ~80 nm single
+        # 193i exposure limit, so the layer must allow MP or EUV.
+        layer = default_n10_metal_stack().layer("metal1")
+        assert layer.pitch_nm <= 64.0
+        assert layer.patterning_class in (
+            PatterningClass.ANY,
+            PatterningClass.DOUBLE,
+            PatterningClass.TRIPLE,
+        )
+
+    def test_layer_lookup_raises_for_unknown_name(self):
+        stack = default_n10_metal_stack()
+        with pytest.raises(KeyError):
+            stack.layer("metal9")
+
+    def test_above_and_below(self):
+        stack = default_n10_metal_stack()
+        assert stack.below("metal1") is None
+        assert stack.above("metal1").name == "metal2"
+        assert stack.below("metal2").name == "metal1"
+        assert stack.above("metal3") is None
+
+    def test_replace_layer_preserves_order(self):
+        stack = default_n10_metal_stack()
+        modified = stack.replace_layer(
+            "metal1", stack.layer("metal1").with_updates(thickness_nm=50.0)
+        )
+        assert modified.names == stack.names
+        assert modified.layer("metal1").thickness_nm == 50.0
+        assert stack.layer("metal1").thickness_nm != 50.0
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = make_layer()
+        with pytest.raises(StackError):
+            MetalStack.from_layers([layer, layer])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(StackError):
+            MetalStack.from_layers([])
+
+    def test_iteration_and_len(self):
+        stack = default_n10_metal_stack()
+        assert len(stack) == 3
+        assert [layer.name for layer in stack] == stack.names
+
+    def test_as_dict_round_trip(self):
+        stack = default_n10_metal_stack()
+        mapping = stack.as_dict()
+        assert set(mapping) == set(stack.names)
+        assert mapping["metal1"] is stack.layer("metal1")

@@ -1,0 +1,91 @@
+"""Tests of the top-level technology-node description."""
+
+import pytest
+
+from repro.technology.node import NodeError, OperatingConditions, TechnologyNode, n10
+
+
+class TestOperatingConditions:
+    def test_paper_defaults(self):
+        conditions = OperatingConditions()
+        assert conditions.vdd_v == pytest.approx(0.7)
+        assert conditions.sense_amp_sensitivity_v == pytest.approx(0.07)
+
+    def test_wordline_and_precharge_default_to_vdd(self):
+        conditions = OperatingConditions()
+        assert conditions.effective_wordline_voltage_v == pytest.approx(0.7)
+        assert conditions.effective_precharge_voltage_v == pytest.approx(0.7)
+
+    def test_discharge_fraction_is_ten_percent(self):
+        assert OperatingConditions().discharge_fraction == pytest.approx(0.1)
+
+    def test_explicit_wordline_voltage_wins(self):
+        conditions = OperatingConditions(wordline_voltage_v=0.8)
+        assert conditions.effective_wordline_voltage_v == pytest.approx(0.8)
+
+    def test_sensitivity_must_be_below_vdd(self):
+        with pytest.raises(NodeError):
+            OperatingConditions(vdd_v=0.7, sense_amp_sensitivity_v=0.8)
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(NodeError):
+            OperatingConditions(vdd_v=0.0)
+
+
+class TestTechnologyNode:
+    def test_n10_defaults(self):
+        node = n10()
+        assert node.name == "imec-N10"
+        assert node.bitline_layer == "metal1"
+        assert node.wordline_layer == "metal2"
+
+    def test_n10_overlay_override(self):
+        node = n10(overlay_three_sigma_nm=3.0)
+        assert node.variations.litho_etch.overlay.three_sigma_nm == pytest.approx(3.0)
+
+    def test_bitline_metal_accessor(self):
+        node = n10()
+        assert node.bitline_metal.name == "metal1"
+        assert node.wordline_metal.name == "metal2"
+
+    def test_with_variations_returns_copy(self):
+        node = n10()
+        modified = node.with_variations(node.variations.for_overlay(5.0))
+        assert modified.variations.litho_etch.overlay.three_sigma_nm == 5.0
+        assert node.variations.litho_etch.overlay.three_sigma_nm == 8.0
+
+    def test_with_operating_conditions_returns_copy(self):
+        node = n10()
+        modified = node.with_operating_conditions(OperatingConditions(vdd_v=0.8, sense_amp_sensitivity_v=0.07))
+        assert modified.operating_conditions.vdd_v == pytest.approx(0.8)
+        assert node.operating_conditions.vdd_v == pytest.approx(0.7)
+
+    def test_unknown_bitline_layer_rejected(self):
+        node = n10()
+        with pytest.raises(NodeError):
+            TechnologyNode(
+                name="bad",
+                metal_stack=node.metal_stack,
+                sram_devices=node.sram_devices,
+                bitline_layer="metal9",
+            )
+
+    def test_unknown_wordline_layer_rejected(self):
+        node = n10()
+        with pytest.raises(NodeError):
+            TechnologyNode(
+                name="bad",
+                metal_stack=node.metal_stack,
+                sram_devices=node.sram_devices,
+                wordline_layer="metal9",
+            )
+
+    def test_nonpositive_cell_dimensions_rejected(self):
+        node = n10()
+        with pytest.raises(NodeError):
+            TechnologyNode(
+                name="bad",
+                metal_stack=node.metal_stack,
+                sram_devices=node.sram_devices,
+                sram_cell_width_nm=0.0,
+            )

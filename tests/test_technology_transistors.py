@@ -1,0 +1,101 @@
+"""Tests of the FinFET parameter containers and the SRAM device set."""
+
+import pytest
+
+from repro.technology.transistors import (
+    DeviceError,
+    DeviceType,
+    FinFETParameters,
+    SRAMTransistorSet,
+    default_n10_nmos,
+    default_n10_pmos,
+    default_sram_transistors,
+)
+
+
+class TestFinFETParameters:
+    def test_nmos_on_current_reasonable_at_0v7(self):
+        nmos = default_n10_nmos()
+        ion = nmos.on_current_a(0.7)
+        # A single N10-class fin delivers on the order of tens of µA.
+        assert 5e-6 < ion < 100e-6
+
+    def test_on_current_scales_with_fins(self):
+        nmos = default_n10_nmos()
+        assert nmos.on_current_a(0.7, nfins=2) == pytest.approx(2.0 * nmos.on_current_a(0.7, nfins=1), rel=1e-12)
+
+    def test_on_current_zero_below_threshold(self):
+        nmos = default_n10_nmos()
+        assert nmos.on_current_a(nmos.vth_v * 0.5) == 0.0
+
+    def test_effective_resistance_positive(self):
+        nmos = default_n10_nmos()
+        assert nmos.effective_resistance_ohm(0.7) > 0.0
+
+    def test_effective_resistance_raises_when_off(self):
+        nmos = default_n10_nmos()
+        with pytest.raises(DeviceError):
+            nmos.effective_resistance_ohm(0.1)
+
+    def test_scaled_returns_modified_copy(self):
+        nmos = default_n10_nmos()
+        faster = nmos.scaled(vth_v=0.25)
+        assert faster.vth_v == 0.25
+        assert nmos.vth_v == 0.30
+        assert faster.on_current_a(0.7) > nmos.on_current_a(0.7)
+
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(DeviceError):
+            default_n10_nmos().scaled(alpha=2.5)
+
+    def test_rejects_nonpositive_vth(self):
+        with pytest.raises(DeviceError):
+            default_n10_nmos().scaled(vth_v=0.0)
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(DeviceError):
+            default_n10_nmos().scaled(cdrain_f_per_fin=-1e-18)
+
+    def test_pmos_weaker_than_nmos(self):
+        assert default_n10_pmos().on_current_a(0.7) < default_n10_nmos().on_current_a(0.7)
+
+
+class TestSRAMTransistorSet:
+    def test_default_cell_is_one_one_one(self):
+        cell = default_sram_transistors()
+        assert (cell.pull_down_fins, cell.pass_gate_fins, cell.pull_up_fins) == (1, 1, 1)
+
+    def test_beta_ratio_above_one_for_read_stability(self):
+        cell = default_sram_transistors()
+        assert cell.beta_ratio(0.7) > 1.0
+
+    def test_discharge_path_resistance_is_series_sum(self):
+        cell = default_sram_transistors()
+        expected = cell.pass_gate.effective_resistance_ohm(0.7) + cell.pull_down.effective_resistance_ohm(0.7)
+        assert cell.discharge_path_resistance_ohm(0.7) == pytest.approx(expected)
+
+    def test_bitline_loading_is_pass_gate_drain_cap(self):
+        cell = default_sram_transistors()
+        assert cell.bitline_loading_capacitance_f() == pytest.approx(
+            cell.pass_gate.cdrain_f_per_fin * cell.pass_gate_fins
+        )
+
+    def test_as_dict_contains_three_flavours(self):
+        assert set(default_sram_transistors().as_dict()) == {"pull_down", "pass_gate", "pull_up"}
+
+    def test_wrong_device_types_rejected(self):
+        nmos = default_n10_nmos()
+        pmos = default_n10_pmos()
+        with pytest.raises(DeviceError):
+            SRAMTransistorSet(pull_down=nmos, pass_gate=nmos, pull_up=nmos)
+        with pytest.raises(DeviceError):
+            SRAMTransistorSet(pull_down=pmos, pass_gate=nmos, pull_up=pmos)
+
+    def test_fin_counts_must_be_positive(self):
+        with pytest.raises(DeviceError):
+            SRAMTransistorSet(
+                pull_down=default_n10_nmos(),
+                pass_gate=default_n10_nmos(),
+                pull_up=default_n10_pmos(),
+                pass_gate_fins=0,
+            )

@@ -1,0 +1,203 @@
+"""Tests of distributions, statistics, the Monte-Carlo engine and the DOE."""
+
+import numpy as np
+import pytest
+
+from repro.variability.distributions import (
+    CornerDistribution,
+    DistributionError,
+    NormalDistribution,
+    TruncatedNormalDistribution,
+)
+from repro.variability.doe import DOEError, DOEPoint, StudyDOE, paper_doe, reduced_doe
+from repro.variability.montecarlo import MonteCarloEngine, MonteCarloError
+from repro.variability.statistics import (
+    Histogram,
+    StatisticsError,
+    SummaryStatistics,
+    correlation,
+    standard_deviation,
+)
+
+
+class TestDistributions:
+    def test_normal_from_three_sigma(self):
+        dist = NormalDistribution.from_three_sigma(3.0)
+        assert dist.sigma == pytest.approx(1.0)
+        assert dist.std() == pytest.approx(1.0)
+
+    def test_normal_sampling_statistics(self):
+        rng = np.random.default_rng(0)
+        samples = NormalDistribution(mu=2.0, sigma=0.5).sample(rng, size=5000)
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.05)
+        assert np.std(samples) == pytest.approx(0.5, rel=0.1)
+
+    def test_zero_sigma_normal_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        assert NormalDistribution(mu=1.0, sigma=0.0).sample(rng) == 1.0
+
+    def test_truncated_normal_respects_bounds(self):
+        rng = np.random.default_rng(1)
+        dist = TruncatedNormalDistribution(mu=0.0, sigma=1.0, n_sigma=2.0)
+        samples = dist.sample(rng, size=3000)
+        assert np.max(np.abs(samples)) <= 2.0 + 1e-12
+
+    def test_truncated_normal_std_below_untruncated(self):
+        assert TruncatedNormalDistribution(sigma=1.0, n_sigma=3.0).std() < 1.0
+
+    def test_corner_distribution_two_points(self):
+        rng = np.random.default_rng(2)
+        samples = CornerDistribution(excursion=3.0).sample(rng, size=100)
+        assert set(np.unique(samples)) <= {-3.0, 3.0}
+        assert CornerDistribution(excursion=3.0).std() == 3.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DistributionError):
+            NormalDistribution(sigma=-1.0)
+        with pytest.raises(DistributionError):
+            NormalDistribution.from_three_sigma(-3.0)
+        with pytest.raises(DistributionError):
+            TruncatedNormalDistribution(n_sigma=0.0)
+        with pytest.raises(DistributionError):
+            CornerDistribution(excursion=-1.0)
+
+
+class TestStatistics:
+    def test_summary_statistics(self):
+        summary = SummaryStatistics.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.count == 5
+        assert summary.minimum == 1.0 and summary.maximum == 5.0
+        assert summary.spread == 4.0
+
+    def test_std_is_sample_std(self):
+        assert standard_deviation([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_three_sigma_interval(self):
+        summary = SummaryStatistics.from_samples([0.0, 1.0, 2.0])
+        low, high = summary.three_sigma_interval()
+        assert low < summary.mean < high
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(StatisticsError):
+            SummaryStatistics.from_samples([])
+
+    def test_non_finite_samples_rejected(self):
+        with pytest.raises(StatisticsError):
+            SummaryStatistics.from_samples([1.0, float("nan")])
+
+    def test_histogram_totals(self):
+        histogram = Histogram.from_samples([1.0, 1.1, 2.0, 3.0], bins=4)
+        assert sum(histogram.counts) == 4
+        assert histogram.total == 4
+        assert len(histogram.bin_centers) == 4
+        assert sum(histogram.densities) == pytest.approx(1.0)
+
+    def test_histogram_mode(self):
+        samples = [0.0] * 10 + [5.0]
+        histogram = Histogram.from_samples(samples, bins=5)
+        assert histogram.mode_bin_center() < 2.0
+
+    def test_histogram_ascii_rows(self):
+        rows = Histogram.from_samples([1.0, 2.0, 3.0], bins=3).ascii_rows(width=10)
+        assert len(rows) == 3
+        assert all("|" in row for row in rows)
+
+    def test_correlation_perfectly_linear(self):
+        assert correlation([1.0, 2.0, 3.0], [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+        assert correlation([1.0, 2.0, 3.0], [-1.0, -2.0, -3.0]) == pytest.approx(-1.0)
+
+    def test_correlation_validation(self):
+        with pytest.raises(StatisticsError):
+            correlation([1.0], [1.0])
+        with pytest.raises(StatisticsError):
+            correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(StatisticsError):
+            correlation([1.0, 1.0], [1.0, 2.0])
+
+
+class TestMonteCarloEngine:
+    def make_engine(self, seed=3):
+        return MonteCarloEngine(
+            parameter_distributions={
+                "x": NormalDistribution(sigma=1.0),
+                "y": NormalDistribution(sigma=2.0),
+            },
+            model=lambda p: p["x"] + p["y"],
+            seed=seed,
+        )
+
+    def test_run_produces_requested_samples(self):
+        run = self.make_engine().run(100)
+        assert len(run) == 100
+        assert len(run.results()) == 100
+
+    def test_seeded_runs_reproducible(self):
+        first = self.make_engine(seed=5).run(50).values(lambda r: r)
+        second = self.make_engine(seed=5).run(50).values(lambda r: r)
+        assert first == second
+
+    def test_summary_std_matches_theory(self):
+        run = self.make_engine().run(4000)
+        summary = run.summary(lambda r: r)
+        assert summary.std == pytest.approx(np.sqrt(5.0), rel=0.1)
+
+    def test_parameter_values_recorded(self):
+        run = self.make_engine().run(10)
+        assert len(run.parameter_values("x")) == 10
+
+    def test_histogram_from_run(self):
+        histogram = self.make_engine().run(200).histogram(lambda r: r, bins=10)
+        assert sum(histogram.counts) == 200
+
+    def test_run_until_stops_between_bounds(self):
+        run = self.make_engine().run_until(lambda r: r, relative_std_error=0.05, min_samples=50, max_samples=2000)
+        assert 50 <= len(run) <= 2000
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(MonteCarloError):
+            MonteCarloEngine({}, lambda p: 0.0)
+        with pytest.raises(MonteCarloError):
+            self.make_engine().run(0)
+        with pytest.raises(MonteCarloError):
+            self.make_engine().run_until(lambda r: r, relative_std_error=2.0)
+
+
+class TestDOE:
+    def test_paper_doe_grid(self):
+        doe = paper_doe()
+        assert doe.array_sizes == (16, 64, 256, 1024)
+        assert doe.option_names == ("LELELE", "SADP", "EUV")
+        assert doe.n_bitline_pairs == 10
+        assert len(doe.worst_case_points()) == 12
+
+    def test_monte_carlo_points_sweep_overlay_for_le3_only(self):
+        points = paper_doe().monte_carlo_points()
+        le3_points = [p for p in points if p.option_name == "LELELE"]
+        sadp_points = [p for p in points if p.option_name == "SADP"]
+        assert len(le3_points) == 4
+        assert len(sadp_points) == 1
+        assert {p.overlay_three_sigma_nm for p in le3_points} == {3.0, 5.0, 7.0, 8.0}
+        assert sadp_points[0].overlay_three_sigma_nm is None
+
+    def test_point_labels(self):
+        point = DOEPoint(n_wordlines=64, option_name="LELELE", overlay_three_sigma_nm=8.0)
+        assert point.array_label == "10x64"
+        assert "OL8nm" in point.label
+
+    def test_reduced_doe_caps_sizes(self):
+        assert reduced_doe(max_wordlines=64).array_sizes == (16, 64)
+
+    def test_iteration_yields_worst_case_points(self):
+        assert len(list(paper_doe())) == 12
+
+    def test_validation(self):
+        with pytest.raises(DOEError):
+            StudyDOE(array_sizes=())
+        with pytest.raises(DOEError):
+            StudyDOE(array_sizes=(0,))
+        with pytest.raises(DOEError):
+            StudyDOE(overlay_budgets_nm=(0.0,))
+        with pytest.raises(DOEError):
+            paper_doe().monte_carlo_points(n_wordlines=0)
