@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the Monte-Carlo tdp benches (Fig. 5 / Table IV).
+
+Times every Monte-Carlo study point of the paper DOE through both the
+batched (vectorised) pipeline and the scalar per-sample oracle, checks
+that the two agree element-wise, and writes the numbers to
+``BENCH_mc.json`` so future PRs have a trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # full run (1000 samples)
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --samples 50 # CI smoke bench
+
+The JSON schema (see README.md, "performance notes"):
+
+* ``points`` — one entry per study point with ``batch``/``scalar``
+  sub-objects (``wall_s``, ``samples_per_s``), the batch/scalar
+  ``speedup``, the σ(tdp) of both paths and the max |Δ| between the two
+  sample sets (the parity check);
+* ``summary`` — total wall time of each path, the geometric-mean and
+  minimum per-point speedup, and the samples/sec of the batched path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.montecarlo import MonteCarloTdpStudy  # noqa: E402
+from repro.technology.node import n10  # noqa: E402
+from repro.variability.doe import paper_doe  # noqa: E402
+
+
+def time_record(study: MonteCarloTdpStudy, point) -> tuple[float, object]:
+    start = time.perf_counter()
+    record = study.tdp_record(point)
+    return time.perf_counter() - start, record
+
+
+def run_benches(n_samples: int, n_wordlines: int, skip_scalar: bool) -> dict:
+    node = n10()
+    doe = paper_doe()
+    batch_study = MonteCarloTdpStudy(node, doe=doe, n_samples=n_samples, batch=True)
+    scalar_study = MonteCarloTdpStudy(
+        node, doe=doe, model=batch_study.model, n_samples=n_samples, batch=False
+    )
+    points = doe.monte_carlo_points(n_wordlines=n_wordlines)
+
+    entries = []
+    total_batch = 0.0
+    total_scalar = 0.0
+    speedups = []
+    for point in points:
+        # Warm the layout cache so neither path pays generation cost.
+        batch_study._layout_for(point.n_wordlines)
+        scalar_study._layout_cache = batch_study._layout_cache
+        batch_wall, batch_record = time_record(batch_study, point)
+        entry = {
+            "label": point.label,
+            "option": point.option_name,
+            "overlay_three_sigma_nm": point.overlay_three_sigma_nm,
+            "n_wordlines": point.n_wordlines,
+            "n_samples": n_samples,
+            "batch": {
+                "wall_s": round(batch_wall, 6),
+                "samples_per_s": round(n_samples / batch_wall, 1),
+            },
+            "sigma_percent": round(batch_record.summary.std, 6),
+        }
+        total_batch += batch_wall
+        if not skip_scalar:
+            scalar_wall, scalar_record = time_record(scalar_study, point)
+            diff = np.max(
+                np.abs(
+                    np.asarray(batch_record.tdp_percent_samples)
+                    - np.asarray(scalar_record.tdp_percent_samples)
+                )
+            )
+            speedup = scalar_wall / batch_wall
+            entry["scalar"] = {
+                "wall_s": round(scalar_wall, 6),
+                "samples_per_s": round(n_samples / scalar_wall, 1),
+            }
+            entry["speedup"] = round(speedup, 2)
+            entry["parity"] = {
+                "max_abs_diff_percent": float(diff),
+                "sigma_percent_scalar": round(scalar_record.summary.std, 6),
+                "histograms_identical": batch_record.histogram.counts
+                == scalar_record.histogram.counts,
+            }
+            total_scalar += scalar_wall
+            speedups.append(speedup)
+        entries.append(entry)
+        line = f"{point.label:28s} batch {batch_wall*1e3:8.2f} ms"
+        if not skip_scalar:
+            line += f"  scalar {entry['scalar']['wall_s']*1e3:9.2f} ms  {entry['speedup']:7.1f}x"
+        print(line)
+
+    summary = {
+        "n_points": len(points),
+        "n_samples": n_samples,
+        "batch_total_wall_s": round(total_batch, 6),
+        "batch_samples_per_s": round(len(points) * n_samples / total_batch, 1),
+    }
+    if speedups:
+        summary["scalar_total_wall_s"] = round(total_scalar, 6)
+        summary["speedup_geomean"] = round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+        )
+        summary["speedup_min"] = round(min(speedups), 2)
+    return {"points": entries, "summary": summary}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=1000,
+                        help="Monte-Carlo samples per study point (default 1000)")
+    parser.add_argument("--wordlines", type=int, default=64,
+                        help="array size of the MC study (default 64, as in the paper)")
+    parser.add_argument("--skip-scalar", action="store_true",
+                        help="time only the batched path (quick trend check)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_mc.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    started = time.time()
+    report = {
+        "bench": "monte_carlo_tdp",
+        "description": "Fig.5/Table IV Monte-Carlo benches: batched vs scalar pipeline",
+        "timestamp_unix": int(started),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    report.update(run_benches(args.samples, args.wordlines, args.skip_scalar))
+    report["harness_wall_s"] = round(time.time() - started, 3)
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    summary = report["summary"]
+    print(f"batched throughput: {summary['batch_samples_per_s']:.0f} samples/s")
+    if "speedup_geomean" in summary:
+        print(
+            f"speedup vs scalar: geomean {summary['speedup_geomean']}x, "
+            f"min {summary['speedup_min']}x"
+        )
+        if summary["speedup_min"] < 10.0 and args.samples >= 1000:
+            print("WARNING: batched path is below the 10x acceptance floor")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

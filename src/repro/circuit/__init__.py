@@ -19,7 +19,14 @@ from .elements import (
     VoltageSource,
     Waveform,
 )
-from .mna import DEFAULT_GMIN_S, MNAAssembler, MNAError, NonlinearStamp
+from .mna import (
+    DEFAULT_GMIN_S,
+    CachedFactorSolver,
+    JacobianTemplate,
+    MNAAssembler,
+    MNAError,
+    NonlinearStamp,
+)
 from .mosfet import MOSFET, OperatingPoint
 from .netlist import Circuit, GROUND_NAMES, NetlistError, is_ground
 from .spice_io import SpiceFormatError, read_spice, write_spice
@@ -42,6 +49,8 @@ __all__ = [
     "DEFAULT_GMIN_S",
     "ElementError",
     "GROUND_NAMES",
+    "CachedFactorSolver",
+    "JacobianTemplate",
     "MNAAssembler",
     "MNAError",
     "MOSFET",

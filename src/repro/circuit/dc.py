@@ -15,10 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
-from .mna import MNAAssembler, MNAError
+from .mna import CachedFactorSolver, MNAAssembler, MNAError
 from .netlist import Circuit
 
 
@@ -55,12 +53,18 @@ class NewtonOptions:
 
 def _newton_solve(
     assembler: MNAAssembler,
-    g_matrix: sparse.csr_matrix,
     b: np.ndarray,
     x0: np.ndarray,
     options: NewtonOptions,
 ) -> tuple[np.ndarray, int, bool, float]:
-    """Newton iteration on ``G x + I_nl(x) = b`` starting from ``x0``."""
+    """Newton iteration on ``G x + I_nl(x) = b`` starting from ``x0``.
+
+    The linear solves go through a :class:`CachedFactorSolver`, so the LU
+    factorisation of ``G`` is computed once and reused for every iteration
+    of a linear circuit (and whenever the device stamps are unchanged).
+    """
+    solver = CachedFactorSolver(assembler)
+    g_matrix = assembler.conductance_matrix
     x = x0.copy()
     max_residual = float("inf")
     for iteration in range(1, options.max_iterations + 1):
@@ -69,18 +73,13 @@ def _newton_solve(
         max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
         if max_residual < options.abs_tolerance_a:
             return x, iteration, True, max_residual
-        if stamp.rows:
-            jac_nl = sparse.csr_matrix(
-                (stamp.values, (stamp.rows, stamp.cols)),
-                shape=(assembler.size, assembler.size),
-            )
-            jacobian = g_matrix + jac_nl
-        else:
-            jacobian = g_matrix
         try:
-            delta = spsolve(jacobian.tocsc(), -residual)
-        except RuntimeError as error:  # pragma: no cover - singular matrix
-            raise ConvergenceError(f"linear solve failed: {error}") from error
+            delta = solver.solve(0.0, stamp, -residual)
+        except RuntimeError:
+            # Exactly singular Jacobian at this gmin: report non-convergence
+            # so the caller's gmin-stepping fallback can regularise and retry
+            # instead of aborting the whole operating-point search.
+            return x, iteration, False, max_residual
         delta = np.asarray(delta).ravel()
         # Limit the per-iteration voltage step for robustness.
         node_delta = delta[: assembler.n_nodes]
@@ -132,7 +131,7 @@ def dc_operating_point(
         for offset, source in enumerate(assembler.voltage_sources):
             x0[assembler.n_nodes + offset] = 0.0
         solution, iterations, converged, max_residual = _newton_solve(
-            assembler, assembler.conductance_matrix, b, x0, chosen_options
+            assembler, b, x0, chosen_options
         )
         if converged and gmin_attempt == gmin_s:
             return DCResult(
@@ -149,11 +148,7 @@ def dc_operating_point(
                 step_assembler = MNAAssembler(circuit, gmin_s=step_gmin)
                 b = step_assembler.source_vector(0.0)
                 current, iterations, converged, max_residual = _newton_solve(
-                    step_assembler,
-                    step_assembler.conductance_matrix,
-                    b,
-                    current,
-                    chosen_options,
+                    step_assembler, b, current, chosen_options
                 )
                 if not converged:
                     break

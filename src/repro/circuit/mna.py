@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
+from scipy.sparse.linalg import splu
 
 from .elements import Capacitor, CurrentSource, Resistor, VoltageSource
 from .mosfet import MOSFET
@@ -202,6 +203,40 @@ class MNAAssembler:
 
     # -- nonlinear stamps ------------------------------------------------------------------
 
+    @staticmethod
+    def _device_stamp_pairs(
+        d: Optional[int], g: Optional[int], s: Optional[int]
+    ) -> Tuple[Tuple[Optional[int], Optional[int]], ...]:
+        """The (row, col) emission order of one MOSFET's Jacobian stamp.
+
+        Single source of truth shared by :meth:`nonlinear_stamp` and
+        :meth:`nonlinear_positions` — the factorisation cache maps stamp
+        values to CSC positions by this order, so the two must never
+        diverge.
+        """
+        return ((d, d), (d, g), (d, s), (s, d), (s, g), (s, s))
+
+    def nonlinear_positions(self) -> Tuple[List[int], List[int]]:
+        """The fixed (row, col) sequence :meth:`nonlinear_stamp` emits.
+
+        The Jacobian contributions of the MOSFETs always land on the same
+        matrix positions in the same order — only the values change between
+        Newton iterations.  The factorisation cache exploits this to map
+        stamp values straight into a prebuilt CSC data array.
+        """
+        rows: List[int] = []
+        cols: List[int] = []
+        for device in self.mosfets:
+            d = self.index_of(device.drain)
+            g = self.index_of(device.gate)
+            s = self.index_of(device.source)
+            for row, col in self._device_stamp_pairs(d, g, s):
+                if row is None or col is None:
+                    continue
+                rows.append(row)
+                cols.append(col)
+        return rows, cols
+
     def _voltage_at(self, solution: np.ndarray, node: str) -> float:
         index = self.index_of(node)
         return 0.0 if index is None else float(solution[index])
@@ -237,12 +272,11 @@ class MNAAssembler:
 
             gds = op.gds_s
             gm = op.gm_s
-            add(d, d, gds)
-            add(d, g, gm)
-            add(d, s, -(gds + gm))
-            add(s, d, -gds)
-            add(s, g, -gm)
-            add(s, s, gds + gm)
+            stamp_values = (gds, gm, -(gds + gm), -gds, -gm, gds + gm)
+            for (row, col), value in zip(
+                self._device_stamp_pairs(d, g, s), stamp_values
+            ):
+                add(row, col, value)
 
         return NonlinearStamp(rows=rows, cols=cols, values=values, residual=residual)
 
@@ -268,3 +302,128 @@ class MNAAssembler:
                     )
                 solution[index] = value
         return solution
+
+
+class JacobianTemplate:
+    """One fixed CSC sparsity pattern for every Newton Jacobian of a circuit.
+
+    The pattern is the union of the nonzeros of ``G``, ``C`` and the MOSFET
+    stamp positions, ordered column-major with sorted rows — i.e. a valid
+    CSC structure that never changes.  ``G`` and ``C`` are pre-scattered
+    into template-aligned data arrays, and the per-iteration stamp values
+    are injected through a precomputed position map, so assembling
+    ``G + C/dt + J_nl`` costs one vector add instead of two sparse-matrix
+    additions and a CSR→CSC conversion.
+    """
+
+    def __init__(self, assembler: MNAAssembler) -> None:
+        self.size = assembler.size
+        g_coo = assembler.conductance_matrix.tocoo()
+        c_coo = assembler.capacitance_matrix.tocoo()
+        nl_rows, nl_cols = assembler.nonlinear_positions()
+
+        rows = np.concatenate([g_coo.row, c_coo.row, np.asarray(nl_rows, dtype=np.int64)])
+        cols = np.concatenate([g_coo.col, c_coo.col, np.asarray(nl_cols, dtype=np.int64)])
+        keys = cols.astype(np.int64) * self.size + rows.astype(np.int64)
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+
+        self.indices = (unique_keys % self.size).astype(np.int32)
+        unique_cols = unique_keys // self.size
+        self.indptr = np.searchsorted(unique_cols, np.arange(self.size + 1)).astype(
+            np.int32
+        )
+        self.nnz = int(unique_keys.size)
+
+        n_g = g_coo.nnz
+        n_c = c_coo.nnz
+        self.g_data = np.zeros(self.nnz)
+        np.add.at(self.g_data, inverse[:n_g], g_coo.data)
+        self.c_data = np.zeros(self.nnz)
+        np.add.at(self.c_data, inverse[n_g : n_g + n_c], c_coo.data)
+        #: Template position of each stamp triplet, in emission order.
+        self.nl_positions = inverse[n_g + n_c :].copy()
+
+    def matrix(self, data: np.ndarray) -> sparse.csc_matrix:
+        """Wrap a template-aligned data vector as a CSC matrix (no copy)."""
+        return sparse.csc_matrix(
+            (data, self.indices, self.indptr), shape=(self.size, self.size)
+        )
+
+    def static_data(self, c_factor: float = 0.0) -> np.ndarray:
+        """Data vector of ``G + c_factor·C`` (``c_factor`` is 1/dt, 2/dt or 0)."""
+        if c_factor == 0.0:
+            return self.g_data.copy()
+        return self.g_data + c_factor * self.c_data
+
+
+class CachedFactorSolver:
+    """Sparse-LU reuse across Newton iterations and time steps.
+
+    Keyed by the capacitance scale ``c_factor`` (0 for DC, ``1/dt`` for
+    backward Euler, ``2/dt`` for trapezoidal): the static matrix
+    ``G + c_factor·C`` and — while the nonlinear stamp values are unchanged
+    — its :func:`~scipy.sparse.linalg.splu` factorisation are cached, so a
+    linear circuit refactorises only when ``dt`` changes and a nonlinear
+    one skips all matrix assembly overhead.
+    """
+
+    #: Distinct c_factor entries kept before the cache is reset (the
+    #: adaptive step controller revisits a small set of dt values).
+    MAX_CACHE = 32
+
+    def __init__(self, assembler: MNAAssembler) -> None:
+        self.assembler = assembler
+        self.template = JacobianTemplate(assembler)
+        self._static: Dict[float, Tuple[np.ndarray, sparse.csc_matrix]] = {}
+        self._lu: Dict[float, Tuple[Optional[np.ndarray], object]] = {}
+        self.n_factorizations = 0
+        self.n_solves = 0
+
+    def _static_entry(self, c_factor: float) -> Tuple[np.ndarray, sparse.csc_matrix]:
+        entry = self._static.get(c_factor)
+        if entry is None:
+            if len(self._static) >= self.MAX_CACHE:
+                self._static.clear()
+                self._lu.clear()
+            data = self.template.static_data(c_factor)
+            entry = (data, self.template.matrix(data))
+            self._static[c_factor] = entry
+        return entry
+
+    def static_matrix(self, c_factor: float = 0.0) -> sparse.csc_matrix:
+        """``G + c_factor·C`` in template CSC form (cached per factor)."""
+        return self._static_entry(c_factor)[1]
+
+    def solve(
+        self, c_factor: float, stamp: NonlinearStamp, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Solve ``(G + c_factor·C + J_nl) x = rhs``, reusing factorisations.
+
+        The LU of the previous call with the same ``c_factor`` is reused
+        when the stamp values are identical — always the case for circuits
+        without nonlinear devices, where the Jacobian is the static matrix.
+        """
+        static_data, _ = self._static_entry(c_factor)
+        values = np.asarray(stamp.values)
+        cached = self._lu.get(c_factor)
+        lu = None
+        if cached is not None:
+            cached_values, cached_lu = cached
+            if cached_values is None:
+                if values.size == 0:
+                    lu = cached_lu
+            elif cached_values.shape == values.shape and np.array_equal(
+                cached_values, values
+            ):
+                lu = cached_lu
+        if lu is None:
+            if values.size:
+                data = static_data.copy()
+                np.add.at(data, self.template.nl_positions, values)
+            else:
+                data = static_data
+            lu = splu(self.template.matrix(data))
+            self.n_factorizations += 1
+            self._lu[c_factor] = (values.copy() if values.size else None, lu)
+        self.n_solves += 1
+        return lu.solve(rhs)

@@ -21,11 +21,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
 from .dc import ConvergenceError, NewtonOptions
-from .mna import MNAAssembler
+from .mna import CachedFactorSolver, MNAAssembler
 from .netlist import Circuit
 from .waveform import TransientResult
 
@@ -71,6 +69,9 @@ class TransientSolver:
         self.circuit = circuit
         self.options = options if options is not None else TransientOptions()
         self.assembler = MNAAssembler(circuit, gmin_s=gmin_s)
+        # Shared factorisation cache: the LU of (G + C/dt) is reused across
+        # iterations and steps until dt or the device stamps change.
+        self.solver_cache = CachedFactorSolver(self.assembler)
 
     # -- single implicit step -----------------------------------------------------
 
@@ -84,27 +85,30 @@ class TransientSolver:
         """Solve one implicit time step; returns None when Newton fails."""
         assembler = self.assembler
         options = self.options.newton
+        solver = self.solver_cache
         g_matrix = assembler.conductance_matrix
         c_matrix = assembler.capacitance_matrix
-        c_over_dt = c_matrix / dt_s
+        # C·x_prev as a vector op — no per-step sparse scalar division.
+        c_dot_prev_over_dt = c_matrix.dot(x_prev) / dt_s
         b_now = assembler.source_vector(time_s)
 
         if self.options.method == "trapezoidal":
             # Trapezoidal: C (x−x_prev)/dt = −0.5 [f(x, t) + f(x_prev, t_prev)]
             # Rearranged into Newton form with an extra history term.
+            c_factor = 2.0 / dt_s
             b_prev = assembler.source_vector(time_s - dt_s)
             stamp_prev = assembler.nonlinear_stamp(x_prev)
             history = (
-                c_over_dt.dot(x_prev) * 2.0
+                c_dot_prev_over_dt * 2.0
                 - g_matrix.dot(x_prev)
                 - stamp_prev.residual
                 + b_prev
             )
-            static = g_matrix + 2.0 * c_over_dt
             rhs_const = b_now + history
         else:
-            static = g_matrix + c_over_dt
-            rhs_const = b_now + c_over_dt.dot(x_prev)
+            c_factor = 1.0 / dt_s
+            rhs_const = b_now + c_dot_prev_over_dt
+        static = solver.static_matrix(c_factor)
 
         x = x_guess.copy()
         for _iteration in range(options.max_iterations):
@@ -113,16 +117,8 @@ class TransientSolver:
             max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
             if max_residual < options.abs_tolerance_a:
                 return x
-            if stamp.rows:
-                jac_nl = sparse.csr_matrix(
-                    (stamp.values, (stamp.rows, stamp.cols)),
-                    shape=(assembler.size, assembler.size),
-                )
-                jacobian = static + jac_nl
-            else:
-                jacobian = static
             try:
-                delta = spsolve(jacobian.tocsc(), -residual)
+                delta = solver.solve(c_factor, stamp, -residual)
             except RuntimeError:
                 return None
             delta = np.asarray(delta).ravel()

@@ -32,13 +32,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
 
 from ..extraction.lpe import ParameterizedLPE, RCVariation
 from ..layout.array import generate_array_layout
 from ..sram.cell import bitline_loading_per_unselected_cell_f
-from ..sram.precharge import precharge_capacitance_f
+from ..sram.precharge import PrechargeCapacitanceLaw
 from ..technology.node import TechnologyNode
+
+#: Scalars or sample arrays — every eq. 4/5 entry point accepts both and
+#: broadcasts them together, so a whole Monte-Carlo study point is a single
+#: vectorised evaluation.
+ArrayLike = Union[int, float, np.ndarray]
 
 
 class AnalyticalModelError(ValueError):
@@ -115,17 +122,23 @@ class AnalyticalDelayModel:
 
     # -- eq. 4 ------------------------------------------------------------------------
 
-    def td_s(self, n: int, rvar: float = 1.0, cvar: float = 1.0) -> float:
-        """Read time (seconds) for an ``n``-cell column at the given variation."""
-        if n < 1:
+    def td_s(self, n: ArrayLike, rvar: ArrayLike = 1.0, cvar: ArrayLike = 1.0) -> ArrayLike:
+        """Read time (seconds) for an ``n``-cell column at the given variation.
+
+        ``n``, ``rvar`` and ``cvar`` may each be scalars or (broadcastable)
+        arrays; with array inputs the result is the element-wise read time,
+        which is how the Monte-Carlo study maps a whole sample set through
+        eq. 4 in one call.
+        """
+        if np.any(np.asarray(n) < 1):
             raise AnalyticalModelError("the array size must be at least one cell")
-        if rvar <= 0.0 or cvar <= 0.0:
+        if np.any(np.asarray(rvar) <= 0.0) or np.any(np.asarray(cvar) <= 0.0):
             raise AnalyticalModelError("variation ratios must be positive")
         resistance = n * self.rbl_per_cell_ohm * rvar + self.rfe_ohm
         capacitance = n * (self.cbl_per_cell_f * cvar + self.cfe_per_cell_f) + self.cpre_fn(n)
         return self.a * resistance * capacitance
 
-    def td_nominal_s(self, n: int) -> float:
+    def td_nominal_s(self, n: ArrayLike) -> ArrayLike:
         """Nominal read time (``Rvar = Cvar = 1``)."""
         return self.td_s(n, 1.0, 1.0)
 
@@ -144,16 +157,24 @@ class AnalyticalDelayModel:
 
     # -- tdp --------------------------------------------------------------------------
 
-    def tdp(self, n: int, rvar: float, cvar: float) -> float:
-        """Read-time penalty as a ratio: ``td(Rvar, Cvar) / td(1, 1)``."""
+    def tdp(self, n: ArrayLike, rvar: ArrayLike, cvar: ArrayLike) -> ArrayLike:
+        """Read-time penalty as a ratio: ``td(Rvar, Cvar) / td(1, 1)``.
+
+        Accepts scalars or arrays like :meth:`td_s`.
+        """
         return self.td_s(n, rvar, cvar) / self.td_nominal_s(n)
 
-    def tdp_percent(self, n: int, rvar: float, cvar: float) -> float:
+    def tdp_percent(self, n: ArrayLike, rvar: ArrayLike, cvar: ArrayLike) -> ArrayLike:
         """Read-time penalty in percent (the quantity of Tables III/IV)."""
         return (self.tdp(n, rvar, cvar) - 1.0) * 100.0
 
-    def tdp_from_variation(self, n: int, variation: RCVariation) -> float:
-        """tdp (ratio) from an extracted :class:`RCVariation`."""
+    def tdp_from_variation(self, n: int, variation: "RCVariation") -> ArrayLike:
+        """tdp from an extracted :class:`RCVariation` or a batched variation.
+
+        Any object with ``rvar``/``cvar`` attributes works, so a
+        :class:`~repro.extraction.lpe.BatchRCVariation` maps a whole sample
+        set in one call.
+        """
         return self.tdp(n, variation.rvar, variation.cvar)
 
     # -- sensitivities -----------------------------------------------------------------
@@ -205,5 +226,5 @@ def model_from_technology(
         cbl_per_cell_f=parasitics.capacitance_per_nm.total * cell_length,
         rfe_ohm=devices.discharge_path_resistance_ohm(conditions.vdd_v),
         cfe_per_cell_f=bitline_loading_per_unselected_cell_f(devices),
-        cpre_fn=lambda n: precharge_capacitance_f(n, device=devices.pull_up),
+        cpre_fn=PrechargeCapacitanceLaw(device=devices.pull_up),
     )

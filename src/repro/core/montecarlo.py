@@ -15,10 +15,12 @@ microseconds of CPU time.  The flow here follows the paper exactly:
 
 from __future__ import annotations
 
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..extraction.lpe import ParameterizedLPE, RCVariation
+from ..extraction.lpe import BatchRCVariation, ParameterizedLPE, RCVariation
 from ..layout.array import SRAMArrayLayout, generate_array_layout
 from ..patterning import create_option
 from ..patterning.base import PatterningOption
@@ -31,6 +33,22 @@ from .results import MonteCarloTdpRecord, TdpSigmaRow
 
 class MonteCarloStudyError(RuntimeError):
     """Raised when the Monte-Carlo study cannot be evaluated."""
+
+
+#: Per-process study instance installed by the pool initializer, so the
+#: study is pickled once per worker process instead of once per point and
+#: each worker's layout/LPE caches amortise across its points.
+_worker_study: Optional["MonteCarloTdpStudy"] = None
+
+
+def _init_worker_study(study: "MonteCarloTdpStudy") -> None:
+    global _worker_study
+    _worker_study = study
+
+
+def _tdp_record_worker(point: DOEPoint, bins: int):
+    """Module-level worker so process pools can pickle the call."""
+    return _worker_study.tdp_record(point, bins=bins)
 
 
 class MonteCarloTdpStudy:
@@ -50,6 +68,11 @@ class MonteCarloTdpStudy:
     seed:
         Base random seed; each study point derives its own stream from it
         so points are independent yet reproducible.
+    batch:
+        When true (default) every study point runs through the vectorised
+        sampling/printing/extraction path; ``batch=False`` keeps the
+        scalar per-sample loop as the reference oracle.  Both paths use
+        identical random streams, so they agree to round-off.
     """
 
     def __init__(
@@ -59,6 +82,7 @@ class MonteCarloTdpStudy:
         model: Optional[AnalyticalDelayModel] = None,
         n_samples: int = 1000,
         seed: int = 2015,
+        batch: bool = True,
     ) -> None:
         if n_samples < 2:
             raise MonteCarloStudyError("the Monte-Carlo study needs at least two samples")
@@ -69,7 +93,17 @@ class MonteCarloTdpStudy:
         )
         self.n_samples = n_samples
         self.seed = seed
+        self.batch = batch
         self._layout_cache: Dict[int, SRAMArrayLayout] = {}
+        self._lpe_cache: Dict[Optional[float], ParameterizedLPE] = {}
+
+    def __getstate__(self):
+        # Ship a lean study to process-pool workers: the layout and LPE
+        # caches are cheap to rebuild and expensive to serialise per point.
+        state = self.__dict__.copy()
+        state["_layout_cache"] = {}
+        state["_lpe_cache"] = {}
+        return state
 
     # -- plumbing -----------------------------------------------------------------------
 
@@ -89,19 +123,46 @@ class MonteCarloTdpStudy:
             self.node.variations.for_overlay(point.overlay_three_sigma_nm)
         )
 
+    def _lpe_for_point(self, point: DOEPoint) -> ParameterizedLPE:
+        """One LPE instance per overlay budget (the only node-varying knob).
+
+        Sharing the instance across study points lets its nominal-extraction
+        cache serve every repeated sweep over the same layouts.
+        """
+        key = point.overlay_three_sigma_nm
+        if key not in self._lpe_cache:
+            self._lpe_cache[key] = ParameterizedLPE(self._node_for_point(point))
+        return self._lpe_cache[key]
+
     def _seed_for_point(self, point: DOEPoint) -> int:
-        return abs(hash((self.seed, point.label))) % (2**31)
+        # crc32 rather than hash(): stable across interpreter invocations
+        # and hash-seed randomisation, so process-pool workers and the
+        # serial path derive identical per-point streams.
+        return zlib.crc32(f"{self.seed}/{point.label}".encode()) % (2**31)
 
     # -- sampling ------------------------------------------------------------------------
 
     def rc_variation_samples(self, point: DOEPoint) -> List[RCVariation]:
         """The LPE Monte-Carlo loop: per-sample (Rvar, Cvar) of the bit line."""
-        node = self._node_for_point(point)
         option = create_option(point.option_name)
         layout = self._layout_for(point.n_wordlines)
         bl_net, _ = layout.central_pair_nets()
-        lpe = ParameterizedLPE(node)
+        lpe = self._lpe_for_point(point)
         return lpe.monte_carlo_variations(
+            layout.metal1_pattern,
+            option,
+            bl_net,
+            n_samples=self.n_samples,
+            seed=self._seed_for_point(point),
+        )
+
+    def rc_variation_samples_batch(self, point: DOEPoint) -> BatchRCVariation:
+        """The vectorised LPE Monte-Carlo loop: (Rvar, Cvar) arrays."""
+        option = create_option(point.option_name)
+        layout = self._layout_for(point.n_wordlines)
+        bl_net, _ = layout.central_pair_nets()
+        lpe = self._lpe_for_point(point)
+        return lpe.monte_carlo_variations_batch(
             layout.metal1_pattern,
             option,
             bl_net,
@@ -111,11 +172,17 @@ class MonteCarloTdpStudy:
 
     def tdp_record(self, point: DOEPoint, bins: int = 30) -> MonteCarloTdpRecord:
         """Fig. 5 record for one study point: tdp samples, summary, histogram."""
-        variations = self.rc_variation_samples(point)
-        tdp_percent = tuple(
-            self.model.tdp_percent(point.n_wordlines, variation.rvar, variation.cvar)
-            for variation in variations
-        )
+        if self.batch:
+            variations = self.rc_variation_samples_batch(point)
+            tdp_array = self.model.tdp_percent(
+                point.n_wordlines, variations.rvar, variations.cvar
+            )
+            tdp_percent = tuple(float(value) for value in tdp_array)
+        else:
+            tdp_percent = tuple(
+                self.model.tdp_percent(point.n_wordlines, variation.rvar, variation.cvar)
+                for variation in self.rc_variation_samples(point)
+            )
         summary = SummaryStatistics.from_samples(tdp_percent)
         histogram = Histogram.from_samples(tdp_percent, bins=bins)
         return MonteCarloTdpRecord(
@@ -128,42 +195,76 @@ class MonteCarloTdpStudy:
             histogram=histogram,
         )
 
+    def tdp_records(
+        self,
+        points: Sequence[DOEPoint],
+        bins: int = 30,
+        workers: Optional[int] = None,
+    ) -> List[MonteCarloTdpRecord]:
+        """Fig. 5 records for several study points, optionally in parallel.
+
+        ``workers`` > 1 fans the per-point work (layout, printing,
+        extraction, statistics) out over a process pool; the per-point
+        seeds are derived with a process-stable hash, so the records are
+        identical to the serial ones in any order.
+        """
+        if workers is not None and workers > 1 and len(points) > 1:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker_study,
+                initargs=(self,),
+            ) as pool:
+                futures = [
+                    pool.submit(_tdp_record_worker, point, bins) for point in points
+                ]
+                return [future.result() for future in futures]
+        return [self.tdp_record(point, bins=bins) for point in points]
+
     # -- paper experiments ------------------------------------------------------------------
 
     def figure5(
-        self, n_wordlines: int = 64, overlay_three_sigma_nm: float = 8.0, bins: int = 30
+        self,
+        n_wordlines: int = 64,
+        overlay_three_sigma_nm: float = 8.0,
+        bins: int = 30,
+        workers: Optional[int] = None,
     ) -> List[MonteCarloTdpRecord]:
         """Fig. 5: tdp distributions of the three options at 8 nm OL, n = 64."""
-        records = []
+        points = []
         for option_name in self.doe.option_names:
             overlay = (
                 overlay_three_sigma_nm if option_name.upper().startswith("LE") else None
             )
-            point = DOEPoint(
-                n_wordlines=n_wordlines,
-                option_name=option_name,
-                overlay_three_sigma_nm=overlay,
-            )
-            records.append(self.tdp_record(point, bins=bins))
-        return records
-
-    def table4(self, n_wordlines: int = 64) -> List[TdpSigmaRow]:
-        """Table IV: tdp standard deviation per option and OL budget."""
-        rows: List[TdpSigmaRow] = []
-        for point in self.doe.monte_carlo_points(n_wordlines=n_wordlines):
-            record = self.tdp_record(point)
-            rows.append(
-                TdpSigmaRow(
-                    array_label=point.array_label,
-                    option_name=point.option_name,
-                    overlay_three_sigma_nm=point.overlay_three_sigma_nm,
-                    sigma_percent=record.sigma_percent,
+            points.append(
+                DOEPoint(
+                    n_wordlines=n_wordlines,
+                    option_name=option_name,
+                    overlay_three_sigma_nm=overlay,
                 )
             )
-        return rows
+        return self.tdp_records(points, bins=bins, workers=workers)
+
+    def table4(
+        self, n_wordlines: int = 64, workers: Optional[int] = None
+    ) -> List[TdpSigmaRow]:
+        """Table IV: tdp standard deviation per option and OL budget."""
+        points = self.doe.monte_carlo_points(n_wordlines=n_wordlines)
+        records = self.tdp_records(points, workers=workers)
+        return [
+            TdpSigmaRow(
+                array_label=point.array_label,
+                option_name=point.option_name,
+                overlay_three_sigma_nm=point.overlay_three_sigma_nm,
+                sigma_percent=record.sigma_percent,
+            )
+            for point, record in zip(points, records)
+        ]
 
     def overlay_sensitivity(
-        self, option_name: str = "LELELE", n_wordlines: int = 64
+        self,
+        option_name: str = "LELELE",
+        n_wordlines: int = 64,
+        workers: Optional[int] = None,
     ) -> List[Tuple[float, float]]:
         """σ(tdp) versus overlay budget for one litho-etch option.
 
@@ -171,13 +272,16 @@ class MonteCarloTdpStudy:
         decisive knob for LE3: returns ``(overlay_nm, sigma_percent)``
         pairs over the DOE's overlay sweep.
         """
-        pairs: List[Tuple[float, float]] = []
-        for budget in self.doe.overlay_budgets_nm:
-            point = DOEPoint(
+        points = [
+            DOEPoint(
                 n_wordlines=n_wordlines,
                 option_name=option_name,
                 overlay_three_sigma_nm=budget,
             )
-            record = self.tdp_record(point)
-            pairs.append((budget, record.sigma_percent))
-        return pairs
+            for budget in self.doe.overlay_budgets_nm
+        ]
+        records = self.tdp_records(points, workers=workers)
+        return [
+            (point.overlay_three_sigma_nm, record.sigma_percent)
+            for point, record in zip(points, records)
+        ]

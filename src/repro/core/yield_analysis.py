@@ -152,6 +152,26 @@ class ReadTimeYieldAnalysis:
             self._record_cache[point.label] = self.study.tdp_record(point)
         return self._record_cache[point.label]
 
+    def prefetch(
+        self,
+        points: Optional[Sequence[DOEPoint]] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        """Warm the record cache, optionally over a process pool.
+
+        Defaults to the study DOE's Monte-Carlo grid; combined with the
+        batched study path this turns a full compliance sweep into a few
+        vectorised evaluations per worker.
+        """
+        chosen = list(points) if points is not None else self.study.doe.monte_carlo_points()
+        missing = [point for point in chosen if point.label not in self._record_cache]
+        if not missing:
+            return
+        for point, record in zip(
+            missing, self.study.tdp_records(missing, workers=workers)
+        ):
+            self._record_cache[point.label] = record
+
     # -- per-option compliance -------------------------------------------------------------
 
     def compliance_table(
@@ -159,6 +179,7 @@ class ReadTimeYieldAnalysis:
         budget_percent: float,
         n_wordlines: int = 64,
         n_columns: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> List[ComplianceRow]:
         """Violation probability and yield for every study point.
 
@@ -171,10 +192,14 @@ class ReadTimeYieldAnalysis:
         n_columns:
             Columns per array for the array-yield figure; defaults to the
             DOE's word length (10 bit-line pairs).
+        workers:
+            Optional process-pool width for computing the missing records.
         """
         columns = n_columns if n_columns is not None else self.study.doe.n_bitline_pairs
+        points = self.study.doe.monte_carlo_points(n_wordlines=n_wordlines)
+        self.prefetch(points, workers=workers)
         rows: List[ComplianceRow] = []
-        for point in self.study.doe.monte_carlo_points(n_wordlines=n_wordlines):
+        for point in points:
             record = self._record_for(point)
             estimate = violation_probability(record, budget_percent)
             column_yield = 1.0 - estimate.probability

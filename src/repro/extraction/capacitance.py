@@ -29,9 +29,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..technology.materials import MaterialSystem
 from ..technology.metal_stack import MetalLayer
-from .profiles import TrapezoidalProfile, profile_for_layer
+from .profiles import BatchProfiles, TrapezoidalProfile, profile_for_layer
 
 
 class CapacitanceError(ValueError):
@@ -144,6 +146,150 @@ def fringe_shielding_factor(space_nm: float, height_nm: float) -> float:
         raise CapacitanceError("space and height must be positive")
     ratio = space_nm / height_nm
     return 1.0 - 0.85 * math.exp(-ratio / 2.0)
+
+
+@dataclass(frozen=True)
+class BatchCapacitanceComponents:
+    """Array-valued twin of :class:`CapacitanceComponents` (F/nm, per sample)."""
+
+    ground_below: np.ndarray
+    ground_above: np.ndarray
+    coupling_left: np.ndarray
+    coupling_right: np.ndarray
+
+    @property
+    def ground_total(self) -> np.ndarray:
+        return self.ground_below + self.ground_above
+
+    @property
+    def coupling_total(self) -> np.ndarray:
+        return self.coupling_left + self.coupling_right
+
+    @property
+    def total(self) -> np.ndarray:
+        return self.ground_total + self.coupling_total
+
+    def at(self, index: int) -> CapacitanceComponents:
+        """One sample's breakdown as the scalar dataclass."""
+        return CapacitanceComponents(
+            ground_below=float(self.ground_below[index]),
+            ground_above=float(self.ground_above[index]),
+            coupling_left=float(self.coupling_left[index]),
+            coupling_right=float(self.coupling_right[index]),
+        )
+
+
+def batch_sakurai_tamaru_ground(
+    width_nm: np.ndarray,
+    thickness_nm: np.ndarray,
+    height_nm: float,
+    permittivity_f_per_nm: float,
+) -> np.ndarray:
+    """Array-valued twin of :func:`sakurai_tamaru_ground`."""
+    if np.any(width_nm <= 0.0) or np.any(thickness_nm <= 0.0) or height_nm <= 0.0:
+        raise CapacitanceError("widths, thicknesses and height must be positive")
+    w_over_h = width_nm / height_nm
+    t_over_h = thickness_nm / height_nm
+    return permittivity_f_per_nm * (1.15 * w_over_h + 2.80 * t_over_h**0.222)
+
+
+def batch_sakurai_tamaru_coupling(
+    width_nm: np.ndarray,
+    thickness_nm: np.ndarray,
+    height_nm: float,
+    space_nm: np.ndarray,
+    permittivity_f_per_nm: float,
+) -> np.ndarray:
+    """Array-valued twin of :func:`sakurai_tamaru_coupling`."""
+    if np.any(width_nm <= 0.0) or np.any(thickness_nm <= 0.0) or height_nm <= 0.0:
+        raise CapacitanceError("widths, thicknesses and height must be positive")
+    if np.any(space_nm <= 0.0):
+        raise CapacitanceError("the spaces between coupled lines must be positive")
+    w_over_h = width_nm / height_nm
+    t_over_h = thickness_nm / height_nm
+    s_over_h = space_nm / height_nm
+    shape_term = 0.03 * w_over_h + 0.83 * t_over_h - 0.07 * t_over_h**0.222
+    shape_term = np.maximum(shape_term, 0.0)
+    return permittivity_f_per_nm * shape_term * s_over_h**-1.34
+
+
+def batch_fringe_shielding_factor(space_nm: np.ndarray, height_nm: float) -> np.ndarray:
+    """Array-valued twin of :func:`fringe_shielding_factor`."""
+    if np.any(space_nm <= 0.0) or height_nm <= 0.0:
+        raise CapacitanceError("spaces and height must be positive")
+    ratio = space_nm / height_nm
+    return 1.0 - 0.85 * np.exp(-ratio / 2.0)
+
+
+@dataclass(frozen=True)
+class BatchNeighborGeometry:
+    """Array-valued twin of :class:`NeighborGeometry` (one sample per entry)."""
+
+    space_nm: np.ndarray
+    thickness_nm: np.ndarray
+
+    def __post_init__(self) -> None:
+        if np.any(self.space_nm <= 0.0):
+            raise CapacitanceError("neighbour spaces must be positive")
+        if np.any(self.thickness_nm <= 0.0):
+            raise CapacitanceError("neighbour thicknesses must be positive")
+
+
+def batch_wire_capacitance_per_nm(
+    profiles: BatchProfiles,
+    layer: MetalLayer,
+    left_neighbor: Optional[BatchNeighborGeometry],
+    right_neighbor: Optional[BatchNeighborGeometry],
+) -> BatchCapacitanceComponents:
+    """Array-valued twin of :func:`wire_capacitance_per_nm`.
+
+    Same plate/fringe split and per-side shielding, evaluated element-wise
+    over the sample axis.
+    """
+    materials: MaterialSystem = layer.materials
+    eps_inter = materials.layer_to_layer_permittivity()
+    eps_intra = materials.line_to_line_permittivity()
+
+    width = profiles.mean_width_nm
+    thickness = profiles.sidewall_height_nm
+
+    ground_below = batch_sakurai_tamaru_ground(width, thickness, layer.ild_below_nm, eps_inter)
+    ground_above = batch_sakurai_tamaru_ground(width, thickness, layer.ild_above_nm, eps_inter)
+
+    plate_below = eps_inter * 1.15 * width / layer.ild_below_nm
+    plate_above = eps_inter * 1.15 * width / layer.ild_above_nm
+    fringe_below = ground_below - plate_below
+    fringe_above = ground_above - plate_above
+
+    zeros = np.zeros_like(width)
+    coupling_left = zeros
+    coupling_right = zeros
+    shield_left: np.ndarray = np.ones_like(width)
+    shield_right: np.ndarray = np.ones_like(width)
+    if left_neighbor is not None:
+        coupling_thickness = np.minimum(thickness, left_neighbor.thickness_nm)
+        coupling_left = batch_sakurai_tamaru_coupling(
+            width, coupling_thickness, layer.ild_below_nm, left_neighbor.space_nm, eps_intra
+        )
+        shield_left = batch_fringe_shielding_factor(
+            left_neighbor.space_nm, layer.ild_below_nm
+        )
+    if right_neighbor is not None:
+        coupling_thickness = np.minimum(thickness, right_neighbor.thickness_nm)
+        coupling_right = batch_sakurai_tamaru_coupling(
+            width, coupling_thickness, layer.ild_below_nm, right_neighbor.space_nm, eps_intra
+        )
+        shield_right = batch_fringe_shielding_factor(
+            right_neighbor.space_nm, layer.ild_below_nm
+        )
+
+    shield = 0.5 * (shield_left + shield_right)
+    return BatchCapacitanceComponents(
+        ground_below=plate_below + fringe_below * shield,
+        ground_above=plate_above + fringe_above * shield,
+        coupling_left=coupling_left,
+        coupling_right=coupling_right,
+    )
 
 
 @dataclass(frozen=True)

@@ -11,17 +11,23 @@ netlist builder and the analytical formula consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from ..layout.wire import NetRole, Track, TrackPattern
+from ..patterning.base import BatchPrintedGeometry
 from ..technology.metal_stack import MetalLayer
 from .capacitance import (
+    BatchCapacitanceComponents,
+    BatchNeighborGeometry,
     CapacitanceComponents,
     NeighborGeometry,
+    batch_wire_capacitance_per_nm,
     wire_capacitance_per_nm,
 )
-from .profiles import TrapezoidalProfile, profile_for_layer
-from .resistance import resistance_per_unit_length
+from .profiles import BatchProfiles, TrapezoidalProfile, batch_profile_for_layer, profile_for_layer
+from .resistance import batch_resistance_per_nm, resistance_per_unit_length
 
 
 class ExtractionError(ValueError):
@@ -114,6 +120,63 @@ class ExtractionResult:
         return self[net].resistance_total_ohm
 
 
+@dataclass(frozen=True)
+class BatchWireParasitics:
+    """Array-valued twin of :class:`WireParasitics`: one track, N samples."""
+
+    net: str
+    role: NetRole
+    width_nm: np.ndarray
+    length_nm: float
+    resistance_per_nm: np.ndarray
+    capacitance_per_nm: BatchCapacitanceComponents
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.width_nm.shape[0])
+
+    @property
+    def resistance_total_ohm(self) -> np.ndarray:
+        return self.resistance_per_nm * self.length_nm
+
+    @property
+    def capacitance_total_f(self) -> np.ndarray:
+        return self.capacitance_per_nm.total * self.length_nm
+
+    @property
+    def coupling_total_f(self) -> np.ndarray:
+        return self.capacitance_per_nm.coupling_total * self.length_nm
+
+    @property
+    def ground_total_f(self) -> np.ndarray:
+        return self.capacitance_per_nm.ground_total * self.length_nm
+
+
+@dataclass
+class BatchExtractionResult:
+    """Batched extraction of selected nets: arrays keyed by net name."""
+
+    layer_name: str
+    wire_length_nm: float
+    n_samples: int
+    parasitics: Dict[str, BatchWireParasitics] = field(default_factory=dict)
+
+    def __getitem__(self, net: str) -> BatchWireParasitics:
+        try:
+            return self.parasitics[net]
+        except KeyError:
+            raise ExtractionError(
+                f"net {net!r} was not extracted; nets: {sorted(self.parasitics)}"
+            ) from None
+
+    def __contains__(self, net: str) -> bool:
+        return net in self.parasitics
+
+    @property
+    def nets(self) -> List[str]:
+        return list(self.parasitics)
+
+
 class CrossSectionExtractor:
     """Extracts R and C of every track in a pattern on a given layer.
 
@@ -172,4 +235,75 @@ class CrossSectionExtractor:
         for index in range(len(pattern)):
             parasitics = self.extract_track(pattern, index)
             result.parasitics[parasitics.net] = parasitics
+        return result
+
+    # -- batched extraction ----------------------------------------------------
+
+    def _batch_neighbor(
+        self,
+        geometry: BatchPrintedGeometry,
+        profiles: BatchProfiles,
+        index: int,
+        neighbor_index: int,
+    ) -> Optional[BatchNeighborGeometry]:
+        if not 0 <= neighbor_index < geometry.n_tracks:
+            return None
+        left, right = sorted((index, neighbor_index))
+        space = geometry.spaces_nm(left, right)
+        if np.any(space <= 0.0):
+            sample = int(np.argmax(space <= 0.0))
+            raise ExtractionError(
+                f"tracks {geometry.nets[index]!r} and "
+                f"{geometry.nets[neighbor_index]!r} touch or overlap after "
+                f"patterning (sample {sample}); extraction is not defined"
+            )
+        return BatchNeighborGeometry(
+            space_nm=space, thickness_nm=profiles.thickness_nm[:, neighbor_index]
+        )
+
+    def extract_batch(
+        self,
+        geometry: BatchPrintedGeometry,
+        nets: Optional[Sequence[str]] = None,
+    ) -> BatchExtractionResult:
+        """Extract selected nets of a printed batch in one array sweep.
+
+        ``nets`` defaults to every net; restricting it to the nets the study
+        actually consumes (e.g. just the bit line) skips the per-sample
+        work for the other tracks — the Monte-Carlo loop only ever needs
+        one net plus its two neighbours, which are handled here anyway.
+        """
+        wanted = list(nets) if nets is not None else list(geometry.nets)
+        # Profiles (and hence thicknesses) of every track: neighbours of the
+        # requested nets need their printed thickness for the coupling term.
+        profiles = batch_profile_for_layer(
+            self.layer, geometry.widths_nm, self.thickness_delta_nm
+        )
+        result = BatchExtractionResult(
+            layer_name=self.layer.name,
+            wire_length_nm=geometry.wire_length_nm,
+            n_samples=geometry.n_samples,
+        )
+        for net in wanted:
+            index = geometry.index_of(net)
+            track_profiles = BatchProfiles(
+                top_width_nm=profiles.top_width_nm[:, index],
+                thickness_nm=profiles.thickness_nm[:, index],
+                tapering_angle_deg=profiles.tapering_angle_deg,
+                barrier_thickness_nm=profiles.barrier_thickness_nm,
+            )
+            resistance = batch_resistance_per_nm(track_profiles, self.layer.materials)
+            left = self._batch_neighbor(geometry, profiles, index, index - 1)
+            right = self._batch_neighbor(geometry, profiles, index, index + 1)
+            capacitance = batch_wire_capacitance_per_nm(
+                track_profiles, self.layer, left, right
+            )
+            result.parasitics[net] = BatchWireParasitics(
+                net=net,
+                role=geometry.roles[index],
+                width_nm=geometry.widths_nm[:, index],
+                length_nm=geometry.wire_length_nm,
+                resistance_per_nm=resistance,
+                capacitance_per_nm=capacitance,
+            )
         return result

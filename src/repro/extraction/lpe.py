@@ -20,14 +20,22 @@ formula (eq. 4 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..layout.array import SRAMArrayLayout
 from ..layout.wire import NetRole, TrackPattern
 from ..patterning.base import ParameterValues, PatternedResult, PatterningOption
 from ..patterning.sampler import ParameterSampler
 from ..technology.node import TechnologyNode
-from .field import CrossSectionExtractor, ExtractionError, ExtractionResult, WireParasitics
+from .field import (
+    BatchExtractionResult,
+    CrossSectionExtractor,
+    ExtractionError,
+    ExtractionResult,
+    WireParasitics,
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +64,61 @@ class RCVariation:
             f"{self.option_name}/{self.net}: "
             f"dC={self.delta_c_percent:+.2f}% dR={self.delta_r_percent:+.2f}%"
         )
+
+
+@dataclass(frozen=True)
+class BatchRCVariation:
+    """Monte-Carlo RC variations of one net as arrays (the batched path).
+
+    ``rvar`` and ``cvar`` are ``(N,)`` ratio arrays; ``parameter_matrix``
+    holds the sampled parameter vectors (``(N, k)``, columns follow
+    ``parameter_names``) so individual samples can still be inspected or
+    re-printed through the scalar path.
+    """
+
+    net: str
+    option_name: str
+    rvar: np.ndarray
+    cvar: np.ndarray
+    parameter_names: Tuple[str, ...]
+    parameter_matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rvar.shape != self.cvar.shape or self.rvar.ndim != 1:
+            raise ExtractionError("rvar and cvar must be equally long 1-D arrays")
+        if self.parameter_matrix.shape[0] != self.rvar.shape[0]:
+            raise ExtractionError("parameter matrix row count must match the samples")
+
+    def __len__(self) -> int:
+        return int(self.rvar.shape[0])
+
+    @property
+    def delta_r_percent(self) -> np.ndarray:
+        return (self.rvar - 1.0) * 100.0
+
+    @property
+    def delta_c_percent(self) -> np.ndarray:
+        return (self.cvar - 1.0) * 100.0
+
+    def at(self, index: int) -> RCVariation:
+        """One sample as the scalar :class:`RCVariation`."""
+        row = self.parameter_matrix[index]
+        return RCVariation(
+            net=self.net,
+            option_name=self.option_name,
+            rvar=float(self.rvar[index]),
+            cvar=float(self.cvar[index]),
+            parameters={
+                name: float(row[k]) for k, name in enumerate(self.parameter_names)
+            },
+        )
+
+    def __iter__(self) -> Iterator[RCVariation]:
+        for index in range(len(self)):
+            yield self.at(index)
+
+    def to_list(self) -> List[RCVariation]:
+        return list(self)
 
 
 @dataclass
@@ -96,10 +159,19 @@ class ParameterizedLPE:
         (metal1), which the paper identifies as the critical layer.
     """
 
+    #: Number of distinct (pattern, thickness) nominal extractions kept.
+    NOMINAL_CACHE_SIZE = 16
+
     def __init__(self, node: TechnologyNode, layer_name: Optional[str] = None) -> None:
         self.node = node
         self.layer_name = layer_name if layer_name is not None else node.bitline_layer
         self.layer = node.metal_stack.layer(self.layer_name)
+        # Nominal (unvaried) extractions keyed by the pattern object and the
+        # thickness delta.  TrackPattern is immutable, so keeping a strong
+        # reference alongside the result makes the id()-based key safe.
+        self._nominal_cache: Dict[
+            Tuple[int, float], Tuple[TrackPattern, ExtractionResult]
+        ] = {}
 
     # -- plain extraction -----------------------------------------------------
 
@@ -109,6 +181,26 @@ class ParameterizedLPE:
         """Extract a (nominal or printed) track pattern."""
         extractor = CrossSectionExtractor(self.layer, thickness_delta_nm)
         return extractor.extract(pattern)
+
+    def nominal_extraction(
+        self, pattern: TrackPattern, thickness_delta_nm: float = 0.0
+    ) -> ExtractionResult:
+        """Extract the nominal pattern, memoising per (pattern, thickness).
+
+        Every variation is a ratio against the same nominal extraction, so
+        the repeated studies (Monte-Carlo loops, corner sweeps, per-corner
+        ``rc_variation`` calls) share one baseline extraction instead of
+        recomputing it per call.
+        """
+        key = (id(pattern), thickness_delta_nm)
+        cached = self._nominal_cache.get(key)
+        if cached is not None and cached[0] is pattern:
+            return cached[1]
+        result = self.extract_pattern(pattern, thickness_delta_nm)
+        if len(self._nominal_cache) >= self.NOMINAL_CACHE_SIZE:
+            self._nominal_cache.clear()
+        self._nominal_cache[key] = (pattern, result)
+        return result
 
     def extract_array(self, layout: SRAMArrayLayout) -> ExtractionResult:
         """Extract the nominal metal1 pattern of an SRAM array layout."""
@@ -125,7 +217,7 @@ class ParameterizedLPE:
     ) -> PatternedExtraction:
         """Print the pattern with ``option`` at ``parameters`` and extract both views."""
         patterned = option.apply(pattern, parameters)
-        nominal_extraction = self.extract_pattern(pattern, thickness_delta_nm)
+        nominal_extraction = self.nominal_extraction(pattern, thickness_delta_nm)
         printed_extraction = self.extract_pattern(patterned.printed, thickness_delta_nm)
         return PatternedExtraction(
             option_name=option.name,
@@ -168,7 +260,7 @@ class ParameterizedLPE:
             seed=seed,
             truncate_at_three_sigma=truncate_at_three_sigma,
         )
-        nominal_extraction = self.extract_pattern(pattern)
+        nominal_extraction = self.nominal_extraction(pattern)
         nominal = nominal_extraction[net]
         results: List[RCVariation] = []
         for sample in sampler.draw_many(n_samples):
@@ -186,6 +278,45 @@ class ParameterizedLPE:
             )
         return results
 
+    def monte_carlo_variations_batch(
+        self,
+        pattern: TrackPattern,
+        option: PatterningOption,
+        net: str,
+        n_samples: int,
+        seed: Optional[int] = None,
+        truncate_at_three_sigma: bool = False,
+    ) -> BatchRCVariation:
+        """Vectorised Monte-Carlo RC-variation distribution of ``net``.
+
+        One batched draw, one batched print and one batched extraction
+        replace the N-iteration scalar loop of
+        :meth:`monte_carlo_variations`; for a fixed seed the sampled
+        parameters are bit-identical to the scalar loop's and the returned
+        ratios agree element-wise to floating-point round-off.
+        """
+        sampler = ParameterSampler(
+            option,
+            self.node.variations,
+            seed=seed,
+            truncate_at_three_sigma=truncate_at_three_sigma,
+        )
+        batch = sampler.draw_batch(n_samples)
+        geometry = option.apply_batch(pattern, batch.matrix, batch.parameter_names)
+        extractor = CrossSectionExtractor(self.layer)
+        printed = extractor.extract_batch(geometry, nets=[net])[net]
+        nominal = self.nominal_extraction(pattern)[net]
+        if nominal.capacitance_total_f <= 0.0 or nominal.resistance_total_ohm <= 0.0:
+            raise ExtractionError(f"nominal parasitics of net {net!r} are degenerate")
+        return BatchRCVariation(
+            net=net,
+            option_name=option.name,
+            rvar=printed.resistance_total_ohm / nominal.resistance_total_ohm,
+            cvar=printed.capacitance_total_f / nominal.capacitance_total_f,
+            parameter_names=batch.parameter_names,
+            parameter_matrix=batch.matrix,
+        )
+
     def corner_variations(
         self,
         pattern: TrackPattern,
@@ -194,7 +325,7 @@ class ParameterizedLPE:
         corners: Sequence[Mapping[str, float]],
     ) -> List[RCVariation]:
         """RC variations of ``net`` for an explicit list of corner assignments."""
-        nominal_extraction = self.extract_pattern(pattern)
+        nominal_extraction = self.nominal_extraction(pattern)
         nominal = nominal_extraction[net]
         results = []
         for corner in corners:

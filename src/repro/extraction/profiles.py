@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..technology.materials import BarrierLiner
 from ..technology.metal_stack import MetalLayer
 
@@ -129,6 +131,111 @@ class TrapezoidalProfile:
             tapering_angle_deg=self.tapering_angle_deg,
             barrier_thickness_nm=self.barrier_thickness_nm,
         )
+
+
+@dataclass(frozen=True)
+class BatchProfiles:
+    """Array-valued twin of :class:`TrapezoidalProfile`.
+
+    Every field is an array of the same shape (one entry per sample, or per
+    sample × track); the derived properties mirror the scalar profile
+    formula for formula, so the batched extraction is numerically the same
+    computation as the scalar one.
+    """
+
+    top_width_nm: np.ndarray
+    thickness_nm: np.ndarray
+    tapering_angle_deg: float = 0.0
+    barrier_thickness_nm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if np.any(self.top_width_nm <= 0.0):
+            raise ProfileError("top widths must be positive")
+        if np.any(self.thickness_nm <= 0.0):
+            raise ProfileError("thicknesses must be positive")
+        if not 0.0 <= self.tapering_angle_deg < 45.0:
+            raise ProfileError("tapering angle must be in [0, 45) degrees")
+        if self.barrier_thickness_nm < 0.0:
+            raise ProfileError("barrier thickness cannot be negative")
+        if np.any(self.bottom_width_nm <= 0.0):
+            raise ProfileError("tapering angle too aggressive: non-positive bottom width")
+        if np.any(self.conductor_width_top_nm <= 0.0) or np.any(
+            self.conductor_thickness_nm <= 0.0
+        ):
+            raise ProfileError("barrier consumes the whole cross-section")
+
+    @property
+    def taper_run_nm(self) -> np.ndarray:
+        return self.thickness_nm * math.tan(math.radians(self.tapering_angle_deg))
+
+    @property
+    def bottom_width_nm(self) -> np.ndarray:
+        return self.top_width_nm - 2.0 * self.taper_run_nm
+
+    @property
+    def mean_width_nm(self) -> np.ndarray:
+        return 0.5 * (self.top_width_nm + self.bottom_width_nm)
+
+    @property
+    def trench_area_nm2(self) -> np.ndarray:
+        return self.mean_width_nm * self.thickness_nm
+
+    @property
+    def conductor_thickness_nm(self) -> np.ndarray:
+        return self.thickness_nm - self.barrier_thickness_nm
+
+    @property
+    def conductor_width_top_nm(self) -> np.ndarray:
+        return self.top_width_nm - 2.0 * self.barrier_thickness_nm
+
+    @property
+    def conductor_width_bottom_nm(self) -> np.ndarray:
+        return self.bottom_width_nm - 2.0 * self.barrier_thickness_nm
+
+    @property
+    def conductor_mean_width_nm(self) -> np.ndarray:
+        return 0.5 * (self.conductor_width_top_nm + self.conductor_width_bottom_nm)
+
+    @property
+    def conductor_area_nm2(self) -> np.ndarray:
+        return self.conductor_mean_width_nm * self.conductor_thickness_nm
+
+    @property
+    def sidewall_height_nm(self) -> np.ndarray:
+        return self.thickness_nm
+
+
+def batch_profile_for_layer(
+    layer: MetalLayer,
+    widths_nm: np.ndarray,
+    thickness_delta_nm: float = 0.0,
+) -> BatchProfiles:
+    """Array-valued twin of :func:`profile_for_layer`.
+
+    Applies the same width-proportional CMP dishing to every sample; the
+    per-element maths is identical to the scalar builder.
+    """
+    widths = np.asarray(widths_nm, dtype=float)
+    if np.any(widths <= 0.0):
+        raise ProfileError("wire widths must be positive")
+    dishing = np.zeros_like(widths)
+    if layer.cmp_dishing_nm > 0.0:
+        wide = widths > layer.min_width_nm
+        dishing = np.where(
+            wide, layer.cmp_dishing_nm * (widths / layer.min_width_nm - 1.0), 0.0
+        )
+    thickness = layer.thickness_nm - dishing + thickness_delta_nm
+    if np.any(thickness <= 0.0):
+        raise ProfileError(
+            f"layer {layer.name!r}: thickness becomes non-positive for some widths"
+        )
+    barrier: BarrierLiner = layer.materials.barrier
+    return BatchProfiles(
+        top_width_nm=widths,
+        thickness_nm=thickness,
+        tapering_angle_deg=layer.tapering_angle_deg,
+        barrier_thickness_nm=barrier.thickness_nm,
+    )
 
 
 def profile_for_layer(

@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..technology.materials import Conductor, MaterialSystem
 from ..technology.metal_stack import MetalLayer
-from .profiles import ProfileError, TrapezoidalProfile, profile_for_layer
+from .profiles import BatchProfiles, ProfileError, TrapezoidalProfile, profile_for_layer
 
 
 class ResistanceError(ValueError):
@@ -73,6 +75,34 @@ def resistance_per_unit_length(
         effective_resistivity_ohm_nm=rho,
         conductor_area_nm2=area,
     )
+
+
+def batch_resistance_per_nm(
+    profiles: BatchProfiles, materials: MaterialSystem
+) -> np.ndarray:
+    """Array-valued twin of :func:`resistance_per_unit_length`.
+
+    Returns the per-unit-length resistance (ohm/nm) for every sample in the
+    batch, computed with the same resistivity and barrier model as the
+    scalar path.
+    """
+    conductor: Conductor = materials.conductor
+    area = profiles.conductor_area_nm2
+    if np.any(area <= 0.0):
+        raise ResistanceError("conductor areas must be positive")
+    rho = conductor.effective_resistivity_batch(
+        width_nm=profiles.conductor_mean_width_nm,
+        thickness_nm=profiles.conductor_thickness_nm,
+    )
+    per_nm = rho / area
+
+    barrier = materials.barrier
+    if barrier.conductive and barrier.thickness_nm > 0.0:
+        # BatchProfiles guarantees the conductor fits inside the trench, so
+        # the barrier cross-section is strictly positive here.
+        barrier_per_nm = barrier.resistivity_ohm_nm / (profiles.trench_area_nm2 - area)
+        per_nm = (per_nm * barrier_per_nm) / (per_nm + barrier_per_nm)
+    return per_nm
 
 
 def wire_resistance(

@@ -6,12 +6,14 @@ with the standard options so studies can refer to them by name
 """
 
 from .base import (
+    BatchPrintedGeometry,
     ParameterValues,
     PatternedResult,
     PatterningError,
     PatterningOption,
     PatterningRegistry,
     default_registry,
+    geometry_from_patterns,
 )
 from .decomposition import (
     DEFAULT_MASK_LABELS,
@@ -27,6 +29,7 @@ from .euv import EUV_MASK, EUVSinglePatterning, euv
 from .litho_etch import LithoEtch, le2, le3
 from .sadp import CORE_MASK, SADP, SPACER_MASK, sadp
 from .sampler import (
+    ParameterSampleBatch,
     ParameterSampler,
     SampledParameters,
     enumerate_worst_case_corners,
@@ -63,6 +66,7 @@ def paper_options() -> list:
 
 
 __all__ = [
+    "BatchPrintedGeometry",
     "CORE_MASK",
     "DEFAULT_MASK_LABELS",
     "DecompositionReport",
@@ -70,6 +74,7 @@ __all__ = [
     "EUV_MASK",
     "LithoEtch",
     "PAPER_OPTIONS",
+    "ParameterSampleBatch",
     "ParameterSampler",
     "ParameterValues",
     "PatternedResult",
@@ -86,6 +91,7 @@ __all__ = [
     "default_registry",
     "enumerate_worst_case_corners",
     "euv",
+    "geometry_from_patterns",
     "graph_coloring_assignment",
     "le2",
     "le3",

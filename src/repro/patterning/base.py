@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..layout.wire import Track, TrackPattern
+import numpy as np
+
+from ..layout.wire import NetRole, Track, TrackPattern
 from ..technology.corners import GaussianSpec, VariationAssumptions
 
 
@@ -72,6 +74,136 @@ class PatternedResult:
         ]
 
 
+@dataclass(frozen=True)
+class BatchPrintedGeometry:
+    """Printed geometry of one pattern under N parameter assignments.
+
+    The column order matches the decomposed pattern's track order (sorted
+    by nominal centre position); ``left_edges_nm`` and ``right_edges_nm``
+    are ``(N, T)`` arrays of printed track edges.  This is the interface
+    between the vectorised patterning step and the vectorised extraction.
+    """
+
+    option_name: str
+    nominal: TrackPattern
+    nets: Tuple[str, ...]
+    roles: Tuple[NetRole, ...]
+    masks: Tuple[Optional[str], ...]
+    left_edges_nm: np.ndarray
+    right_edges_nm: np.ndarray
+
+    def __post_init__(self) -> None:
+        left = self.left_edges_nm
+        right = self.right_edges_nm
+        if left.shape != right.shape or left.ndim != 2:
+            raise PatterningError(
+                f"edge arrays must share one (N, T) shape, got "
+                f"{left.shape} and {right.shape}"
+            )
+        if left.shape[1] != len(self.nets):
+            raise PatterningError(
+                f"edge arrays cover {left.shape[1]} tracks but {len(self.nets)} "
+                "nets were named"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.left_edges_nm.shape[0])
+
+    @property
+    def n_tracks(self) -> int:
+        return int(self.left_edges_nm.shape[1])
+
+    @property
+    def wire_length_nm(self) -> float:
+        return self.nominal.wire_length_nm
+
+    @property
+    def widths_nm(self) -> np.ndarray:
+        """Printed widths, shape ``(N, T)``."""
+        return self.right_edges_nm - self.left_edges_nm
+
+    def index_of(self, net: str) -> int:
+        try:
+            return self.nets.index(net)
+        except ValueError:
+            raise PatterningError(
+                f"no printed track carries net {net!r}; nets: {list(self.nets)}"
+            ) from None
+
+    def spaces_nm(self, left_index: int, right_index: int) -> np.ndarray:
+        """Edge-to-edge spaces between two track columns, shape ``(N,)``."""
+        return self.left_edges_nm[:, right_index] - self.right_edges_nm[:, left_index]
+
+    def validate(self) -> None:
+        """Reject samples that pinch off a track or overlap neighbours.
+
+        The scalar path raises for such samples one at a time; the batch
+        path rejects the whole batch with the offending sample index so the
+        caller can tighten the budgets (matching scalar-path strictness).
+        """
+        widths = self.widths_nm
+        if np.any(widths <= 0.0):
+            sample, track = np.argwhere(widths <= 0.0)[0]
+            raise PatterningError(
+                f"{self.option_name}: sample {int(sample)} gives track "
+                f"{self.nets[int(track)]!r} a non-positive printed width"
+            )
+        if self.n_tracks > 1:
+            overlap = (
+                self.left_edges_nm[:, 1:] < self.right_edges_nm[:, :-1] - 1e-9
+            )
+            if np.any(overlap):
+                sample, gap = np.argwhere(overlap)[0]
+                raise PatterningError(
+                    f"{self.option_name}: sample {int(sample)} makes tracks "
+                    f"{self.nets[int(gap)]!r} and {self.nets[int(gap) + 1]!r} overlap"
+                )
+
+    def printed_pattern_at(self, index: int) -> TrackPattern:
+        """Materialise one sample as a scalar :class:`TrackPattern`."""
+        tracks = []
+        for column, net in enumerate(self.nets):
+            left = float(self.left_edges_nm[index, column])
+            right = float(self.right_edges_nm[index, column])
+            tracks.append(
+                Track(
+                    net=net,
+                    center_nm=0.5 * (left + right),
+                    width_nm=right - left,
+                    role=self.roles[column],
+                    mask=self.masks[column],
+                )
+            )
+        return self.nominal.with_tracks(tracks)
+
+
+def geometry_from_patterns(
+    option_name: str,
+    nominal: TrackPattern,
+    printed_patterns: Sequence[TrackPattern],
+) -> BatchPrintedGeometry:
+    """Stack scalar printed patterns into a :class:`BatchPrintedGeometry`."""
+    if not printed_patterns:
+        raise PatterningError("at least one printed pattern is required")
+    first = printed_patterns[0]
+    left = np.empty((len(printed_patterns), len(first)))
+    right = np.empty_like(left)
+    for row, printed in enumerate(printed_patterns):
+        for column, track in enumerate(printed):
+            left[row, column] = track.left_edge_nm
+            right[row, column] = track.right_edge_nm
+    return BatchPrintedGeometry(
+        option_name=option_name,
+        nominal=nominal,
+        nets=tuple(track.net for track in first),
+        roles=tuple(track.role for track in first),
+        masks=tuple(track.mask for track in first),
+        left_edges_nm=left,
+        right_edges_nm=right,
+    )
+
+
 class PatterningOption(abc.ABC):
     """Base class for all patterning options."""
 
@@ -106,6 +238,78 @@ class PatterningOption(abc.ABC):
         Unknown parameter names raise :class:`PatterningError`; missing
         parameters default to zero (nominal).
         """
+
+    # -- batched printing ------------------------------------------------------
+
+    def apply_batch(
+        self,
+        pattern: TrackPattern,
+        parameter_matrix: np.ndarray,
+        parameter_names: Sequence[str],
+    ) -> BatchPrintedGeometry:
+        """Print ``pattern`` under every row of an ``(N, k)`` parameter matrix.
+
+        The base implementation loops the scalar :meth:`apply` per sample —
+        always correct, never fast; the standard options override it with a
+        fully vectorised implementation.  Column ``j`` of the matrix holds
+        parameter ``parameter_names[j]``.
+        """
+        matrix = self._check_batch_matrix(parameter_matrix, parameter_names)
+        printed = [
+            self.apply(
+                pattern,
+                {name: float(row[j]) for j, name in enumerate(parameter_names)},
+            ).printed
+            for row in matrix
+        ]
+        geometry = geometry_from_patterns(self.name, pattern, printed)
+        geometry.validate()
+        return geometry
+
+    def _printed_geometry(
+        self,
+        nominal: TrackPattern,
+        decomposed: TrackPattern,
+        left_edges_nm: np.ndarray,
+        right_edges_nm: np.ndarray,
+    ) -> BatchPrintedGeometry:
+        """Assemble and validate the batch geometry of a printed pattern."""
+        geometry = BatchPrintedGeometry(
+            option_name=self.name,
+            nominal=nominal,
+            nets=tuple(track.net for track in decomposed),
+            roles=tuple(track.role for track in decomposed),
+            masks=tuple(track.mask for track in decomposed),
+            left_edges_nm=left_edges_nm,
+            right_edges_nm=right_edges_nm,
+        )
+        geometry.validate()
+        return geometry
+
+    def _check_batch_matrix(
+        self, parameter_matrix: np.ndarray, parameter_names: Sequence[str]
+    ) -> np.ndarray:
+        """Validate an ``(N, k)`` parameter matrix against its column names."""
+        matrix = np.asarray(parameter_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(parameter_names):
+            raise PatterningError(
+                f"{self.name}: parameter matrix shape {matrix.shape} does not "
+                f"match {len(parameter_names)} parameter names"
+            )
+        return matrix
+
+    def _parameter_columns(
+        self, parameter_names: Sequence[str], known: Iterable[str]
+    ) -> Dict[str, int]:
+        """Map known parameter names to matrix columns, rejecting unknowns."""
+        known_set = set(known)
+        unknown = [name for name in parameter_names if name not in known_set]
+        if unknown:
+            raise PatterningError(
+                f"{self.name}: unknown parameter(s) {sorted(unknown)}; "
+                f"known parameters: {sorted(known_set)}"
+            )
+        return {name: index for index, name in enumerate(parameter_names)}
 
     # -- shared helpers -------------------------------------------------------
 

@@ -16,11 +16,18 @@ Parameter names:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
+
+import numpy as np
 
 from ..layout.wire import TrackPattern
 from ..technology.corners import EUVAssumptions, GaussianSpec, VariationAssumptions
-from .base import ParameterValues, PatternedResult, PatterningOption
+from .base import (
+    BatchPrintedGeometry,
+    ParameterValues,
+    PatternedResult,
+    PatterningOption,
+)
 
 #: Mask label used for all tracks of a single EUV exposure.
 EUV_MASK = "euv"
@@ -54,6 +61,29 @@ class EUVSinglePatterning(PatterningOption):
             printed=printed_pattern,
             parameters=dict(values),
         )
+
+    def apply_batch(
+        self,
+        pattern: TrackPattern,
+        parameter_matrix: np.ndarray,
+        parameter_names: Sequence[str],
+    ) -> BatchPrintedGeometry:
+        """Vectorised printing: one CD error widens every line symmetrically."""
+        matrix = self._check_batch_matrix(parameter_matrix, parameter_names)
+        columns = self._parameter_columns(parameter_names, ["cd:euv"])
+        n_samples = matrix.shape[0]
+        cd_index = columns.get("cd:euv")
+        cd_delta = matrix[:, cd_index] if cd_index is not None else np.zeros(n_samples)
+
+        decomposed = self.decompose(pattern)
+        left = np.empty((n_samples, len(decomposed)))
+        right = np.empty_like(left)
+        for index, track in enumerate(decomposed):
+            half_width = 0.5 * (track.width_nm + cd_delta)
+            left[:, index] = track.center_nm - half_width
+            right[:, index] = track.center_nm + half_width
+
+        return self._printed_geometry(pattern, decomposed, left, right)
 
 
 def euv() -> EUVSinglePatterning:

@@ -25,11 +25,19 @@ Parameter names produced by :meth:`LithoEtch.parameter_specs`:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..layout.wire import Track, TrackPattern
 from ..technology.corners import GaussianSpec, LithoEtchAssumptions, VariationAssumptions
-from .base import ParameterValues, PatternedResult, PatterningError, PatterningOption
+from .base import (
+    BatchPrintedGeometry,
+    ParameterValues,
+    PatternedResult,
+    PatterningError,
+    PatterningOption,
+)
 from .decomposition import (
     apply_assignment,
     cyclic_assignment,
@@ -150,6 +158,49 @@ class LithoEtch(PatterningOption):
             printed=printed_pattern,
             parameters=dict(values),
         )
+
+    def apply_batch(
+        self,
+        pattern: TrackPattern,
+        parameter_matrix: np.ndarray,
+        parameter_names: Sequence[str],
+        aligned_to_first: bool = True,
+    ) -> BatchPrintedGeometry:
+        """Vectorised printing: every line's edges are affine in (CD, OL)."""
+        matrix = self._check_batch_matrix(parameter_matrix, parameter_names)
+        known = [f"cd:{mask}" for mask in self.masks] + [
+            f"ol:{mask}" for mask in self.masks[1:]
+        ]
+        columns = self._parameter_columns(parameter_names, known)
+        n_samples = matrix.shape[0]
+
+        def column_values(name: str) -> np.ndarray:
+            index = columns.get(name)
+            if index is None:
+                return np.zeros(n_samples)
+            return matrix[:, index]
+
+        decomposed = self.decompose(pattern)
+        shifts: Dict[str, np.ndarray] = {self.masks[0]: np.zeros(n_samples)}
+        running = np.zeros(n_samples)
+        for mask in self.masks[1:]:
+            overlay = column_values(f"ol:{mask}")
+            if aligned_to_first:
+                shifts[mask] = overlay
+            else:
+                running = running + overlay
+                shifts[mask] = running
+
+        left = np.empty((n_samples, len(decomposed)))
+        right = np.empty_like(left)
+        for index, track in enumerate(decomposed):
+            cd_delta = column_values(f"cd:{track.mask}")
+            center = track.center_nm + shifts[track.mask]
+            half_width = 0.5 * (track.width_nm + cd_delta)
+            left[:, index] = center - half_width
+            right[:, index] = center + half_width
+
+        return self._printed_geometry(pattern, decomposed, left, right)
 
 
 def le3(use_graph_coloring: bool = False, same_mask_min_space_nm: Optional[float] = None) -> LithoEtch:

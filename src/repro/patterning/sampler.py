@@ -8,12 +8,18 @@ Two ways of exercising a patterning option's variation space:
   Table IV);
 * :func:`enumerate_worst_case_corners` enumerates all ±3σ corner
   combinations — this feeds the worst-case study (Table I, Fig. 4).
+
+:meth:`ParameterSampler.draw_batch` draws all N samples as one ``(N, k)``
+array.  It consumes the underlying random stream in exactly the order the
+scalar :meth:`ParameterSampler.draw` loop does (sample-major, parameter
+names in sorted order, zero-σ parameters skipped), so a batched study is
+bit-identical to the scalar one for the same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +38,46 @@ class SampledParameters:
 
     index: int
     values: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class ParameterSampleBatch:
+    """All Monte-Carlo draws of a study point as one ``(N, k)`` matrix.
+
+    Columns follow :attr:`parameter_names`; row ``i`` is draw ``i``.
+    """
+
+    parameter_names: Tuple[str, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2 or self.matrix.shape[1] != len(self.parameter_names):
+            raise PatterningError(
+                f"sample matrix shape {self.matrix.shape} does not match "
+                f"{len(self.parameter_names)} parameter names"
+            )
+
+    def __len__(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def column(self, name: str) -> np.ndarray:
+        """All draws of one parameter (a length-N view)."""
+        try:
+            index = self.parameter_names.index(name)
+        except ValueError:
+            raise PatterningError(
+                f"unknown parameter {name!r}; known: {list(self.parameter_names)}"
+            ) from None
+        return self.matrix[:, index]
+
+    def values_at(self, index: int) -> Dict[str, float]:
+        """The ``index``-th draw as the scalar-path parameter dictionary."""
+        row = self.matrix[index]
+        return {name: float(row[k]) for k, name in enumerate(self.parameter_names)}
+
+    def __iter__(self) -> Iterator[SampledParameters]:
+        for index in range(len(self)):
+            yield SampledParameters(index=index, values=self.values_at(index))
 
 
 class ParameterSampler:
@@ -101,16 +147,38 @@ class ParameterSampler:
             yield self.draw(index)
             index += 1
 
+    def draw_batch(self, count: int) -> ParameterSampleBatch:
+        """Draw ``count`` parameter vectors as one ``(count, k)`` array.
+
+        The random stream is consumed in the same order as ``count``
+        successive :meth:`draw` calls (rows are samples, columns are the
+        sorted parameter names; zero-σ parameters do not consume draws), so
+        for a fixed seed the batch is bit-identical to the scalar loop.
+        """
+        if count < 1:
+            raise PatterningError("the number of Monte-Carlo samples must be positive")
+        sigmas = np.array([self.specs[name].sigma_nm for name in self._names])
+        active = sigmas > 0.0
+        matrix = np.zeros((count, len(self._names)))
+        if np.any(active):
+            standard = self._rng.standard_normal((count, int(np.count_nonzero(active))))
+            matrix[:, active] = standard * sigmas[active]
+            if self.truncate_at_three_sigma:
+                bounds = np.array(
+                    [self.specs[name].three_sigma_nm for name in self._names]
+                )
+                np.clip(matrix, -bounds, bounds, out=matrix)
+        return ParameterSampleBatch(
+            parameter_names=tuple(self._names), matrix=matrix
+        )
+
     def draw_matrix(self, count: int) -> np.ndarray:
         """Draw ``count`` vectors as a ``(count, n_parameters)`` array.
 
         Column order follows :attr:`parameter_names`.  Useful for vectorised
         surrogate evaluations.
         """
-        samples = self.draw_many(count)
-        return np.array(
-            [[sample.values[name] for name in self._names] for sample in samples]
-        )
+        return self.draw_batch(count).matrix
 
 
 def enumerate_worst_case_corners(

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
+
+import numpy as np
 
 from ..circuit.elements import CircuitElement, VoltageSource
 from ..circuit.mosfet import MOSFET
@@ -56,6 +58,39 @@ def precharge_capacitance_f(
     chosen = device if device is not None else default_n10_pmos()
     fins = precharge_fins(n_cells, cells_per_fin)
     return devices_per_bitline * fins * chosen.cdrain_f_per_fin
+
+
+@dataclass(frozen=True)
+class PrechargeCapacitanceLaw:
+    """``Cpre(n)`` as a picklable, array-capable callable.
+
+    The analytical delay model carries this object instead of a lambda so
+    studies can be shipped to process-pool workers, and so the formula can
+    be evaluated for a whole vector of array sizes at once.
+    """
+
+    device: Optional[FinFETParameters] = None
+    cells_per_fin: int = CELLS_PER_PRECHARGE_FIN
+    devices_per_bitline: int = 2
+
+    def __call__(self, n_cells: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        if np.ndim(n_cells) == 0:
+            # No int() truncation: math.ceil in precharge_fins handles float
+            # cell counts the same way the array branch's np.ceil does.
+            return precharge_capacitance_f(
+                n_cells,
+                device=self.device,
+                cells_per_fin=self.cells_per_fin,
+                devices_per_bitline=self.devices_per_bitline,
+            )
+        cells = np.asarray(n_cells)
+        if np.any(cells < 1):
+            raise PrechargeError("a bit line needs at least one cell")
+        if self.cells_per_fin < 1:
+            raise PrechargeError("cells_per_fin must be at least 1")
+        chosen = self.device if self.device is not None else default_n10_pmos()
+        fins = np.maximum(1, np.ceil(cells / self.cells_per_fin))
+        return self.devices_per_bitline * fins * chosen.cdrain_f_per_fin
 
 
 @dataclass

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 #: Vacuum permittivity in farad per nanometre.
 EPSILON_0_F_PER_NM = 8.8541878128e-21
 
@@ -120,6 +122,40 @@ class Conductor:
             gb_factor = 1.0 / max(
                 1e-9,
                 1.0 - 1.5 * alpha + 3.0 * alpha**2 - 3.0 * alpha**3 * math.log(1.0 + 1.0 / alpha),
+            )
+        else:
+            gb_factor = 1.0
+        return rho * surface_factor * gb_factor
+
+    def effective_resistivity_batch(
+        self, width_nm: np.ndarray, thickness_nm: np.ndarray
+    ) -> np.ndarray:
+        """Array-valued twin of :meth:`effective_resistivity`.
+
+        Same formula, element-wise over equally shaped arrays; used by the
+        batched Monte-Carlo extraction path.
+        """
+        width = np.asarray(width_nm, dtype=float)
+        thickness = np.asarray(thickness_nm, dtype=float)
+        if np.any(width <= 0.0) or np.any(thickness <= 0.0):
+            raise MaterialError(
+                f"conductor {self.name!r}: cross-section dimensions must be positive"
+            )
+        rho = self.bulk_resistivity_ohm_nm
+        if self.mean_free_path_nm <= 0.0:
+            return np.full(np.broadcast(width, thickness).shape, rho)
+
+        critical = np.minimum(width, thickness)
+        k = critical / self.mean_free_path_nm
+        surface_factor = 1.0 + 0.375 * (1.0 - self.specularity) / k
+
+        grain_size = thickness
+        r = self.reflection_coefficient
+        if r > 0.0:
+            alpha = (self.mean_free_path_nm / grain_size) * r / (1.0 - r)
+            gb_factor = 1.0 / np.maximum(
+                1e-9,
+                1.0 - 1.5 * alpha + 3.0 * alpha**2 - 3.0 * alpha**3 * np.log(1.0 + 1.0 / alpha),
             )
         else:
             gb_factor = 1.0
