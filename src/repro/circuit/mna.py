@@ -314,9 +314,18 @@ class JacobianTemplate:
     are injected through a precomputed position map, so assembling
     ``G + C/dt + J_nl`` costs one vector add instead of two sparse-matrix
     additions and a CSR→CSC conversion.
+
+    ``like`` accepts the template of a *same-topology* circuit (identical
+    element construction order, only R/C/device values differing — e.g.
+    the same bit-line ladder at a different patterning corner): the
+    expensive sort/unique structure analysis is skipped and only the value
+    arrays are rebuilt.  The donor is verified position-by-position, so a
+    mismatched donor silently falls back to a full build.
     """
 
-    def __init__(self, assembler: MNAAssembler) -> None:
+    def __init__(
+        self, assembler: MNAAssembler, like: Optional["JacobianTemplate"] = None
+    ) -> None:
         self.size = assembler.size
         g_coo = assembler.conductance_matrix.tocoo()
         c_coo = assembler.capacitance_matrix.tocoo()
@@ -325,14 +334,30 @@ class JacobianTemplate:
         rows = np.concatenate([g_coo.row, c_coo.row, np.asarray(nl_rows, dtype=np.int64)])
         cols = np.concatenate([g_coo.col, c_coo.col, np.asarray(nl_cols, dtype=np.int64)])
         keys = cols.astype(np.int64) * self.size + rows.astype(np.int64)
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
 
-        self.indices = (unique_keys % self.size).astype(np.int32)
-        unique_cols = unique_keys // self.size
-        self.indptr = np.searchsorted(unique_cols, np.arange(self.size + 1)).astype(
-            np.int32
+        self.structure_reused = (
+            like is not None
+            and like.size == self.size
+            and like._coo_keys.shape == keys.shape
+            and np.array_equal(like._coo_keys, keys)
         )
-        self.nnz = int(unique_keys.size)
+        if self.structure_reused:
+            inverse = like._inverse
+            self.indices = like.indices
+            self.indptr = like.indptr
+            self.nnz = like.nnz
+        else:
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            self.indices = (unique_keys % self.size).astype(np.int32)
+            unique_cols = unique_keys // self.size
+            self.indptr = np.searchsorted(
+                unique_cols, np.arange(self.size + 1)
+            ).astype(np.int32)
+            self.nnz = int(unique_keys.size)
+        #: COO position keys and their template positions, kept so a later
+        #: same-topology template can verify and adopt this structure.
+        self._coo_keys = keys
+        self._inverse = inverse
 
         n_g = g_coo.nnz
         n_c = c_coo.nnz
@@ -371,9 +396,11 @@ class CachedFactorSolver:
     #: adaptive step controller revisits a small set of dt values).
     MAX_CACHE = 32
 
-    def __init__(self, assembler: MNAAssembler) -> None:
+    def __init__(
+        self, assembler: MNAAssembler, like: Optional[JacobianTemplate] = None
+    ) -> None:
         self.assembler = assembler
-        self.template = JacobianTemplate(assembler)
+        self.template = JacobianTemplate(assembler, like=like)
         self._static: Dict[float, Tuple[np.ndarray, sparse.csc_matrix]] = {}
         self._lu: Dict[float, Tuple[Optional[np.ndarray], object]] = {}
         self.n_factorizations = 0

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from .dc import ConvergenceError, NewtonOptions
-from .mna import CachedFactorSolver, MNAAssembler
+from .mna import CachedFactorSolver, JacobianTemplate, MNAAssembler
 from .netlist import Circuit
 from .waveform import TransientResult
 
@@ -65,13 +65,17 @@ class TransientSolver:
     """Time-domain solver for a fixed circuit."""
 
     def __init__(self, circuit: Circuit, options: Optional[TransientOptions] = None,
-                 gmin_s: float = 1e-12) -> None:
+                 gmin_s: float = 1e-12,
+                 jacobian_like: Optional[JacobianTemplate] = None) -> None:
         self.circuit = circuit
         self.options = options if options is not None else TransientOptions()
         self.assembler = MNAAssembler(circuit, gmin_s=gmin_s)
         # Shared factorisation cache: the LU of (G + C/dt) is reused across
         # iterations and steps until dt or the device stamps change.
-        self.solver_cache = CachedFactorSolver(self.assembler)
+        # ``jacobian_like`` lets callers donate the CSC structure of a
+        # previously solved same-topology circuit (e.g. the same RC ladder
+        # at a different patterning corner) so only the values are rebuilt.
+        self.solver_cache = CachedFactorSolver(self.assembler, like=jacobian_like)
 
     # -- single implicit step -----------------------------------------------------
 
@@ -177,8 +181,18 @@ class TransientSolver:
         stop_reason = "tstop"
         steps = 0
 
-        while time_s < options.t_stop_s and steps < options.max_steps:
-            steps += 1
+        # ``steps`` counts *accepted* steps only: a rejected (non-converged)
+        # step is retried at half the size without consuming budget, so
+        # step-halving near stiff corners cannot exhaust ``max_steps``
+        # spuriously.  Rejections are still bounded — each one shrinks dt
+        # and the solver raises once dt falls below ``dt_min_s``.
+        while time_s < options.t_stop_s:
+            if steps >= options.max_steps:
+                raise ConvergenceError(
+                    f"transient exceeded {options.max_steps} accepted steps "
+                    f"before t_stop (reached t={time_s:.3e} s of "
+                    f"{options.t_stop_s:.3e} s)"
+                )
             dt_s = min(dt_s, options.t_stop_s - time_s)
             solution = self._newton_step(x, time_s + dt_s, dt_s, x)
             if solution is None:
@@ -190,6 +204,7 @@ class TransientSolver:
                     )
                 continue
 
+            steps += 1
             time_s += dt_s
             x = solution
             times.append(time_s)
@@ -205,11 +220,6 @@ class TransientSolver:
                 break
 
             dt_s = min(dt_s * options.dt_growth, options.dt_max_s)
-
-        if steps >= options.max_steps:
-            raise ConvergenceError(
-                f"transient exceeded {options.max_steps} steps before t_stop"
-            )
 
         return TransientResult(
             times_s=np.asarray(times),

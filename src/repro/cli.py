@@ -5,27 +5,38 @@ without writing Python::
 
     python -m repro table1                      # worst-case dCbl/dRbl
     python -m repro fig4 --sizes 16 64          # simulated worst-case penalties
+    python -m repro fig4 --workers 4            # ... on four cores
     python -m repro table4 --samples 500        # Monte-Carlo tdp sigma
     python -m repro verdict                     # the Section-IV recommendation
     python -m repro yield --budget 10 --ppm 100 # spec-compliance analysis
+    python -m repro campaign --workers 4 --format json --store runs/paper
     python -m repro all --output report.txt     # every table, to a file
 
 Global options select the overlay budget, the array sizes, the Monte-Carlo
-sample count and the random seed, so parameter studies are one shell loop
-away.
+sample count, the random seed and the worker count, so parameter studies
+are one shell loop away.  The ``campaign`` sub-command exposes the batched
+simulation engine directly: scenario axes (overlay sweep, stored value,
+VSS strap interval, integration method) cross with the DOE, results can be
+persisted to a resumable store, and the report comes out as text, JSON or
+CSV.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .core.campaign import CAMPAIGN_METHODS, SimulationCampaign, scenario_grid
 from .core.comparison import OptionComparison
 from .core.study import MultiPatterningSRAMStudy
 from .core.yield_analysis import ReadTimeYieldAnalysis
 from .reporting.figures import figure2_ascii, figure3_csv, figure5_ascii
 from .reporting.tables import (
+    format_campaign_csv,
+    format_campaign_text,
     format_csv,
     format_figure4,
     format_table1,
@@ -75,6 +86,16 @@ def _common_options() -> argparse.ArgumentParser:
     )
     common.add_argument("--seed", type=int, default=2015, help="random seed (default: 2015)")
     common.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the simulated experiments "
+            "(fig4/table2/table3/campaign; default: 1)"
+        ),
+    )
+    common.add_argument(
         "--output",
         type=str,
         default=None,
@@ -113,6 +134,58 @@ def build_parser() -> argparse.ArgumentParser:
         "verdict", help="recompute the Section-IV recommendation", parents=[common]
     )
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="batched multi-scenario simulation campaign (the fig4/table2/table3 engine)",
+        parents=[common],
+    )
+    campaign_parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="report format (default: text)",
+    )
+    campaign_parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist records to DIR and resume by skipping completed items",
+    )
+    campaign_parser.add_argument(
+        "--overlay-sweep",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="NM",
+        help="scenario axis: LE overlay budgets in nm (default: the node's budget)",
+    )
+    campaign_parser.add_argument(
+        "--stored-values",
+        type=int,
+        nargs="+",
+        choices=(0, 1),
+        default=[0],
+        metavar="BIT",
+        help="scenario axis: stored cell values to simulate (default: 0)",
+    )
+    campaign_parser.add_argument(
+        "--strap-intervals",
+        type=int,
+        nargs="+",
+        default=[256],
+        metavar="CELLS",
+        help="scenario axis: VSS strap intervals in cells (default: 256)",
+    )
+    campaign_parser.add_argument(
+        "--methods",
+        nargs="+",
+        choices=CAMPAIGN_METHODS,
+        default=["backward-euler"],
+        metavar="METHOD",
+        help="scenario axis: transient integration methods (default: backward-euler)",
+    )
+
     yield_parser = subparsers.add_parser(
         "yield", help="read-time spec-compliance (yield) analysis", parents=[common]
     )
@@ -140,7 +213,9 @@ def _build_study(args: argparse.Namespace) -> MultiPatterningSRAMStudy:
     )
 
 
-def _run_experiment(study: MultiPatterningSRAMStudy, command: str) -> str:
+def _run_experiment(
+    study: MultiPatterningSRAMStudy, command: str, workers: int = 1
+) -> str:
     if command == "table1":
         return format_table1(study.run_table1())
     if command == "fig2":
@@ -151,11 +226,11 @@ def _run_experiment(study: MultiPatterningSRAMStudy, command: str) -> str:
         layouts = paper_doe_layouts(node=study.node, sizes=study.doe.array_sizes)
         return figure3_csv([layout.summary() for layout in layouts.values()])
     if command == "fig4":
-        return format_figure4(study.run_figure4())
+        return format_figure4(study.run_figure4(workers=workers))
     if command == "table2":
-        return format_table2(study.run_table2())
+        return format_table2(study.run_table2(workers=workers))
     if command == "table3":
-        return format_table3(study.run_table3())
+        return format_table3(study.run_table3(workers=workers))
     if command == "fig5":
         return "\n\n".join(figure5_ascii(record) for record in study.run_figure5())
     if command == "table4":
@@ -163,8 +238,33 @@ def _run_experiment(study: MultiPatterningSRAMStudy, command: str) -> str:
     raise ValueError(f"unknown experiment {command!r}")
 
 
-def _run_verdict(study: MultiPatterningSRAMStudy) -> str:
-    figure4 = study.run_figure4()
+def _run_campaign(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> str:
+    """Run the simulation campaign and format its report."""
+    overlays = (
+        [None]
+        if args.overlay_sweep is None
+        else [float(value) for value in args.overlay_sweep]
+    )
+    scenarios = scenario_grid(
+        overlay_budgets_nm=overlays,
+        stored_values=args.stored_values,
+        strap_intervals=args.strap_intervals,
+        methods=args.methods,
+    )
+    campaign = study.campaign(
+        scenarios=scenarios,
+        store_dir=Path(args.store) if args.store else None,
+    )
+    results = campaign.run(workers=args.workers)
+    if args.format == "json":
+        return json.dumps(campaign.report_dict(results), indent=2)
+    if args.format == "csv":
+        return format_campaign_csv(results)
+    return format_campaign_text(results)
+
+
+def _run_verdict(study: MultiPatterningSRAMStudy, workers: int = 1) -> str:
+    figure4 = study.run_figure4(workers=workers)
     table4 = study.run_table4()
     verdict = OptionComparison(figure4, table4).verdict()
     lines = [
@@ -227,14 +327,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sections: List[str] = []
     if args.command == "all":
         for command in EXPERIMENT_COMMANDS:
-            sections.append(_run_experiment(study, command))
-        sections.append(_run_verdict(study))
+            sections.append(_run_experiment(study, command, workers=args.workers))
+        sections.append(_run_verdict(study, workers=args.workers))
     elif args.command == "verdict":
-        sections.append(_run_verdict(study))
+        sections.append(_run_verdict(study, workers=args.workers))
     elif args.command == "yield":
         sections.append(_run_yield(study, args.budget, args.ppm))
+    elif args.command == "campaign":
+        sections.append(_run_campaign(study, args))
     else:
-        sections.append(_run_experiment(study, args.command))
+        sections.append(_run_experiment(study, args.command, workers=args.workers))
 
     report = "\n\n".join(sections) + "\n"
     if args.output:

@@ -21,6 +21,16 @@ from .attribution import (
     VarianceAttribution,
     attribute_from_variations,
 )
+from .campaign import (
+    CampaignError,
+    CampaignItem,
+    CampaignRecord,
+    CampaignResults,
+    CampaignScenario,
+    CampaignStore,
+    SimulationCampaign,
+    scenario_grid,
+)
 from .comparison import (
     ComparisonError,
     ComparisonVerdict,
@@ -55,6 +65,14 @@ from .yield_analysis import (
 __all__ = [
     "AnalyticalDelayModel",
     "AnalyticalModelError",
+    "CampaignError",
+    "CampaignItem",
+    "CampaignRecord",
+    "CampaignResults",
+    "CampaignScenario",
+    "CampaignStore",
+    "SimulationCampaign",
+    "scenario_grid",
     "AttributionError",
     "AttributionResult",
     "ComparisonError",

@@ -1,0 +1,791 @@
+"""Batched, multiprocess campaign engine for the simulation pipeline.
+
+The sequential path of the paper's simulated half (Fig. 4 worst-case
+penalties, Tables II–III formula validation) walks the DOE one corner at a
+time on one core.  :class:`SimulationCampaign` turns that walk into an
+explicit work list — one :class:`CampaignItem` per (scenario × array size
+× worst-case corner), plus one nominal item per distinct simulation
+configuration — and executes it through a process pool:
+
+* the per-option worst corners are searched once per overlay budget in the
+  driver and embedded in the items, so workers only print, extract and
+  simulate;
+* items are grouped into chunks by ``(array size, simulation key)`` so a
+  worker's layout / extraction / Jacobian-structure caches amortise across
+  the chunk, and chunks are scheduled longest-first;
+* every item carries a deterministic seed derived with the same crc32
+  scheme as the Monte-Carlo engine, so any future stochastic scenario axis
+  stays reproducible across process boundaries;
+* records can be persisted to a disk store (one JSON file per item) and a
+  rerun skips everything already recorded — a long campaign resumes where
+  it stopped.
+
+Scenario diversity is a first-class axis: overlay-budget sweeps, stored
+value 0/1, VSS strap-interval variants and backward-Euler versus
+trapezoidal integration all cross with the DOE grid.  The default single
+scenario reproduces the paper's Fig. 4 / Table II–III numbers exactly
+(the parity suite pins this at ``rtol <= 1e-12`` against the sequential
+path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..sram.read_path import ReadMeasurement, ReadPathSimulator
+from ..technology.node import TechnologyNode
+from ..variability.doe import StudyDOE, paper_doe
+from .analytical import AnalyticalDelayModel
+from .results import FormulaVsSimulationTdRow, FormulaVsSimulationTdpRow, WorstCaseTdRow
+from .worst_case import WorstCaseStudy
+
+#: Transient methods a scenario may select.
+CAMPAIGN_METHODS = ("backward-euler", "trapezoidal")
+
+#: Short method tags used in item keys and file names.
+_METHOD_TAGS = {"backward-euler": "be", "trapezoidal": "trap"}
+
+
+class CampaignError(RuntimeError):
+    """Raised when a campaign cannot be configured, run or resumed."""
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """One simulation scenario: everything varied besides the DOE grid.
+
+    Parameters
+    ----------
+    label:
+        Unique name of the scenario (also used in item keys and store file
+        names, so it is restricted to ``[A-Za-z0-9._-]``).
+    overlay_three_sigma_nm:
+        LE overlay budget override; ``None`` keeps the node's budget.  Only
+        affects the worst-corner search (litho-etch options).
+    stored_value:
+        Logic value stored on the accessed cell's Q node (0 discharges BL,
+        the paper's case; 1 discharges BLB).
+    vss_strap_interval_cells:
+        VSS strap pitch of the array (see :class:`ReadPathSimulator`).
+    method:
+        Transient integration method, ``"backward-euler"`` or
+        ``"trapezoidal"``.
+    """
+
+    label: str = "paper"
+    overlay_three_sigma_nm: Optional[float] = None
+    stored_value: int = 0
+    vss_strap_interval_cells: int = 256
+    method: str = "backward-euler"
+
+    def __post_init__(self) -> None:
+        if not self.label or not all(
+            ch.isalnum() or ch in "._-" for ch in self.label
+        ):
+            raise CampaignError(
+                f"scenario label {self.label!r} must be non-empty and use only "
+                "letters, digits, '.', '_' or '-'"
+            )
+        if self.overlay_three_sigma_nm is not None and self.overlay_three_sigma_nm <= 0.0:
+            raise CampaignError("the overlay budget must be positive")
+        if self.stored_value not in (0, 1):
+            raise CampaignError("stored_value must be 0 or 1")
+        if self.vss_strap_interval_cells < 1:
+            raise CampaignError("the VSS strap interval must be at least one cell")
+        if self.method not in CAMPAIGN_METHODS:
+            raise CampaignError(f"method must be one of {CAMPAIGN_METHODS}")
+
+    @property
+    def sim_key(self) -> str:
+        """Key of the simulation configuration (everything the *nominal*
+        measurement depends on — the overlay budget only moves corners)."""
+        return (
+            f"sv{self.stored_value}"
+            f"-strap{self.vss_strap_interval_cells}"
+            f"-{_METHOD_TAGS[self.method]}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CampaignItem:
+    """One unit of campaign work: a single read simulation."""
+
+    kind: str                                   # "nominal" or "corner"
+    n_wordlines: int
+    scenario: CampaignScenario
+    seed: int
+    option_name: Optional[str] = None
+    #: Worst-corner parameter assignment, sorted name→value pairs.
+    corner_parameters: Tuple[Tuple[str, float], ...] = ()
+    #: Bit-line / VSS RC ratios of the corner (feed the formula rows).
+    corner_rvar: float = 1.0
+    corner_cvar: float = 1.0
+    corner_vss_rvar: float = 1.0
+
+    @property
+    def key(self) -> str:
+        if self.kind == "nominal":
+            return f"n{self.n_wordlines}-nominal-{self.scenario.sim_key}"
+        return f"n{self.n_wordlines}-{self.option_name}-{self.scenario.label}"
+
+    @property
+    def chunk_key(self) -> Tuple[int, str]:
+        """Items sharing a chunk share layouts, extractions and templates."""
+        return (self.n_wordlines, self.scenario.sim_key)
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Everything one completed item produced, JSON-serialisable."""
+
+    key: str
+    kind: str
+    n_wordlines: int
+    option_name: Optional[str]
+    scenario_label: str
+    sim_key: str
+    overlay_three_sigma_nm: Optional[float]
+    stored_value: int
+    vss_strap_interval_cells: int
+    method: str
+    seed: int
+    td_s: float
+    wordline_time_s: float
+    sense_time_s: float
+    stop_reason: str
+    bitline_resistance_ohm: float
+    bitline_capacitance_f: float
+    vss_rail_resistance_ohm: float
+    corner_parameters: Dict[str, float] = field(default_factory=dict)
+    corner_rvar: float = 1.0
+    corner_cvar: float = 1.0
+    corner_vss_rvar: float = 1.0
+    wall_s: float = 0.0
+
+    @property
+    def td_ps(self) -> float:
+        return self.td_s * 1e12
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CampaignRecord":
+        names = {f.name for f in cls.__dataclass_fields__.values()}
+        unknown = set(payload) - names
+        if unknown:
+            raise CampaignError(f"unknown campaign record fields: {sorted(unknown)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+def _record_from_measurement(
+    item: CampaignItem, measurement: ReadMeasurement, wall_s: float
+) -> CampaignRecord:
+    scenario = item.scenario
+    return CampaignRecord(
+        key=item.key,
+        kind=item.kind,
+        n_wordlines=item.n_wordlines,
+        option_name=item.option_name,
+        scenario_label=scenario.label,
+        sim_key=scenario.sim_key,
+        overlay_three_sigma_nm=scenario.overlay_three_sigma_nm,
+        stored_value=scenario.stored_value,
+        vss_strap_interval_cells=scenario.vss_strap_interval_cells,
+        method=scenario.method,
+        seed=item.seed,
+        td_s=measurement.td_s,
+        wordline_time_s=measurement.wordline_time_s,
+        sense_time_s=measurement.sense_time_s,
+        stop_reason=measurement.stop_reason,
+        bitline_resistance_ohm=measurement.bitline_resistance_ohm,
+        bitline_capacitance_f=measurement.bitline_capacitance_f,
+        vss_rail_resistance_ohm=measurement.vss_rail_resistance_ohm,
+        corner_parameters=dict(item.corner_parameters),
+        corner_rvar=item.corner_rvar,
+        corner_cvar=item.corner_cvar,
+        corner_vss_rvar=item.corner_vss_rvar,
+        wall_s=wall_s,
+    )
+
+
+class CampaignResults:
+    """The records a campaign run produced, in work-list order."""
+
+    def __init__(self, records: Sequence[CampaignRecord]) -> None:
+        self.records: List[CampaignRecord] = list(records)
+        self._by_key: Dict[str, CampaignRecord] = {
+            record.key: record for record in self.records
+        }
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def record(self, key: str) -> CampaignRecord:
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise CampaignError(f"no campaign record with key {key!r}") from None
+
+    def nominal(self, sim_key: str, n_wordlines: int) -> CampaignRecord:
+        return self.record(f"n{n_wordlines}-nominal-{sim_key}")
+
+    def corner(
+        self, scenario_label: str, option_name: str, n_wordlines: int
+    ) -> CampaignRecord:
+        return self.record(f"n{n_wordlines}-{option_name}-{scenario_label}")
+
+    def penalty_percent_for(self, record: CampaignRecord) -> Optional[float]:
+        """Simulated tdp (%) of a corner record versus its scenario's
+        nominal; ``None`` for nominal records."""
+        if record.kind != "corner":
+            return None
+        nominal = self.nominal(record.sim_key, record.n_wordlines)
+        if nominal.td_s <= 0.0:
+            raise CampaignError("nominal td must be positive")
+        return (record.td_s / nominal.td_s - 1.0) * 100.0
+
+    def penalty_percent(
+        self, scenario: CampaignScenario, option_name: str, n_wordlines: int
+    ) -> float:
+        """Simulated tdp (%) of one option/size/scenario versus its nominal."""
+        return self.penalty_percent_for(
+            self.corner(scenario.label, option_name, n_wordlines)
+        )
+
+
+class CampaignStore:
+    """Disk-backed result store: one JSON file per completed item.
+
+    Layout::
+
+        <directory>/campaign.json     # campaign signature + metadata
+        <directory>/items/<key>.json  # one CampaignRecord each
+
+    A rerun against the same directory loads every stored record and skips
+    the corresponding items; a signature mismatch (different DOE, scenario
+    set or seed) raises instead of silently mixing incompatible runs.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.items_dir = self.directory / "items"
+
+    @property
+    def metadata_path(self) -> Path:
+        return self.directory / "campaign.json"
+
+    def prepare(self, signature: Mapping[str, object]) -> None:
+        """Create the store (or validate an existing one) for a signature."""
+        self.items_dir.mkdir(parents=True, exist_ok=True)
+        if self.metadata_path.exists():
+            existing = json.loads(self.metadata_path.read_text(encoding="utf-8"))
+            if existing.get("signature") != signature:
+                raise CampaignError(
+                    f"store {self.directory} belongs to a different campaign; "
+                    "use a fresh --store directory or matching settings"
+                )
+            return
+        payload = {
+            "format": "repro-campaign-store-v1",
+            "created_unix": int(time.time()),
+            "signature": dict(signature),
+        }
+        self._atomic_write(self.metadata_path, payload)
+
+    def load_records(self) -> Dict[str, CampaignRecord]:
+        records: Dict[str, CampaignRecord] = {}
+        if not self.items_dir.is_dir():
+            return records
+        for path in sorted(self.items_dir.glob("*.json")):
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            record = CampaignRecord.from_dict(payload)
+            records[record.key] = record
+        return records
+
+    def save_record(self, record: CampaignRecord) -> None:
+        self._atomic_write(self.items_dir / f"{record.key}.json", record.to_dict())
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: Mapping[str, object]) -> None:
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        tmp.replace(path)
+
+
+class CampaignWorkerState:
+    """Per-process simulation state: one simulator per sim configuration.
+
+    All simulators share the geometry caches (layouts, nominal and printed
+    extractions, Jacobian structures) of the first one created, so a chunk
+    of items touching the same array size extracts each layout once no
+    matter how many scenario variants visit it.
+    """
+
+    def __init__(
+        self, node: TechnologyNode, n_bitline_pairs: int, max_segments: int
+    ) -> None:
+        self.node = node
+        self.n_bitline_pairs = n_bitline_pairs
+        self.max_segments = max_segments
+        self._simulators: Dict[str, ReadPathSimulator] = {}
+        self._options: Dict[str, object] = {}
+
+    def _simulator_for(self, scenario: CampaignScenario) -> ReadPathSimulator:
+        key = scenario.sim_key
+        simulator = self._simulators.get(key)
+        if simulator is None:
+            # transient_method (not a TransientOptions override) so the
+            # method axis changes only the integrator: the derived
+            # step-size policy stays identical across methods.
+            simulator = ReadPathSimulator(
+                self.node,
+                n_bitline_pairs=self.n_bitline_pairs,
+                max_segments=self.max_segments,
+                vss_strap_interval_cells=scenario.vss_strap_interval_cells,
+                transient_method=scenario.method,
+            )
+            if self._simulators:
+                simulator.adopt_shared_caches(next(iter(self._simulators.values())))
+            self._simulators[key] = simulator
+        return simulator
+
+    def _option_for(self, option_name: str):
+        option = self._options.get(option_name)
+        if option is None:
+            from ..patterning import create_option
+
+            option = create_option(option_name)
+            self._options[option_name] = option
+        return option
+
+    def run_item(self, item: CampaignItem) -> CampaignRecord:
+        simulator = self._simulator_for(item.scenario)
+        started = time.perf_counter()
+        if item.kind == "nominal":
+            measurement = simulator.measure_nominal(
+                item.n_wordlines, stored_value=item.scenario.stored_value
+            )
+        elif item.kind == "corner":
+            measurement = simulator.measure_with_patterning(
+                item.n_wordlines,
+                self._option_for(item.option_name),
+                dict(item.corner_parameters),
+                stored_value=item.scenario.stored_value,
+            )
+        else:
+            raise CampaignError(f"unknown campaign item kind {item.kind!r}")
+        wall_s = time.perf_counter() - started
+        return _record_from_measurement(item, measurement, wall_s)
+
+    def run_chunk(self, items: Sequence[CampaignItem]) -> List[CampaignRecord]:
+        return [self.run_item(item) for item in items]
+
+
+#: Per-process worker state installed by the pool initializer (the node is
+#: pickled once per worker, and each worker's caches amortise across its
+#: chunks — the same pattern as the Monte-Carlo engine).
+_worker_state: Optional[CampaignWorkerState] = None
+
+
+def _init_campaign_worker(
+    node: TechnologyNode, n_bitline_pairs: int, max_segments: int
+) -> None:
+    global _worker_state
+    _worker_state = CampaignWorkerState(node, n_bitline_pairs, max_segments)
+
+
+def _run_chunk_worker(items: Sequence[CampaignItem]) -> List[CampaignRecord]:
+    return _worker_state.run_chunk(items)
+
+
+class SimulationCampaign:
+    """Batched, cached, multiprocess driver of the simulated experiments.
+
+    Parameters
+    ----------
+    node:
+        Technology node (its overlay budget is the default for scenarios
+        that do not override it).
+    doe:
+        Experiment grid; the paper's by default.
+    scenarios:
+        Scenario axes to cross with the DOE; defaults to the single paper
+        scenario.  Labels must be unique.
+    worst_case:
+        Optional pre-built worst-case study for the node-default overlay
+        budget, shared so its corner-search cache is not repeated.
+    store_dir:
+        Optional directory for the disk-backed result store; reruns skip
+        every item already recorded there.
+    seed:
+        Base seed of the per-item crc32 stream.
+    max_segments:
+        RC-ladder sections per bit line (see :class:`ReadPathSimulator`).
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        doe: Optional[StudyDOE] = None,
+        scenarios: Optional[Sequence[CampaignScenario]] = None,
+        worst_case: Optional[WorstCaseStudy] = None,
+        store_dir: Optional[Path] = None,
+        seed: int = 2015,
+        max_segments: int = 64,
+    ) -> None:
+        self.node = node
+        self.doe = doe if doe is not None else paper_doe()
+        self.scenarios: Tuple[CampaignScenario, ...] = tuple(
+            scenarios if scenarios is not None else (CampaignScenario(),)
+        )
+        if not self.scenarios:
+            raise CampaignError("the campaign needs at least one scenario")
+        labels = [scenario.label for scenario in self.scenarios]
+        if len(set(labels)) != len(labels):
+            raise CampaignError(f"scenario labels must be unique, got {labels}")
+        self.seed = seed
+        self.max_segments = max_segments
+        self.store = CampaignStore(store_dir) if store_dir is not None else None
+        self._worst_case_by_overlay: Dict[Optional[float], WorstCaseStudy] = {}
+        if worst_case is not None:
+            self._worst_case_by_overlay[None] = worst_case
+        #: In-memory record memo: repeated ``run()`` calls (e.g. fig4 then
+        #: table2 then table3 through the same campaign) only simulate the
+        #: first time, mirroring the disk store's resume semantics.
+        self._memo: Dict[str, CampaignRecord] = {}
+        self._local_state: Optional[CampaignWorkerState] = None
+
+    # -- corner search (driver side) ---------------------------------------------------
+
+    def worst_case_for(self, overlay_three_sigma_nm: Optional[float]) -> WorstCaseStudy:
+        """The worst-case study of one overlay budget (corner-search cache)."""
+        study = self._worst_case_by_overlay.get(overlay_three_sigma_nm)
+        if study is None:
+            node = self.node
+            if overlay_three_sigma_nm is not None:
+                node = node.with_variations(
+                    node.variations.for_overlay(overlay_three_sigma_nm)
+                )
+            study = WorstCaseStudy(node, doe=self.doe)
+            self._worst_case_by_overlay[overlay_three_sigma_nm] = study
+        return study
+
+    # -- work-list enumeration ----------------------------------------------------------
+
+    def _seed_for(self, key: str) -> int:
+        # crc32 rather than hash(): stable across interpreter invocations
+        # and hash-seed randomisation (the Monte-Carlo engine's scheme), so
+        # pool workers and the serial path derive identical streams.
+        return zlib.crc32(f"{self.seed}/{key}".encode()) % (2**31)
+
+    def work_items(
+        self, kinds: Optional[Sequence[str]] = None
+    ) -> List[CampaignItem]:
+        """Enumerate the campaign items, nominals deduplicated by sim key.
+
+        ``kinds`` restricts the enumeration (``("nominal",)`` skips the
+        corner items *and* the per-option corner search entirely — the
+        Table II path needs only nominals).
+        """
+        chosen_kinds = set(kinds) if kinds is not None else {"nominal", "corner"}
+        unknown = chosen_kinds - {"nominal", "corner"}
+        if unknown:
+            raise CampaignError(f"unknown item kinds: {sorted(unknown)}")
+        items: List[CampaignItem] = []
+        seen_nominals: set = set()
+        for scenario in self.scenarios:
+            for size in self.doe.array_sizes:
+                nominal_key = (scenario.sim_key, size)
+                if "nominal" in chosen_kinds and nominal_key not in seen_nominals:
+                    seen_nominals.add(nominal_key)
+                    nominal = CampaignItem(
+                        kind="nominal",
+                        n_wordlines=size,
+                        # Nominal columns are overlay-independent (the
+                        # budget only moves corners), so the shared record
+                        # carries a neutral scenario named after the sim
+                        # key rather than whichever sweep point came first.
+                        scenario=replace(
+                            scenario,
+                            label=scenario.sim_key,
+                            overlay_three_sigma_nm=None,
+                        ),
+                        seed=0,
+                    )
+                    items.append(replace(nominal, seed=self._seed_for(nominal.key)))
+                if "corner" not in chosen_kinds:
+                    continue
+                worst_case = self.worst_case_for(scenario.overlay_three_sigma_nm)
+                for option_name in self.doe.option_names:
+                    corner = worst_case.find_worst_corner(option_name)
+                    item = CampaignItem(
+                        kind="corner",
+                        n_wordlines=size,
+                        scenario=scenario,
+                        seed=0,
+                        option_name=option_name,
+                        corner_parameters=tuple(
+                            sorted(
+                                (name, float(value))
+                                for name, value in corner.parameters.items()
+                            )
+                        ),
+                        corner_rvar=corner.bitline_variation.rvar,
+                        corner_cvar=corner.bitline_variation.cvar,
+                        corner_vss_rvar=corner.vss_variation.rvar,
+                    )
+                    items.append(replace(item, seed=self._seed_for(item.key)))
+        return items
+
+    def signature(self) -> Dict[str, object]:
+        """Identity of this campaign, stored and verified by the store."""
+        return {
+            "array_sizes": list(self.doe.array_sizes),
+            "option_names": list(self.doe.option_names),
+            "n_bitline_pairs": self.doe.n_bitline_pairs,
+            "scenarios": [scenario.as_dict() for scenario in self.scenarios],
+            "seed": self.seed,
+            "max_segments": self.max_segments,
+            "node": (
+                f"{self.node.name}"
+                f"/ol{self.node.variations.litho_etch.overlay.three_sigma_nm:g}"
+            ),
+        }
+
+    # -- execution ---------------------------------------------------------------------
+
+    @staticmethod
+    def _chunks(items: Sequence[CampaignItem]) -> List[List[CampaignItem]]:
+        grouped: Dict[Tuple[int, str], List[CampaignItem]] = {}
+        for item in items:
+            grouped.setdefault(item.chunk_key, []).append(item)
+        # Longest (biggest array, most items) chunks first: simulation cost
+        # grows with the array size, so LPT-style ordering keeps the pool
+        # balanced.
+        return sorted(
+            grouped.values(),
+            key=lambda chunk: (chunk[0].n_wordlines * len(chunk), len(chunk)),
+            reverse=True,
+        )
+
+    @staticmethod
+    def available_cpus() -> int:
+        """CPUs this process may actually run on (affinity-aware)."""
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return os.cpu_count() or 1
+
+    def _commit(self, records: Sequence[CampaignRecord]) -> None:
+        """Checkpoint finished records into the memo (and the store)."""
+        for record in records:
+            self._memo[record.key] = record
+            if self.store is not None:
+                self.store.save_record(record)
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        clamp_to_cpus: bool = True,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> CampaignResults:
+        """Execute the campaign and return every record in work-list order.
+
+        ``workers`` > 1 fans the chunks out over a process pool; the
+        records are identical to a serial run (everything downstream of the
+        corner search is a deterministic function of the item).  Completed
+        items — from the in-memory memo or the disk store — are skipped,
+        and finished chunks are checkpointed as they complete, so an
+        interrupted or failing campaign resumes from the last finished
+        chunk rather than from the previous run.
+
+        ``workers`` is a request, not a mandate: by default it is clamped
+        to the CPUs the process may run on (``-j``-style semantics), and
+        when no parallelism is available the campaign runs in-process
+        rather than paying pool overhead for nothing.  Pass
+        ``clamp_to_cpus=False`` to force the pool regardless (used by the
+        cross-process determinism tests).  ``kinds`` restricts the run to
+        a subset of item kinds (see :meth:`work_items`).
+        """
+        items = self.work_items(kinds=kinds)
+        if self.store is not None:
+            self.store.prepare(self.signature())
+            for key, record in self.store.load_records().items():
+                self._memo.setdefault(key, record)
+        pending = [item for item in items if item.key not in self._memo]
+        chunks = self._chunks(pending)
+
+        effective = workers if workers is not None else 1
+        if clamp_to_cpus:
+            effective = min(effective, self.available_cpus())
+
+        if effective > 1 and len(chunks) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(effective, len(chunks)),
+                initializer=_init_campaign_worker,
+                initargs=(self.node, self.doe.n_bitline_pairs, self.max_segments),
+            ) as pool:
+                futures = [pool.submit(_run_chunk_worker, chunk) for chunk in chunks]
+                for future in as_completed(futures):
+                    self._commit(future.result())
+        else:
+            if self._local_state is None:
+                self._local_state = CampaignWorkerState(
+                    self.node, self.doe.n_bitline_pairs, self.max_segments
+                )
+            for chunk in chunks:
+                self._commit(self._local_state.run_chunk(chunk))
+
+        return CampaignResults([self._memo[item.key] for item in items])
+
+    # -- experiment views ---------------------------------------------------------------
+
+    def _scenario_or_default(
+        self, scenario: Optional[CampaignScenario]
+    ) -> CampaignScenario:
+        chosen = scenario if scenario is not None else self.scenarios[0]
+        if chosen not in self.scenarios:
+            raise CampaignError(f"scenario {chosen.label!r} is not part of this campaign")
+        return chosen
+
+    def figure4_rows(
+        self,
+        results: CampaignResults,
+        scenario: Optional[CampaignScenario] = None,
+    ) -> List[WorstCaseTdRow]:
+        """Fig. 4 rows (nominal td + per-option tdp) from campaign records."""
+        chosen = self._scenario_or_default(scenario)
+        rows: List[WorstCaseTdRow] = []
+        for size in self.doe.array_sizes:
+            nominal = results.nominal(chosen.sim_key, size)
+            penalties = {
+                option_name: results.penalty_percent(chosen, option_name, size)
+                for option_name in self.doe.option_names
+            }
+            rows.append(
+                WorstCaseTdRow(
+                    array_label=f"{self.doe.n_bitline_pairs}x{size}",
+                    n_wordlines=size,
+                    nominal_td_ps=nominal.td_ps,
+                    tdp_percent_by_option=penalties,
+                )
+            )
+        return rows
+
+    def table2_rows(
+        self,
+        results: CampaignResults,
+        model: AnalyticalDelayModel,
+        scenario: Optional[CampaignScenario] = None,
+    ) -> List[FormulaVsSimulationTdRow]:
+        """Table II rows (simulated versus formula nominal td)."""
+        chosen = self._scenario_or_default(scenario)
+        return [
+            FormulaVsSimulationTdRow(
+                array_label=f"{self.doe.n_bitline_pairs}x{size}",
+                n_wordlines=size,
+                simulation_td_s=results.nominal(chosen.sim_key, size).td_s,
+                formula_td_s=model.td_nominal_s(size),
+            )
+            for size in self.doe.array_sizes
+        ]
+
+    def table3_rows(
+        self,
+        results: CampaignResults,
+        model: AnalyticalDelayModel,
+        scenario: Optional[CampaignScenario] = None,
+    ) -> List[FormulaVsSimulationTdpRow]:
+        """Table III rows (simulation and formula tdp, interleaved per size)."""
+        chosen = self._scenario_or_default(scenario)
+        rows: List[FormulaVsSimulationTdpRow] = []
+        for size in self.doe.array_sizes:
+            simulated: Dict[str, float] = {}
+            formula: Dict[str, float] = {}
+            for option_name in self.doe.option_names:
+                record = results.corner(chosen.label, option_name, size)
+                simulated[option_name] = results.penalty_percent(
+                    chosen, option_name, size
+                )
+                formula[option_name] = model.tdp_percent(
+                    size, record.corner_rvar, record.corner_cvar
+                )
+            label = f"{self.doe.n_bitline_pairs}x{size}"
+            rows.append(
+                FormulaVsSimulationTdpRow(
+                    method="simulation",
+                    array_label=label,
+                    n_wordlines=size,
+                    tdp_percent_by_option=simulated,
+                )
+            )
+            rows.append(
+                FormulaVsSimulationTdpRow(
+                    method="formula",
+                    array_label=label,
+                    n_wordlines=size,
+                    tdp_percent_by_option=formula,
+                )
+            )
+        return rows
+
+
+    def report_dict(self, results: CampaignResults) -> Dict[str, object]:
+        """JSON-ready report: the campaign signature plus every record."""
+        return {
+            "campaign": self.signature(),
+            "n_records": len(results),
+            "records": [record.to_dict() for record in results],
+        }
+
+
+def scenario_grid(
+    overlay_budgets_nm: Sequence[Optional[float]] = (None,),
+    stored_values: Sequence[int] = (0,),
+    strap_intervals: Sequence[int] = (256,),
+    methods: Sequence[str] = ("backward-euler",),
+) -> List[CampaignScenario]:
+    """Cross scenario axes into labelled :class:`CampaignScenario` objects.
+
+    Labels are derived from the non-default axis values (``"paper"`` when
+    every axis is at its default), so a sweep produces self-describing
+    store keys such as ``"ol5nm-sv1-trap"``.
+    """
+    scenarios: List[CampaignScenario] = []
+    for overlay in overlay_budgets_nm:
+        for stored_value in stored_values:
+            for strap in strap_intervals:
+                for method in methods:
+                    parts: List[str] = []
+                    if overlay is not None:
+                        parts.append(f"ol{overlay:g}nm")
+                    if stored_value != 0:
+                        parts.append(f"sv{stored_value}")
+                    if strap != 256:
+                        parts.append(f"strap{strap}")
+                    if method != "backward-euler":
+                        parts.append(_METHOD_TAGS[method])
+                    scenarios.append(
+                        CampaignScenario(
+                            label="-".join(parts) if parts else "paper",
+                            overlay_three_sigma_nm=overlay,
+                            stored_value=stored_value,
+                            vss_strap_interval_cells=strap,
+                            method=method,
+                        )
+                    )
+    return scenarios

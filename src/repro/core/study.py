@@ -16,13 +16,15 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..sram.read_path import ReadPathSimulator
 from ..technology.node import TechnologyNode
 from ..variability.doe import StudyDOE, paper_doe
 from .analytical import AnalyticalDelayModel, model_from_technology
+from .campaign import CampaignScenario, SimulationCampaign
 from .comparison import ComparisonVerdict, OptionComparison
 from .montecarlo import MonteCarloTdpStudy
 from .results import StudyReport
@@ -80,6 +82,7 @@ class MultiPatterningSRAMStudy:
             n_samples=self.monte_carlo_samples,
             seed=self.seed,
         )
+        self._campaign: Optional[SimulationCampaign] = None
 
     # -- component access ------------------------------------------------------------------
 
@@ -103,6 +106,48 @@ class MultiPatterningSRAMStudy:
     def monte_carlo(self) -> MonteCarloTdpStudy:
         return self._monte_carlo
 
+    # -- campaign plumbing -------------------------------------------------------------------
+
+    def campaign(
+        self,
+        scenarios: Optional[Sequence[CampaignScenario]] = None,
+        store_dir: Optional[Path] = None,
+    ) -> SimulationCampaign:
+        """A :class:`SimulationCampaign` over this study's node and DOE.
+
+        The campaign shares the study's worst-case corner search, so corner
+        discovery is never repeated between the sequential components and
+        the campaign engine.
+        """
+        return SimulationCampaign(
+            self.node,
+            doe=self.doe,
+            scenarios=scenarios,
+            worst_case=self._worst_case,
+            store_dir=store_dir,
+            seed=self.seed,
+        )
+
+    def _campaign_for(
+        self, array_sizes: Optional[Sequence[int]]
+    ) -> SimulationCampaign:
+        """The shared default campaign, or an ad-hoc one for a size subset.
+
+        The shared instance memoizes records, so Fig. 4 / Table II /
+        Table III (and repeated calls) simulate each work item exactly
+        once.
+        """
+        if array_sizes is None or tuple(array_sizes) == self.doe.array_sizes:
+            if self._campaign is None:
+                self._campaign = self.campaign()
+            return self._campaign
+        return SimulationCampaign(
+            self.node,
+            doe=replace(self.doe, array_sizes=tuple(array_sizes)),
+            worst_case=self._worst_case,
+            seed=self.seed,
+        )
+
     # -- individual experiments --------------------------------------------------------------
 
     def run_table1(self):
@@ -113,17 +158,43 @@ class MultiPatterningSRAMStudy:
         """Worst-case layout distortion per option (Fig. 2)."""
         return self._worst_case.figure2()
 
-    def run_figure4(self, array_sizes: Optional[Sequence[int]] = None):
-        """Worst-case td penalties versus array size (Fig. 4)."""
-        return self._worst_case.figure4(simulator=self._simulator, array_sizes=array_sizes)
+    def run_figure4(
+        self,
+        array_sizes: Optional[Sequence[int]] = None,
+        workers: Optional[int] = None,
+    ):
+        """Worst-case td penalties versus array size (Fig. 4).
 
-    def run_table2(self, array_sizes: Optional[Sequence[int]] = None):
-        """Nominal td: formula versus simulation (Table II)."""
-        return self._validation.table2(array_sizes=array_sizes)
+        Runs through the campaign engine: identical numbers to the
+        sequential :meth:`WorstCaseStudy.figure4` (the parity suite pins
+        this), with memoized work items and optional multiprocessing.
+        """
+        campaign = self._campaign_for(array_sizes)
+        return campaign.figure4_rows(campaign.run(workers=workers))
 
-    def run_table3(self, array_sizes: Optional[Sequence[int]] = None):
+    def run_table2(
+        self,
+        array_sizes: Optional[Sequence[int]] = None,
+        workers: Optional[int] = None,
+    ):
+        """Nominal td: formula versus simulation (Table II).
+
+        Only the nominal items run — Table II needs no corner search and
+        no corner simulations.
+        """
+        campaign = self._campaign_for(array_sizes)
+        return campaign.table2_rows(
+            campaign.run(workers=workers, kinds=("nominal",)), self._model
+        )
+
+    def run_table3(
+        self,
+        array_sizes: Optional[Sequence[int]] = None,
+        workers: Optional[int] = None,
+    ):
         """Worst-case tdp: formula versus simulation (Table III)."""
-        return self._validation.table3(array_sizes=array_sizes)
+        campaign = self._campaign_for(array_sizes)
+        return campaign.table3_rows(campaign.run(workers=workers), self._model)
 
     def run_figure5(self, n_wordlines: int = 64, overlay_three_sigma_nm: float = 8.0):
         """Monte-Carlo tdp distributions (Fig. 5)."""

@@ -116,7 +116,7 @@ class FormulaValidation:
             for option_name, corner in corners.items():
                 varied = self.simulator.measure_with_patterning(
                     size,
-                    self.worst_case._option(option_name),
+                    self.worst_case.option(option_name),
                     corner.parameters,
                 )
                 simulated[option_name] = varied.penalty_percent_vs(nominal)

@@ -118,7 +118,8 @@ class WorstCaseStudy:
         suffix = "" if central_column == 0 else f"@{central_column}"
         return bl_net, f"VSS{suffix}"
 
-    def _option(self, option_name: str) -> PatterningOption:
+    def option(self, option_name: str) -> PatterningOption:
+        """The :class:`PatterningOption` instance for ``option_name``."""
         return create_option(option_name)
 
     # -- worst-corner search (Table I) -----------------------------------------------------
@@ -128,7 +129,7 @@ class WorstCaseStudy:
         if option_name in self._worst_corner_cache:
             return self._worst_corner_cache[option_name]
 
-        option = self._option(option_name)
+        option = self.option(option_name)
         corners = enumerate_worst_case_corners(option, self.node.variations)
         layout = self.reference_layout
         bl_net, vss_net = self._target_nets()
@@ -170,7 +171,7 @@ class WorstCaseStudy:
         reported — the cell-level view of Fig. 2.
         """
         corner = self.find_worst_corner(option_name)
-        option = self._option(option_name)
+        option = self.option(option_name)
         layout = self.reference_layout
         patterned = option.apply(layout.metal1_pattern, corner.parameters)
 
@@ -225,7 +226,7 @@ class WorstCaseStudy:
             penalties: Dict[str, float] = {}
             for option_name in self.doe.option_names:
                 corner = self.find_worst_corner(option_name)
-                option = self._option(option_name)
+                option = self.option(option_name)
                 varied = chosen_simulator.measure_with_patterning(
                     size, option, corner.parameters
                 )

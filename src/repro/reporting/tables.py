@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.campaign import CampaignResults
 from ..core.results import (
     FormulaVsSimulationTdRow,
     FormulaVsSimulationTdpRow,
@@ -133,6 +134,77 @@ def format_table4(rows: Sequence[TdpSigmaRow]) -> str:
         body,
         title="Table IV: patterning options & tdp sigma values",
     )
+
+
+def format_campaign_text(results: CampaignResults) -> str:
+    """Campaign records as one monospaced table, in work-list order."""
+    body = []
+    for record in results:
+        penalty = results.penalty_percent_for(record)
+        body.append(
+            [
+                record.scenario_label,
+                f"10x{record.n_wordlines}",
+                record.option_name if record.option_name else "(nominal)",
+                f"{record.td_ps:.3f}",
+                f"{penalty:+.2f}" if penalty is not None else "-",
+                record.stop_reason,
+            ]
+        )
+    return render_table(
+        ["Scenario", "Array size", "Option", "td (ps)", "tdp (%)", "Stop"],
+        body,
+        title=f"Simulation campaign: {len(results)} records",
+    )
+
+
+def format_campaign_csv(results: CampaignResults) -> str:
+    """Campaign records as flat CSV (corner parameters compacted)."""
+    headers = [
+        "key",
+        "kind",
+        "scenario",
+        "sim_key",
+        "n_wordlines",
+        "option",
+        "overlay_three_sigma_nm",
+        "stored_value",
+        "vss_strap_interval_cells",
+        "method",
+        "td_s",
+        "tdp_percent",
+        "stop_reason",
+        "corner_parameters",
+        "seed",
+        "wall_s",
+    ]
+    rows = []
+    for record in results:
+        penalty = results.penalty_percent_for(record)
+        corner = ";".join(
+            f"{name}={value:g}" for name, value in sorted(record.corner_parameters.items())
+        )
+        rows.append(
+            [
+                record.key,
+                record.kind,
+                record.scenario_label,
+                record.sim_key,
+                record.n_wordlines,
+                record.option_name or "",
+                "" if record.overlay_three_sigma_nm is None else record.overlay_three_sigma_nm,
+                record.stored_value,
+                record.vss_strap_interval_cells,
+                record.method,
+                repr(record.td_s),
+                "" if penalty is None else repr(penalty),
+                record.stop_reason,
+                corner,
+                record.seed,
+                record.wall_s,
+            ]
+        )
+    return format_csv(headers, rows)
 
 
 def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

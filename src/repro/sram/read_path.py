@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..circuit.mna import JacobianTemplate
 from ..circuit.transient import TransientOptions, TransientSolver
 from ..circuit.waveform import TransientResult
 from ..extraction.field import ExtractionResult
@@ -95,6 +96,13 @@ class ReadPathSimulator:
     transient_options:
         Optional overrides of the transient-solver settings (the time
         window and step limits are always derived from the array size).
+    transient_method:
+        Integration method for the *derived* options path
+        (``"backward-euler"`` or ``"trapezoidal"``).  Unlike passing a
+        ``transient_options`` override, this changes only the integrator —
+        the step-size policy stays the derived one, so method comparisons
+        are not confounded by different dt knobs.  Ignored when
+        ``transient_options`` is given (the override's method wins).
     """
 
     def __init__(
@@ -104,17 +112,73 @@ class ReadPathSimulator:
         max_segments: int = 64,
         vss_strap_interval_cells: int = 256,
         transient_options: Optional[TransientOptions] = None,
+        transient_method: Optional[str] = None,
     ) -> None:
         if vss_strap_interval_cells < 1:
             raise ReadSimulationError("the VSS strap interval must be at least one cell")
+        if transient_method not in (None, "backward-euler", "trapezoidal"):
+            raise ReadSimulationError(
+                "transient_method must be 'backward-euler' or 'trapezoidal'"
+            )
         self.node = node
         self.n_bitline_pairs = n_bitline_pairs
         self.max_segments = max_segments
         self.vss_strap_interval_cells = vss_strap_interval_cells
         self._base_transient_options = transient_options
+        self._transient_method = transient_method
         self._lpe = ParameterizedLPE(node)
         self._layout_cache: Dict[int, SRAMArrayLayout] = {}
         self._nominal_extraction_cache: Dict[int, ExtractionResult] = {}
+        # Printed-pattern extractions keyed by (n_cells, option, corner):
+        # corner sweeps (Fig. 4 + Table III share the same worst corners)
+        # re-print and re-extract identical layouts otherwise.
+        self._printed_extraction_cache: Dict[
+            Tuple[int, str, Tuple[Tuple[str, float], ...]], ExtractionResult
+        ] = {}
+        # Nominal read measurements keyed by (n_cells, stored_value), so a
+        # corner sweep pays for the nominal simulation once per size.
+        self._nominal_measurement_cache: Dict[Tuple[int, int], ReadMeasurement] = {}
+        # Jacobian CSC structures keyed by circuit topology: corners of the
+        # same ladder only change stamp values, not the sparsity pattern.
+        self._jacobian_template_cache: Dict[Tuple[int, int], JacobianTemplate] = {}
+
+    #: Printed extractions kept before the cache resets (a full paper DOE
+    #: sweep touches |sizes| x |options| = 12 distinct corners).
+    PRINTED_CACHE_SIZE = 64
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized layout, extraction, measurement and template.
+
+        Call after mutating anything the caches depend on (the node is
+        treated as immutable by this class, so normal use never needs it).
+        """
+        self._layout_cache.clear()
+        self._nominal_extraction_cache.clear()
+        self._printed_extraction_cache.clear()
+        self._nominal_measurement_cache.clear()
+        self._jacobian_template_cache.clear()
+        self._lpe = ParameterizedLPE(self.node)
+
+    def adopt_shared_caches(self, donor: "ReadPathSimulator") -> None:
+        """Share the geometry-derived caches with another simulator.
+
+        Layouts, extractions and Jacobian structures depend only on the node
+        and the array geometry, so simulators that differ in simulation
+        settings (VSS strap interval, transient method, stored value) can
+        reuse them.  The nominal *measurement* cache is deliberately not
+        shared — measurements do depend on those settings.  Used by the
+        campaign engine so scenario variants extract each layout once.
+        """
+        if donor.node is not self.node or donor.n_bitline_pairs != self.n_bitline_pairs:
+            raise ReadSimulationError(
+                "cache sharing requires the same node and array word length"
+            )
+        self._lpe = donor._lpe
+        self._layout_cache = donor._layout_cache
+        self._nominal_extraction_cache = donor._nominal_extraction_cache
+        self._printed_extraction_cache = donor._printed_extraction_cache
+        if donor.max_segments == self.max_segments:
+            self._jacobian_template_cache = donor._jacobian_template_cache
 
     # -- layout & extraction helpers ------------------------------------------------
 
@@ -200,12 +264,23 @@ class ReadPathSimulator:
                 t_stop_s=t_stop,
                 dt_initial_s=min(1e-13, dt_max / 10.0),
                 dt_max_s=dt_max,
+                method=(
+                    self._transient_method
+                    if self._transient_method is not None
+                    else "backward-euler"
+                ),
             )
+        # The derived cap can undercut the user's dt_initial/dt_min, so both
+        # must be clamped into the tightened window or TransientOptions
+        # rejects the combination for small arrays.
+        dt_max_s = min(base.dt_max_s, dt_max)
+        dt_initial_s = min(base.dt_initial_s, dt_max_s)
+        dt_min_s = min(base.dt_min_s, dt_initial_s)
         return TransientOptions(
             t_stop_s=t_stop,
-            dt_initial_s=base.dt_initial_s,
-            dt_min_s=base.dt_min_s,
-            dt_max_s=min(base.dt_max_s, dt_max),
+            dt_initial_s=dt_initial_s,
+            dt_min_s=dt_min_s,
+            dt_max_s=dt_max_s,
             dt_growth=base.dt_growth,
             dt_shrink=base.dt_shrink,
             method=base.method,
@@ -247,7 +322,17 @@ class ReadPathSimulator:
         """
         read_circuit = self.build_circuit(n_cells, column, stored_value)
         options = self._transient_options_for(column)
-        solver = TransientSolver(read_circuit.circuit, options=options)
+        # Corners of the same topology (segment count + stored value) share
+        # one Jacobian sparsity structure; only the stamp values differ.
+        template_key = (min(n_cells, self.max_segments), stored_value)
+        solver = TransientSolver(
+            read_circuit.circuit,
+            options=options,
+            jacobian_like=self._jacobian_template_cache.get(template_key),
+        )
+        self._jacobian_template_cache.setdefault(
+            template_key, solver.solver_cache.template
+        )
         result = solver.run(
             initial_voltages=read_circuit.initial_voltages,
             stop_condition=read_circuit.sense.stop_condition(),
@@ -284,10 +369,50 @@ class ReadPathSimulator:
 
     # -- public measurement entry points ----------------------------------------------------
 
-    def measure_nominal(self, n_cells: int) -> ReadMeasurement:
-        """Nominal read time of an ``n_cells`` column (no patterning variation)."""
-        column = self.column_parasitics(n_cells)
-        return self.simulate_column(n_cells, column, label="nominal")
+    def measure_nominal(self, n_cells: int, stored_value: int = 0) -> ReadMeasurement:
+        """Nominal read time of an ``n_cells`` column (no patterning variation).
+
+        Memoized per ``(n_cells, stored_value)``: corner sweeps compare many
+        printed columns against the same nominal, which therefore simulates
+        once.  :meth:`invalidate_caches` drops the memo together with the
+        extraction caches.
+        """
+        key = (n_cells, stored_value)
+        cached = self._nominal_measurement_cache.get(key)
+        if cached is None:
+            column = self.column_parasitics(n_cells)
+            cached = self.simulate_column(
+                n_cells, column, label="nominal", stored_value=stored_value
+            )
+            self._nominal_measurement_cache[key] = cached
+        return cached
+
+    def printed_extraction(
+        self,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+    ) -> ExtractionResult:
+        """Extraction of the column printed by ``option`` at ``parameters``.
+
+        Memoized per ``(n_cells, option, corner)`` so the studies that visit
+        the same worst-case corner repeatedly (Fig. 4 and Table III share
+        corners) print and extract each layout once.
+        """
+        key = (
+            n_cells,
+            option.name,
+            tuple(sorted((name, float(value)) for name, value in parameters.items())),
+        )
+        cached = self._printed_extraction_cache.get(key)
+        if cached is None:
+            layout = self.layout_for(n_cells)
+            patterned = option.apply(layout.metal1_pattern, parameters)
+            cached = self._lpe.extract_pattern(patterned.printed)
+            if len(self._printed_extraction_cache) >= self.PRINTED_CACHE_SIZE:
+                self._printed_extraction_cache.clear()
+            self._printed_extraction_cache[key] = cached
+        return cached
 
     def measure_with_patterning(
         self,
@@ -295,14 +420,16 @@ class ReadPathSimulator:
         option: PatterningOption,
         parameters: ParameterValues,
         label: Optional[str] = None,
+        stored_value: int = 0,
     ) -> ReadMeasurement:
         """Read time with the column printed by ``option`` at ``parameters``."""
-        layout = self.layout_for(n_cells)
-        patterned = option.apply(layout.metal1_pattern, parameters)
-        extraction = self._lpe.extract_pattern(patterned.printed)
+        extraction = self.printed_extraction(n_cells, option, parameters)
         column = self.column_parasitics(n_cells, extraction)
         return self.simulate_column(
-            n_cells, column, label=label if label is not None else option.name
+            n_cells,
+            column,
+            label=label if label is not None else option.name,
+            stored_value=stored_value,
         )
 
     def measure_with_variation(

@@ -1,5 +1,7 @@
 """Tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENT_COMMANDS, build_parser, main
@@ -28,6 +30,29 @@ class TestParser:
         args = build_parser().parse_args(["yield", "--budget", "12", "--ppm", "50"])
         assert args.budget == 12.0
         assert args.ppm == 50.0
+
+    def test_workers_option_on_any_subcommand(self):
+        args = build_parser().parse_args(["fig4", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_campaign_specific_options(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "--format", "json",
+                "--store", "runs/x",
+                "--overlay-sweep", "3", "8",
+                "--stored-values", "0", "1",
+                "--strap-intervals", "64", "256",
+                "--methods", "backward-euler", "trapezoidal",
+            ]
+        )
+        assert args.format == "json"
+        assert args.store == "runs/x"
+        assert args.overlay_sweep == [3.0, 8.0]
+        assert args.stored_values == [0, 1]
+        assert args.strap_intervals == [64, 256]
+        assert args.methods == ["backward-euler", "trapezoidal"]
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -98,3 +123,58 @@ class TestMain:
         assert main(["fig5"] + FAST) == 0
         out = capsys.readouterr().out
         assert "tdp distribution" in out
+
+
+class TestCampaignCommand:
+    def test_campaign_text_report(self, capsys):
+        assert main(["campaign"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Simulation campaign: 4 records" in out
+        assert "(nominal)" in out and "LELELE" in out
+
+    def test_campaign_json_report(self, capsys):
+        assert main(["campaign", "--format", "json"] + FAST) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_records"] == 4
+        assert report["campaign"]["array_sizes"] == [16]
+        kinds = {record["kind"] for record in report["records"]}
+        assert kinds == {"nominal", "corner"}
+
+    def test_campaign_csv_report(self, capsys):
+        assert main(["campaign", "--format", "csv"] + FAST) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("key,kind,scenario,")
+        assert len(lines) == 5
+
+    def test_campaign_store_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "--store", store] + FAST) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "store" / "campaign.json").exists()
+        assert len(list((tmp_path / "store" / "items").glob("*.json"))) == 4
+        assert main(["campaign", "--store", store] + FAST) == 0
+        assert capsys.readouterr().out == first
+
+    def test_campaign_workers_and_scenario_axes(self, capsys):
+        assert (
+            main(
+                ["campaign", "--workers", "2", "--stored-values", "0", "1"] + FAST
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Simulation campaign: 8 records" in out
+
+    def test_fig4_with_output_file_smoke(self, tmp_path, capsys):
+        target = tmp_path / "fig4.txt"
+        assert main(["fig4", "--sizes", "16", "--output", str(target)] + FAST[2:]) == 0
+        assert capsys.readouterr().out == ""
+        content = target.read_text()
+        assert "Fig. 4" in content and "10x16" in content
+
+    def test_fig4_workers_matches_serial(self, capsys):
+        assert main(["fig4"] + FAST) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig4", "--workers", "2"] + FAST) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.circuit.mosfet import MOSFET
+from repro.circuit.transient import TransientOptions
 from repro.sram.array import ArrayCircuitError, ReadCircuitSpec, build_read_circuit
 from repro.sram.bitline import BitlineSpec
 from repro.sram.read_path import ReadMeasurement, ReadPathSimulator, ReadSimulationError
@@ -165,3 +166,120 @@ class TestReadPathSimulator:
         faster = simulator.measure_with_variation(16, rvar=0.8, cvar=1.0)
         assert slower.td_s > nominal.td_s
         assert faster.td_s < nominal.td_s
+
+
+class TestTransientOptionOverrides:
+    """Regression: user-supplied transient options used to produce invalid
+    derived options (ValueError) when the size-derived dt cap undercut the
+    override's dt_initial/dt_min on small arrays."""
+
+    def test_large_dt_overrides_are_clamped_not_rejected(self, node):
+        simulator = ReadPathSimulator(
+            node,
+            transient_options=TransientOptions(
+                t_stop_s=1e-9, dt_initial_s=5e-12, dt_min_s=1e-12, dt_max_s=50e-12
+            ),
+        )
+        measurement = simulator.measure_nominal(16)
+        assert measurement.stop_reason == "stop-condition"
+        assert measurement.td_s > 0.0
+
+    def test_derived_options_satisfy_step_ordering(self, node):
+        simulator = ReadPathSimulator(
+            node,
+            transient_options=TransientOptions(
+                t_stop_s=1e-9, dt_initial_s=5e-12, dt_min_s=1e-12, dt_max_s=50e-12
+            ),
+        )
+        column = simulator.column_parasitics(16)
+        options = simulator._transient_options_for(column)
+        assert 0.0 < options.dt_min_s <= options.dt_initial_s <= options.dt_max_s
+
+    def test_transient_method_changes_only_the_integrator(self, node):
+        """The method knob must not perturb the derived step-size policy."""
+        be = ReadPathSimulator(node)
+        trap = ReadPathSimulator(node, transient_method="trapezoidal")
+        be_options = be._transient_options_for(be.column_parasitics(16))
+        trap_options = trap._transient_options_for(trap.column_parasitics(16))
+        assert be_options.method == "backward-euler"
+        assert trap_options.method == "trapezoidal"
+        assert trap_options.t_stop_s == be_options.t_stop_s
+        assert trap_options.dt_initial_s == be_options.dt_initial_s
+        assert trap_options.dt_min_s == be_options.dt_min_s
+        assert trap_options.dt_max_s == be_options.dt_max_s
+
+    def test_invalid_transient_method_rejected(self, node):
+        with pytest.raises(ReadSimulationError):
+            ReadPathSimulator(node, transient_method="gear2")
+
+    def test_override_matches_default_when_not_binding(self, node):
+        """Overrides looser than the derived caps change nothing."""
+        default = ReadPathSimulator(node).measure_nominal(16)
+        overridden = ReadPathSimulator(
+            node,
+            transient_options=TransientOptions(
+                dt_initial_s=1e-13, dt_min_s=1e-16, dt_max_s=1e-12
+            ),
+        ).measure_nominal(16)
+        assert overridden.td_s == pytest.approx(default.td_s, rel=0.05)
+
+
+class TestMeasurementCaches:
+    def test_nominal_measurement_memoized(self, node):
+        simulator = ReadPathSimulator(node)
+        first = simulator.measure_nominal(16)
+        assert simulator.measure_nominal(16) is first
+        assert simulator.measure_nominal(16, stored_value=1) is not first
+
+    def test_printed_extraction_memoized(self, node, euv_option):
+        simulator = ReadPathSimulator(node)
+        first = simulator.printed_extraction(16, euv_option, EUV_WORST_CORNER)
+        assert simulator.printed_extraction(16, euv_option, EUV_WORST_CORNER) is first
+        other = simulator.printed_extraction(16, euv_option, {"cd:euv": -3.0})
+        assert other is not first
+
+    def test_penalty_percent_reuses_nominal(self, node, euv_option, monkeypatch):
+        simulator = ReadPathSimulator(node)
+        calls = {"count": 0}
+        true_simulate = ReadPathSimulator.simulate_column
+
+        def counting_simulate(self, *args, **kwargs):
+            calls["count"] += 1
+            return true_simulate(self, *args, **kwargs)
+
+        monkeypatch.setattr(ReadPathSimulator, "simulate_column", counting_simulate)
+        simulator.penalty_percent(16, euv_option, EUV_WORST_CORNER)
+        assert calls["count"] == 2                  # nominal + corner
+        simulator.penalty_percent(16, euv_option, {"cd:euv": -3.0})
+        assert calls["count"] == 3                  # nominal came from the memo
+
+    def test_invalidate_caches_drops_memos(self, node):
+        simulator = ReadPathSimulator(node)
+        first = simulator.measure_nominal(16)
+        simulator.invalidate_caches()
+        second = simulator.measure_nominal(16)
+        assert second is not first
+        assert second.td_s == first.td_s            # same physics, fresh compute
+
+    def test_jacobian_structure_shared_across_corners(self, node, euv_option):
+        simulator = ReadPathSimulator(node)
+        simulator.measure_nominal(16)
+        template = simulator._jacobian_template_cache[(16, 0)]
+        simulator.measure_with_patterning(16, euv_option, EUV_WORST_CORNER)
+        assert simulator._jacobian_template_cache[(16, 0)] is template
+
+    def test_cache_adoption_shares_geometry_not_measurements(self, node):
+        donor = ReadPathSimulator(node)
+        donor.measure_nominal(16)
+        variant = ReadPathSimulator(node, vss_strap_interval_cells=8)
+        variant.adopt_shared_caches(donor)
+        assert variant.layout_for(16) is donor.layout_for(16)
+        assert variant.nominal_extraction(16) is donor.nominal_extraction(16)
+        measurement = variant.measure_nominal(16)
+        assert measurement is not donor.measure_nominal(16)
+
+    def test_cache_adoption_rejects_mismatched_geometry(self, node):
+        donor = ReadPathSimulator(node, n_bitline_pairs=10)
+        other = ReadPathSimulator(node, n_bitline_pairs=4)
+        with pytest.raises(ReadSimulationError):
+            other.adopt_shared_caches(donor)
