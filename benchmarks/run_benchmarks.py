@@ -46,8 +46,9 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.analytical import model_from_technology  # noqa: E402
-from repro.core.campaign import SimulationCampaign  # noqa: E402
+from repro.core.campaign import SimulationCampaign, scenario_grid  # noqa: E402
 from repro.core.montecarlo import MonteCarloTdpStudy  # noqa: E402
+from repro.core.operations import OperationSimulators  # noqa: E402
 from repro.core.validation import FormulaValidation  # noqa: E402
 from repro.core.worst_case import WorstCaseStudy  # noqa: E402
 from repro.sram.read_path import ReadPathSimulator  # noqa: E402
@@ -375,6 +376,122 @@ def run_sim_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
     }
 
 
+#: Operations of the ops bench (write + both noise margins; read has its
+#: own bench in --suite sim).
+OPS_BENCH_OPERATIONS = ("write", "hold_snm", "read_snm")
+
+
+def _operation_rows_as_values(rows_by_operation: dict) -> list:
+    """Flatten per-operation row lists into one comparable value vector."""
+    values = []
+    for name in OPS_BENCH_OPERATIONS:
+        for row in rows_by_operation[name]:
+            values.append(row.nominal_value)
+            values.extend(v for _, v in sorted(row.delta_percent_by_option.items()))
+    return values
+
+
+def _scalar_ops_rows(node, doe):
+    """Write + SNM impacts through fresh per-operation pipelines.
+
+    The baseline the operation campaign replaces: one fresh simulator
+    bundle and one fresh worst-case study (its own corner search) per
+    operation, so nothing is shared between operations.
+    """
+    rows = {}
+    for name in OPS_BENCH_OPERATIONS:
+        worst_case = WorstCaseStudy(node, doe=doe)
+        sims = OperationSimulators(node, n_bitline_pairs=doe.n_bitline_pairs)
+        rows[name] = worst_case.operation_rows(name, simulators=sims)
+    return rows
+
+
+def _campaign_ops_rows(node, doe, workers):
+    campaign = SimulationCampaign(
+        node, doe=doe, scenarios=scenario_grid(operations=OPS_BENCH_OPERATIONS)
+    )
+    results = campaign.run(workers=workers)
+    return {
+        scenario.operation: campaign.operation_rows(results, scenario)
+        for scenario in campaign.scenarios
+    }
+
+
+def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
+    import os
+
+    node = n10()
+    doe = StudyDOE(array_sizes=tuple(sizes))
+
+    scalar_wall, scalar_rows = _best_of(
+        repetitions, lambda: _scalar_ops_rows(node, doe)
+    )
+    print(f"scalar operation loop       {scalar_wall*1e3:9.2f} ms")
+
+    walls = {}
+    campaign_rows = {}
+    effective_workers = {}
+    for n_workers in sorted({1, workers}):
+        walls[n_workers], campaign_rows[n_workers] = _best_of(
+            repetitions, lambda: _campaign_ops_rows(node, doe, n_workers)
+        )
+        effective_workers[n_workers] = min(
+            n_workers, SimulationCampaign.available_cpus()
+        )
+        print(
+            f"ops campaign --workers {n_workers:<2}   {walls[n_workers]*1e3:9.2f} ms"
+            f"  (effective workers: {effective_workers[n_workers]})"
+        )
+
+    reference = np.asarray(_operation_rows_as_values(scalar_rows))
+    max_rel_diff = 0.0
+    for rows in campaign_rows.values():
+        values = np.asarray(_operation_rows_as_values(rows))
+        scale = np.maximum(np.abs(reference), 1e-30)
+        max_rel_diff = max(
+            max_rel_diff, float(np.max(np.abs(values - reference) / scale))
+        )
+
+    best_wall = min(walls.values())
+    return {
+        "doe": {
+            "array_sizes": list(doe.array_sizes),
+            "option_names": list(doe.option_names),
+            "operations": list(OPS_BENCH_OPERATIONS),
+        },
+        "baselines": {
+            "scalar_loop": {
+                "wall_s": round(scalar_wall, 6),
+                "description": (
+                    "per-operation pipelines: fresh simulator bundle and "
+                    "fresh corner search per operation, nothing shared"
+                ),
+            },
+        },
+        "campaign": {
+            f"workers_{n}": {
+                "wall_s": round(wall, 6),
+                "effective_workers": effective_workers[n],
+            }
+            for n, wall in walls.items()
+        },
+        "speedup": {
+            "vs_scalar_loop": {
+                f"workers_{n}": round(scalar_wall / wall, 2)
+                for n, wall in walls.items()
+            },
+        },
+        "parity": {"max_rel_diff": max_rel_diff},
+        "summary": {
+            "workers": workers,
+            "effective_workers": effective_workers[workers],
+            "cpu_count": os.cpu_count(),
+            "speedup_at_workers": round(scalar_wall / walls[workers], 2),
+            "speedup_best": round(scalar_wall / best_wall, 2),
+        },
+    }
+
+
 def _environment() -> dict:
     return {
         "python": platform.python_version(),
@@ -385,7 +502,7 @@ def _environment() -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("mc", "sim", "all"), default="all",
+    parser.add_argument("--suite", choices=("mc", "sim", "ops", "all"), default="all",
                         help="which bench suite(s) to run (default: all)")
     parser.add_argument("--samples", type=int, default=1000,
                         help="Monte-Carlo samples per study point (default 1000)")
@@ -403,6 +520,13 @@ def main() -> int:
     parser.add_argument("--sim-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
                         help="where to write the sim JSON report")
+    parser.add_argument("--ops-sizes", type=int, nargs="+", default=[16, 64, 256, 1024],
+                        help="array sizes of the operation-suite bench (default: the paper DOE)")
+    parser.add_argument("--ops-workers", type=int, default=4,
+                        help="worker processes for the operation-suite bench (default 4)")
+    parser.add_argument("--ops-output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_ops.json",
+                        help="where to write the operation-suite JSON report")
     args = parser.parse_args()
 
     exit_code = 0
@@ -457,6 +581,31 @@ def main() -> int:
         full_doe = tuple(args.sim_sizes) == (16, 64, 256, 1024)
         if full_doe and args.sim_workers >= 4 and speedup < 3.0:
             print("WARNING: campaign is below the 3x acceptance floor")
+            exit_code = 1
+
+    if args.suite in ("ops", "all"):
+        started = time.time()
+        report = {
+            "bench": "operation_suite",
+            "description": (
+                "Operation-suite benches: write + hold/read SNM campaign "
+                "vs per-operation scalar pipelines"
+            ),
+            "timestamp_unix": int(started),
+            "environment": _environment(),
+        }
+        report.update(run_ops_bench(tuple(args.ops_sizes), args.ops_workers))
+        report["harness_wall_s"] = round(time.time() - started, 3)
+
+        args.ops_output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.ops_output}")
+        speedup = report["summary"]["speedup_at_workers"]
+        print(
+            f"ops campaign speedup at {args.ops_workers} workers: {speedup}x "
+            f"(parity max rel diff {report['parity']['max_rel_diff']:.2e})"
+        )
+        if report["parity"]["max_rel_diff"] > 1e-12:
+            print("WARNING: operation campaign rows diverge from the scalar pipelines")
             exit_code = 1
 
     return exit_code

@@ -5,7 +5,14 @@ backward-Euler / trapezoidal transient analysis, an alpha-power-law FinFET
 compact model, waveform measurements and SPICE netlist I/O.
 """
 
-from .dc import ConvergenceError, DCResult, NewtonOptions, dc_operating_point
+from .dc import (
+    ConvergenceError,
+    DCResult,
+    DCSweepResult,
+    NewtonOptions,
+    dc_operating_point,
+    dc_sweep,
+)
 from .elements import (
     DC,
     Capacitor,
@@ -46,6 +53,7 @@ __all__ = [
     "CurrentSource",
     "DC",
     "DCResult",
+    "DCSweepResult",
     "DEFAULT_GMIN_S",
     "ElementError",
     "GROUND_NAMES",
@@ -71,6 +79,7 @@ __all__ = [
     "VoltageSource",
     "Waveform",
     "dc_operating_point",
+    "dc_sweep",
     "is_ground",
     "read_spice",
     "run_transient",

@@ -1,18 +1,30 @@
-"""DC operating-point analysis.
+"""DC operating-point and swept-source (continuation) analysis.
 
 Newton-Raphson on the static MNA system
 
     F(x) = G·x + I_nl(x) − b = 0
 
-with a damped update and a gmin-stepping fallback for stubborn circuits
-(large gmin makes the system nearly linear; it is then reduced in decades
-while re-converging, a standard SPICE continuation strategy).
+with a damped update and two continuation fallbacks for stubborn circuits:
+
+* **gmin stepping** — a large gmin makes the system nearly linear; it is
+  then reduced in decades while re-converging (the standard SPICE
+  strategy);
+* **source stepping** — every independent source is ramped from zero to
+  its full value, re-converging at each step from the previous solution.
+  This is what rescues bistable circuits (the cross-coupled SRAM cell)
+  started from a flat 0 V guess, where plain Newton and gmin stepping can
+  both stall on the unstable ridge between the two states.
+
+:func:`dc_sweep` builds on the same machinery: it sweeps the DC value of
+one voltage source across a grid, warm-starting every point from the
+previous solution.  That continuation is what the SRAM noise-margin
+butterfly curves are traced with.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -67,12 +79,25 @@ def _newton_solve(
     g_matrix = assembler.conductance_matrix
     x = x0.copy()
     max_residual = float("inf")
+    # Adaptive damping: a full Newton step can limit-cycle across the kinks
+    # of the compact model (the linear/saturation hand-off) without the
+    # residual ever dropping below tolerance.  Halving the step whenever
+    # the residual stops improving breaks the cycle; the damping recovers
+    # geometrically once progress resumes.
+    damping = options.damping
+    previous_residual: Optional[float] = None
     for iteration in range(1, options.max_iterations + 1):
         stamp = assembler.nonlinear_stamp(x)
         residual = g_matrix.dot(x) + stamp.residual - b
         max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
         if max_residual < options.abs_tolerance_a:
             return x, iteration, True, max_residual
+        if previous_residual is not None:
+            if max_residual >= previous_residual:
+                damping = max(damping * 0.5, options.damping / 256.0)
+            else:
+                damping = min(damping * 1.5, options.damping)
+        previous_residual = max_residual
         try:
             delta = solver.solve(0.0, stamp, -residual)
         except RuntimeError:
@@ -84,7 +109,7 @@ def _newton_solve(
         # Limit the per-iteration voltage step for robustness.
         node_delta = delta[: assembler.n_nodes]
         max_step = float(np.max(np.abs(node_delta))) if node_delta.size else 0.0
-        scale = options.damping
+        scale = damping
         if max_step > options.max_voltage_step_v > 0.0:
             scale *= options.max_voltage_step_v / max_step
         x = x + scale * delta
@@ -99,11 +124,127 @@ def _newton_solve(
     return x, options.max_iterations, False, max_residual
 
 
+def _source_vector_with_overrides(
+    assembler: MNAAssembler,
+    source_overrides: Optional[Mapping[str, float]],
+) -> np.ndarray:
+    """The t=0 source vector with selected voltage sources overridden.
+
+    ``source_overrides`` maps voltage-source *names* to DC values; the
+    overridden value replaces the source's own waveform value.  This is the
+    hook the swept-source analysis uses, so a sweep never has to rebuild
+    the circuit per point.
+    """
+    b = assembler.source_vector(0.0)
+    if source_overrides:
+        for name, value in source_overrides.items():
+            b[assembler.branch_index(name)] = float(value)
+    return b
+
+
+def _source_stepping(
+    circuit: Circuit,
+    b_full: np.ndarray,
+    options: NewtonOptions,
+    gmin_s: float,
+) -> tuple[Optional[np.ndarray], int, float, Optional[MNAAssembler]]:
+    """Ramp every independent source from zero to full value (continuation).
+
+    Starts from the all-off state (``x = 0`` solves the system exactly at
+    ``b = 0``) and ramps ``b`` to its full value, re-converging at every
+    step from the previous one — the sources enter the MNA system only
+    through ``b``, so scaling ``b`` scales every independent source
+    together and the ramp follows a physical turn-on trajectory.  A step
+    that fails is retried with the increment halved (up to a bounded
+    number of refinements), which lets the ramp creep past fold points
+    where a coarse step would jump over the surviving solution branch.
+
+    Returns ``(solution, iterations, max_residual, assembler)`` with
+    ``solution=None`` when even the refined ramp fails.
+    """
+    assembler = MNAAssembler(circuit, gmin_s=gmin_s)
+    current = np.zeros(assembler.size)
+    total_iterations = 0
+    max_residual = float("inf")
+    alpha = 0.0
+    step = 0.1
+    min_step = 1.0 / 1024.0
+    while alpha < 1.0:
+        attempt = min(1.0, alpha + step)
+        candidate, iterations, converged, max_residual = _newton_solve(
+            assembler, attempt * b_full, current, options
+        )
+        total_iterations += iterations
+        if converged:
+            current = candidate
+            alpha = attempt
+            step = min(step * 2.0, 0.1)
+            continue
+        step /= 2.0
+        if step < min_step:
+            return None, total_iterations, max_residual, assembler
+    return current, total_iterations, max_residual, assembler
+
+
+def _pseudo_transient(
+    circuit: Circuit,
+    b_full: np.ndarray,
+    x0: np.ndarray,
+    options: NewtonOptions,
+    gmin_s: float,
+) -> tuple[Optional[np.ndarray], int, float, Optional[MNAAssembler]]:
+    """Pseudo-transient continuation: anchor Newton to the previous iterate.
+
+    Each level solves ``F(x) + g_pt·(x − x_anchor) = 0`` — the backward-
+    Euler step of a fictitious grounded capacitor at every node — and the
+    anchor conductance ``g_pt`` decays by decades towards zero.  Unlike
+    plain Newton or source stepping, this follows the *dynamics* of the
+    circuit, so it walks across fold points (where one branch of a
+    bistable circuit ceases to exist) onto the surviving branch instead of
+    diverging.  The final level solves the original system exactly.
+    """
+    x = x0.copy()
+    total_iterations = 0
+    max_residual = float("inf")
+    g_pt = 1e-2
+    for _outer in range(200):
+        assembler = MNAAssembler(circuit, gmin_s=gmin_s + g_pt)
+        b_pt = b_full.copy()
+        b_pt[: assembler.n_nodes] += g_pt * x[: assembler.n_nodes]
+        solution, iterations, converged, _residual = _newton_solve(
+            assembler, b_pt, x, options
+        )
+        total_iterations += iterations
+        if not converged:
+            # Pseudo-step too large (too small an anchor): tighten it.
+            g_pt *= 10.0
+            if g_pt > 1e4:
+                return None, total_iterations, max_residual, assembler
+            continue
+        x = solution
+        # Switched evolution/relaxation: grow the pseudo-step as long as
+        # the anchored solves succeed, then finish with the exact system.
+        g_pt *= 0.1
+        if g_pt < 1e-12:
+            assembler = MNAAssembler(circuit, gmin_s=gmin_s)
+            solution, iterations, converged, max_residual = _newton_solve(
+                assembler, b_full, x, options
+            )
+            total_iterations += iterations
+            if converged:
+                return solution, total_iterations, max_residual, assembler
+            # The exact solve still bounced: keep evolving from here with
+            # a fresh, tighter pseudo-step.
+            g_pt = 1e-4
+    return None, total_iterations, max_residual, assembler
+
+
 def dc_operating_point(
     circuit: Circuit,
     initial_voltages: Optional[Dict[str, float]] = None,
     options: Optional[NewtonOptions] = None,
     gmin_s: float = 1e-12,
+    source_overrides: Optional[Mapping[str, float]] = None,
 ) -> DCResult:
     """Find the DC operating point of a circuit.
 
@@ -118,13 +259,17 @@ def dc_operating_point(
         Newton options.
     gmin_s:
         Baseline gmin; the gmin-stepping fallback starts three decades
-        higher when plain Newton fails.
+        higher when plain Newton fails, and source stepping is the last
+        resort after the gmin ladder is exhausted.
+    source_overrides:
+        Optional mapping of voltage-source names to DC values that replace
+        the sources' own waveform values (used by :func:`dc_sweep`).
     """
     chosen_options = options if options is not None else NewtonOptions()
 
     for gmin_attempt in (gmin_s, gmin_s * 1e3, gmin_s * 1e6):
         assembler = MNAAssembler(circuit, gmin_s=gmin_attempt)
-        b = assembler.source_vector(0.0)
+        b = _source_vector_with_overrides(assembler, source_overrides)
         x0 = assembler.initial_solution(initial_voltages)
         # Seed the voltage-source branch targets so the first iteration does
         # not start from a wildly inconsistent point.
@@ -146,7 +291,7 @@ def dc_operating_point(
             current = solution
             for step_gmin in (gmin_attempt / 10.0, gmin_attempt / 100.0, gmin_s):
                 step_assembler = MNAAssembler(circuit, gmin_s=step_gmin)
-                b = step_assembler.source_vector(0.0)
+                b = _source_vector_with_overrides(step_assembler, source_overrides)
                 current, iterations, converged, max_residual = _newton_solve(
                     step_assembler, b, current, chosen_options
                 )
@@ -160,7 +305,195 @@ def dc_operating_point(
                     max_residual_a=max_residual,
                 )
 
+    # Fallback: source stepping at the baseline gmin.  The ramp tracks a
+    # physical turn-on trajectory, so bistable circuits land in a consistent
+    # state instead of oscillating around the unstable ridge.
+    assembler = MNAAssembler(circuit, gmin_s=gmin_s)
+    b_full = _source_vector_with_overrides(assembler, source_overrides)
+    solution, iterations, max_residual, step_assembler = _source_stepping(
+        circuit, b_full, chosen_options, gmin_s
+    )
+    if solution is not None:
+        return DCResult(
+            voltages=step_assembler.solution_to_dict(solution),
+            iterations=iterations,
+            converged=True,
+            max_residual_a=max_residual,
+        )
+
+    # Last resort: pseudo-transient continuation from the caller's guess
+    # (needed when the guessed state has ceased to exist — e.g. just past
+    # the fold of a bistable cell — and Newton must cross onto the
+    # surviving branch).
+    x0 = assembler.initial_solution(initial_voltages)
+    solution, iterations, max_residual, pt_assembler = _pseudo_transient(
+        circuit, b_full, x0, chosen_options, gmin_s
+    )
+    if solution is not None:
+        return DCResult(
+            voltages=pt_assembler.solution_to_dict(solution),
+            iterations=iterations,
+            converged=True,
+            max_residual_a=max_residual,
+        )
+
     raise ConvergenceError(
         "DC operating point did not converge "
         f"(last max residual {max_residual:.3e} A)"
+    )
+
+
+@dataclass
+class DCSweepResult:
+    """Result of a swept-source DC analysis.
+
+    Attributes
+    ----------
+    source_name:
+        The swept voltage source.
+    values:
+        The swept DC values, in sweep order.
+    voltages:
+        Mapping node name → array of DC voltages, one per sweep point.
+    iterations_total:
+        Newton iterations summed over the whole sweep.
+    """
+
+    source_name: str
+    values: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    iterations_total: int
+
+    def voltage(self, node: str) -> np.ndarray:
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise MNAError(f"node {node!r} not in the DC sweep") from None
+
+    def crossing_value(
+        self, node: str, level_v: float, direction: str = "falling"
+    ) -> Optional[float]:
+        """First swept-source value at which ``node`` crosses ``level_v``.
+
+        Linear interpolation between bracketing sweep points; ``None`` when
+        the node never crosses the level.  Used to locate trip points
+        (e.g. the write-margin flip) on a continuation sweep.
+        """
+        if direction not in ("rising", "falling"):
+            raise MNAError("direction must be 'rising' or 'falling'")
+        waveform = self.voltage(node)
+        for index in range(1, len(self.values)):
+            previous, current = waveform[index - 1], waveform[index]
+            if direction == "falling" and previous > level_v >= current:
+                pass
+            elif direction == "rising" and previous < level_v <= current:
+                pass
+            else:
+                continue
+            fraction = (level_v - previous) / (current - previous)
+            return float(
+                self.values[index - 1]
+                + fraction * (self.values[index] - self.values[index - 1])
+            )
+        return None
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    initial_voltages: Optional[Dict[str, float]] = None,
+    options: Optional[NewtonOptions] = None,
+    gmin_s: float = 1e-12,
+) -> DCSweepResult:
+    """Sweep the DC value of one voltage source, with continuation.
+
+    The first point is solved with the full robustness ladder of
+    :func:`dc_operating_point`; every following point warm-starts Newton
+    from the previous solution (the continuation that lets the butterfly
+    sweeps walk through the steep VTC transition without losing the
+    branch).  A point that fails the warm start falls back to the full
+    ladder before the sweep gives up.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit; must contain a voltage source named ``source_name``.
+    source_name:
+        The voltage source whose DC value is swept (its own waveform value
+        is ignored).
+    values:
+        The sweep grid, visited in order (continuation follows the order,
+        so a monotone grid behaves like a slow physical ramp).
+    initial_voltages:
+        Optional initial guess for the *first* point.
+    options, gmin_s:
+        Newton knobs shared with :func:`dc_operating_point`.
+    """
+    grid = np.asarray(list(values), dtype=float)
+    if grid.ndim != 1 or grid.size == 0:
+        raise ConvergenceError("a DC sweep needs at least one source value")
+    chosen_options = options if options is not None else NewtonOptions()
+
+    assembler = MNAAssembler(circuit, gmin_s=gmin_s)
+    assembler.branch_index(source_name)  # raises early for a bad source name
+
+    first = dc_operating_point(
+        circuit,
+        initial_voltages=initial_voltages,
+        options=chosen_options,
+        gmin_s=gmin_s,
+        source_overrides={source_name: float(grid[0])},
+    )
+    node_names = assembler.node_names
+    history: Dict[str, List[float]] = {
+        node: [first.voltages[node]] for node in node_names
+    }
+    iterations_total = first.iterations
+
+    current = assembler.initial_solution(
+        {node: first.voltages[node] for node in node_names}
+    )
+    for value in grid[1:]:
+        b = assembler.source_vector(0.0)
+        b[assembler.branch_index(source_name)] = float(value)
+        solution, iterations, converged, _residual = _newton_solve(
+            assembler, b, current, chosen_options
+        )
+        iterations_total += iterations
+        if not converged:
+            # Warm start lost the branch (possible right at a fold).  The
+            # branch-faithful rescue is pseudo-transient continuation
+            # anchored at the previous point: it relaxes along the circuit
+            # dynamics, so it stays on the current branch while it exists
+            # and crosses onto the surviving one exactly when it folds —
+            # unlike the gmin ladder, which can hop branches early.
+            solution, iterations, _residual, _asm = _pseudo_transient(
+                circuit, b, current, chosen_options, gmin_s
+            )
+            iterations_total += iterations
+            if solution is None:
+                point = dc_operating_point(
+                    circuit,
+                    initial_voltages={
+                        node: float(current[assembler.index_of(node)])
+                        for node in node_names
+                    },
+                    options=chosen_options,
+                    gmin_s=gmin_s,
+                    source_overrides={source_name: float(value)},
+                )
+                iterations_total += point.iterations
+                solution = assembler.initial_solution(
+                    {node: point.voltages[node] for node in node_names}
+                )
+        current = solution
+        for node in node_names:
+            history[node].append(float(current[assembler.index_of(node)]))
+
+    return DCSweepResult(
+        source_name=source_name,
+        values=grid,
+        voltages={node: np.asarray(values) for node, values in history.items()},
+        iterations_total=iterations_total,
     )

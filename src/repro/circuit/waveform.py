@@ -142,6 +142,35 @@ class TransientResult:
                 )
         return None
 
+    def crossover_time_s(
+        self,
+        node_a: str,
+        node_b: str,
+        start_time_s: float = 0.0,
+    ) -> Optional[float]:
+        """First time ``V(node_a)`` and ``V(node_b)`` cross each other.
+
+        This is the cell-flip instant of a write: the internal ``q`` and
+        ``qb`` waveforms start complementary, converge and swap order.
+        Returns ``None`` when the difference never changes sign after
+        ``start_time_s``.
+        """
+        difference = self.voltage(node_a) - self.voltage(node_b)
+        times = self.times_s
+        for index in range(1, len(times)):
+            if times[index] < start_time_s:
+                continue
+            previous, current = difference[index - 1], difference[index]
+            if previous == 0.0:
+                return float(times[index - 1])
+            if previous * current > 0.0:
+                continue
+            fraction = (0.0 - previous) / (current - previous)
+            return float(
+                times[index - 1] + fraction * (times[index] - times[index - 1])
+            )
+        return None
+
     def delay_between(
         self,
         trigger_node: str,

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .core.campaign import CAMPAIGN_METHODS, SimulationCampaign, scenario_grid
+from .core.operations import OPERATION_NAMES
 from .core.comparison import OptionComparison
 from .core.study import MultiPatterningSRAMStudy
 from .core.yield_analysis import ReadTimeYieldAnalysis
@@ -39,6 +40,8 @@ from .reporting.tables import (
     format_campaign_text,
     format_csv,
     format_figure4,
+    format_operation_sigma,
+    format_operation_table,
     format_table1,
     format_table2,
     format_table3,
@@ -134,6 +137,27 @@ def build_parser() -> argparse.ArgumentParser:
         "verdict", help="recompute the Section-IV recommendation", parents=[common]
     )
 
+    write_parser = subparsers.add_parser(
+        "write",
+        help="operation suite: worst-case write-delay impact per option and size",
+        parents=[common],
+    )
+    write_parser.add_argument(
+        "--mc-sigma",
+        action="store_true",
+        help="also report the Monte-Carlo sigma of the write-delay impact",
+    )
+    margins_parser = subparsers.add_parser(
+        "margins",
+        help="operation suite: hold/read static noise margins under patterning",
+        parents=[common],
+    )
+    margins_parser.add_argument(
+        "--mc-sigma",
+        action="store_true",
+        help="also report the Monte-Carlo sigma of the SNM impact",
+    )
+
     campaign_parser = subparsers.add_parser(
         "campaign",
         help="batched multi-scenario simulation campaign (the fig4/table2/table3 engine)",
@@ -184,6 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=["backward-euler"],
         metavar="METHOD",
         help="scenario axis: transient integration methods (default: backward-euler)",
+    )
+    campaign_parser.add_argument(
+        "--operations",
+        nargs="+",
+        choices=OPERATION_NAMES,
+        default=["read"],
+        metavar="OP",
+        help="scenario axis: SRAM operations to measure (default: read)",
     )
 
     yield_parser = subparsers.add_parser(
@@ -250,6 +282,7 @@ def _run_campaign(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> 
         stored_values=args.stored_values,
         strap_intervals=args.strap_intervals,
         methods=args.methods,
+        operations=args.operations,
     )
     campaign = study.campaign(
         scenarios=scenarios,
@@ -261,6 +294,46 @@ def _run_campaign(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> 
     if args.format == "csv":
         return format_campaign_csv(results)
     return format_campaign_text(results)
+
+
+def _run_write(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> str:
+    """Worst-case write-delay table (plus optional Monte-Carlo sigma)."""
+    sections = [
+        format_operation_table(
+            study.run_write(workers=args.workers),
+            title="Operation suite (write): worst-case write-delay impact",
+        )
+    ]
+    if getattr(args, "mc_sigma", False):
+        sections.append(
+            format_operation_sigma(
+                study.run_operation_sigma("write"),
+                title="Operation suite (write): Monte-Carlo write-delay sigma",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _run_margins(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> str:
+    """Hold and read SNM tables (plus optional Monte-Carlo sigmas)."""
+    rows_by_operation = study.run_margins(workers=args.workers)
+    titles = {
+        "hold_snm": "Operation suite (hold_snm): worst-case hold-SNM impact",
+        "read_snm": "Operation suite (read_snm): worst-case read-SNM impact",
+    }
+    sections = [
+        format_operation_table(rows_by_operation[name], title=titles[name])
+        for name in ("hold_snm", "read_snm")
+    ]
+    if getattr(args, "mc_sigma", False):
+        for name in ("hold_snm", "read_snm"):
+            sections.append(
+                format_operation_sigma(
+                    study.run_operation_sigma(name),
+                    title=f"Operation suite ({name}): Monte-Carlo SNM sigma",
+                )
+            )
+    return "\n\n".join(sections)
 
 
 def _run_verdict(study: MultiPatterningSRAMStudy, workers: int = 1) -> str:
@@ -335,6 +408,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sections.append(_run_yield(study, args.budget, args.ppm))
     elif args.command == "campaign":
         sections.append(_run_campaign(study, args))
+    elif args.command == "write":
+        sections.append(_run_write(study, args))
+    elif args.command == "margins":
+        sections.append(_run_margins(study, args))
     else:
         sections.append(_run_experiment(study, args.command, workers=args.workers))
 

@@ -38,11 +38,23 @@ from .comparison import (
     OverlayRequirement,
 )
 from .montecarlo import MonteCarloStudyError, MonteCarloTdpStudy
+from .operations import (
+    OPERATION_NAMES,
+    Operation,
+    OperationError,
+    OperationMeasurement,
+    OperationResponseSurface,
+    OperationSimulators,
+    calibrate_response_surface,
+    create_operation,
+)
 from .results import (
     FormulaVsSimulationTdRow,
     FormulaVsSimulationTdpRow,
     LayoutDistortionRecord,
     MonteCarloTdpRecord,
+    OperationImpactRow,
+    OperationSigmaRow,
     StudyReport,
     TdpSigmaRow,
     TrackDistortion,
@@ -95,8 +107,18 @@ __all__ = [
     "MonteCarloTdpRecord",
     "MonteCarloTdpStudy",
     "MultiPatterningSRAMStudy",
+    "OPERATION_NAMES",
+    "Operation",
+    "OperationError",
+    "OperationImpactRow",
+    "OperationMeasurement",
+    "OperationResponseSurface",
+    "OperationSigmaRow",
+    "OperationSimulators",
     "OptionComparison",
     "OverlayRequirement",
+    "calibrate_response_surface",
+    "create_operation",
     "PolynomialCoefficients",
     "StudyError",
     "StudyReport",

@@ -39,11 +39,21 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..sram.read_path import ReadMeasurement, ReadPathSimulator
 from ..technology.node import TechnologyNode
 from ..variability.doe import StudyDOE, paper_doe
 from .analytical import AnalyticalDelayModel
-from .results import FormulaVsSimulationTdRow, FormulaVsSimulationTdpRow, WorstCaseTdRow
+from .operations import (
+    OPERATION_NAMES,
+    OperationMeasurement,
+    OperationSimulators,
+    create_operation,
+)
+from .results import (
+    FormulaVsSimulationTdRow,
+    FormulaVsSimulationTdpRow,
+    OperationImpactRow,
+    WorstCaseTdRow,
+)
 from .worst_case import WorstCaseStudy
 
 #: Transient methods a scenario may select.
@@ -84,8 +94,15 @@ class CampaignScenario:
     stored_value: int = 0
     vss_strap_interval_cells: int = 256
     method: str = "backward-euler"
+    #: The SRAM operation this scenario measures (the operation axis):
+    #: ``read`` (the paper's td), ``write``, ``hold_snm`` or ``read_snm``.
+    operation: str = "read"
 
     def __post_init__(self) -> None:
+        if self.operation not in OPERATION_NAMES:
+            raise CampaignError(
+                f"operation must be one of {OPERATION_NAMES}, got {self.operation!r}"
+            )
         if not self.label or not all(
             ch.isalnum() or ch in "._-" for ch in self.label
         ):
@@ -105,12 +122,17 @@ class CampaignScenario:
     @property
     def sim_key(self) -> str:
         """Key of the simulation configuration (everything the *nominal*
-        measurement depends on — the overlay budget only moves corners)."""
-        return (
+        measurement depends on — the overlay budget only moves corners).
+        Read scenarios keep the pre-operation-axis key format, so stores
+        and record keys from read-only campaigns stay stable."""
+        base = (
             f"sv{self.stored_value}"
             f"-strap{self.vss_strap_interval_cells}"
             f"-{_METHOD_TAGS[self.method]}"
         )
+        if self.operation == "read":
+            return base
+        return f"{self.operation}-{base}"
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -171,6 +193,12 @@ class CampaignRecord:
     corner_cvar: float = 1.0
     corner_vss_rvar: float = 1.0
     wall_s: float = 0.0
+    #: Operation-axis fields: the operation name, its primary scalar and
+    #: that scalar's unit ("s" for delays, "V" for margins).  For read
+    #: records ``value`` equals ``td_s``.
+    operation: str = "read"
+    value: float = 0.0
+    unit: str = "s"
 
     @property
     def td_ps(self) -> float:
@@ -185,11 +213,20 @@ class CampaignRecord:
         unknown = set(payload) - names
         if unknown:
             raise CampaignError(f"unknown campaign record fields: {sorted(unknown)}")
-        return cls(**payload)  # type: ignore[arg-type]
+        data = dict(payload)
+        # Stores written before the operation axis carry no value/unit/
+        # operation: they are read records whose primary value is td_s, so
+        # backfill rather than defaulting value to 0 (which would poison
+        # the penalty computation on resume).
+        if "value" not in data:
+            data.setdefault("operation", "read")
+            data.setdefault("unit", "s")
+            data["value"] = data.get("td_s", 0.0)
+        return cls(**data)  # type: ignore[arg-type]
 
 
 def _record_from_measurement(
-    item: CampaignItem, measurement: ReadMeasurement, wall_s: float
+    item: CampaignItem, measurement: OperationMeasurement, wall_s: float
 ) -> CampaignRecord:
     scenario = item.scenario
     return CampaignRecord(
@@ -216,6 +253,9 @@ def _record_from_measurement(
         corner_cvar=item.corner_cvar,
         corner_vss_rvar=item.corner_vss_rvar,
         wall_s=wall_s,
+        operation=measurement.operation,
+        value=measurement.value,
+        unit=measurement.unit,
     )
 
 
@@ -249,14 +289,18 @@ class CampaignResults:
         return self.record(f"n{n_wordlines}-{option_name}-{scenario_label}")
 
     def penalty_percent_for(self, record: CampaignRecord) -> Optional[float]:
-        """Simulated tdp (%) of a corner record versus its scenario's
-        nominal; ``None`` for nominal records."""
+        """Relative impact (%) of a corner record versus its scenario's
+        nominal; ``None`` for nominal records.
+
+        For delay operations this is the paper's tdp; for margin
+        operations a negative number means the margin shrank.
+        """
         if record.kind != "corner":
             return None
         nominal = self.nominal(record.sim_key, record.n_wordlines)
-        if nominal.td_s <= 0.0:
-            raise CampaignError("nominal td must be positive")
-        return (record.td_s / nominal.td_s - 1.0) * 100.0
+        if nominal.value == 0.0:
+            raise CampaignError("nominal value must be nonzero")
+        return (record.value / nominal.value - 1.0) * 100.0
 
     def penalty_percent(
         self, scenario: CampaignScenario, option_name: str, n_wordlines: int
@@ -288,12 +332,32 @@ class CampaignStore:
     def metadata_path(self) -> Path:
         return self.directory / "campaign.json"
 
+    @staticmethod
+    def _normalized_signature(signature: Mapping[str, object]) -> Dict[str, object]:
+        """A signature with pre-operation-axis scenario dicts upgraded.
+
+        Stores written before the operation axis describe the same (read)
+        campaign as one whose scenarios all say ``operation: "read"``, so
+        the comparison treats the two as equal instead of rejecting old
+        stores.
+        """
+        payload = dict(signature)
+        scenarios = payload.get("scenarios")
+        if isinstance(scenarios, list):
+            payload["scenarios"] = [
+                {"operation": "read", **scenario} if isinstance(scenario, dict) else scenario
+                for scenario in scenarios
+            ]
+        return payload
+
     def prepare(self, signature: Mapping[str, object]) -> None:
         """Create the store (or validate an existing one) for a signature."""
         self.items_dir.mkdir(parents=True, exist_ok=True)
         if self.metadata_path.exists():
             existing = json.loads(self.metadata_path.read_text(encoding="utf-8"))
-            if existing.get("signature") != signature:
+            if self._normalized_signature(
+                existing.get("signature", {})
+            ) != self._normalized_signature(signature):
                 raise CampaignError(
                     f"store {self.directory} belongs to a different campaign; "
                     "use a fresh --store directory or matching settings"
@@ -327,12 +391,12 @@ class CampaignStore:
 
 
 class CampaignWorkerState:
-    """Per-process simulation state: one simulator per sim configuration.
+    """Per-process simulation state: one simulator bundle per configuration.
 
-    All simulators share the geometry caches (layouts, nominal and printed
+    All bundles share the geometry caches (layouts, nominal and printed
     extractions, Jacobian structures) of the first one created, so a chunk
     of items touching the same array size extracts each layout once no
-    matter how many scenario variants visit it.
+    matter how many scenario variants — or operations — visit it.
     """
 
     def __init__(
@@ -341,27 +405,30 @@ class CampaignWorkerState:
         self.node = node
         self.n_bitline_pairs = n_bitline_pairs
         self.max_segments = max_segments
-        self._simulators: Dict[str, ReadPathSimulator] = {}
+        self._bundles: Dict[Tuple[int, str], OperationSimulators] = {}
         self._options: Dict[str, object] = {}
 
-    def _simulator_for(self, scenario: CampaignScenario) -> ReadPathSimulator:
-        key = scenario.sim_key
-        simulator = self._simulators.get(key)
-        if simulator is None:
+    def _simulators_for(self, scenario: CampaignScenario) -> OperationSimulators:
+        # The bundle depends only on the strap interval and the transient
+        # method; operation and stored value are per-call arguments, so
+        # every operation of a scenario family shares one geometry stack.
+        key = (scenario.vss_strap_interval_cells, scenario.method)
+        bundle = self._bundles.get(key)
+        if bundle is None:
             # transient_method (not a TransientOptions override) so the
             # method axis changes only the integrator: the derived
             # step-size policy stays identical across methods.
-            simulator = ReadPathSimulator(
+            bundle = OperationSimulators(
                 self.node,
                 n_bitline_pairs=self.n_bitline_pairs,
                 max_segments=self.max_segments,
                 vss_strap_interval_cells=scenario.vss_strap_interval_cells,
                 transient_method=scenario.method,
             )
-            if self._simulators:
-                simulator.adopt_shared_caches(next(iter(self._simulators.values())))
-            self._simulators[key] = simulator
-        return simulator
+            if self._bundles:
+                bundle.adopt_shared_caches(next(iter(self._bundles.values())))
+            self._bundles[key] = bundle
+        return bundle
 
     def _option_for(self, option_name: str):
         option = self._options.get(option_name)
@@ -373,14 +440,16 @@ class CampaignWorkerState:
         return option
 
     def run_item(self, item: CampaignItem) -> CampaignRecord:
-        simulator = self._simulator_for(item.scenario)
+        simulators = self._simulators_for(item.scenario)
+        operation = create_operation(item.scenario.operation)
         started = time.perf_counter()
         if item.kind == "nominal":
-            measurement = simulator.measure_nominal(
-                item.n_wordlines, stored_value=item.scenario.stored_value
+            measurement = operation.measure_nominal(
+                simulators, item.n_wordlines, stored_value=item.scenario.stored_value
             )
         elif item.kind == "corner":
-            measurement = simulator.measure_with_patterning(
+            measurement = operation.measure_with_patterning(
+                simulators,
                 item.n_wordlines,
                 self._option_for(item.option_name),
                 dict(item.corner_parameters),
@@ -662,6 +731,36 @@ class SimulationCampaign:
             raise CampaignError(f"scenario {chosen.label!r} is not part of this campaign")
         return chosen
 
+    def operation_rows(
+        self,
+        results: CampaignResults,
+        scenario: Optional[CampaignScenario] = None,
+    ) -> List[OperationImpactRow]:
+        """Operation-suite rows: nominal value + per-option impact (%).
+
+        Works for any operation scenario (including read, where the
+        impacts are exactly the Fig. 4 tdp values).
+        """
+        chosen = self._scenario_or_default(scenario)
+        rows: List[OperationImpactRow] = []
+        for size in self.doe.array_sizes:
+            nominal = results.nominal(chosen.sim_key, size)
+            deltas = {
+                option_name: results.penalty_percent(chosen, option_name, size)
+                for option_name in self.doe.option_names
+            }
+            rows.append(
+                OperationImpactRow(
+                    operation=chosen.operation,
+                    array_label=f"{self.doe.n_bitline_pairs}x{size}",
+                    n_wordlines=size,
+                    nominal_value=nominal.value,
+                    unit=nominal.unit,
+                    delta_percent_by_option=deltas,
+                )
+            )
+        return rows
+
     def figure4_rows(
         self,
         results: CampaignResults,
@@ -669,6 +768,11 @@ class SimulationCampaign:
     ) -> List[WorstCaseTdRow]:
         """Fig. 4 rows (nominal td + per-option tdp) from campaign records."""
         chosen = self._scenario_or_default(scenario)
+        if chosen.operation != "read":
+            raise CampaignError(
+                "Fig. 4 rows are defined for read scenarios; use operation_rows "
+                f"for {chosen.operation!r}"
+            )
         rows: List[WorstCaseTdRow] = []
         for size in self.doe.array_sizes:
             nominal = results.nominal(chosen.sim_key, size)
@@ -694,6 +798,8 @@ class SimulationCampaign:
     ) -> List[FormulaVsSimulationTdRow]:
         """Table II rows (simulated versus formula nominal td)."""
         chosen = self._scenario_or_default(scenario)
+        if chosen.operation != "read":
+            raise CampaignError("Table II rows are defined for read scenarios")
         return [
             FormulaVsSimulationTdRow(
                 array_label=f"{self.doe.n_bitline_pairs}x{size}",
@@ -712,6 +818,8 @@ class SimulationCampaign:
     ) -> List[FormulaVsSimulationTdpRow]:
         """Table III rows (simulation and formula tdp, interleaved per size)."""
         chosen = self._scenario_or_default(scenario)
+        if chosen.operation != "read":
+            raise CampaignError("Table III rows are defined for read scenarios")
         rows: List[FormulaVsSimulationTdpRow] = []
         for size in self.doe.array_sizes:
             simulated: Dict[str, float] = {}
@@ -758,34 +866,39 @@ def scenario_grid(
     stored_values: Sequence[int] = (0,),
     strap_intervals: Sequence[int] = (256,),
     methods: Sequence[str] = ("backward-euler",),
+    operations: Sequence[str] = ("read",),
 ) -> List[CampaignScenario]:
     """Cross scenario axes into labelled :class:`CampaignScenario` objects.
 
     Labels are derived from the non-default axis values (``"paper"`` when
     every axis is at its default), so a sweep produces self-describing
-    store keys such as ``"ol5nm-sv1-trap"``.
+    store keys such as ``"write-ol5nm"`` or ``"ol5nm-sv1-trap"``.
     """
     scenarios: List[CampaignScenario] = []
-    for overlay in overlay_budgets_nm:
-        for stored_value in stored_values:
-            for strap in strap_intervals:
-                for method in methods:
-                    parts: List[str] = []
-                    if overlay is not None:
-                        parts.append(f"ol{overlay:g}nm")
-                    if stored_value != 0:
-                        parts.append(f"sv{stored_value}")
-                    if strap != 256:
-                        parts.append(f"strap{strap}")
-                    if method != "backward-euler":
-                        parts.append(_METHOD_TAGS[method])
-                    scenarios.append(
-                        CampaignScenario(
-                            label="-".join(parts) if parts else "paper",
-                            overlay_three_sigma_nm=overlay,
-                            stored_value=stored_value,
-                            vss_strap_interval_cells=strap,
-                            method=method,
+    for operation in operations:
+        for overlay in overlay_budgets_nm:
+            for stored_value in stored_values:
+                for strap in strap_intervals:
+                    for method in methods:
+                        parts: List[str] = []
+                        if operation != "read":
+                            parts.append(operation)
+                        if overlay is not None:
+                            parts.append(f"ol{overlay:g}nm")
+                        if stored_value != 0:
+                            parts.append(f"sv{stored_value}")
+                        if strap != 256:
+                            parts.append(f"strap{strap}")
+                        if method != "backward-euler":
+                            parts.append(_METHOD_TAGS[method])
+                        scenarios.append(
+                            CampaignScenario(
+                                label="-".join(parts) if parts else "paper",
+                                overlay_three_sigma_nm=overlay,
+                                stored_value=stored_value,
+                                vss_strap_interval_cells=strap,
+                                method=method,
+                                operation=operation,
+                            )
                         )
-                    )
     return scenarios

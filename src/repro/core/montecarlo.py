@@ -28,7 +28,13 @@ from ..technology.node import TechnologyNode
 from ..variability.doe import DOEPoint, StudyDOE, paper_doe
 from ..variability.statistics import Histogram, SummaryStatistics
 from .analytical import AnalyticalDelayModel, model_from_technology
-from .results import MonteCarloTdpRecord, TdpSigmaRow
+from .operations import (
+    OperationResponseSurface,
+    OperationSimulators,
+    calibrate_response_surface,
+    create_operation,
+)
+from .results import MonteCarloTdpRecord, OperationSigmaRow, TdpSigmaRow
 
 
 class MonteCarloStudyError(RuntimeError):
@@ -96,6 +102,8 @@ class MonteCarloTdpStudy:
         self.batch = batch
         self._layout_cache: Dict[int, SRAMArrayLayout] = {}
         self._lpe_cache: Dict[Optional[float], ParameterizedLPE] = {}
+        self._surface_cache: Dict[Tuple[str, int, float], OperationResponseSurface] = {}
+        self._operation_simulators: Optional[OperationSimulators] = None
 
     def __getstate__(self):
         # Ship a lean study to process-pool workers: the layout and LPE
@@ -103,6 +111,8 @@ class MonteCarloTdpStudy:
         state = self.__dict__.copy()
         state["_layout_cache"] = {}
         state["_lpe_cache"] = {}
+        state["_surface_cache"] = {}
+        state["_operation_simulators"] = None
         return state
 
     # -- plumbing -----------------------------------------------------------------------
@@ -156,19 +166,53 @@ class MonteCarloTdpStudy:
             seed=self._seed_for_point(point),
         )
 
-    def rc_variation_samples_batch(self, point: DOEPoint) -> BatchRCVariation:
-        """The vectorised LPE Monte-Carlo loop: (Rvar, Cvar) arrays."""
+    def _central_nets(self, point: DOEPoint) -> Tuple[str, str]:
+        """Net names of the central bit line and its VSS rail."""
+        layout = self._layout_for(point.n_wordlines)
+        bl_net, _blb, vss_net, _vdd = layout.central_column_nets()
+        return bl_net, vss_net
+
+    def _variation_samples_batch_multi(
+        self, point: DOEPoint, nets: Tuple[str, ...]
+    ) -> Dict[str, BatchRCVariation]:
         option = create_option(point.option_name)
         layout = self._layout_for(point.n_wordlines)
-        bl_net, _ = layout.central_pair_nets()
         lpe = self._lpe_for_point(point)
-        return lpe.monte_carlo_variations_batch(
+        return lpe.monte_carlo_variations_batch_multi(
             layout.metal1_pattern,
             option,
-            bl_net,
+            nets,
             n_samples=self.n_samples,
             seed=self._seed_for_point(point),
         )
+
+    def rc_variation_samples_batch(self, point: DOEPoint) -> BatchRCVariation:
+        """The vectorised LPE Monte-Carlo loop: (Rvar, Cvar) arrays."""
+        bl_net, _ = self._central_nets(point)
+        return self._variation_samples_batch_multi(point, (bl_net,))[bl_net]
+
+    def rail_variation_samples_batch(self, point: DOEPoint) -> BatchRCVariation:
+        """Per-sample (Rvar, Cvar) of the central column's VSS rail.
+
+        Drawn with the *same* per-point seed as
+        :meth:`rc_variation_samples_batch`, so sample ``i`` of the rail
+        arrays corresponds to the same printed wafer as sample ``i`` of
+        the bit-line arrays (the sampler stream is seed-deterministic).
+        """
+        _, vss_net = self._central_nets(point)
+        return self._variation_samples_batch_multi(point, (vss_net,))[vss_net]
+
+    def column_variation_samples_batch(
+        self, point: DOEPoint
+    ) -> Tuple[BatchRCVariation, BatchRCVariation]:
+        """Bit-line and VSS-rail sample batches from one draw/print/extract.
+
+        The expensive stages run once for both nets; the operation suite's
+        margin twins consume the pair.
+        """
+        bl_net, vss_net = self._central_nets(point)
+        variations = self._variation_samples_batch_multi(point, (bl_net, vss_net))
+        return variations[bl_net], variations[vss_net]
 
     def tdp_record(self, point: DOEPoint, bins: int = 30) -> MonteCarloTdpRecord:
         """Fig. 5 record for one study point: tdp samples, summary, histogram."""
@@ -219,6 +263,76 @@ class MonteCarloTdpStudy:
                 ]
                 return [future.result() for future in futures]
         return [self.tdp_record(point, bins=bins) for point in points]
+
+    # -- operation-suite Monte-Carlo twins -------------------------------------------------
+
+    def response_surface(
+        self,
+        operation_name: str,
+        n_wordlines: int,
+        simulators: Optional[OperationSimulators] = None,
+        delta: float = 0.05,
+    ) -> OperationResponseSurface:
+        """The operation's calibrated (Rvar, Cvar) response surface (cached).
+
+        Calibration costs a handful of full simulations per (operation,
+        array size, delta); everything downstream is vectorised over the
+        sample batch, which is the "batched where the analytical layer
+        allows" path of the operation suite.  The surface is a
+        deterministic function of the node alone, so which simulator
+        bundle performs the calibration does not affect the cached values.
+        """
+        key = (operation_name, n_wordlines, delta)
+        surface = self._surface_cache.get(key)
+        if surface is None:
+            if simulators is None:
+                if self._operation_simulators is None:
+                    self._operation_simulators = OperationSimulators(
+                        self.node, n_bitline_pairs=self.doe.n_bitline_pairs
+                    )
+                simulators = self._operation_simulators
+            surface = calibrate_response_surface(
+                create_operation(operation_name), simulators, n_wordlines, delta=delta
+            )
+            self._surface_cache[key] = surface
+        return surface
+
+    def operation_sigma_rows(
+        self,
+        operation_name: str,
+        n_wordlines: int = 64,
+        simulators: Optional[OperationSimulators] = None,
+        delta: float = 0.05,
+    ) -> List[OperationSigmaRow]:
+        """Table IV's twin for one operation: σ of the relative impact (%).
+
+        The batched LPE Monte-Carlo provides the per-sample (Rvar, Cvar)
+        of the bit line — and, from the same seeded draw, the Rvar of the
+        VSS rail, which is what the margins couple to — exactly as for the
+        read-time study; the calibrated response surface maps the whole
+        batch to per-sample impacts in one vectorised evaluation, and the
+        rows report the distribution's σ per option and overlay budget.
+        """
+        surface = self.response_surface(
+            operation_name, n_wordlines, simulators=simulators, delta=delta
+        )
+        rows: List[OperationSigmaRow] = []
+        for point in self.doe.monte_carlo_points(n_wordlines=n_wordlines):
+            variations, rails = self.column_variation_samples_batch(point)
+            impacts = surface.change_percent(
+                variations.rvar, variations.cvar, rails.rvar
+            )
+            summary = SummaryStatistics.from_samples(tuple(float(v) for v in impacts))
+            rows.append(
+                OperationSigmaRow(
+                    operation=operation_name,
+                    array_label=point.array_label,
+                    option_name=point.option_name,
+                    overlay_three_sigma_nm=point.overlay_three_sigma_nm,
+                    sigma_percent=summary.std,
+                )
+            )
+        return rows
 
     # -- paper experiments ------------------------------------------------------------------
 

@@ -95,6 +95,69 @@ class WorstCaseTdRow:
             ) from None
 
 
+def unit_scale(unit: str) -> Tuple[float, str]:
+    """Scale factor and display label of an operation unit (s→ps, V→mV).
+
+    Single source of the unit-scaling rule shared by the result rows and
+    the reporting formatters — add new operation units here only.
+    """
+    if unit == "s":
+        return 1e12, "ps"
+    if unit == "V":
+        return 1e3, "mV"
+    return 1.0, unit
+
+
+def display_value(value: float, unit: str) -> str:
+    """An operation value rendered in its readable unit."""
+    factor, label = unit_scale(unit)
+    return f"{value * factor:.2f} {label}"
+
+
+@dataclass(frozen=True)
+class OperationImpactRow:
+    """One array size of an operation table: nominal value plus worst-case
+    per-option impact of the operation suite (write delay, hold/read SNM)."""
+
+    operation: str
+    array_label: str
+    n_wordlines: int
+    nominal_value: float
+    unit: str                       # "s" or "V"
+    delta_percent_by_option: Dict[str, float]
+
+    def delta_percent(self, option_name: str) -> float:
+        try:
+            return self.delta_percent_by_option[option_name]
+        except KeyError:
+            raise KeyError(
+                f"no impact recorded for option {option_name!r}; "
+                f"options: {sorted(self.delta_percent_by_option)}"
+            ) from None
+
+    @property
+    def nominal_display(self) -> str:
+        """The nominal value scaled to a readable unit (ps or mV)."""
+        return display_value(self.nominal_value, self.unit)
+
+
+@dataclass(frozen=True)
+class OperationSigmaRow:
+    """One Monte-Carlo row of an operation: σ of the relative impact (%)."""
+
+    operation: str
+    array_label: str
+    option_name: str
+    overlay_three_sigma_nm: Optional[float]
+    sigma_percent: float
+
+    @property
+    def label(self) -> str:
+        if self.overlay_three_sigma_nm is None:
+            return self.option_name
+        return f"{self.option_name} {self.overlay_three_sigma_nm:g}nm OL"
+
+
 @dataclass(frozen=True)
 class FormulaVsSimulationTdRow:
     """One row of Table II: nominal td from simulation versus formula."""

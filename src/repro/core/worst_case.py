@@ -24,8 +24,10 @@ from ..patterning.sampler import enumerate_worst_case_corners
 from ..sram.read_path import ReadPathSimulator
 from ..technology.node import TechnologyNode
 from ..variability.doe import StudyDOE, paper_doe
+from .operations import OperationSimulators, create_operation
 from .results import (
     LayoutDistortionRecord,
+    OperationImpactRow,
     TrackDistortion,
     WorstCaseRCRow,
     WorstCaseTdRow,
@@ -112,11 +114,8 @@ class WorstCaseStudy:
 
     def _target_nets(self) -> Tuple[str, str]:
         """Central bit-line net and its VSS rail net."""
-        layout = self.reference_layout
-        bl_net, _ = layout.central_pair_nets()
-        central_column = layout.n_bitline_pairs // 2
-        suffix = "" if central_column == 0 else f"@{central_column}"
-        return bl_net, f"VSS{suffix}"
+        bl_net, _blb, vss_net, _vdd = self.reference_layout.central_column_nets()
+        return bl_net, vss_net
 
     def option(self, option_name: str) -> PatterningOption:
         """The :class:`PatterningOption` instance for ``option_name``."""
@@ -176,9 +175,8 @@ class WorstCaseStudy:
         patterned = option.apply(layout.metal1_pattern, corner.parameters)
 
         if nets is None:
-            central_column = layout.n_bitline_pairs // 2
-            suffix = "" if central_column == 0 else f"@{central_column}"
-            nets = [f"VSS{suffix}", f"BL{suffix}", f"VDD{suffix}", f"BLB{suffix}"]
+            bl_net, blb_net, vss_net, vdd_net = layout.central_column_nets()
+            nets = [vss_net, bl_net, vdd_net, blb_net]
 
         tracks = []
         for net in nets:
@@ -237,6 +235,52 @@ class WorstCaseStudy:
                     n_wordlines=size,
                     nominal_td_ps=nominal.td_ps,
                     tdp_percent_by_option=penalties,
+                )
+            )
+        return rows
+
+    # -- operation-suite worst-case impacts ---------------------------------------------
+
+    def operation_rows(
+        self,
+        operation_name: str,
+        simulators: Optional[OperationSimulators] = None,
+        array_sizes: Optional[Sequence[int]] = None,
+    ) -> List[OperationImpactRow]:
+        """Worst-case impact of every option on one operation's figure of merit.
+
+        The write/margin twin of :meth:`figure4`: each option's Table I
+        worst corner is re-applied to every array size and the operation
+        (write delay, hold/read SNM — or read, reproducing Fig. 4) is
+        measured on the printed column.  This sequential path is also the
+        parity oracle for the campaign engine's operation axis.
+        """
+        operation = create_operation(operation_name)
+        sims = (
+            simulators
+            if simulators is not None
+            else OperationSimulators(self.node, n_bitline_pairs=self.doe.n_bitline_pairs)
+        )
+        sizes = list(array_sizes) if array_sizes is not None else list(self.doe.array_sizes)
+
+        rows: List[OperationImpactRow] = []
+        for size in sizes:
+            nominal = operation.measure_nominal(sims, size)
+            deltas: Dict[str, float] = {}
+            for option_name in self.doe.option_names:
+                corner = self.find_worst_corner(option_name)
+                varied = operation.measure_with_patterning(
+                    sims, size, self.option(option_name), corner.parameters
+                )
+                deltas[option_name] = varied.change_percent_vs(nominal)
+            rows.append(
+                OperationImpactRow(
+                    operation=operation.name,
+                    array_label=f"{self.doe.n_bitline_pairs}x{size}",
+                    n_wordlines=size,
+                    nominal_value=nominal.value,
+                    unit=nominal.unit,
+                    delta_percent_by_option=deltas,
                 )
             )
         return rows

@@ -295,6 +295,34 @@ class ParameterizedLPE:
         parameters are bit-identical to the scalar loop's and the returned
         ratios agree element-wise to floating-point round-off.
         """
+        return self.monte_carlo_variations_batch_multi(
+            pattern,
+            option,
+            (net,),
+            n_samples=n_samples,
+            seed=seed,
+            truncate_at_three_sigma=truncate_at_three_sigma,
+        )[net]
+
+    def monte_carlo_variations_batch_multi(
+        self,
+        pattern: TrackPattern,
+        option: PatterningOption,
+        nets: Sequence[str],
+        n_samples: int,
+        seed: Optional[int] = None,
+        truncate_at_three_sigma: bool = False,
+    ) -> Dict[str, BatchRCVariation]:
+        """Batched Monte-Carlo variations of several nets from one draw.
+
+        The sampling, printing and extraction — the dominant costs — run
+        once for the whole net list, so callers needing e.g. the bit line
+        *and* its VSS rail (the operation suite's margin twins) pay a
+        single pass.  Sample ``i`` of every returned array describes the
+        same printed wafer.
+        """
+        if not nets:
+            raise ExtractionError("the net list cannot be empty")
         sampler = ParameterSampler(
             option,
             self.node.variations,
@@ -304,18 +332,23 @@ class ParameterizedLPE:
         batch = sampler.draw_batch(n_samples)
         geometry = option.apply_batch(pattern, batch.matrix, batch.parameter_names)
         extractor = CrossSectionExtractor(self.layer)
-        printed = extractor.extract_batch(geometry, nets=[net])[net]
-        nominal = self.nominal_extraction(pattern)[net]
-        if nominal.capacitance_total_f <= 0.0 or nominal.resistance_total_ohm <= 0.0:
-            raise ExtractionError(f"nominal parasitics of net {net!r} are degenerate")
-        return BatchRCVariation(
-            net=net,
-            option_name=option.name,
-            rvar=printed.resistance_total_ohm / nominal.resistance_total_ohm,
-            cvar=printed.capacitance_total_f / nominal.capacitance_total_f,
-            parameter_names=batch.parameter_names,
-            parameter_matrix=batch.matrix,
-        )
+        printed_by_net = extractor.extract_batch(geometry, nets=list(nets))
+        nominal_extraction = self.nominal_extraction(pattern)
+        variations: Dict[str, BatchRCVariation] = {}
+        for net in nets:
+            printed = printed_by_net[net]
+            nominal = nominal_extraction[net]
+            if nominal.capacitance_total_f <= 0.0 or nominal.resistance_total_ohm <= 0.0:
+                raise ExtractionError(f"nominal parasitics of net {net!r} are degenerate")
+            variations[net] = BatchRCVariation(
+                net=net,
+                option_name=option.name,
+                rvar=printed.resistance_total_ohm / nominal.resistance_total_ohm,
+                cvar=printed.capacitance_total_f / nominal.capacitance_total_f,
+                parameter_names=batch.parameter_names,
+                parameter_matrix=batch.matrix,
+            )
+        return variations
 
     def corner_variations(
         self,

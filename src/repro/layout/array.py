@@ -108,6 +108,18 @@ class SRAMArrayLayout:
         suffix = "" if central_column == 0 else f"@{central_column}"
         return (f"BL{suffix}", f"BLB{suffix}")
 
+    def central_column_nets(self) -> Tuple[str, str, str, str]:
+        """Net names of the central column's BL, BLB, VSS and VDD rails.
+
+        Single source of the ``<net>@<column>`` naming rule for every
+        consumer (read/write/margin harnesses, worst-case and Monte-Carlo
+        studies) that extracts the central column.
+        """
+        bl_net, blb_net = self.central_pair_nets()
+        central_column = self.n_bitline_pairs // 2
+        suffix = "" if central_column == 0 else f"@{central_column}"
+        return (bl_net, blb_net, f"VSS{suffix}", f"VDD{suffix}")
+
     def wires(self) -> List[Wire]:
         """Plan-view metal1 wires of the full array plus the word lines."""
         bitline_layer = self.cell.wires[0].layer

@@ -14,9 +14,13 @@ from ..core.campaign import CampaignResults
 from ..core.results import (
     FormulaVsSimulationTdRow,
     FormulaVsSimulationTdpRow,
+    OperationImpactRow,
+    OperationSigmaRow,
     TdpSigmaRow,
     WorstCaseRCRow,
     WorstCaseTdRow,
+    display_value,
+    unit_scale,
 )
 
 
@@ -144,17 +148,69 @@ def format_campaign_text(results: CampaignResults) -> str:
         body.append(
             [
                 record.scenario_label,
+                record.operation,
                 f"10x{record.n_wordlines}",
                 record.option_name if record.option_name else "(nominal)",
-                f"{record.td_ps:.3f}",
+                display_value(record.value, record.unit),
                 f"{penalty:+.2f}" if penalty is not None else "-",
                 record.stop_reason,
             ]
         )
     return render_table(
-        ["Scenario", "Array size", "Option", "td (ps)", "tdp (%)", "Stop"],
+        ["Scenario", "Operation", "Array size", "Option", "Value", "Impact (%)", "Stop"],
         body,
         title=f"Simulation campaign: {len(results)} records",
+    )
+
+
+def format_operation_table(
+    rows: Sequence[OperationImpactRow], title: Optional[str] = None
+) -> str:
+    """Operation-suite table: nominal value plus worst-case impact per option."""
+    if not rows:
+        raise ReportingError("no operation rows to format")
+    operation = rows[0].operation
+    factor, unit_label = unit_scale(rows[0].unit)
+    options = sorted(rows[0].delta_percent_by_option)
+    headers = ["Array size", f"Nominal ({unit_label})"] + [
+        f"d{operation} {name} (%)" for name in options
+    ]
+    body = []
+    for row in rows:
+        if row.operation != operation:
+            raise ReportingError("all rows of an operation table must share the operation")
+        body.append(
+            [row.array_label, f"{row.nominal_value * factor:.2f}"]
+            + [f"{row.delta_percent(name):+.2f}" for name in options]
+        )
+    chosen_title = (
+        title
+        if title is not None
+        else f"Operation suite ({operation}): worst-case patterning impact"
+    )
+    return render_table(headers, body, title=chosen_title)
+
+
+def format_operation_sigma(
+    rows: Sequence[OperationSigmaRow], title: Optional[str] = None
+) -> str:
+    """Monte-Carlo σ of one operation's impact per option and OL budget."""
+    if not rows:
+        raise ReportingError("no operation sigma rows to format")
+    operation = rows[0].operation
+    body = [
+        [row.array_label, row.label, f"{row.sigma_percent:.3f}"]
+        for row in rows
+    ]
+    chosen_title = (
+        title
+        if title is not None
+        else f"Operation suite ({operation}): Monte-Carlo impact sigma"
+    )
+    return render_table(
+        ["Array size", "Patterning option", "Std. deviation (% points)"],
+        body,
+        title=chosen_title,
     )
 
 
@@ -171,6 +227,9 @@ def format_campaign_csv(results: CampaignResults) -> str:
         "stored_value",
         "vss_strap_interval_cells",
         "method",
+        "operation",
+        "value",
+        "unit",
         "td_s",
         "tdp_percent",
         "stop_reason",
@@ -196,6 +255,9 @@ def format_campaign_csv(results: CampaignResults) -> str:
                 record.stored_value,
                 record.vss_strap_interval_cells,
                 record.method,
+                record.operation,
+                repr(record.value),
+                record.unit,
                 repr(record.td_s),
                 "" if penalty is None else repr(penalty),
                 record.stop_reason,

@@ -1,4 +1,5 @@
-"""SRAM substrate: 6T cell, bit-line ladders, precharge, sense amp, read-path harness."""
+"""SRAM substrate: 6T cell, bit-line ladders, precharge, sense amp, and the
+read-path / write-path / noise-margin harnesses of the operation suite."""
 
 from .array import (
     ArrayCircuitError,
@@ -34,10 +35,34 @@ from .read_path import (
     ReadPathSimulator,
     ReadSimulationError,
 )
+from .margins import (
+    MARGIN_MODES,
+    ButterflyCurves,
+    MarginAnalysisError,
+    MarginMeasurement,
+    SRAMMarginAnalyzer,
+)
 from .sense_amp import SenseAmpError, SenseAmplifier
+from .write_path import (
+    SRAMWriteCircuit,
+    WriteMarginMeasurement,
+    WriteMeasurement,
+    WritePathSimulator,
+    WriteSimulationError,
+)
 
 __all__ = [
     "ArrayCircuitError",
+    "ButterflyCurves",
+    "MARGIN_MODES",
+    "MarginAnalysisError",
+    "MarginMeasurement",
+    "SRAMMarginAnalyzer",
+    "SRAMWriteCircuit",
+    "WriteMarginMeasurement",
+    "WriteMeasurement",
+    "WritePathSimulator",
+    "WriteSimulationError",
     "BitlineLadder",
     "BitlineModelError",
     "BitlineSpec",

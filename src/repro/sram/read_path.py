@@ -66,11 +66,17 @@ class ReadMeasurement:
 
 @dataclass
 class ColumnParasitics:
-    """Extracted per-column electrical quantities feeding the circuit."""
+    """Extracted per-column electrical quantities feeding the circuits.
+
+    The read circuit uses the bit-line pair and the VSS return path; the
+    write and noise-margin circuits additionally see the VDD rail
+    resistance (supply droop under the cell's crowbar / read current).
+    """
 
     bitline: BitlineSpec
     bitline_bar: BitlineSpec
     vss_rail_resistance_ohm: float
+    vdd_rail_resistance_ohm: float = 0.0
 
 
 class ReadPathSimulator:
@@ -204,12 +210,9 @@ class ReadPathSimulator:
             )
         return self._nominal_extraction_cache[n_cells]
 
-    def _column_nets(self, layout: SRAMArrayLayout) -> Tuple[str, str, str]:
-        """Net names of the central column's BL, BLB and its VSS rail."""
-        bl_net, blb_net = layout.central_pair_nets()
-        central_column = layout.n_bitline_pairs // 2
-        suffix = "" if central_column == 0 else f"@{central_column}"
-        return bl_net, blb_net, f"VSS{suffix}"
+    def _column_nets(self, layout: SRAMArrayLayout) -> Tuple[str, str, str, str]:
+        """Net names of the central column's BL, BLB, VSS and VDD rails."""
+        return layout.central_column_nets()
 
     def column_parasitics(
         self, n_cells: int, extraction: Optional[ExtractionResult] = None
@@ -221,7 +224,7 @@ class ReadPathSimulator:
         """
         layout = self.layout_for(n_cells)
         chosen = extraction if extraction is not None else self.nominal_extraction(n_cells)
-        bl_net, blb_net, vss_net = self._column_nets(layout)
+        bl_net, blb_net, vss_net, vdd_net = self._column_nets(layout)
         cell_length = layout.cell.cell_length_nm
         frontend = bitline_loading_per_unselected_cell_f(self.node.sram_devices)
 
@@ -235,10 +238,14 @@ class ReadPathSimulator:
         vss_resistance = supply_rail_resistance_ohm(
             chosen[vss_net], vss_span_cells, cell_length
         )
+        vdd_resistance = supply_rail_resistance_ohm(
+            chosen[vdd_net], vss_span_cells, cell_length
+        )
         return ColumnParasitics(
             bitline=bitline,
             bitline_bar=bitline_bar,
             vss_rail_resistance_ohm=vss_resistance,
+            vdd_rail_resistance_ohm=vdd_resistance,
         )
 
     # -- circuit construction and simulation --------------------------------------------
@@ -452,6 +459,7 @@ class ReadPathSimulator:
             bitline=column.bitline.scaled(rvar, cvar),
             bitline_bar=column.bitline_bar.scaled(rvar, cvar),
             vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
+            vdd_rail_resistance_ohm=column.vdd_rail_resistance_ohm * vss_rvar,
         )
         return self.simulate_column(n_cells, scaled, label=label)
 

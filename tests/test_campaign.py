@@ -219,6 +219,40 @@ class TestStoreAndResume:
         assert [r.td_s for r in replay] == [r.td_s for r in results]
         assert victim.exists()
 
+    def test_legacy_store_without_operation_fields_resumes(self, node, tmp_path, monkeypatch):
+        """A store written before the operation axis (no operation/value/
+        unit in records, no 'operation' in the scenario signature) must
+        resume cleanly as a read campaign."""
+        doe = StudyDOE(array_sizes=(16,))
+        store_dir = tmp_path / "store"
+        results = SimulationCampaign(node, doe=doe, store_dir=store_dir).run()
+
+        # Rewrite the store the way the pre-operation-axis code did.
+        meta_path = store_dir / "campaign.json"
+        meta = json.loads(meta_path.read_text())
+        for scenario in meta["signature"]["scenarios"]:
+            del scenario["operation"]
+        meta_path.write_text(json.dumps(meta))
+        for item in (store_dir / "items").glob("*.json"):
+            payload = json.loads(item.read_text())
+            for field in ("operation", "value", "unit"):
+                del payload[field]
+            item.write_text(json.dumps(payload))
+
+        monkeypatch.setattr(
+            CampaignWorkerState,
+            "run_item",
+            lambda self, item: pytest.fail("legacy resume re-simulated an item"),
+        )
+        resumed = SimulationCampaign(node, doe=doe, store_dir=store_dir)
+        replay = resumed.run()
+        assert [r.td_s for r in replay] == [r.td_s for r in results]
+        for record in replay:
+            assert record.operation == "read"
+            assert record.value == record.td_s
+        corner = next(r for r in replay if r.kind == "corner")
+        assert replay.penalty_percent_for(corner) is not None
+
     def test_signature_mismatch_rejected(self, node, tmp_path):
         doe = StudyDOE(array_sizes=(16,))
         SimulationCampaign(node, doe=doe, store_dir=tmp_path / "store").run()

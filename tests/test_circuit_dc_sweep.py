@@ -1,0 +1,141 @@
+"""Tests of the swept-source DC analysis and the DC robustness fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import (
+    ConvergenceError,
+    NewtonOptions,
+    dc_operating_point,
+    dc_sweep,
+)
+from repro.circuit.elements import Resistor, VoltageSource
+from repro.circuit.mna import MNAError
+from repro.circuit.mosfet import MOSFET
+from repro.circuit.netlist import Circuit
+from repro.sram.cell import CellNodes, build_cell
+from repro.technology.transistors import default_n10_nmos, default_n10_pmos
+
+
+def _divider() -> Circuit:
+    circuit = Circuit(title="divider")
+    circuit.add(VoltageSource.dc("vin", "in", "0", 1.0))
+    circuit.add(Resistor("r1", "in", "mid", 1000.0))
+    circuit.add(Resistor("r2", "mid", "0", 1000.0))
+    return circuit
+
+
+def _inverter() -> Circuit:
+    circuit = Circuit(title="inverter")
+    circuit.add(VoltageSource.dc("vdd", "vdd", "0", 0.7))
+    circuit.add(VoltageSource.dc("vin", "in", "0", 0.0))
+    circuit.add(MOSFET("mp", drain="out", gate="in", source="vdd", parameters=default_n10_pmos()))
+    circuit.add(MOSFET("mn", drain="out", gate="in", source="0", parameters=default_n10_nmos()))
+    return circuit
+
+
+def _cell_circuit() -> Circuit:
+    """A free-running 6T cell on ideal supplies (bistable from a flat start)."""
+    circuit = Circuit(title="cell")
+    circuit.add(VoltageSource.dc("vdd", "vdd", "0", 0.7))
+    circuit.add(VoltageSource.dc("vwl", "wl", "0", 0.0))
+    circuit.add(VoltageSource.dc("vbl", "bl", "0", 0.7))
+    circuit.add(VoltageSource.dc("vblb", "blb", "0", 0.7))
+    nodes = CellNodes(
+        bitline="bl", bitline_bar="blb", wordline="wl",
+        vdd="vdd", vss="0", internal_q="q", internal_qb="qb",
+    )
+    circuit.add_all(build_cell("cell", nodes).elements)
+    return circuit
+
+
+class TestSourceOverrides:
+    def test_override_replaces_the_waveform_value(self):
+        result = dc_operating_point(_divider(), source_overrides={"vin": 0.5})
+        assert result.voltage("in") == pytest.approx(0.5, rel=1e-9)
+        assert result.voltage("mid") == pytest.approx(0.25, rel=1e-6)
+
+    def test_unknown_source_name_raises(self):
+        with pytest.raises(MNAError, match="no voltage source"):
+            dc_operating_point(_divider(), source_overrides={"nope": 0.5})
+
+
+class TestRobustness:
+    def test_bistable_cell_converges_from_flat_start(self):
+        """Regression: Newton from an all-zero guess on the cross-coupled
+        cell must not abort — the gmin / source-stepping / pseudo-transient
+        ladder has to find a genuine operating point."""
+        result = dc_operating_point(_cell_circuit())
+        assert result.converged
+        assert result.voltage("vdd") == pytest.approx(0.7, abs=1e-6)
+        q, qb = result.voltage("q"), result.voltage("qb")
+        # Any genuine DC solution of the cell keeps both internals inside
+        # the rails (the flat start typically relaxes to the metastable
+        # ridge, which is a valid operating point).
+        assert -0.01 <= q <= 0.71 and -0.01 <= qb <= 0.71
+
+    def test_bistable_cell_follows_the_initial_guess(self):
+        result = dc_operating_point(
+            _cell_circuit(), initial_voltages={"q": 0.7, "qb": 0.0}
+        )
+        assert result.voltage("q") > 0.5
+        assert result.voltage("qb") < 0.2
+
+    def test_tight_iteration_budget_still_raises_cleanly(self):
+        options = NewtonOptions(max_iterations=1)
+        with pytest.raises(ConvergenceError):
+            dc_operating_point(_cell_circuit(), options=options)
+
+
+class TestDCSweep:
+    def test_divider_sweep_is_linear(self):
+        sweep = dc_sweep(_divider(), "vin", np.linspace(0.0, 1.0, 11))
+        assert sweep.voltage("mid") == pytest.approx(sweep.values / 2.0, abs=1e-6)
+
+    def test_inverter_vtc_is_monotone_and_full_swing(self):
+        sweep = dc_sweep(_inverter(), "vin", np.linspace(0.0, 0.7, 71))
+        out = sweep.voltage("out")
+        assert out[0] == pytest.approx(0.7, abs=0.01)
+        assert out[-1] == pytest.approx(0.0, abs=0.01)
+        assert np.all(np.diff(out) <= 1e-6)
+
+    def test_crossing_value_interpolates(self):
+        sweep = dc_sweep(_inverter(), "vin", np.linspace(0.0, 0.7, 71))
+        trip = sweep.crossing_value("out", 0.35, direction="falling")
+        assert trip is not None
+        assert 0.2 < trip < 0.5
+
+    def test_crossing_value_none_when_never_crossed(self):
+        sweep = dc_sweep(_divider(), "vin", np.linspace(0.0, 1.0, 5))
+        assert sweep.crossing_value("mid", 2.0, direction="rising") is None
+
+    def test_crossing_direction_validated(self):
+        sweep = dc_sweep(_divider(), "vin", [0.0, 1.0])
+        with pytest.raises(MNAError, match="rising"):
+            sweep.crossing_value("mid", 0.5, direction="sideways")
+
+    def test_bad_source_name_raises_early(self):
+        with pytest.raises(MNAError, match="no voltage source"):
+            dc_sweep(_divider(), "nope", [0.0, 1.0])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConvergenceError, match="at least one"):
+            dc_sweep(_divider(), "vin", [])
+
+    def test_continuation_tracks_the_held_cell_state(self):
+        """Sweeping BL down with the cell holding 1: continuation keeps the
+        held branch until the genuine trip, then lands on the written one."""
+        circuit = _cell_circuit()
+        # WL on so the pass gates connect the swept bit line to the cell.
+        for element in circuit.elements_of_type(VoltageSource):
+            if element.name == "vwl":
+                element.waveform = type(element.waveform)(0.7)
+        sweep = dc_sweep(
+            circuit,
+            "vbl",
+            np.linspace(0.7, 0.0, 36),
+            initial_voltages={"q": 0.7, "qb": 0.0, "vdd": 0.7, "bl": 0.7, "blb": 0.7},
+        )
+        q = sweep.voltage("q")
+        assert q[0] > 0.5            # held at the start
+        assert q[-1] < 0.2           # flipped by the end

@@ -35,6 +35,24 @@ class TestParser:
         args = build_parser().parse_args(["fig4", "--workers", "4"])
         assert args.workers == 4
 
+    def test_operation_commands_registered(self):
+        parser = build_parser()
+        for command in ("write", "margins"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert args.mc_sigma is False
+        assert parser.parse_args(["write", "--mc-sigma"]).mc_sigma is True
+
+    def test_campaign_operations_axis_option(self):
+        args = build_parser().parse_args(
+            ["campaign", "--operations", "read", "write", "hold_snm"]
+        )
+        assert args.operations == ["read", "write", "hold_snm"]
+
+    def test_campaign_rejects_unknown_operation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--operations", "erase"])
+
     def test_campaign_specific_options(self):
         args = build_parser().parse_args(
             [
@@ -165,6 +183,12 @@ class TestCampaignCommand:
         out = capsys.readouterr().out
         assert "Simulation campaign: 8 records" in out
 
+    def test_campaign_operations_axis(self, capsys):
+        assert main(["campaign", "--operations", "read", "write"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Simulation campaign: 8 records" in out
+        assert "write" in out
+
     def test_fig4_with_output_file_smoke(self, tmp_path, capsys):
         target = tmp_path / "fig4.txt"
         assert main(["fig4", "--sizes", "16", "--output", str(target)] + FAST[2:]) == 0
@@ -178,3 +202,25 @@ class TestCampaignCommand:
         assert main(["fig4", "--workers", "2"] + FAST) == 0
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+
+class TestOperationCommands:
+    def test_write_command_prints_the_impact_table(self, capsys):
+        assert main(["write", "--workers", "2"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Operation suite (write)" in out
+        assert "Nominal (ps)" in out
+        assert "10x16" in out
+
+    def test_margins_command_prints_both_snm_tables(self, capsys):
+        assert main(["margins"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "hold_snm" in out and "read_snm" in out
+        assert "Nominal (mV)" in out
+        assert "10x16" in out
+
+    def test_write_workers_matches_serial(self, capsys):
+        assert main(["write"] + FAST) == 0
+        serial = capsys.readouterr().out
+        assert main(["write", "--workers", "2"] + FAST) == 0
+        assert capsys.readouterr().out == serial

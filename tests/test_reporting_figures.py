@@ -1,0 +1,256 @@
+"""Coverage for the figure ascii/csv helpers and the operation tables.
+
+The figure helpers (``reporting/figures.py``) were previously untested;
+the operation-table formatters get golden-string tests because the CLI
+and the docs show their output verbatim.
+"""
+
+import pytest
+
+from repro.core.results import (
+    LayoutDistortionRecord,
+    MonteCarloTdpRecord,
+    OperationImpactRow,
+    OperationSigmaRow,
+    TrackDistortion,
+    WorstCaseTdRow,
+)
+from repro.reporting.figures import (
+    ascii_bar_chart,
+    figure2_ascii,
+    figure2_csv,
+    figure3_csv,
+    figure4_ascii,
+    figure4_csv,
+    figure5_ascii,
+    figure5_csv,
+    overlay_sweep_csv,
+)
+from repro.reporting.tables import (
+    ReportingError,
+    format_operation_sigma,
+    format_operation_table,
+)
+from repro.variability.statistics import Histogram, SummaryStatistics
+
+
+@pytest.fixture()
+def distortion_record():
+    return LayoutDistortionRecord(
+        option_name="SADP",
+        corner_parameters={"cd:core": -3.0},
+        tracks=(
+            TrackDistortion(
+                net="BL@2", mask="core",
+                drawn_left_nm=0.0, drawn_right_nm=12.0,
+                printed_left_nm=1.0, printed_right_nm=11.0,
+            ),
+            TrackDistortion(
+                net="VSS@2", mask=None,
+                drawn_left_nm=24.0, drawn_right_nm=36.0,
+                printed_left_nm=24.5, printed_right_nm=37.0,
+            ),
+        ),
+    )
+
+
+@pytest.fixture()
+def figure4_rows():
+    return [
+        WorstCaseTdRow(
+            array_label="10x16", n_wordlines=16, nominal_td_ps=5.38,
+            tdp_percent_by_option={"LELELE": 22.97, "EUV": 3.89},
+        ),
+        WorstCaseTdRow(
+            array_label="10x64", n_wordlines=64, nominal_td_ps=7.31,
+            tdp_percent_by_option={"LELELE": 14.02, "EUV": 3.12},
+        ),
+    ]
+
+
+@pytest.fixture()
+def mc_record():
+    samples = (1.0, 2.0, 2.5, 3.0, 4.0, 2.2, 1.8, 2.9)
+    return MonteCarloTdpRecord(
+        option_name="LELELE",
+        overlay_three_sigma_nm=8.0,
+        n_wordlines=64,
+        n_samples=len(samples),
+        tdp_percent_samples=samples,
+        summary=SummaryStatistics.from_samples(samples),
+        histogram=Histogram.from_samples(samples, bins=4),
+    )
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_the_peak(self):
+        chart = ascii_bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="%")
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert "2.000%" in lines[1]
+
+    def test_title_prepended(self):
+        chart = ascii_bar_chart(["a"], [1.0], title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_zero_peak_renders_empty_bars(self):
+        chart = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ReportingError, match="same length"):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ReportingError, match="nothing"):
+            ascii_bar_chart([], [])
+
+
+class TestFigure2:
+    def test_ascii_shows_drawn_and_printed_strips(self, distortion_record):
+        art = figure2_ascii(distortion_record)
+        assert "Fig. 2 (SADP)" in art
+        assert art.count("drawn") == 2
+        assert art.count("printed") == 2
+        assert "[core]" in art
+
+    def test_ascii_rejects_bad_scale(self, distortion_record):
+        with pytest.raises(ReportingError, match="scale"):
+            figure2_ascii(distortion_record, scale_nm_per_char=0.0)
+
+    def test_csv_carries_width_and_shift_columns(self, distortion_record):
+        csv = figure2_csv([distortion_record])
+        lines = csv.splitlines()
+        assert lines[0].startswith("option,net,mask,")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "SADP"
+        # BL@2 printed 1..11 versus drawn 0..12: width change -2.0.
+        assert "-2.000" in lines[1]
+
+
+class TestFigure3:
+    def test_csv_round_trips_the_summaries(self):
+        summaries = [
+            {"label": "10x16", "n_wordlines": 16},
+            {"label": "10x64", "n_wordlines": 64},
+        ]
+        csv = figure3_csv(summaries)
+        assert csv.splitlines()[0] == "label,n_wordlines"
+        assert csv.splitlines()[2] == "10x64,64"
+
+    def test_empty_summaries_raise(self):
+        with pytest.raises(ReportingError, match="no arrays"):
+            figure3_csv([])
+
+
+class TestFigure4:
+    def test_csv_has_one_column_per_option(self, figure4_rows):
+        csv = figure4_csv(figure4_rows)
+        lines = csv.splitlines()
+        assert lines[0] == "array,n_wordlines,nominal_td_ps,tdp_EUV_percent,tdp_LELELE_percent"
+        assert lines[1].startswith("10x16,16,5.380,")
+        assert len(lines) == 3
+
+    def test_ascii_renders_one_block_per_size(self, figure4_rows):
+        art = figure4_ascii(figure4_rows)
+        assert "10x16: nominal td = 5.38 ps" in art
+        assert "10x64" in art
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ReportingError, match="no Fig. 4 rows"):
+            figure4_csv([])
+
+
+class TestFigure5:
+    def test_ascii_histogram_mentions_sigma(self, mc_record):
+        art = figure5_ascii(mc_record)
+        assert "LELELE 8nm OL" in art
+        assert "sigma" in art
+
+    def test_csv_one_row_per_bin(self, mc_record):
+        csv = figure5_csv([mc_record])
+        lines = csv.splitlines()
+        assert lines[0] == "option,tdp_percent_bin_center,count"
+        assert len(lines) == 1 + 4
+
+    def test_overlay_sweep_csv(self):
+        csv = overlay_sweep_csv([(3.0, 0.5), (8.0, 1.9)])
+        lines = csv.splitlines()
+        assert lines[0] == "option,overlay_3sigma_nm,tdp_sigma_percent"
+        assert lines[2] == "LELELE,8.00,1.9000"
+
+
+class TestOperationTables:
+    def test_write_table_golden(self):
+        rows = [
+            OperationImpactRow(
+                operation="write", array_label="10x16", n_wordlines=16,
+                nominal_value=6.4578e-12, unit="s",
+                delta_percent_by_option={"LELELE": -1.59, "SADP": -0.48},
+            ),
+        ]
+        expected = "\n".join(
+            [
+                "Operation suite (write): worst-case patterning impact",
+                "Array size | Nominal (ps) | dwrite LELELE (%) | dwrite SADP (%)",
+                "-----------+--------------+-------------------+----------------",
+                "10x16      | 6.46         | -1.59             | -0.48          ",
+            ]
+        )
+        assert format_operation_table(rows) == expected
+
+    def test_margin_table_golden(self):
+        rows = [
+            OperationImpactRow(
+                operation="hold_snm", array_label="10x64", n_wordlines=64,
+                nominal_value=0.33216, unit="V",
+                delta_percent_by_option={"EUV": -0.16},
+            ),
+        ]
+        expected = "\n".join(
+            [
+                "Noise margins",
+                "Array size | Nominal (mV) | dhold_snm EUV (%)",
+                "-----------+--------------+------------------",
+                "10x64      | 332.16       | -0.16            ",
+            ]
+        )
+        assert format_operation_table(rows, title="Noise margins") == expected
+
+    def test_sigma_table_golden(self):
+        rows = [
+            OperationSigmaRow(
+                operation="write", array_label="10x64", option_name="SADP",
+                overlay_three_sigma_nm=None, sigma_percent=0.1234,
+            ),
+        ]
+        expected = "\n".join(
+            [
+                "Operation suite (write): Monte-Carlo impact sigma",
+                "Array size | Patterning option | Std. deviation (% points)",
+                "-----------+-------------------+--------------------------",
+                "10x64      | SADP              | 0.123                    ",
+            ]
+        )
+        assert format_operation_sigma(rows) == expected
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ReportingError, match="no operation rows"):
+            format_operation_table([])
+        with pytest.raises(ReportingError, match="no operation sigma rows"):
+            format_operation_sigma([])
+
+    def test_mixed_operations_rejected(self):
+        rows = [
+            OperationImpactRow(
+                operation="write", array_label="10x16", n_wordlines=16,
+                nominal_value=1e-12, unit="s", delta_percent_by_option={"EUV": 0.1},
+            ),
+            OperationImpactRow(
+                operation="read", array_label="10x64", n_wordlines=64,
+                nominal_value=1e-12, unit="s", delta_percent_by_option={"EUV": 0.1},
+            ),
+        ]
+        with pytest.raises(ReportingError, match="share the operation"):
+            format_operation_table(rows)

@@ -1,0 +1,108 @@
+"""Tests of the butterfly-curve static-noise-margin analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.sram.margins import (
+    ButterflyCurves,
+    MarginAnalysisError,
+    SRAMMarginAnalyzer,
+)
+from repro.sram.read_path import ReadPathSimulator
+
+from tests.conftest import SADP_WORST_CORNER
+
+
+@pytest.fixture(scope="module")
+def analyzer(node):
+    return SRAMMarginAnalyzer(node)
+
+
+class TestButterfly:
+    def test_vtc_is_full_swing_and_monotone(self, analyzer):
+        curves = analyzer.butterfly(16, mode="hold")
+        vdd = 0.7
+        assert curves.qb_of_q[0] == pytest.approx(vdd, abs=0.02)
+        assert curves.qb_of_q[-1] == pytest.approx(0.0, abs=0.02)
+        assert np.all(np.diff(curves.qb_of_q) <= 1e-6)
+        assert np.all(np.diff(curves.q_of_qb) <= 1e-6)
+
+    def test_largest_square_on_ideal_curves(self):
+        # Two ideal step VTCs switching at vdd/2: each lobe admits a square
+        # of side vdd/2 (the analytic optimum for a rail-to-rail step).
+        u = np.linspace(0.0, 1.0, 201)
+        step = np.where(u < 0.5, 1.0, 0.0)
+        curves = ButterflyCurves(mode="hold", input_v=u, qb_of_q=step, q_of_qb=step)
+        lobe1, lobe2 = curves.lobe_sides_v()
+        assert lobe1 == pytest.approx(0.5, abs=0.02)
+        assert lobe2 == pytest.approx(0.5, abs=0.02)
+
+    def test_coincident_curves_have_no_lobes(self):
+        u = np.linspace(0.0, 1.0, 101)
+        line = 1.0 - u
+        curves = ButterflyCurves(mode="hold", input_v=u, qb_of_q=line, q_of_qb=line)
+        assert curves.snm_v() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMeasurements:
+    def test_hold_snm_is_positive_and_bounded(self, analyzer, node):
+        measurement = analyzer.measure_hold_snm(64)
+        vdd = node.operating_conditions.vdd_v
+        assert 0.0 < measurement.snm_v < vdd / 2.0
+        assert measurement.mode == "hold"
+
+    def test_read_snm_is_below_hold_snm(self, analyzer):
+        hold = analyzer.measure_hold_snm(64)
+        read = analyzer.measure_read_snm(64)
+        assert 0.0 < read.snm_v < hold.snm_v
+
+    def test_nominal_lobes_are_nearly_symmetric(self, analyzer):
+        measurement = analyzer.measure_hold_snm(64)
+        assert measurement.lobe1_v == pytest.approx(measurement.lobe2_v, rel=0.05)
+
+    def test_nominal_measurements_memoized(self, analyzer):
+        assert analyzer.measure_hold_snm(64) is analyzer.measure_hold_snm(64)
+
+    def test_hold_snm_degrades_monotonically_with_growing_variation(self, analyzer):
+        """The acceptance pin: hold SNM must fall monotonically as the
+        patterning-induced rail distortion grows.
+
+        The rail response has a shallow non-monotone shoulder below ~2x
+        (mild source degeneration first linearises the VTC transition);
+        from there on the supply/ground droop compresses the lobes
+        strictly, which is the regime this test pins.
+        """
+        nominal = analyzer.measure_hold_snm(64)
+        degraded = [
+            analyzer.measure_with_variation(64, vss_rvar=scale, mode="hold").snm_v
+            for scale in (4.0, 8.0, 16.0)
+        ]
+        assert all(value > 0.0 for value in degraded)
+        assert all(value < nominal.snm_v for value in degraded)
+        assert degraded[0] > degraded[1] > degraded[2]
+
+    def test_patterning_corner_moves_the_margins(self, analyzer, sadp_option):
+        nominal = analyzer.measure_read_snm(16)
+        varied = analyzer.measure_with_patterning(
+            16, sadp_option, SADP_WORST_CORNER, mode="read"
+        )
+        assert varied.snm_v != nominal.snm_v
+        assert abs(varied.degradation_percent_vs(nominal)) < 20.0
+
+    def test_invalid_mode_rejected(self, analyzer):
+        with pytest.raises(MarginAnalysisError, match="mode"):
+            analyzer.measure_nominal(16, mode="standby")
+
+
+class TestGeometrySharing:
+    def test_shared_geometry_donor(self, node):
+        donor = ReadPathSimulator(node)
+        analyzer = SRAMMarginAnalyzer(node, geometry=donor)
+        assert analyzer.geometry is donor
+        analyzer.measure_hold_snm(16)
+        assert 16 in donor._layout_cache
+
+    def test_mismatched_donor_rejected(self, node):
+        donor = ReadPathSimulator(node, n_bitline_pairs=4)
+        with pytest.raises(MarginAnalysisError, match="geometry donor"):
+            SRAMMarginAnalyzer(node, geometry=donor)
