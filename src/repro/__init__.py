@@ -26,7 +26,15 @@ needs, built from scratch:
   comparison;
 * :mod:`repro.reporting` — paper-style tables and figure data.
 
-Quick start::
+Quick start — the declarative API (preferred)::
+
+    from repro.api import run
+    from repro.core.spec import ExperimentSpec
+
+    result = run(ExperimentSpec(kind="worst_case"))
+    print(result.to_text())            # worst-case dCbl/dRbl per option
+
+or the classic study front door (maintained as a compatibility shim)::
 
     from repro import MultiPatterningSRAMStudy
     from repro.technology import n10
@@ -37,29 +45,43 @@ Quick start::
 
 from .core import (
     AnalyticalDelayModel,
+    ArraySpec,
     ComparisonVerdict,
+    ExecutionSpec,
+    ExperimentSpec,
     FormulaValidation,
     MonteCarloTdpStudy,
     MultiPatterningSRAMStudy,
+    OperationSpec,
     OptionComparison,
+    ScenarioSpec,
+    SpecError,
     StudyReport,
+    TechnologySpec,
     WorstCaseStudy,
     discharge_constant,
     model_from_technology,
 )
 from .technology import TechnologyNode, n10
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalyticalDelayModel",
+    "ArraySpec",
     "ComparisonVerdict",
+    "ExecutionSpec",
+    "ExperimentSpec",
     "FormulaValidation",
     "MonteCarloTdpStudy",
     "MultiPatterningSRAMStudy",
+    "OperationSpec",
     "OptionComparison",
+    "ScenarioSpec",
+    "SpecError",
     "StudyReport",
     "TechnologyNode",
+    "TechnologySpec",
     "WorstCaseStudy",
     "__version__",
     "discharge_constant",

@@ -1,7 +1,18 @@
 """Command-line interface.
 
-Exposes the paper's experiments as sub-commands so the study can be run
-without writing Python::
+The CLI is a thin shell over the declarative API (:mod:`repro.api`): an
+experiment is described by a serialisable
+:class:`~repro.core.spec.ExperimentSpec`, and ``repro run`` executes any
+spec document directly::
+
+    python -m repro run spec.json --format json    # run a stored spec
+    python -m repro spec dump --kind campaign      # print the equivalent spec
+    python -m repro spec validate spec.json        # check a spec document
+
+The classic sub-commands are kept as shims that build the equivalent spec
+under the hood (``campaign``, ``write``, ``margins``, ``yield``,
+``table1``, ``table4``), and the paper's figure/table renderings drive the
+study front door directly::
 
     python -m repro table1                      # worst-case dCbl/dRbl
     python -m repro fig4 --sizes 16 64          # simulated worst-case penalties
@@ -14,41 +25,49 @@ without writing Python::
 
 Global options select the overlay budget, the array sizes, the Monte-Carlo
 sample count, the random seed and the worker count, so parameter studies
-are one shell loop away.  The ``campaign`` sub-command exposes the batched
-simulation engine directly: scenario axes (overlay sweep, stored value,
-VSS strap interval, integration method) cross with the DOE, results can be
-persisted to a resumable store, and the report comes out as text, JSON or
-CSV.
+are one shell loop away.  Domain errors (bad specs, unknown operations,
+mismatched stores) exit with code 2 and a one-line message instead of a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .core.campaign import CAMPAIGN_METHODS, SimulationCampaign, scenario_grid
-from .core.operations import OPERATION_NAMES
-from .core.comparison import OptionComparison
-from .core.study import MultiPatterningSRAMStudy
-from .core.yield_analysis import ReadTimeYieldAnalysis
+from . import __version__
+from .api import load_spec, run as run_experiment
+from .core.campaign import CAMPAIGN_METHODS, CampaignError
+from .core.comparison import ComparisonError, OptionComparison
+from .core.montecarlo import MonteCarloStudyError
+from .core.operations import OPERATION_NAMES, OperationError
+from .core.spec import (
+    EXPERIMENT_KINDS,
+    ArraySpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    OperationSpec,
+    ScenarioSpec,
+    SpecError,
+    TechnologySpec,
+    scenario_spec_grid,
+)
+from .core.study import MultiPatterningSRAMStudy, StudyError
+from .core.worst_case import WorstCaseStudyError
+from .core.yield_analysis import YieldAnalysisError
 from .reporting.figures import figure2_ascii, figure3_csv, figure5_ascii
 from .reporting.tables import (
-    format_campaign_csv,
-    format_campaign_text,
-    format_csv,
+    ReportingError,
     format_figure4,
-    format_operation_sigma,
-    format_operation_table,
     format_table1,
     format_table2,
     format_table3,
     format_table4,
 )
-from .technology.node import n10
-from .variability.doe import StudyDOE
+from .technology.node import NodeError, n10
+from .variability.doe import DOEError, StudyDOE
 
 #: Sub-command names in the order they appear in ``--help`` and in ``all``.
 EXPERIMENT_COMMANDS = (
@@ -61,6 +80,24 @@ EXPERIMENT_COMMANDS = (
     "fig5",
     "table4",
 )
+
+#: Domain errors that exit with code 2 and a one-line message.
+CLI_ERRORS = (
+    SpecError,
+    StudyError,
+    CampaignError,
+    OperationError,
+    MonteCarloStudyError,
+    WorstCaseStudyError,
+    YieldAnalysisError,
+    ComparisonError,
+    ReportingError,
+    DOEError,
+    NodeError,
+)
+
+#: Default array sizes when ``--sizes`` is not given (the paper's DOE).
+DEFAULT_SIZES = (16, 64, 256, 1024)
 
 
 def _common_options() -> argparse.ArgumentParser:
@@ -108,16 +145,75 @@ def _common_options() -> argparse.ArgumentParser:
     return common
 
 
+def _campaign_axis_options() -> argparse.ArgumentParser:
+    """The campaign's scenario-axis options (shared with ``spec dump``)."""
+    axes = argparse.ArgumentParser(add_help=False)
+    axes.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist records to DIR and resume by skipping completed items",
+    )
+    axes.add_argument(
+        "--overlay-sweep",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="NM",
+        help="scenario axis: LE overlay budgets in nm (default: the node's budget)",
+    )
+    axes.add_argument(
+        "--stored-values",
+        type=int,
+        nargs="+",
+        choices=(0, 1),
+        default=[0],
+        metavar="BIT",
+        help="scenario axis: stored cell values to simulate (default: 0)",
+    )
+    axes.add_argument(
+        "--strap-intervals",
+        type=int,
+        nargs="+",
+        default=[256],
+        metavar="CELLS",
+        help="scenario axis: VSS strap intervals in cells (default: 256)",
+    )
+    axes.add_argument(
+        "--methods",
+        nargs="+",
+        choices=CAMPAIGN_METHODS,
+        default=["backward-euler"],
+        metavar="METHOD",
+        help="scenario axis: transient integration methods (default: backward-euler)",
+    )
+    axes.add_argument(
+        "--operations",
+        nargs="+",
+        choices=OPERATION_NAMES,
+        default=["read"],
+        metavar="OP",
+        help="scenario axis: SRAM operations to measure (default: read)",
+    )
+    return axes
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Impact of Interconnect Multiple-Patterning "
             "Variability on SRAMs' (DATE 2015): regenerate any table or "
-            "figure of the paper from the command line."
+            "figure of the paper from the command line, or run any "
+            "declarative experiment spec."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     common = _common_options()
+    axes = _campaign_axis_options()
     subparsers = parser.add_subparsers(dest="command", required=True)
     descriptions = {
         "table1": "worst-case bit-line RC variability per patterning option",
@@ -136,6 +232,63 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "verdict", help="recompute the Section-IV recommendation", parents=[common]
     )
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run a declarative experiment spec (JSON) through repro.api",
+    )
+    run_parser.add_argument("spec", type=str, help="path to an ExperimentSpec JSON file")
+    run_parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="report format (default: text)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the worker count the spec's executor backend resolves",
+    )
+    run_parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+
+    spec_parser = subparsers.add_parser(
+        "spec", help="create or validate declarative experiment specs"
+    )
+    spec_sub = spec_parser.add_subparsers(dest="spec_command", required=True)
+    dump_parser = spec_sub.add_parser(
+        "dump",
+        help="print the spec JSON equivalent to a classic sub-command invocation",
+        parents=[common, axes],
+    )
+    dump_parser.add_argument(
+        "--kind",
+        choices=EXPERIMENT_KINDS,
+        default="campaign",
+        help="experiment kind of the emitted spec (default: campaign)",
+    )
+    dump_parser.add_argument(
+        "--mc-sigma",
+        action="store_true",
+        help="operations kind: include the Monte-Carlo sigma tables",
+    )
+    dump_parser.add_argument(
+        "--budget", type=float, default=10.0, help="yield kind: tdp budget in percent"
+    )
+    dump_parser.add_argument(
+        "--ppm", type=float, default=100.0, help="yield kind: target violation ppm"
+    )
+    validate_parser = spec_sub.add_parser(
+        "validate", help="parse and validate a spec document"
+    )
+    validate_parser.add_argument("spec", type=str, help="path to a spec JSON file")
 
     write_parser = subparsers.add_parser(
         "write",
@@ -161,61 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser = subparsers.add_parser(
         "campaign",
         help="batched multi-scenario simulation campaign (the fig4/table2/table3 engine)",
-        parents=[common],
+        parents=[common, axes],
     )
     campaign_parser.add_argument(
         "--format",
         choices=("text", "json", "csv"),
         default="text",
         help="report format (default: text)",
-    )
-    campaign_parser.add_argument(
-        "--store",
-        type=str,
-        default=None,
-        metavar="DIR",
-        help="persist records to DIR and resume by skipping completed items",
-    )
-    campaign_parser.add_argument(
-        "--overlay-sweep",
-        type=float,
-        nargs="+",
-        default=None,
-        metavar="NM",
-        help="scenario axis: LE overlay budgets in nm (default: the node's budget)",
-    )
-    campaign_parser.add_argument(
-        "--stored-values",
-        type=int,
-        nargs="+",
-        choices=(0, 1),
-        default=[0],
-        metavar="BIT",
-        help="scenario axis: stored cell values to simulate (default: 0)",
-    )
-    campaign_parser.add_argument(
-        "--strap-intervals",
-        type=int,
-        nargs="+",
-        default=[256],
-        metavar="CELLS",
-        help="scenario axis: VSS strap intervals in cells (default: 256)",
-    )
-    campaign_parser.add_argument(
-        "--methods",
-        nargs="+",
-        choices=CAMPAIGN_METHODS,
-        default=["backward-euler"],
-        metavar="METHOD",
-        help="scenario axis: transient integration methods (default: backward-euler)",
-    )
-    campaign_parser.add_argument(
-        "--operations",
-        nargs="+",
-        choices=OPERATION_NAMES,
-        default=["read"],
-        metavar="OP",
-        help="scenario axis: SRAM operations to measure (default: read)",
     )
 
     yield_parser = subparsers.add_parser(
@@ -236,8 +341,89 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# -- spec construction (the classic sub-commands are shims over this) --------------------
+
+
+def _spec_from_args(
+    kind: str,
+    args: argparse.Namespace,
+    operations: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` equivalent of a classic CLI invocation.
+
+    ``operations`` overrides the operation list (the ``write`` and
+    ``margins`` shims fix it; otherwise ``--operations`` applies).
+    """
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_SIZES
+    workers = getattr(args, "workers", 1) or 1
+    if operations is None:
+        operations = tuple(getattr(args, "operations", None) or ("read",))
+    operations = tuple(operations)
+    overlay_sweep = getattr(args, "overlay_sweep", None)
+    if kind in ("campaign", "operations"):
+        # Scenario axes apply to the simulated kinds; an operations spec
+        # crosses them with its operation list so the emitted document is
+        # self-consistent (its scenarios measure exactly its operations).
+        scenarios = scenario_spec_grid(
+            overlay_budgets_nm=(
+                [None]
+                if overlay_sweep is None
+                else [float(value) for value in overlay_sweep]
+            ),
+            stored_values=tuple(getattr(args, "stored_values", [0])),
+            strap_intervals=tuple(getattr(args, "strap_intervals", [256])),
+            methods=tuple(getattr(args, "methods", ["backward-euler"])),
+            operations=operations,
+        )
+    else:
+        # worst_case / monte_carlo / yield ignore scenarios entirely.
+        scenarios = (ScenarioSpec(),)
+    return ExperimentSpec(
+        kind=kind,
+        technology=TechnologySpec(overlay_three_sigma_nm=args.overlay_nm),
+        array=ArraySpec(sizes=sizes),
+        scenarios=scenarios,
+        operation=OperationSpec(
+            operations=operations,
+            samples=args.samples,
+            mc_sigma=bool(getattr(args, "mc_sigma", False)),
+            budget_percent=float(getattr(args, "budget", 10.0)),
+            target_ppm=float(getattr(args, "ppm", 100.0)),
+        ),
+        execution=ExecutionSpec(
+            backend="process" if workers > 1 else "serial",
+            workers=workers,
+            seed=args.seed,
+            store_dir=getattr(args, "store", None),
+        ),
+    )
+
+
+def _format_result(result, fmt: str) -> str:
+    """Render a ResultSet in one of the CLI's report formats."""
+    if fmt == "json":
+        return result.to_json()
+    if fmt == "csv":
+        return result.to_csv()
+    return result.to_text()
+
+
+def _run_spec_command(
+    kind: str,
+    args: argparse.Namespace,
+    fmt: str = "text",
+    operations: Optional[Sequence[str]] = None,
+) -> str:
+    """Build the spec for a shimmed sub-command, run it, format the result."""
+    result = run_experiment(_spec_from_args(kind, args, operations=operations))
+    return _format_result(result, fmt)
+
+
+# -- the paper's figure/table renderings (study front door) ------------------------------
+
+
 def _build_study(args: argparse.Namespace) -> MultiPatterningSRAMStudy:
-    sizes = tuple(args.sizes) if args.sizes else (16, 64, 256, 1024)
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_SIZES
     doe = StudyDOE(array_sizes=sizes)
     node = n10(overlay_three_sigma_nm=args.overlay_nm)
     return MultiPatterningSRAMStudy(
@@ -270,72 +456,6 @@ def _run_experiment(
     raise ValueError(f"unknown experiment {command!r}")
 
 
-def _run_campaign(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> str:
-    """Run the simulation campaign and format its report."""
-    overlays = (
-        [None]
-        if args.overlay_sweep is None
-        else [float(value) for value in args.overlay_sweep]
-    )
-    scenarios = scenario_grid(
-        overlay_budgets_nm=overlays,
-        stored_values=args.stored_values,
-        strap_intervals=args.strap_intervals,
-        methods=args.methods,
-        operations=args.operations,
-    )
-    campaign = study.campaign(
-        scenarios=scenarios,
-        store_dir=Path(args.store) if args.store else None,
-    )
-    results = campaign.run(workers=args.workers)
-    if args.format == "json":
-        return json.dumps(campaign.report_dict(results), indent=2)
-    if args.format == "csv":
-        return format_campaign_csv(results)
-    return format_campaign_text(results)
-
-
-def _run_write(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> str:
-    """Worst-case write-delay table (plus optional Monte-Carlo sigma)."""
-    sections = [
-        format_operation_table(
-            study.run_write(workers=args.workers),
-            title="Operation suite (write): worst-case write-delay impact",
-        )
-    ]
-    if getattr(args, "mc_sigma", False):
-        sections.append(
-            format_operation_sigma(
-                study.run_operation_sigma("write"),
-                title="Operation suite (write): Monte-Carlo write-delay sigma",
-            )
-        )
-    return "\n\n".join(sections)
-
-
-def _run_margins(study: MultiPatterningSRAMStudy, args: argparse.Namespace) -> str:
-    """Hold and read SNM tables (plus optional Monte-Carlo sigmas)."""
-    rows_by_operation = study.run_margins(workers=args.workers)
-    titles = {
-        "hold_snm": "Operation suite (hold_snm): worst-case hold-SNM impact",
-        "read_snm": "Operation suite (read_snm): worst-case read-SNM impact",
-    }
-    sections = [
-        format_operation_table(rows_by_operation[name], title=titles[name])
-        for name in ("hold_snm", "read_snm")
-    ]
-    if getattr(args, "mc_sigma", False):
-        for name in ("hold_snm", "read_snm"):
-            sections.append(
-                format_operation_sigma(
-                    study.run_operation_sigma(name),
-                    title=f"Operation suite ({name}): Monte-Carlo SNM sigma",
-                )
-            )
-    return "\n\n".join(sections)
-
-
 def _run_verdict(study: MultiPatterningSRAMStudy, workers: int = 1) -> str:
     figure4 = study.run_figure4(workers=workers)
     table4 = study.run_table4()
@@ -354,49 +474,35 @@ def _run_verdict(study: MultiPatterningSRAMStudy, workers: int = 1) -> str:
     return "\n".join(lines)
 
 
-def _run_yield(study: MultiPatterningSRAMStudy, budget_percent: float, target_ppm: float) -> str:
-    analysis = ReadTimeYieldAnalysis(study.monte_carlo)
-    rows = analysis.compliance_table(budget_percent=budget_percent)
-    body = [
-        [
-            row.label,
-            f"{row.violation.probability:.3e}",
-            f"{row.violation.parts_per_million:.1f}",
-            f"{row.column_yield:.6f}",
-            f"{row.array_yield:.6f}",
-        ]
-        for row in rows
-    ]
-    table = format_csv(
-        ["option", "violation_probability", "ppm", "column_yield", "array_yield"], body
-    )
-    requirement = analysis.required_overlay_for_target(
-        budget_percent=budget_percent, target_ppm=target_ppm
-    )
-    if requirement.achievable:
-        closing = (
-            f"LE3 meets the {target_ppm:g} ppm target at a 3-sigma overlay budget of "
-            f"{requirement.required_overlay_nm:g} nm or tighter."
-        )
-    else:
-        closing = (
-            f"LE3 cannot meet the {target_ppm:g} ppm target within the studied overlay "
-            "budgets."
-        )
-    return (
-        f"Read-time budget: +{budget_percent:g}% over nominal\n"
-        + table
-        + "\n"
-        + closing
-    )
+# -- dispatch ----------------------------------------------------------------------------
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> str:
+    """Produce the report text for one parsed invocation."""
+    if args.command == "run":
+        result = run_experiment(load_spec(Path(args.spec)), workers=args.workers)
+        return _format_result(result, args.format)
+    if args.command == "spec":
+        if args.spec_command == "dump":
+            return _spec_from_args(args.kind, args).to_json().rstrip("\n")
+        spec = load_spec(Path(args.spec))
+        return f"OK: {spec.describe()}"
+    if args.command == "campaign":
+        return _run_spec_command("campaign", args, fmt=args.format)
+    if args.command == "write":
+        return _run_spec_command("operations", args, operations=("write",))
+    if args.command == "margins":
+        return _run_spec_command(
+            "operations", args, operations=("hold_snm", "read_snm")
+        )
+    if args.command == "yield":
+        return _run_spec_command("yield", args)
+    if args.command == "table1":
+        return _run_spec_command("worst_case", args)
+    if args.command == "table4":
+        return _run_spec_command("monte_carlo", args)
+
     study = _build_study(args)
-
     sections: List[str] = []
     if args.command == "all":
         for command in EXPERIMENT_COMMANDS:
@@ -404,20 +510,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sections.append(_run_verdict(study, workers=args.workers))
     elif args.command == "verdict":
         sections.append(_run_verdict(study, workers=args.workers))
-    elif args.command == "yield":
-        sections.append(_run_yield(study, args.budget, args.ppm))
-    elif args.command == "campaign":
-        sections.append(_run_campaign(study, args))
-    elif args.command == "write":
-        sections.append(_run_write(study, args))
-    elif args.command == "margins":
-        sections.append(_run_margins(study, args))
     else:
         sections.append(_run_experiment(study, args.command, workers=args.workers))
+    return "\n\n".join(sections)
 
-    report = "\n\n".join(sections) + "\n"
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (2 on domain errors)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        report = _dispatch(args) + "\n"
+    except CLI_ERRORS as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
             handle.write(report)
     else:
         sys.stdout.write(report)

@@ -47,6 +47,20 @@ from .operations import (
     OperationSimulators,
     calibrate_response_surface,
     create_operation,
+    ensure_operation,
+)
+from .spec import (
+    EXECUTION_BACKENDS,
+    EXPERIMENT_KINDS,
+    SCHEMA_VERSION,
+    ArraySpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    OperationSpec,
+    ScenarioSpec,
+    SpecError,
+    TechnologySpec,
+    scenario_spec_grid,
 )
 from .results import (
     FormulaVsSimulationTdRow,
@@ -75,6 +89,18 @@ from .yield_analysis import (
 )
 
 __all__ = [
+    "ArraySpec",
+    "EXECUTION_BACKENDS",
+    "EXPERIMENT_KINDS",
+    "ExecutionSpec",
+    "ExperimentSpec",
+    "OperationSpec",
+    "SCHEMA_VERSION",
+    "ScenarioSpec",
+    "SpecError",
+    "TechnologySpec",
+    "ensure_operation",
+    "scenario_spec_grid",
     "AnalyticalDelayModel",
     "AnalyticalModelError",
     "CampaignError",

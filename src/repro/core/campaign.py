@@ -339,9 +339,14 @@ class CampaignStore:
         Stores written before the operation axis describe the same (read)
         campaign as one whose scenarios all say ``operation: "read"``, so
         the comparison treats the two as equal instead of rejecting old
-        stores.
+        stores.  Likewise, stores written before the declarative spec
+        layer carry no ``schema_version``; they are definitionally
+        version-1 stores, so the comparison backfills ``1`` rather than
+        rejecting them — while a store stamped with a *different* version
+        still mismatches and is refused.
         """
         payload = dict(signature)
+        payload.setdefault("schema_version", 1)
         scenarios = payload.get("scenarios")
         if isinstance(scenarios, list):
             payload["scenarios"] = [
@@ -504,6 +509,11 @@ class SimulationCampaign:
         Base seed of the per-item crc32 stream.
     max_segments:
         RC-ladder sections per bit line (see :class:`ReadPathSimulator`).
+    signature_extra:
+        Extra key/value pairs merged into :meth:`signature` (and therefore
+        verified by the store).  The declarative spec layer uses this to
+        stamp campaign stores with the spec ``schema_version`` so a store
+        written under a different schema is rejected on resume.
     """
 
     def __init__(
@@ -515,6 +525,7 @@ class SimulationCampaign:
         store_dir: Optional[Path] = None,
         seed: int = 2015,
         max_segments: int = 64,
+        signature_extra: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.node = node
         self.doe = doe if doe is not None else paper_doe()
@@ -528,6 +539,9 @@ class SimulationCampaign:
             raise CampaignError(f"scenario labels must be unique, got {labels}")
         self.seed = seed
         self.max_segments = max_segments
+        self.signature_extra: Dict[str, object] = (
+            dict(signature_extra) if signature_extra is not None else {}
+        )
         self.store = CampaignStore(store_dir) if store_dir is not None else None
         self._worst_case_by_overlay: Dict[Optional[float], WorstCaseStudy] = {}
         if worst_case is not None:
@@ -537,6 +551,30 @@ class SimulationCampaign:
         #: first time, mirroring the disk store's resume semantics.
         self._memo: Dict[str, CampaignRecord] = {}
         self._local_state: Optional[CampaignWorkerState] = None
+
+    @classmethod
+    def from_spec(cls, spec) -> "SimulationCampaign":
+        """Build a campaign from an :class:`~repro.core.spec.ExperimentSpec`.
+
+        The declarative twin of the constructor: technology, DOE,
+        scenarios, seed, store and ladder resolution all come from the
+        spec document, and the spec's ``schema_version`` is stamped into
+        the store signature.  Prefer :func:`repro.api.run` — this hook
+        exists for callers that need the campaign object itself.
+        """
+        return cls(
+            spec.technology.build(),
+            doe=spec.array.to_doe(),
+            scenarios=[scenario.to_scenario() for scenario in spec.scenarios],
+            store_dir=(
+                Path(spec.execution.store_dir)
+                if spec.execution.store_dir is not None
+                else None
+            ),
+            seed=spec.execution.seed,
+            max_segments=spec.execution.max_segments,
+            signature_extra={"schema_version": spec.schema_version},
+        )
 
     # -- corner search (driver side) ---------------------------------------------------
 
@@ -622,7 +660,8 @@ class SimulationCampaign:
 
     def signature(self) -> Dict[str, object]:
         """Identity of this campaign, stored and verified by the store."""
-        return {
+        signature: Dict[str, object] = dict(self.signature_extra)
+        signature.update({
             "array_sizes": list(self.doe.array_sizes),
             "option_names": list(self.doe.option_names),
             "n_bitline_pairs": self.doe.n_bitline_pairs,
@@ -633,7 +672,8 @@ class SimulationCampaign:
                 f"{self.node.name}"
                 f"/ol{self.node.variations.litho_etch.overlay.three_sigma_nm:g}"
             ),
-        }
+        })
+        return signature
 
     # -- execution ---------------------------------------------------------------------
 

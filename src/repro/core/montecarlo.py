@@ -334,6 +334,47 @@ class MonteCarloTdpStudy:
             )
         return rows
 
+    def sigma_rows(
+        self,
+        operation_name: str,
+        n_wordlines: int = 64,
+        workers: Optional[int] = None,
+    ) -> List[OperationSigmaRow]:
+        """Impact-σ rows of any operation, in one uniform row type.
+
+        ``read`` goes through the paper's analytical tdp formula (the
+        Table IV path, batched and pool-parallelisable); the other
+        operations go through their calibrated response surfaces.  Either
+        way the result is a list of :class:`OperationSigmaRow`, which is
+        what the declarative API's ``monte_carlo`` experiments consume.
+        """
+        if operation_name == "read":
+            return [
+                OperationSigmaRow(
+                    operation="read",
+                    array_label=row.array_label,
+                    option_name=row.option_name,
+                    overlay_three_sigma_nm=row.overlay_three_sigma_nm,
+                    sigma_percent=row.sigma_percent,
+                )
+                for row in self.table4(n_wordlines=n_wordlines, workers=workers)
+            ]
+        return self.operation_sigma_rows(operation_name, n_wordlines=n_wordlines)
+
+    @classmethod
+    def from_spec(cls, spec) -> "MonteCarloTdpStudy":
+        """Build a Monte-Carlo study from an
+        :class:`~repro.core.spec.ExperimentSpec` (sample count and seed
+        come from the spec's operation/execution sections).  Prefer
+        :func:`repro.api.run`; this hook exists for callers that need the
+        study object itself."""
+        return cls(
+            spec.technology.build(),
+            doe=spec.array.to_doe(),
+            n_samples=spec.operation.samples,
+            seed=spec.execution.seed,
+        )
+
     # -- paper experiments ------------------------------------------------------------------
 
     def figure5(

@@ -337,14 +337,21 @@ _REGISTRY: Dict[str, Operation] = {
 }
 
 
+def ensure_operation(name: str, error: type = OperationError) -> str:
+    """Validate an operation name, raising ``error`` when unknown.
+
+    Single source of the unknown-operation complaint, shared by the
+    registry lookup and the declarative spec layer (which raises
+    :class:`~repro.core.spec.SpecError` instead).
+    """
+    if name not in _REGISTRY:
+        raise error(f"unknown operation {name!r}; available: {OPERATION_NAMES}")
+    return name
+
+
 def create_operation(name: str) -> Operation:
     """Look an operation up by registry name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise OperationError(
-            f"unknown operation {name!r}; available: {OPERATION_NAMES}"
-        ) from None
+    return _REGISTRY[ensure_operation(name)]
 
 
 ArrayLike = Union[float, np.ndarray]

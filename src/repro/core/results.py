@@ -36,6 +36,17 @@ class WorstCaseRCRow:
     def vss_rvar(self) -> float:
         return 1.0 + self.delta_rvss_percent / 100.0
 
+    def to_record(self) -> Dict[str, object]:
+        """Flat, JSON-ready view (the ``ResultSet`` record of this row)."""
+        return {
+            "record": "worst_corner",
+            "option": self.option_name,
+            "corner_parameters": dict(self.corner_parameters),
+            "delta_cbl_percent": self.delta_cbl_percent,
+            "delta_rbl_percent": self.delta_rbl_percent,
+            "delta_rvss_percent": self.delta_rvss_percent,
+        }
+
 
 @dataclass(frozen=True)
 class TrackDistortion:
@@ -140,6 +151,22 @@ class OperationImpactRow:
         """The nominal value scaled to a readable unit (ps or mV)."""
         return display_value(self.nominal_value, self.unit)
 
+    def to_records(self) -> List[Dict[str, object]]:
+        """One flat, JSON-ready record per patterning option."""
+        return [
+            {
+                "record": "impact",
+                "operation": self.operation,
+                "array_label": self.array_label,
+                "n_wordlines": self.n_wordlines,
+                "option": option_name,
+                "nominal_value": self.nominal_value,
+                "unit": self.unit,
+                "delta_percent": delta,
+            }
+            for option_name, delta in sorted(self.delta_percent_by_option.items())
+        ]
+
 
 @dataclass(frozen=True)
 class OperationSigmaRow:
@@ -156,6 +183,17 @@ class OperationSigmaRow:
         if self.overlay_three_sigma_nm is None:
             return self.option_name
         return f"{self.option_name} {self.overlay_three_sigma_nm:g}nm OL"
+
+    def to_record(self) -> Dict[str, object]:
+        """Flat, JSON-ready view (the ``ResultSet`` record of this row)."""
+        return {
+            "record": "sigma",
+            "operation": self.operation,
+            "array_label": self.array_label,
+            "option": self.option_name,
+            "overlay_three_sigma_nm": self.overlay_three_sigma_nm,
+            "sigma_percent": self.sigma_percent,
+        }
 
 
 @dataclass(frozen=True)

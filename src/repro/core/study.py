@@ -28,6 +28,13 @@ from .campaign import CampaignScenario, SimulationCampaign, scenario_grid
 from .comparison import ComparisonVerdict, OptionComparison
 from .montecarlo import MonteCarloTdpStudy
 from .results import StudyReport
+from .spec import (
+    ArraySpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    OperationSpec,
+    TechnologySpec,
+)
 from .validation import FormulaValidation
 from .worst_case import WorstCaseStudy
 
@@ -84,6 +91,47 @@ class MultiPatterningSRAMStudy:
         )
         self._campaign: Optional[SimulationCampaign] = None
         self._operation_campaigns: Dict[tuple, SimulationCampaign] = {}
+
+    # -- declarative bridge --------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec) -> "MultiPatterningSRAMStudy":
+        """Build the study from a declarative :class:`ExperimentSpec`.
+
+        The study is maintained as a compatibility front door; new code
+        should describe experiments as specs and run them through
+        :func:`repro.api.run`.
+        """
+        return cls(
+            spec.technology.build(),
+            doe=spec.array.to_doe(),
+            monte_carlo_samples=spec.operation.samples,
+            seed=spec.execution.seed,
+        )
+
+    def to_spec(self, kind: str = "campaign") -> ExperimentSpec:
+        """The :class:`ExperimentSpec` equivalent of this study's settings.
+
+        The returned document reproduces this study's node, DOE, sample
+        count and seed, so ``repro.api.run(study.to_spec(kind))`` replays
+        the corresponding experiment without the constructor.
+        """
+        return ExperimentSpec(
+            kind=kind,
+            technology=TechnologySpec(
+                overlay_three_sigma_nm=(
+                    self.node.variations.litho_etch.overlay.three_sigma_nm
+                )
+            ),
+            array=ArraySpec(
+                sizes=tuple(self.doe.array_sizes),
+                options=tuple(self.doe.option_names),
+                n_bitline_pairs=self.doe.n_bitline_pairs,
+                overlay_budgets_nm=tuple(self.doe.overlay_budgets_nm),
+            ),
+            operation=OperationSpec(samples=self.monte_carlo_samples),
+            execution=ExecutionSpec(seed=self.seed),
+        )
 
     # -- component access ------------------------------------------------------------------
 

@@ -100,6 +100,14 @@ class WorstCaseStudy:
         self._reference_layout: Optional[SRAMArrayLayout] = None
         self._worst_corner_cache: Dict[str, WorstCaseCorner] = {}
 
+    @classmethod
+    def from_spec(cls, spec) -> "WorstCaseStudy":
+        """Build a worst-case study from an
+        :class:`~repro.core.spec.ExperimentSpec`.  Prefer
+        :func:`repro.api.run`; this hook exists for callers that need the
+        study object itself."""
+        return cls(spec.technology.build(), doe=spec.array.to_doe())
+
     # -- helpers ------------------------------------------------------------------------
 
     @property

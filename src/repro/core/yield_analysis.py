@@ -82,6 +82,21 @@ class ComplianceRow:
             return self.option_name
         return f"{self.option_name} {self.overlay_three_sigma_nm:g}nm OL"
 
+    def to_record(self) -> Dict[str, object]:
+        """Flat, JSON-ready view (the ``ResultSet`` record of this row)."""
+        return {
+            "record": "compliance",
+            "option": self.option_name,
+            "overlay_three_sigma_nm": self.overlay_three_sigma_nm,
+            "budget_percent": self.budget_percent,
+            "violation_probability": self.violation.probability,
+            "violation_ppm": self.violation.parts_per_million,
+            "empirical_probability": self.violation.empirical_probability,
+            "gaussian_probability": self.violation.gaussian_probability,
+            "column_yield": self.column_yield,
+            "array_yield": self.array_yield,
+        }
+
 
 @dataclass(frozen=True)
 class OverlayYieldRequirement:
@@ -96,6 +111,20 @@ class OverlayYieldRequirement:
     @property
     def achievable(self) -> bool:
         return self.required_overlay_nm is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (embedded in ``ResultSet`` metadata)."""
+        return {
+            "option": self.option_name,
+            "budget_percent": self.budget_percent,
+            "target_ppm": self.target_ppm,
+            "required_overlay_nm": self.required_overlay_nm,
+            "achievable": self.achievable,
+            "achieved_ppm_by_overlay": {
+                f"{overlay:g}": ppm
+                for overlay, ppm in sorted(self.achieved_ppm_by_overlay.items())
+            },
+        }
 
 
 def violation_probability(

@@ -274,3 +274,80 @@ def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     lines = [",".join(str(cell) for cell in headers)]
     lines.extend(",".join(str(cell) for cell in row) for row in rows)
     return "\n".join(lines)
+
+
+def format_compliance(rows, requirement) -> str:
+    """Yield analysis: per-option compliance table plus the OL requirement."""
+    if not rows:
+        raise ReportingError("no compliance rows to format")
+    body = [
+        [
+            row.label,
+            f"{row.violation.probability:.3e}",
+            f"{row.violation.parts_per_million:.1f}",
+            f"{row.column_yield:.6f}",
+            f"{row.array_yield:.6f}",
+        ]
+        for row in rows
+    ]
+    table = format_csv(
+        ["option", "violation_probability", "ppm", "column_yield", "array_yield"], body
+    )
+    if requirement.achievable:
+        closing = (
+            f"{requirement.option_name} meets the {requirement.target_ppm:g} ppm "
+            f"target at a 3-sigma overlay budget of "
+            f"{requirement.required_overlay_nm:g} nm or tighter."
+        )
+    else:
+        closing = (
+            f"{requirement.option_name} cannot meet the {requirement.target_ppm:g} "
+            "ppm target within the studied overlay budgets."
+        )
+    return (
+        f"Read-time budget: +{rows[0].budget_percent:g}% over nominal\n"
+        + table
+        + "\n"
+        + closing
+    )
+
+
+def format_result_set(result_set) -> str:
+    """Unit-aware plain-text rendering of a :class:`repro.api.ResultSet`.
+
+    Dispatches on the result's experiment kind and reuses the established
+    per-study formatters, so a spec-driven run prints the same tables as
+    the classic front doors.  Requires the result's typed ``payload``
+    (always present on results produced by :func:`repro.api.run`).
+    """
+    kind = result_set.kind
+    payload = result_set.payload
+    if payload is None:
+        raise ReportingError(
+            "this ResultSet carries no typed payload to render; "
+            "use to_json()/to_csv() for deserialised results"
+        )
+    if kind == "campaign":
+        return format_campaign_text(payload)
+    if kind == "worst_case":
+        return format_table1(payload)
+    if kind == "operations":
+        sections = [
+            format_operation_table(rows) for rows in payload["impact"].values() if rows
+        ]
+        sections.extend(
+            format_operation_sigma(rows) for rows in payload["sigma"].values() if rows
+        )
+        return "\n\n".join(sections)
+    if kind == "monte_carlo":
+        sections = []
+        for operation, rows in payload.items():
+            if operation == "read":
+                sections.append(format_table4(rows))
+            else:
+                sections.append(format_operation_sigma(rows))
+        return "\n\n".join(sections)
+    if kind == "yield":
+        rows, requirement = payload
+        return format_compliance(rows, requirement)
+    raise ReportingError(f"no text renderer for experiment kind {kind!r}")

@@ -1,0 +1,310 @@
+"""Tests of the declarative facade (repro.api).
+
+The acceptance bar: a spec equivalent to the classic ``repro campaign``
+defaults must reproduce the campaign engine's records at ``rtol <=
+1e-12`` with both one and two workers, and every ResultSet view (rows,
+JSON, CSV, text) must stay consistent with the records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import EXECUTOR_BACKENDS, ResultSet, load_spec, resolve_workers, run
+from repro.core.campaign import SimulationCampaign
+from repro.core.montecarlo import MonteCarloTdpStudy
+from repro.core.spec import (
+    ArraySpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    OperationSpec,
+    SpecError,
+)
+from repro.core.worst_case import WorstCaseStudy
+from repro.variability.doe import StudyDOE
+
+
+def campaign_spec(**execution) -> ExperimentSpec:
+    """The spec equivalent of ``repro campaign --sizes 16``."""
+    return ExperimentSpec(
+        kind="campaign",
+        array=ArraySpec(sizes=(16,)),
+        execution=ExecutionSpec(**execution),
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_result(node):
+    return run(campaign_spec())
+
+
+@pytest.fixture(scope="module")
+def reference_campaign(node):
+    campaign = SimulationCampaign(node, doe=StudyDOE(array_sizes=(16,)))
+    return campaign, campaign.run()
+
+
+class TestCampaignParity:
+    def test_spec_run_reproduces_the_campaign_records(
+        self, campaign_result, reference_campaign
+    ):
+        _, reference = reference_campaign
+        by_key = {record["key"]: record for record in campaign_result}
+        assert set(by_key) == {record.key for record in reference}
+        for record in reference:
+            spec_record = by_key[record.key]
+            np.testing.assert_allclose(spec_record["td_s"], record.td_s, rtol=1e-12)
+            np.testing.assert_allclose(spec_record["value"], record.value, rtol=1e-12)
+            assert spec_record["seed"] == record.seed
+            assert spec_record["operation"] == record.operation
+
+    def test_two_worker_pool_matches_serial(self, campaign_result):
+        # Force the process pool even on a single-CPU host (the facade
+        # itself clamps to the available CPUs, like `make -j`).
+        pooled = SimulationCampaign.from_spec(
+            campaign_spec(backend="process", workers=2)
+        ).run(workers=2, clamp_to_cpus=False)
+        by_key = {record["key"]: record for record in campaign_result}
+        assert len(pooled) == len(by_key)
+        for record in pooled:
+            np.testing.assert_allclose(
+                by_key[record.key]["td_s"], record.td_s, rtol=1e-12
+            )
+
+    def test_workers_override_does_not_change_records(self, campaign_result):
+        again = run(campaign_spec(), workers=2)
+        assert [r["td_s"] for r in again] == [r["td_s"] for r in campaign_result]
+
+    def test_impact_percent_matches_engine_penalties(
+        self, campaign_result, reference_campaign
+    ):
+        campaign, reference = reference_campaign
+        for record in campaign_result:
+            expected = reference.penalty_percent_for(reference.record(record["key"]))
+            if expected is None:
+                assert record["impact_percent"] is None
+            else:
+                np.testing.assert_allclose(
+                    record["impact_percent"], expected, rtol=1e-12
+                )
+
+    def test_store_round_trip(self, tmp_path):
+        spec = campaign_spec(store_dir=str(tmp_path / "store"))
+        first = run(spec)
+        assert (tmp_path / "store" / "campaign.json").exists()
+        meta = json.loads((tmp_path / "store" / "campaign.json").read_text())
+        assert meta["signature"]["schema_version"] == spec.schema_version
+        again = run(spec)
+        assert [r["td_s"] for r in again] == [r["td_s"] for r in first]
+
+
+class TestResultSet:
+    def test_rows_and_len_and_iter(self, campaign_result):
+        assert isinstance(campaign_result, ResultSet)
+        assert len(campaign_result) == 4
+        assert bool(campaign_result)
+        rows = campaign_result.rows()
+        assert rows == list(campaign_result)
+        rows.append({})  # rows() hands out a copy
+        assert len(campaign_result) == 4
+
+    def test_to_json_shape(self, campaign_result):
+        payload = json.loads(campaign_result.to_json())
+        assert payload["kind"] == "campaign"
+        assert payload["schema_version"] == campaign_result.spec.schema_version
+        assert payload["n_records"] == 4
+        assert payload["spec"]["array"]["sizes"] == [16]
+        assert payload["campaign"]["array_sizes"] == [16]
+        assert {record["kind"] for record in payload["records"]} == {
+            "nominal",
+            "corner",
+        }
+
+    def test_to_csv_keeps_campaign_columns(self, campaign_result):
+        lines = campaign_result.to_csv().splitlines()
+        assert lines[0].startswith("key,kind,scenario,")
+        assert len(lines) == 5
+
+    def test_to_text_renders_a_table(self, campaign_result):
+        text = campaign_result.to_text()
+        assert "Simulation campaign: 4 records" in text
+        assert "(nominal)" in text and "LELELE" in text
+
+    def test_generic_csv_for_non_campaign_kinds(self):
+        result = run(ExperimentSpec(kind="worst_case"))
+        lines = result.to_csv().splitlines()
+        assert lines[0].split(",")[0] == "record"
+        assert len(lines) == 4
+
+
+class TestWorstCaseKind:
+    def test_matches_the_worst_case_study(self, node):
+        result = run(ExperimentSpec(kind="worst_case"))
+        reference = {row.option_name: row for row in WorstCaseStudy(node).table1()}
+        assert len(result) == len(reference)
+        for record in result:
+            row = reference[record["option"]]
+            np.testing.assert_allclose(
+                record["delta_cbl_percent"], row.delta_cbl_percent, rtol=1e-12
+            )
+            np.testing.assert_allclose(
+                record["delta_rbl_percent"], row.delta_rbl_percent, rtol=1e-12
+            )
+        assert "Table I" in result.to_text()
+
+
+class TestMonteCarloKind:
+    def test_matches_table4(self, node):
+        spec = ExperimentSpec(
+            kind="monte_carlo",
+            operation=OperationSpec(samples=40),
+            execution=ExecutionSpec(seed=3),
+        )
+        result = run(spec)
+        reference = MonteCarloTdpStudy(node, n_samples=40, seed=3).table4()
+        assert len(result) == len(reference)
+        for record, row in zip(result, reference):
+            assert record["option"] == row.option_name
+            assert record["overlay_three_sigma_nm"] == row.overlay_three_sigma_nm
+            np.testing.assert_allclose(
+                record["sigma_percent"], row.sigma_percent, rtol=1e-12
+            )
+        assert "Table IV" in result.to_text()
+
+
+class TestOperationsKind:
+    def test_write_operation_records(self):
+        result = run(
+            ExperimentSpec(
+                kind="operations",
+                array=ArraySpec(sizes=(16,)),
+                operation=OperationSpec(operations=("write",)),
+            )
+        )
+        assert len(result) == 3  # three options at one array size
+        for record in result:
+            assert record["operation"] == "write"
+            assert record["unit"] == "s"
+            assert record["nominal_value"] > 0.0
+        assert "Operation suite (write)" in result.to_text()
+
+
+class TestYieldKind:
+    def test_compliance_records_and_requirement(self):
+        result = run(
+            ExperimentSpec(
+                kind="yield",
+                operation=OperationSpec(
+                    samples=40, budget_percent=8.0, target_ppm=1000.0
+                ),
+                execution=ExecutionSpec(seed=3),
+            )
+        )
+        assert len(result) == 6  # 4 LE3 budgets + SADP + EUV
+        for record in result:
+            assert 0.0 <= record["violation_probability"] <= 1.0
+            assert 0.0 <= record["array_yield"] <= 1.0
+        assert result.to_dict()["requirement"]["budget_percent"] == 8.0
+        text = result.to_text()
+        assert "violation_probability" in text and "ppm target" in text
+
+
+class TestSpecLoading:
+    def test_load_spec_passthrough_mapping_json_and_path(self, tmp_path):
+        spec = campaign_spec()
+        assert load_spec(spec) is spec
+        assert load_spec(spec.to_dict()) == spec
+        assert load_spec(spec.to_json()) == spec
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        assert load_spec(path) == spec
+        assert load_spec(str(path)) == spec
+
+    def test_load_spec_rejects_unreadable_path(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_spec(tmp_path / "missing.json")
+
+    def test_load_spec_rejects_unsupported_types(self):
+        with pytest.raises(SpecError, match="cannot load"):
+            load_spec(42)
+
+
+class TestExecutorBackends:
+    def test_registry_is_complete(self):
+        assert set(EXECUTOR_BACKENDS) == {"serial", "process", "auto"}
+
+    def test_serial_resolves_one(self):
+        assert resolve_workers(ExecutionSpec(backend="serial", workers=5)) == 1
+
+    def test_process_resolves_the_requested_count(self):
+        assert resolve_workers(ExecutionSpec(backend="process", workers=3)) == 3
+
+    def test_auto_resolves_the_available_cpus(self):
+        assert (
+            resolve_workers(ExecutionSpec(backend="auto"))
+            == SimulationCampaign.available_cpus()
+        )
+
+
+class TestOperationsScenarios:
+    """The scenarios section of an operations spec is honoured, never
+    silently replaced."""
+
+    def test_explicit_scenarios_are_used(self):
+        from repro.core.spec import ScenarioSpec
+
+        result = run(
+            ExperimentSpec(
+                kind="operations",
+                array=ArraySpec(sizes=(16,)),
+                scenarios=(
+                    ScenarioSpec(
+                        label="write-strap64",
+                        operation="write",
+                        vss_strap_interval_cells=64,
+                    ),
+                ),
+                operation=OperationSpec(operations=("write",)),
+            )
+        )
+        assert list(result.payload["impact"]) == ["write-strap64"]
+        assert all(record["operation"] == "write" for record in result)
+
+    def test_mismatched_scenarios_and_operations_rejected(self):
+        from repro.core.spec import ScenarioSpec
+
+        spec = ExperimentSpec(
+            kind="operations",
+            scenarios=(ScenarioSpec(label="w", operation="write"),),
+            operation=OperationSpec(operations=("hold_snm",)),
+        )
+        with pytest.raises(SpecError, match="must cover exactly"):
+            run(spec)
+
+    def test_default_scenarios_derive_from_operations(self):
+        result = run(
+            ExperimentSpec(
+                kind="operations",
+                array=ArraySpec(sizes=(16,)),
+                operation=OperationSpec(operations=("write",)),
+            )
+        )
+        assert list(result.payload["impact"]) == ["write"]
+
+
+class TestGenericCsvQuoting:
+    def test_nested_values_stay_parseable_json(self):
+        import csv as csv_module
+        import io as io_module
+
+        result = run(ExperimentSpec(kind="worst_case"))
+        reader = csv_module.reader(io_module.StringIO(result.to_csv()))
+        rows = list(reader)
+        headers = rows[0]
+        corner_index = headers.index("corner_parameters")
+        for row in rows[1:]:
+            parsed = json.loads(row[corner_index])
+            assert isinstance(parsed, dict) and parsed

@@ -224,3 +224,129 @@ class TestOperationCommands:
         serial = capsys.readouterr().out
         assert main(["write", "--workers", "2"] + FAST) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestDeclarativeCommands:
+    """The spec-driven surface: --version, run, spec dump/validate, exit 2."""
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_spec_dump_emits_valid_json(self, capsys):
+        assert main(["spec", "dump", "--kind", "campaign"] + FAST) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign"
+        assert payload["array"]["sizes"] == [16]
+        assert payload["operation"]["samples"] == 40
+        assert payload["execution"]["seed"] == 3
+
+    def test_spec_dump_validate_round_trip(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert (
+            main(["spec", "dump", "--kind", "worst_case", "--output", str(spec_path)])
+            == 0
+        )
+        assert main(["spec", "validate", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK: worst_case spec")
+
+    def test_run_executes_a_dumped_campaign_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "campaign.json"
+        assert main(["spec", "dump", "--output", str(spec_path)] + FAST) == 0
+        capsys.readouterr()
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Simulation campaign: 4 records" in out
+
+    def test_run_matches_the_campaign_shim(self, tmp_path, capsys):
+        def strip_wall_clock(csv_text):
+            # The trailing wall_s column is wall-clock timing, the one
+            # legitimately nondeterministic field of a record.
+            return [line.rsplit(",", 1)[0] for line in csv_text.splitlines()]
+
+        spec_path = tmp_path / "campaign.json"
+        assert main(["spec", "dump", "--output", str(spec_path)] + FAST) == 0
+        capsys.readouterr()
+        assert main(["run", str(spec_path), "--format", "csv"]) == 0
+        from_spec = capsys.readouterr().out
+        assert main(["campaign", "--format", "csv"] + FAST) == 0
+        from_shim = capsys.readouterr().out
+        assert strip_wall_clock(from_spec) == strip_wall_clock(from_shim)
+
+    def test_run_json_has_records(self, tmp_path, capsys):
+        spec_path = tmp_path / "t1.json"
+        assert main(["spec", "dump", "--kind", "worst_case", "--output", str(spec_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(spec_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_records"] == 3
+        assert payload["records"]
+
+    def test_missing_spec_file_exits_two(self, capsys):
+        assert main(["run", "no-such-spec.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+
+    def test_invalid_spec_document_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "erase"}', encoding="utf-8")
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "kind" in err and "Traceback" not in err
+
+    def test_mismatched_store_exits_two(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "--store", store] + FAST) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--store", store, "--sizes", "16", "64"] + FAST[2:]) == 2
+        err = capsys.readouterr().err
+        assert "different campaign" in err
+
+    def test_table1_shim_matches_study_rendering(self, capsys):
+        from repro.reporting.tables import format_table1
+        from repro.core.worst_case import WorstCaseStudy
+        from repro.technology.node import n10
+
+        assert main(["table1"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert out == format_table1(WorstCaseStudy(n10()).table1()) + "\n"
+
+
+class TestSpecDumpRunConsistency:
+    """Every spec `spec dump` emits must be accepted by `repro run`."""
+
+    def test_operations_dump_with_axis_flags_runs(self, tmp_path, capsys):
+        spec_path = tmp_path / "ops.json"
+        assert (
+            main(
+                [
+                    "spec", "dump",
+                    "--kind", "operations",
+                    "--operations", "write",
+                    "--overlay-sweep", "5",
+                    "--output", str(spec_path),
+                ]
+                + FAST
+            )
+            == 0
+        )
+        assert main(["spec", "validate", str(spec_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Operation suite (write)" in out
+
+    def test_bad_scalar_in_spec_exits_two(self, tmp_path, capsys):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(
+            '{"kind": "campaign", "operation": {"samples": "many"}}',
+            encoding="utf-8",
+        )
+        assert main(["run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
