@@ -5,6 +5,12 @@
 through both the batched (vectorised) pipeline and the scalar per-sample
 oracle, checks that the two agree element-wise, and writes ``BENCH_mc.json``.
 
+``--suite service`` starts the HTTP experiment server on an ephemeral
+port and times full submit→poll→fetch round trips of the smoke spec:
+cold (computed), warm (served from the content-addressed result cache)
+and N concurrent clients hammering the cached entry, writing
+``BENCH_service.json`` (warm-cache speedup floor: 10x).
+
 ``--suite sim`` times the simulated half (Fig. 4 / Tables II–III): the
 sequential per-experiment pipelines (fresh ``WorstCaseStudy`` +
 ``FormulaValidation`` per table, the pre-campaign CLI behaviour) against
@@ -492,6 +498,110 @@ def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
     }
 
 
+def run_service_bench(
+    n_clients: int,
+    requests_per_client: int,
+    warm_repeats: int = 20,
+) -> dict:
+    """Cold vs warm-cache latency and concurrent submission throughput.
+
+    Starts a real :class:`~repro.service.server.ExperimentServer` on an
+    ephemeral port with a fresh cache, then measures — all through full
+    HTTP round trips (submit → poll → fetch JSON result):
+
+    * ``cold``  — the first submission of ``examples/specs/smoke.json``
+      (computes the campaign);
+    * ``warm``  — ``warm_repeats`` resubmissions of the identical spec
+      (served from the content-addressed cache without recomputation);
+    * ``throughput`` — ``n_clients`` threads each submitting the cached
+      spec ``requests_per_client`` times, as submissions per second.
+    """
+    import statistics
+    import tempfile
+    import threading
+
+    from repro.service import ExperimentClient, ExperimentServer
+
+    spec_path = Path(__file__).resolve().parent.parent / "examples" / "specs" / "smoke.json"
+
+    def round_trip(client: ExperimentClient) -> tuple:
+        start = time.perf_counter()
+        ticket = client.submit(spec_path)
+        client.wait(ticket["id"], timeout_s=600.0, poll_s=0.02)
+        client.result_text(ticket["id"], fmt="json")
+        return time.perf_counter() - start, ticket
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        with ExperimentServer(cache_dir=cache_dir, workers=2) as server:
+            client = ExperimentClient(server.url)
+
+            cold_wall, cold_ticket = round_trip(client)
+            assert not cold_ticket["cached"], "first submission must compute"
+            print(f"service cold submit         {cold_wall*1e3:9.2f} ms")
+
+            warm_walls = []
+            for _ in range(warm_repeats):
+                wall, ticket = round_trip(client)
+                assert ticket["cached"], "resubmission must hit the cache"
+                warm_walls.append(wall)
+            warm_median = statistics.median(warm_walls)
+            print(
+                f"service warm submit         {warm_median*1e3:9.2f} ms"
+                f"  (median of {warm_repeats}, min {min(warm_walls)*1e3:.2f} ms)"
+            )
+
+            errors = []
+
+            def hammer() -> None:
+                worker = ExperimentClient(server.url)
+                try:
+                    for _ in range(requests_per_client):
+                        worker.result_text(worker.submit(spec_path)["id"], fmt="json")
+                except Exception as exc:  # pragma: no cover - bench diagnostics
+                    errors.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [threading.Thread(target=hammer) for _ in range(n_clients)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            hammer_wall = time.perf_counter() - start
+            if errors:
+                raise RuntimeError(f"concurrent clients failed: {errors[:3]}")
+            n_submissions = n_clients * requests_per_client
+            throughput = n_submissions / hammer_wall
+            print(
+                f"service throughput          {throughput:9.1f} submissions/s"
+                f"  ({n_clients} clients x {requests_per_client} requests)"
+            )
+
+            health = client.health()
+
+    speedup = cold_wall / warm_median
+    return {
+        "spec": str(spec_path.relative_to(spec_path.parent.parent.parent)),
+        "cold": {"wall_s": round(cold_wall, 6)},
+        "warm": {
+            "repeats": warm_repeats,
+            "median_wall_s": round(warm_median, 6),
+            "min_wall_s": round(min(warm_walls), 6),
+            "max_wall_s": round(max(warm_walls), 6),
+        },
+        "speedup_warm_vs_cold": round(speedup, 2),
+        "throughput": {
+            "clients": n_clients,
+            "requests_per_client": requests_per_client,
+            "wall_s": round(hammer_wall, 6),
+            "submissions_per_s": round(throughput, 1),
+        },
+        "server": {
+            "cache": health["cache"],
+            "queue": health["queue"],
+        },
+    }
+
+
 def _environment() -> dict:
     return {
         "python": platform.python_version(),
@@ -502,7 +612,8 @@ def _environment() -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("mc", "sim", "ops", "all"), default="all",
+    parser.add_argument("--suite", choices=("mc", "sim", "ops", "service", "all"),
+                        default="all",
                         help="which bench suite(s) to run (default: all)")
     parser.add_argument("--samples", type=int, default=1000,
                         help="Monte-Carlo samples per study point (default 1000)")
@@ -527,6 +638,13 @@ def main() -> int:
     parser.add_argument("--ops-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_ops.json",
                         help="where to write the operation-suite JSON report")
+    parser.add_argument("--service-clients", type=int, default=4,
+                        help="concurrent clients of the service bench (default 4)")
+    parser.add_argument("--service-requests", type=int, default=25,
+                        help="submissions per client in the service bench (default 25)")
+    parser.add_argument("--service-output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+                        help="where to write the service JSON report")
     args = parser.parse_args()
 
     exit_code = 0
@@ -606,6 +724,33 @@ def main() -> int:
         )
         if report["parity"]["max_rel_diff"] > 1e-12:
             print("WARNING: operation campaign rows diverge from the scalar pipelines")
+            exit_code = 1
+
+    if args.suite in ("service", "all"):
+        started = time.time()
+        report = {
+            "bench": "experiment_service",
+            "description": (
+                "HTTP experiment server benches: cold vs warm-cache "
+                "submission latency and concurrent-client throughput"
+            ),
+            "timestamp_unix": int(started),
+            "environment": _environment(),
+        }
+        report.update(
+            run_service_bench(args.service_clients, args.service_requests)
+        )
+        report["harness_wall_s"] = round(time.time() - started, 3)
+
+        args.service_output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.service_output}")
+        speedup = report["speedup_warm_vs_cold"]
+        print(
+            f"warm-cache speedup: {speedup}x, throughput "
+            f"{report['throughput']['submissions_per_s']} submissions/s"
+        )
+        if speedup < 10.0:
+            print("WARNING: warm-cache path is below the 10x acceptance floor")
             exit_code = 1
 
     return exit_code

@@ -1,0 +1,82 @@
+"""Quickstart for the experiment service: start, submit, poll, fetch.
+
+The service layer (:mod:`repro.service`) turns the declarative API into
+a long-running HTTP server with a content-addressed result cache: every
+experiment is keyed by the SHA-256 fingerprint of its canonical spec
+JSON, so identical submissions are computed once and served many times.
+
+This example does the full loop in one process:
+
+1. start an :class:`~repro.service.server.ExperimentServer` on an
+   ephemeral port with an on-disk cache;
+2. submit ``examples/specs/smoke.json`` through the
+   :class:`~repro.service.client.ExperimentClient`;
+3. poll the job until it finishes and fetch the result as CSV;
+4. submit the same spec again and observe the cache hit (the job is
+   born ``done``, no recomputation);
+5. read the server's health endpoint (cache and queue statistics).
+
+The same flow works across machines with the CLI::
+
+    repro serve --port 8765 --cache-dir runs/cache --workers 2   # terminal 1
+    repro submit examples/specs/smoke.json --wait --format csv   # terminal 2
+
+Run with::
+
+    python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import ExperimentClient, ExperimentServer
+
+SPEC_PATH = Path(__file__).resolve().parent / "specs" / "smoke.json"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        with ExperimentServer(cache_dir=cache_dir, workers=2) as server:
+            client = ExperimentClient(server.url)
+            print(f"Step 1 - server listening on {server.url} (cache: {cache_dir})")
+            print()
+
+            # Step 2 + 3 — submit the smoke spec, poll, fetch CSV.
+            started = time.perf_counter()
+            ticket = client.submit(SPEC_PATH)
+            print(f"Step 2 - submitted {SPEC_PATH.name}: {ticket['id']} ({ticket['state']})")
+            status = client.wait(ticket["id"], timeout_s=300.0)
+            cold_s = time.perf_counter() - started
+            print(
+                f"Step 3 - finished in {cold_s:.2f}s with "
+                f"{status['n_records']} records; first CSV lines:"
+            )
+            csv_text = client.result_text(ticket["id"], fmt="csv")
+            for line in csv_text.splitlines()[:3]:
+                print(f"  {line[:100]}")
+            print()
+
+            # Step 4 — the second identical submission is a cache hit.
+            started = time.perf_counter()
+            again = client.submit(SPEC_PATH)
+            warm_s = time.perf_counter() - started
+            assert again["cached"], "second submission must be served from cache"
+            print(
+                f"Step 4 - resubmitted: {again['id']} is born {again['state']!r} "
+                f"(cached={again['cached']}) in {warm_s*1e3:.1f}ms "
+                f"- {cold_s / max(warm_s, 1e-9):.0f}x faster than computing"
+            )
+            print()
+
+            # Step 5 — health: liveness plus cache/queue statistics.
+            health = client.health()
+            print("Step 5 - /v1/healthz")
+            print(f"  cache: {health['cache']}")
+            print(f"  queue: {health['queue']}")
+
+
+if __name__ == "__main__":
+    main()

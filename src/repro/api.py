@@ -32,7 +32,17 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Union,
+)
 
 from .core.campaign import SimulationCampaign
 from .core.montecarlo import MonteCarloTdpStudy
@@ -50,6 +60,7 @@ from .core.yield_analysis import ReadTimeYieldAnalysis
 
 __all__ = [
     "EXECUTOR_BACKENDS",
+    "ResultCacheProtocol",
     "ResultSet",
     "load_spec",
     "resolve_workers",
@@ -106,6 +117,48 @@ class ResultSet:
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    #: ``to_dict`` keys that are not kind-specific metadata.
+    _RESERVED_KEYS = frozenset({"schema_version", "kind", "spec", "n_records", "records"})
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResultSet":
+        """Rebuild a ResultSet from its :meth:`to_dict` form.
+
+        The persistence round trip of the result cache and the HTTP
+        client: records and metadata come back exactly as serialised
+        (JSON preserves float bit patterns via ``repr`` round-tripping),
+        the spec is revalidated through
+        :class:`~repro.core.spec.ExperimentSpec`, and ``payload`` is
+        ``None`` — deserialised results render through the generic
+        record table instead of the typed per-study formatters.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError(
+                f"a serialised ResultSet must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        try:
+            spec = ExperimentSpec.from_dict(payload["spec"])
+            records = payload["records"]
+        except KeyError as exc:
+            raise SpecError(f"serialised ResultSet is missing {exc}") from None
+        if not isinstance(records, list):
+            raise SpecError("serialised ResultSet records must be a list")
+        meta = {
+            key: value
+            for key, value in payload.items()
+            if key not in cls._RESERVED_KEYS
+        }
+        return cls(spec=spec, records=[dict(r) for r in records], meta=meta)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"serialised ResultSet is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
     def to_csv(self) -> str:
         """The records as CSV.
 
@@ -115,15 +168,11 @@ class ResultSet:
         quoted per RFC 4180 (stdlib ``csv``), so the output stays
         losslessly parseable.
         """
-        from .reporting.tables import format_campaign_csv
+        from .reporting.tables import format_campaign_csv, record_headers
 
         if self.kind == "campaign" and self.payload is not None:
             return format_campaign_csv(self.payload)
-        headers: List[str] = []
-        for record in self.records:
-            for key in record:
-                if key not in headers:
-                    headers.append(key)
+        headers = record_headers(self.records)
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(headers)
@@ -142,6 +191,15 @@ class ResultSet:
         from .reporting.tables import format_result_set
 
         return format_result_set(self)
+
+
+class ResultCacheProtocol(Protocol):
+    """What :func:`run` needs from a result cache (see
+    :class:`repro.service.cache.ResultCache` for the shipped one)."""
+
+    def get(self, spec: ExperimentSpec) -> Optional[ResultSet]: ...
+
+    def put(self, spec: ExperimentSpec, result: ResultSet) -> None: ...
 
 
 # -- executor backends -----------------------------------------------------------------------
@@ -341,7 +399,11 @@ _RUNNERS: Dict[str, Callable[[ExperimentSpec, int], ResultSet]] = {
 assert set(_RUNNERS) == set(EXPERIMENT_KINDS)
 
 
-def run(spec: SpecSource, workers: Optional[int] = None) -> ResultSet:
+def run(
+    spec: SpecSource,
+    workers: Optional[int] = None,
+    cache: Optional["ResultCacheProtocol"] = None,
+) -> ResultSet:
     """Run the experiment a spec describes and return its :class:`ResultSet`.
 
     Parameters
@@ -354,7 +416,21 @@ def run(spec: SpecSource, workers: Optional[int] = None) -> ResultSet:
         Optional override of the worker count the spec's executor backend
         would resolve (the CLI's ``--workers`` hook).  The records do not
         depend on it.
+    cache:
+        Optional :class:`~repro.service.cache.ResultCache`.  When given,
+        a result stored under the spec's content fingerprint is returned
+        without recomputation, and fresh results are stored on the way
+        out — every kind (campaign, worst-case, operations, Monte-Carlo,
+        yield) dedupes transparently.  Cached results carry the records
+        byte-for-byte but no typed ``payload``.
     """
     chosen = load_spec(spec)
+    if cache is not None:
+        hit = cache.get(chosen)
+        if hit is not None:
+            return hit
     effective = workers if workers is not None else resolve_workers(chosen.execution)
-    return _RUNNERS[chosen.kind](chosen, max(1, int(effective)))
+    result = _RUNNERS[chosen.kind](chosen, max(1, int(effective)))
+    if cache is not None:
+        cache.put(chosen, result)
+    return result

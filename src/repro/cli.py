@@ -23,6 +23,12 @@ study front door directly::
     python -m repro campaign --workers 4 --format json --store runs/paper
     python -m repro all --output report.txt     # every table, to a file
 
+The service verbs run the library as a long-lived, cache-accelerated
+experiment server (see :mod:`repro.service`)::
+
+    python -m repro serve --port 8765 --cache-dir runs/cache --workers 2
+    python -m repro submit spec.json --wait --format csv --output rows.csv
+
 Global options select the overlay budget, the array sizes, the Monte-Carlo
 sample count, the random seed and the worker count, so parameter studies
 are one shell loop away.  Domain errors (bad specs, unknown operations,
@@ -39,6 +45,7 @@ from typing import List, Optional, Sequence
 
 from . import __version__
 from .api import load_spec, run as run_experiment
+from .core.results import atomic_write_text
 from .core.campaign import CAMPAIGN_METHODS, CampaignError
 from .core.comparison import ComparisonError, OptionComparison
 from .core.montecarlo import MonteCarloStudyError
@@ -58,6 +65,7 @@ from .core.study import MultiPatterningSRAMStudy, StudyError
 from .core.worst_case import WorstCaseStudyError
 from .core.yield_analysis import YieldAnalysisError
 from .reporting.figures import figure2_ascii, figure3_csv, figure5_ascii
+from .service.client import ServiceError
 from .reporting.tables import (
     ReportingError,
     format_figure4,
@@ -94,6 +102,7 @@ CLI_ERRORS = (
     ReportingError,
     DOEError,
     NodeError,
+    ServiceError,
 )
 
 #: Default array sizes when ``--sizes`` is not given (the paper's DOE).
@@ -290,6 +299,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_parser.add_argument("spec", type=str, help="path to a spec JSON file")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the HTTP experiment server (content-addressed result cache)",
+    )
+    serve_parser.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="TCP port (default: 8765; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (default: no cache)",
+    )
+    serve_parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="LRU bound of the result cache (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent experiment jobs (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a spec document to a running experiment server",
+    )
+    submit_parser.add_argument("spec", type=str, help="path to an ExperimentSpec JSON file")
+    submit_parser.add_argument(
+        "--url",
+        type=str,
+        default=None,
+        metavar="URL",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its result",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="--wait deadline in seconds (default: 300)",
+    )
+    submit_parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="--wait report format (default: text)",
+    )
+    submit_parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the --wait report to FILE (atomic) instead of stdout",
+    )
+
     write_parser = subparsers.add_parser(
         "write",
         help="operation suite: worst-case write-delay impact per option and size",
@@ -474,6 +556,70 @@ def _run_verdict(study: MultiPatterningSRAMStudy, workers: int = 1) -> str:
     return "\n".join(lines)
 
 
+# -- service verbs -----------------------------------------------------------------------
+
+
+def _serve(args: argparse.Namespace) -> str:
+    """Run the HTTP experiment server until interrupted."""
+    import os
+
+    from .service.server import ExperimentServer
+
+    try:
+        server = ExperimentServer(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_entries=args.max_entries,
+            workers=args.workers,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        # Port already bound, unwritable --cache-dir, ...: a one-line
+        # exit-2 message, not a traceback.
+        raise ServiceError(f"cannot start the experiment server: {exc}") from None
+    cache_note = args.cache_dir if args.cache_dir else "disabled"
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(workers={args.workers}, cache={cache_note})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        if server.queue.stats()["in_flight"]:
+            # Worker threads are non-daemon and cannot be interrupted
+            # mid-experiment; exit hard instead of hanging until the
+            # abandoned computation finishes.
+            print(
+                "repro serve: stopped; abandoning in-flight experiments",
+                file=sys.stderr,
+                flush=True,
+            )
+            sys.stdout.flush()
+            os._exit(0)
+    return "server stopped"
+
+
+def _submit(args: argparse.Namespace) -> str:
+    """Submit a spec to a running server; optionally wait for the result."""
+    from .service.client import DEFAULT_URL, ExperimentClient
+
+    spec = load_spec(Path(args.spec))
+    client = ExperimentClient(args.url or DEFAULT_URL)
+    ticket = client.submit(spec)
+    if not args.wait:
+        import json as _json
+
+        return _json.dumps(ticket, indent=2)
+    client.wait(ticket["id"], timeout_s=args.timeout)
+    return client.result_text(ticket["id"], fmt=args.format)
+
+
 # -- dispatch ----------------------------------------------------------------------------
 
 
@@ -482,6 +628,10 @@ def _dispatch(args: argparse.Namespace) -> str:
     if args.command == "run":
         result = run_experiment(load_spec(Path(args.spec)), workers=args.workers)
         return _format_result(result, args.format)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
     if args.command == "spec":
         if args.spec_command == "dump":
             return _spec_from_args(args.kind, args).to_json().rstrip("\n")
@@ -516,7 +666,14 @@ def _dispatch(args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code (2 on domain errors)."""
+    """CLI entry point; returns a process exit code (2 on domain errors).
+
+    Domain errors (bad specs, missing or unreadable spec files, an
+    unreachable experiment server, an unwritable ``--output`` path) exit
+    with code 2 and a one-line message — never a traceback.  ``--output``
+    files are written atomically, so a crashed or interrupted run never
+    leaves a half-written report behind.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -527,8 +684,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     output = getattr(args, "output", None)
     if output:
-        with open(output, "w", encoding="utf-8") as handle:
-            handle.write(report)
+        try:
+            atomic_write_text(output, report)
+        except OSError as exc:
+            print(f"repro: error: cannot write {output}: {exc}", file=sys.stderr)
+            return 2
     else:
         sys.stdout.write(report)
     return 0

@@ -8,10 +8,44 @@ units in their field names.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..variability.statistics import Histogram, SummaryStatistics
+
+
+def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (UTF-8).
+
+    The content lands in a temporary file in the destination directory and
+    is moved into place with :func:`os.replace`, so readers — the result
+    cache served by concurrent HTTP threads, or a watcher tailing a CLI
+    ``--output`` file — never observe a half-written document.
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ point is :func:`repro.api.run`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
@@ -52,6 +53,13 @@ EXPERIMENT_KINDS = ("campaign", "worst_case", "operations", "monte_carlo", "yiel
 
 #: Executor backends of :class:`ExecutionSpec` (resolved by ``repro.api``).
 EXECUTION_BACKENDS = ("serial", "process", "auto")
+
+#: Execution fields excluded from the canonical fingerprint.  They steer
+#: where and how fast a spec runs, never which records it produces (the
+#: backend-parity suite pins this), so two specs differing only in these
+#: fields are the same experiment to the result cache.  ``seed`` and
+#: ``max_segments`` DO enter the fingerprint: both change the records.
+FINGERPRINT_NEUTRAL_EXECUTION_FIELDS = ("backend", "workers", "store_dir")
 
 
 class SpecError(ValueError):
@@ -499,6 +507,35 @@ class ExperimentSpec:
             raise SpecError(f"spec is not valid JSON: {exc}") from None
         return cls.from_dict(payload)
 
+    # -- content addressing -------------------------------------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The fingerprint payload: ``to_dict()`` minus result-neutral keys.
+
+        ``schema_version`` stays in, so a schema bump re-addresses every
+        experiment; the execution fields in
+        :data:`FINGERPRINT_NEUTRAL_EXECUTION_FIELDS` drop out, so the
+        same study run serially or on eight workers hits the same cache
+        entry.
+        """
+        payload = self.to_dict()
+        for name in FINGERPRINT_NEUTRAL_EXECUTION_FIELDS:
+            payload["execution"].pop(name)
+        return payload
+
+    def fingerprint(self) -> str:
+        """Content address of this experiment (hex SHA-256).
+
+        Hashes the canonical JSON (sorted keys, minimal separators) of
+        :meth:`canonical_dict`; equal experiments — however their spec
+        documents were formatted or which executor they name — share one
+        fingerprint.
+        """
+        text = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
     # -- construction helpers -----------------------------------------------------------
 
     def with_scenarios(self, scenarios: Sequence[ScenarioSpec]) -> "ExperimentSpec":
@@ -520,6 +557,11 @@ class ExperimentSpec:
             f"backend={self.execution.backend}/{self.execution.workers}w, "
             f"seed={self.execution.seed}"
         )
+
+
+def spec_fingerprint(spec: "ExperimentSpec") -> str:
+    """Module-level alias of :meth:`ExperimentSpec.fingerprint`."""
+    return spec.fingerprint()
 
 
 def scenario_spec_grid(

@@ -312,20 +312,61 @@ def format_compliance(rows, requirement) -> str:
     )
 
 
+def record_headers(records: Sequence[Dict[str, object]]) -> List[str]:
+    """The union of record keys in first-appearance order.
+
+    The one column-ordering rule of the generic record views, shared by
+    ``ResultSet.to_csv`` and :func:`format_records` so the CSV and text
+    renderings of the same records can never disagree.
+    """
+    headers: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in headers:
+                headers.append(key)
+    return headers
+
+
+def format_records(records: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Generic aligned table over flat result records.
+
+    The rendering of last resort for ResultSets without a typed payload
+    (cache hits, HTTP responses): the union of record keys in
+    first-appearance order becomes the columns, nested values are
+    JSON-encoded, and floats keep full ``repr`` precision so the text
+    view stays lossless.
+    """
+    import json as _json
+
+    if not records:
+        raise ReportingError("no records to format")
+    headers = record_headers(records)
+    body = []
+    for record in records:
+        cells = []
+        for key in headers:
+            value = record.get(key, "")
+            if isinstance(value, (dict, list)):
+                value = _json.dumps(value, sort_keys=True)
+            cells.append("" if value is None else str(value))
+        body.append(cells)
+    return render_table(headers, body, title=title)
+
+
 def format_result_set(result_set) -> str:
     """Unit-aware plain-text rendering of a :class:`repro.api.ResultSet`.
 
     Dispatches on the result's experiment kind and reuses the established
     per-study formatters, so a spec-driven run prints the same tables as
-    the classic front doors.  Requires the result's typed ``payload``
-    (always present on results produced by :func:`repro.api.run`).
+    the classic front doors.  A result without its typed ``payload`` (a
+    cache hit or a deserialised HTTP response) falls back to the generic
+    record table of :func:`format_records`.
     """
     kind = result_set.kind
     payload = result_set.payload
     if payload is None:
-        raise ReportingError(
-            "this ResultSet carries no typed payload to render; "
-            "use to_json()/to_csv() for deserialised results"
+        return format_records(
+            result_set.records, title=f"{kind} records (deserialised)"
         )
     if kind == "campaign":
         return format_campaign_text(payload)

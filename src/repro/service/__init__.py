@@ -1,0 +1,33 @@
+"""Service layer: content-addressed caching, async jobs, HTTP serving.
+
+The subsystem that turns the reproduction into a long-running experiment
+service (all stdlib, no new dependencies):
+
+* :mod:`repro.service.cache`  — :class:`~repro.service.cache.ResultCache`,
+  a content-addressed, LRU-bounded, atomically-written store of
+  serialised ResultSets keyed by the spec fingerprint;
+* :mod:`repro.service.queue`  — :class:`~repro.service.queue.ExperimentQueue`,
+  an async job manager (submit/status/result/cancel) that coalesces
+  identical in-flight experiments into one computation;
+* :mod:`repro.service.server` — :class:`~repro.service.server.ExperimentServer`,
+  a threading JSON HTTP server exposing ``/v1/experiments`` and
+  ``/v1/healthz``;
+* :mod:`repro.service.client` — :class:`~repro.service.client.ExperimentClient`,
+  the thin Python client the CLI's ``repro submit`` verb drives.
+"""
+
+from .cache import CacheStats, ResultCache
+from .client import ExperimentClient, ServiceError
+from .queue import ExperimentQueue, JobError, JobState
+from .server import ExperimentServer
+
+__all__ = [
+    "CacheStats",
+    "ExperimentClient",
+    "ExperimentQueue",
+    "ExperimentServer",
+    "JobError",
+    "JobState",
+    "ResultCache",
+    "ServiceError",
+]

@@ -1,0 +1,193 @@
+"""Content-addressed result cache.
+
+A :class:`ResultCache` maps an experiment's content fingerprint
+(:meth:`repro.core.spec.ExperimentSpec.fingerprint` — the SHA-256 of the
+canonical spec JSON, ``schema_version`` included, executor placement
+excluded) to a persisted :class:`~repro.api.ResultSet`:
+
+* one JSON document per entry (``<fingerprint>.json``), written
+  atomically via :func:`repro.core.results.atomic_write_text` so
+  concurrent readers never see a torn file;
+* an LRU size bound (``max_entries``) enforced on insert — access
+  recency is tracked through file mtimes, so it survives process
+  restarts;
+* ``schema_version`` checked on every read: an entry written by a
+  different spec schema is invalidated (deleted and counted) instead of
+  being deserialised into the wrong shape;
+* hit / miss / store / eviction / invalidation counters for the
+  service's ``/v1/healthz`` endpoint.
+
+Entries round-trip through ``ResultSet.to_dict()`` /
+``ResultSet.from_dict()``: records come back byte-for-byte (JSON floats
+round-trip exactly through ``repr``), the typed ``payload`` does not —
+cached results render through the generic record table.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..api import ResultSet
+from ..core.results import atomic_write_text
+from ..core.spec import SCHEMA_VERSION, ExperimentSpec, SpecError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class ResultCache:
+    """Content-addressed, LRU-bounded ResultSet store on disk.
+
+    Thread safe: the server's request threads and the queue's workers
+    share one instance.  ``get``/``put`` take the spec itself, so callers
+    never handle fingerprints unless they want to (``contains``).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        max_entries: int = 256,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_entries = int(max_entries)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # -- addressing ---------------------------------------------------------------------
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def _entries(self) -> List[Path]:
+        return [path for path in self.cache_dir.glob("*.json") if path.is_file()]
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def contains(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec.fingerprint()).exists()
+
+    # -- read ---------------------------------------------------------------------------
+
+    def get(self, spec: ExperimentSpec) -> Optional[ResultSet]:
+        """The cached ResultSet of this experiment, or ``None`` on a miss.
+
+        A hit touches the entry's mtime (the LRU clock).  Corrupt entries
+        and entries written under a different ``schema_version`` are
+        deleted and counted as invalidations (and as the miss the caller
+        observes).
+        """
+        path = self.path_for(spec.fingerprint())
+        with self._lock:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                self.stats.misses += 1
+                return None
+            result = self._deserialise(text, path)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            path.touch()
+            self.stats.hits += 1
+            return result
+
+    def _deserialise(self, text: str, path: Path) -> Optional[ResultSet]:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._invalidate(path)
+            return None
+        if not isinstance(payload, dict) or payload.get("schema_version") != SCHEMA_VERSION:
+            self._invalidate(path)
+            return None
+        try:
+            return ResultSet.from_dict(payload)
+        except SpecError:
+            self._invalidate(path)
+            return None
+
+    def _invalidate(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.invalidations += 1
+
+    # -- write --------------------------------------------------------------------------
+
+    def put(self, spec: ExperimentSpec, result: ResultSet) -> str:
+        """Store ``result`` under the spec's fingerprint; returns the key.
+
+        Overwrites an existing entry (same content either way) and then
+        evicts least-recently-used entries until the store fits
+        ``max_entries``.
+        """
+        fingerprint = spec.fingerprint()
+        path = self.path_for(fingerprint)
+        text = result.to_json(indent=None)
+        with self._lock:
+            atomic_write_text(path, text)
+            self.stats.stores += 1
+            self._evict_over_budget(keep=path)
+        return fingerprint
+
+    def _evict_over_budget(self, keep: Path) -> None:
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return
+        entries.sort(key=lambda entry: (entry.stat().st_mtime, entry.name))
+        excess = len(entries) - self.max_entries
+        for entry in entries:
+            if excess <= 0:
+                break
+            if entry == keep:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            excess -= 1
+
+    # -- introspection ------------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        with self._lock:
+            removed = 0
+            for entry in self._entries():
+                try:
+                    entry.unlink()
+                except OSError:
+                    continue
+                removed += 1
+            return removed
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Counters plus occupancy, the ``/v1/healthz`` cache section."""
+        payload: Dict[str, Any] = self.stats.to_dict()
+        payload["entries"] = len(self)
+        payload["max_entries"] = self.max_entries
+        payload["cache_dir"] = str(self.cache_dir)
+        return payload

@@ -1,0 +1,155 @@
+"""Thin Python client of the experiment server (stdlib ``urllib``).
+
+:class:`ExperimentClient` speaks the JSON protocol of
+:mod:`repro.service.server` and is what the CLI's ``repro submit`` verb
+drives::
+
+    from repro.service import ExperimentClient
+
+    client = ExperimentClient("http://127.0.0.1:8765")
+    ticket = client.submit("examples/specs/smoke.json")
+    status = client.wait(ticket["id"])
+    print(client.result_text(ticket["id"], fmt="csv"))
+
+Transport failures (connection refused, HTTP error statuses) surface as
+:class:`ServiceError` with the server's one-line ``error`` message when
+one was sent, so CLI callers can turn them into clean exit-2 messages.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from ..api import ResultSet, SpecSource, load_spec
+
+__all__ = ["ExperimentClient", "ServiceError"]
+
+#: Default address of ``repro serve`` (and ``repro submit``).
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+class ServiceError(RuntimeError):
+    """A transport or protocol failure talking to the experiment server."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ExperimentClient:
+    """Submit, poll and fetch experiments over HTTP."""
+
+    def __init__(self, base_url: str = DEFAULT_URL, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- transport ----------------------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        body: Optional[str] = None,
+    ) -> tuple:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=None if body is None else body.encode("utf-8"),
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            text = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(text).get("error", text)
+            except json.JSONDecodeError:
+                message = text or str(exc)
+            raise ServiceError(
+                f"server returned {exc.code} for {method} {path}: {message}",
+                status=exc.code,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach the experiment server at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _request_json(self, path: str, method: str = "GET", body: Optional[str] = None) -> Dict[str, Any]:
+        status, text = self._request(path, method=method, body=body)
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"server sent invalid JSON for {method} {path}: {exc}", status=status
+            ) from None
+
+    # -- protocol -----------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request_json("/v1/healthz")
+
+    def submit(self, spec: SpecSource) -> Dict[str, Any]:
+        """Submit any spec source; returns the job ticket (id, state, cached)."""
+        document = load_spec(spec).to_json(indent=None)
+        return self._request_json("/v1/experiments", method="POST", body=document)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request_json(f"/v1/experiments/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request_json(f"/v1/experiments/{job_id}", method="DELETE")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the status.
+
+        Raises :class:`ServiceError` on timeout or a failed/cancelled job.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] == "done":
+                return status
+            if status["state"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} {status['state']}: {status.get('error') or ''}".rstrip(": ")
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s:g}s waiting for job {job_id} "
+                    f"(state: {status['state']})"
+                )
+            time.sleep(poll_s)
+
+    def result_text(self, job_id: str, fmt: str = "json") -> str:
+        """The finished job's rendered result (json, csv or text) verbatim."""
+        status, text = self._request(f"/v1/experiments/{job_id}/result?format={fmt}")
+        if status != 200:
+            raise ServiceError(
+                f"job {job_id} has no result yet (HTTP {status})", status=status
+            )
+        return text
+
+    def result_set(self, job_id: str) -> ResultSet:
+        """The finished job's result deserialised back into a ResultSet."""
+        return ResultSet.from_json(self.result_text(job_id, fmt="json"))
+
+    def run(
+        self,
+        spec: SpecSource,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+    ) -> ResultSet:
+        """Submit, wait and fetch in one call (the remote twin of ``api.run``)."""
+        ticket = self.submit(spec)
+        self.wait(ticket["id"], timeout_s=timeout_s, poll_s=poll_s)
+        return self.result_set(ticket["id"])

@@ -1,0 +1,352 @@
+"""Async job manager over the declarative experiment API.
+
+:class:`ExperimentQueue` gives the service layer submit / status /
+result / cancel semantics on top of :func:`repro.api.run`:
+
+* jobs run on a bounded thread pool; each job executes through the exact
+  same code path as a direct ``run(spec)`` call — the spec's executor
+  backend still resolves to the campaign's chunked, crc32-seeded process
+  pool — so queued results keep the library's parity guarantees
+  (``rtol <= 1e-12`` against the pre-spec engines);
+* identical in-flight experiments coalesce: a second submission whose
+  spec has the same content fingerprint attaches to the computation
+  already running instead of starting a new one (each submission keeps
+  its own job id and status);
+* an optional :class:`~repro.service.cache.ResultCache` short-circuits
+  submissions whose fingerprint is already stored — the job is born
+  ``done`` and marked ``cached`` — and absorbs fresh results for the
+  next submission.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import thread as _futures_thread
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import api
+from ..api import ResultSet
+from ..core.spec import ExperimentSpec
+from .cache import ResultCache
+
+__all__ = ["ExperimentQueue", "Job", "JobError", "JobState"]
+
+
+class JobError(KeyError):
+    """Raised for unknown job ids and results requested too early."""
+
+
+class JobState:
+    """Lifecycle states of a job (plain strings, JSON-ready)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submission: identity, lifecycle and (eventually) its result."""
+
+    id: str
+    fingerprint: str
+    kind: str
+    state: str = JobState.QUEUED
+    cached: bool = False
+    coalesced: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[ResultSet] = None
+
+    def to_status(self) -> Dict[str, Any]:
+        """JSON-ready status view (no records — fetch the result for those)."""
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "state": self.state,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "n_records": None if self.result is None else len(self.result),
+        }
+
+
+class ExperimentQueue:
+    """Submit / status / result / cancel over a worker pool.
+
+    ``workers`` bounds how many experiments compute concurrently in this
+    process; within each experiment the spec's own execution backend
+    still applies (a ``process``-backend spec fans out further through
+    the campaign pool).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        runner: Callable[..., ResultSet] = api.run,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.cache = cache
+        self._runner = runner
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(workers), thread_name_prefix="repro-job"
+        )
+        # Re-entrant: Future.cancel() and add_done_callback() on a
+        # completed future invoke the settle callback synchronously in
+        # the calling thread, which may already hold this lock.
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._futures: Dict[str, Future] = {}          # job id -> shared future
+        self._inflight: Dict[str, Future] = {}          # fingerprint -> future
+        self._inflight_jobs: Dict[str, List[str]] = {}  # fingerprint -> job ids
+        self._ids = itertools.count(1)
+        self._counters = {
+            "submitted": 0,
+            "coalesced": 0,
+            "cache_hits": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+
+    # -- submission ---------------------------------------------------------------------
+
+    def submit(self, spec: ExperimentSpec) -> Job:
+        """Enqueue one experiment; returns its (snapshot) :class:`Job`.
+
+        Resolution order: cache hit → born ``done``; identical in-flight
+        fingerprint → attach to the running computation; otherwise a new
+        computation starts on the pool.
+        """
+        spec = api.load_spec(spec)
+        fingerprint = spec.fingerprint()
+        # The cache read (disk I/O + ResultSet deserialisation) happens
+        # outside the queue lock so concurrent submissions and status
+        # polls never serialise behind it.  The benign race — another
+        # submitter completing between this miss and the lock — resolves
+        # to coalescing or a same-content recompute, never wrong data.
+        hit = None if self.cache is None else self.cache.get(spec)
+        with self._lock:
+            job = Job(
+                id=f"job-{next(self._ids):06d}",
+                fingerprint=fingerprint,
+                kind=spec.kind,
+            )
+            self._jobs[job.id] = job
+            self._counters["submitted"] += 1
+
+            if hit is not None:
+                job.state = JobState.DONE
+                job.cached = True
+                job.result = hit
+                job.finished_at = time.time()
+                self._counters["cache_hits"] += 1
+                self._counters["completed"] += 1
+                return self._snapshot(job)
+
+            future = self._inflight.get(fingerprint)
+            if future is not None:
+                job.coalesced = True
+                self._counters["coalesced"] += 1
+                peers = self._inflight_jobs.get(fingerprint, [])
+                if any(
+                    self._jobs[peer].state == JobState.RUNNING for peer in peers
+                ):
+                    job.state = JobState.RUNNING
+            else:
+                future = self._executor.submit(self._compute, spec, fingerprint)
+                self._inflight[fingerprint] = future
+                self._inflight_jobs[fingerprint] = []
+            self._inflight_jobs[fingerprint].append(job.id)
+            self._futures[job.id] = future
+            future.add_done_callback(self._make_settler(job.id))
+            return self._snapshot(job)
+
+    def _compute(self, spec: ExperimentSpec, fingerprint: str) -> ResultSet:
+        with self._lock:
+            for job_id in list(self._inflight_jobs.get(fingerprint, [])):
+                job = self._jobs.get(job_id)
+                if job is not None and job.state == JobState.QUEUED:
+                    job.state = JobState.RUNNING
+        result = self._runner(spec)
+        if self.cache is not None:
+            try:
+                self.cache.put(spec, result)
+            except OSError:
+                # A broken cache (disk full, directory removed) must not
+                # discard a fully computed result — only the entry is lost.
+                pass
+        return result
+
+    def _make_settler(self, job_id: str) -> Callable[[Future], None]:
+        def settle(future: Future) -> None:
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state in JobState.TERMINAL:
+                    return
+                job.finished_at = time.time()
+                if future.cancelled():
+                    job.state = JobState.CANCELLED
+                    self._counters["cancelled"] += 1
+                else:
+                    error = future.exception()
+                    if error is not None:
+                        job.state = JobState.FAILED
+                        job.error = f"{type(error).__name__}: {error}"
+                        self._counters["failed"] += 1
+                    else:
+                        job.state = JobState.DONE
+                        job.result = future.result()
+                        self._counters["completed"] += 1
+                self._release_inflight(job.fingerprint, job_id)
+
+        return settle
+
+    def _release_inflight(self, fingerprint: str, job_id: str) -> None:
+        jobs = self._inflight_jobs.get(fingerprint)
+        if jobs is None:
+            return
+        if job_id in jobs:
+            jobs.remove(job_id)
+        if not jobs:
+            self._inflight.pop(fingerprint, None)
+            self._inflight_jobs.pop(fingerprint, None)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise JobError(f"unknown job id {job_id!r}") from None
+
+    def _snapshot(self, job: Job) -> Job:
+        return Job(**{name: getattr(job, name) for name in job.__dataclass_fields__})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """JSON-ready status of one job (raises :class:`JobError` if unknown)."""
+        with self._lock:
+            return self._job(job_id).to_status()
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> ResultSet:
+        """The job's ResultSet, waiting up to ``timeout`` for completion.
+
+        ``timeout=0`` polls; a job that failed re-raises its error as
+        :class:`JobError`.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.state == JobState.DONE and job.result is not None:
+                return job.result
+            if job.state == JobState.FAILED:
+                raise JobError(f"job {job_id} failed: {job.error}")
+            if job.state == JobState.CANCELLED:
+                raise JobError(f"job {job_id} was cancelled")
+            future = self._futures.get(job_id)
+        if future is None:
+            raise JobError(f"job {job_id} has no pending computation")
+        try:
+            result = future.result(timeout=timeout)
+        except CancelledError:
+            raise JobError(f"job {job_id} was cancelled") from None
+        except FutureTimeoutError:
+            # Not the builtin TimeoutError before Python 3.11; re-raise so
+            # "still computing" never masquerades as "computation failed".
+            raise
+        except Exception as exc:
+            raise JobError(f"job {job_id} failed: {type(exc).__name__}: {exc}") from exc
+        return result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; returns whether the submission is cancelled.
+
+        A job that shares its computation with other live submissions
+        detaches without touching the shared future; the last attached
+        submission also attempts to cancel the computation itself (which
+        only succeeds while it is still queued on the pool).
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.state in JobState.TERMINAL:
+                return job.state == JobState.CANCELLED
+            future = self._futures.get(job_id)
+            peers = [
+                peer
+                for peer in self._inflight_jobs.get(job.fingerprint, [])
+                if peer != job_id
+            ]
+            if peers:
+                # Other live submissions share this computation: detach
+                # this one without touching the shared future (possible
+                # even while the computation runs).
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self._counters["cancelled"] += 1
+                self._release_inflight(job.fingerprint, job_id)
+                self._futures.pop(job_id, None)
+                return True
+            if job.state == JobState.RUNNING:
+                return False
+            if future is not None and future.cancel():
+                # cancel() ran the settle callback synchronously (the
+                # lock is re-entrant), which did the state bookkeeping.
+                self._futures.pop(job_id, None)
+                return True
+            return False
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Status views of every known job, newest first."""
+        with self._lock:
+            return [
+                job.to_status()
+                for job in sorted(
+                    self._jobs.values(), key=lambda j: j.id, reverse=True
+                )
+            ]
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime counters plus the in-flight gauge (``/v1/healthz``)."""
+        with self._lock:
+            payload: Dict[str, Any] = dict(self._counters)
+            payload["in_flight"] = len(self._inflight)
+            payload["jobs"] = len(self._jobs)
+            return payload
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; ``wait=False`` abandons in-flight jobs.
+
+        A no-wait shutdown detaches the workers from
+        ``concurrent.futures``' atexit join so that hook cannot hold the
+        process hostage until a running experiment finishes.  The worker
+        threads themselves are non-daemon, so a caller that must exit
+        with work still in flight (``repro serve`` on Ctrl-C) has to
+        hard-exit after calling this.
+        """
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
+        if not wait:
+            for worker in list(getattr(self._executor, "_threads", ())):
+                _futures_thread._threads_queues.pop(worker, None)
+
+    def __enter__(self) -> "ExperimentQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,272 @@
+"""HTTP experiment server (stdlib only).
+
+:class:`ExperimentServer` exposes the declarative API over a JSON HTTP
+interface built on :class:`http.server.ThreadingHTTPServer` — no new
+dependencies:
+
+==========================================  =============================================
+route                                       behaviour
+==========================================  =============================================
+``POST /v1/experiments``                    body = ExperimentSpec JSON; submits to the
+                                            queue, returns the job ticket (``201``, or
+                                            ``200`` when served straight from cache)
+``GET /v1/experiments/<id>``                job status (``404`` for unknown ids)
+``GET /v1/experiments/<id>/result``         the ResultSet; ``?format=json|csv|text``
+                                            (``202`` while pending, ``500`` on failure)
+``DELETE /v1/experiments/<id>``             cancel a queued job
+``GET /v1/experiments``                     every known job, newest first
+``GET /v1/healthz``                         liveness + cache and queue statistics
+==========================================  =============================================
+
+``GET .../result`` always serves the serialised twin of the ResultSet
+(records + metadata, no typed payload), so responses are byte-identical
+whether the job computed or hit the cache.  The trade-off: campaign
+CSV/text use the generic record layout of the serialised form rather
+than ``repro run``'s typed table rendering — the records themselves are
+identical (the parity suite pins them at ``rtol <= 1e-12``).
+
+Errors are JSON objects with an ``error`` key; invalid specs come back
+as ``400`` with the one-line :class:`~repro.core.spec.SpecError` text.
+The server binds to port 0 for an ephemeral port (the test suite's
+mode); ``repro serve`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..api import ResultSet, load_spec
+from ..core.spec import SpecError
+from .cache import ResultCache
+from .queue import ExperimentQueue, JobError, JobState
+
+__all__ = ["ExperimentServer", "RESULT_FORMATS"]
+
+#: Renderings of ``GET /v1/experiments/<id>/result`` and their MIME types.
+RESULT_FORMATS: Dict[str, Tuple[str, str]] = {
+    "json": ("to_json", "application/json"),
+    "csv": ("to_csv", "text/csv"),
+    "text": ("to_text", "text/plain"),
+}
+
+
+def render_result(result: ResultSet, fmt: str) -> Tuple[str, str]:
+    """The (body, content-type) of a ResultSet in one of the wire formats."""
+    try:
+        method, content_type = RESULT_FORMATS[fmt]
+    except KeyError:
+        raise SpecError(
+            f"unknown result format {fmt!r}; available: {sorted(RESULT_FORMATS)}"
+        ) from None
+    return getattr(result, method)(), content_type
+
+
+class _ExperimentHandler(BaseHTTPRequestHandler):
+    """One request; the queue and cache hang off the server instance."""
+
+    server: "_HTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._send(status, json.dumps(payload, indent=2), "application/json")
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        return parsed.path.rstrip("/"), query
+
+    # -- verbs --------------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        if path != "/v1/experiments":
+            self._send_error(404, f"no POST route {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8")
+            spec = load_spec(json.loads(body) if body else {})
+        except (SpecError, ValueError, UnicodeDecodeError) as exc:
+            self._send_error(400, f"invalid experiment spec: {exc}")
+            return
+        job = self.server.queue.submit(spec)
+        self._send_json(200 if job.cached else 201, job.to_status())
+
+    def do_GET(self) -> None:  # noqa: N802
+        path, query = self._route()
+        if path == "/v1/healthz":
+            self._send_json(200, self.server.health())
+            return
+        if path == "/v1/experiments":
+            self._send_json(200, {"jobs": self.server.queue.jobs()})
+            return
+        parts = path.split("/")
+        # /v1/experiments/<id> and /v1/experiments/<id>/result
+        if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "experiments":
+            job_id = parts[3]
+            if len(parts) == 4:
+                self._job_status(job_id)
+                return
+            if len(parts) == 5 and parts[4] == "result":
+                self._job_result(job_id, query.get("format", "json"))
+                return
+        self._send_error(404, f"no GET route {path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        parts = path.split("/")
+        if len(parts) == 4 and parts[1] == "v1" and parts[2] == "experiments":
+            try:
+                cancelled = self.server.queue.cancel(parts[3])
+            except JobError as exc:
+                self._send_error(404, str(exc))
+                return
+            status = self.server.queue.status(parts[3])
+            status["cancelled"] = cancelled
+            self._send_json(200 if cancelled else 409, status)
+            return
+        self._send_error(404, f"no DELETE route {path!r}")
+
+    # -- job views ----------------------------------------------------------------------
+
+    def _job_status(self, job_id: str) -> None:
+        try:
+            self._send_json(200, self.server.queue.status(job_id))
+        except JobError as exc:
+            self._send_error(404, str(exc))
+
+    def _job_result(self, job_id: str, fmt: str) -> None:
+        queue = self.server.queue
+        try:
+            status = queue.status(job_id)
+        except JobError as exc:
+            self._send_error(404, str(exc))
+            return
+        state = status["state"]
+        if state in (JobState.QUEUED, JobState.RUNNING):
+            self._send_json(202, status)
+            return
+        if state in (JobState.FAILED, JobState.CANCELLED):
+            self._send_json(500 if state == JobState.FAILED else 409, status)
+            return
+        result = queue.result(job_id, timeout=0)
+        # Serve the serialised twin whether the job computed or hit the
+        # cache, so identical experiments return identical bytes in every
+        # format regardless of cache state.
+        if result.payload is not None:
+            result = ResultSet.from_dict(result.to_dict())
+        try:
+            body, content_type = render_result(result, fmt)
+        except SpecError as exc:
+            self._send_error(400, str(exc))
+            return
+        self._send(200, body, content_type)
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    queue: ExperimentQueue
+    verbose: bool
+
+    def health(self) -> Dict[str, Any]:
+        cache = self.queue.cache
+        return {
+            "status": "ok",
+            "version": __version__,
+            "cache": None if cache is None else cache.stats_dict(),
+            "queue": self.queue.stats(),
+        }
+
+
+class ExperimentServer:
+    """The assembled service: cache + queue + threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` /
+    ``.url``).  ``cache_dir=None`` disables caching entirely — every
+    submission computes.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        max_entries: int = 256,
+        workers: int = 2,
+        verbose: bool = False,
+    ) -> None:
+        self.cache = None if cache_dir is None else ResultCache(cache_dir, max_entries)
+        self.queue = ExperimentQueue(workers=workers, cache=self.cache)
+        self._http = _HTTPServer((host, port), _ExperimentHandler)
+        self._http.queue = self.queue
+        self._http.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+        self._served = False
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ExperimentServer":
+        """Serve on a daemon background thread; returns self (chainable)."""
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-http", daemon=True
+        )
+        self._served = True
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` mode)."""
+        self._served = True
+        self._http.serve_forever()
+
+    def shutdown(self) -> None:
+        if self._served:
+            # socketserver's shutdown event starts unset; calling
+            # shutdown() on a server that never served would block.
+            self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.queue.shutdown(wait=False)
+
+    def __enter__(self) -> "ExperimentServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -350,3 +350,92 @@ class TestSpecDumpRunConsistency:
         assert main(["run", str(spec_path)]) == 2
         err = capsys.readouterr().err
         assert err.startswith("repro: error:") and "Traceback" not in err
+
+
+class TestServiceVerbs:
+    """The `serve` / `submit` verbs and the hardened run/submit error paths."""
+
+    def test_serve_and_submit_parsers_registered(self):
+        parser = build_parser()
+        serve = parser.parse_args(
+            ["serve", "--port", "0", "--cache-dir", "runs/cache", "--workers", "3"]
+        )
+        assert serve.command == "serve"
+        assert serve.port == 0 and serve.cache_dir == "runs/cache" and serve.workers == 3
+        submit = parser.parse_args(
+            ["submit", "spec.json", "--wait", "--format", "csv",
+             "--url", "http://127.0.0.1:9", "--timeout", "7", "--output", "x.csv"]
+        )
+        assert submit.command == "submit"
+        assert submit.wait and submit.format == "csv" and submit.timeout == 7.0
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "csv"])
+    def test_run_missing_spec_exits_two_for_every_format(self, fmt, capsys):
+        assert main(["run", "no-such-spec.json", "--format", fmt]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
+        assert err.count("\n") == 1  # one-line message
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "csv"])
+    def test_submit_missing_spec_exits_two_for_every_format(self, fmt, capsys):
+        assert main(["submit", "no-such-spec.json", "--wait", "--format", fmt]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
+        assert err.count("\n") == 1
+
+    def test_run_unreadable_spec_directory_exits_two(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
+
+    def test_submit_without_server_exits_two(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", "dump", "--output", str(spec_path)] + FAST) == 0
+        capsys.readouterr()
+        # Port 9 (discard) refuses connections; the client must surface a
+        # one-line ServiceError, not a traceback.
+        assert main(
+            ["submit", str(spec_path), "--url", "http://127.0.0.1:9", "--wait"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach the experiment server" in err
+
+    def test_run_output_into_missing_directory_exits_two(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", "dump", "--kind", "worst_case", "--output", str(spec_path)]) == 0
+        capsys.readouterr()
+        missing = tmp_path / "no" / "such" / "dir" / "out.txt"
+        assert main(["run", str(spec_path), "--output", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
+
+    def test_run_output_writes_the_report_atomically(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", "dump", "--kind", "worst_case", "--output", str(spec_path)]) == 0
+        out_path = tmp_path / "report.csv"
+        out_path.write_text("stale", encoding="utf-8")
+        assert main(["run", str(spec_path), "--format", "csv", "--output", str(out_path)]) == 0
+        capsys.readouterr()
+        text = out_path.read_text(encoding="utf-8")
+        assert text.startswith("record,") and "stale" not in text
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_submit_round_trip_against_a_live_server(self, tmp_path, capsys):
+        from repro.service.server import ExperimentServer
+
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", "dump", "--kind", "worst_case", "--output", str(spec_path)]) == 0
+        capsys.readouterr()
+        with ExperimentServer(cache_dir=tmp_path / "cache", workers=1) as server:
+            out_path = tmp_path / "result.json"
+            assert main(
+                ["submit", str(spec_path), "--url", server.url,
+                 "--wait", "--format", "json", "--output", str(out_path)]
+            ) == 0
+            payload = json.loads(out_path.read_text(encoding="utf-8"))
+            assert payload["kind"] == "worst_case" and payload["n_records"] > 0
+            # Fire-and-forget submission prints the ticket (now a cache hit).
+            assert main(["submit", str(spec_path), "--url", server.url]) == 0
+            ticket = json.loads(capsys.readouterr().out)
+            assert ticket["cached"] is True and ticket["state"] == "done"
