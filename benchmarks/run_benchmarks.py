@@ -17,6 +17,13 @@ sequential per-experiment pipelines (fresh ``WorstCaseStudy`` +
 the :class:`SimulationCampaign` engine at one and at ``--sim-workers``
 processes, verifies row-level parity, and writes ``BENCH_sim.json``.
 
+``--suite faults`` is the chaos bench: it runs a small campaign under
+injected solver faults (``repro.testing.faults``) and measures the cost
+of fault tolerance — the retry policy must reproduce the fault-free
+records bit-for-bit under transient faults, the skip policy must fail
+exactly the items the fault plan predicts, and the durable job journal
+must replay at a usable rate — writing ``BENCH_faults.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # both suites, full size
@@ -602,6 +609,136 @@ def run_service_bench(
     }
 
 
+def run_faults_bench(journal_entries: int = 500) -> dict:
+    """Chaos bench: campaign fault tolerance and journal replay rate.
+
+    Three measurements, each with a hard correctness gate:
+
+    * ``retry`` — a nominal campaign under a 50% transient solver-fault
+      rate with ``failure_policy="retry"``; every record must match the
+      fault-free run bit-for-bit (``wall_s`` aside), and the reported
+      overhead is the wall-time ratio chaos / fault-free;
+    * ``skip``  — the same campaign under a persistent fault with
+      ``failure_policy="skip"``; the failed set must equal exactly the
+      items :meth:`FaultPlan.hits_solver` predicts;
+    * ``journal`` — replay + compaction rate of a WAL holding
+      ``journal_entries`` submissions (half of them settled).
+    """
+    import tempfile
+    from dataclasses import replace
+
+    from repro.core.campaign import SimulationCampaign, scenario_grid
+    from repro.core.spec import ArraySpec, ExecutionSpec, ExperimentSpec
+    from repro.service.journal import JobJournal
+    from repro.technology import n10
+    from repro.testing import FaultPlan
+    from repro.testing.faults import injected
+    from repro.variability.doe import StudyDOE
+
+    def campaign(**overrides) -> SimulationCampaign:
+        options = dict(
+            doe=StudyDOE(array_sizes=(16,)),
+            scenarios=scenario_grid(stored_values=(0, 1)),
+        )
+        options.update(overrides)
+        return SimulationCampaign(n10(), **options)
+
+    def keyed(results) -> dict:
+        return {r.key: replace(r, wall_s=0.0) for r in results.records}
+
+    start = time.perf_counter()
+    baseline = campaign().run(kinds=("nominal",))
+    clean_wall = time.perf_counter() - start
+    assert not baseline.failures, "fault-free campaign must not fail"
+    reference = keyed(baseline)
+    print(f"faults fault-free wall      {clean_wall*1e3:9.2f} ms"
+          f"  ({len(reference)} items)")
+
+    # Transient faults (each item faults once, then runs clean): retry
+    # must recover every item bit-identically.
+    transient = FaultPlan(seed=11, solver_fail_rate=0.5, solver_fail_attempts=1)
+    retrying = campaign(
+        failure_policy="retry", max_retries=3, retry_backoff_s=0.001
+    )
+    with injected(transient):
+        start = time.perf_counter()
+        chaos = retrying.run(kinds=("nominal",))
+        chaos_wall = time.perf_counter() - start
+    retry_mismatches = sum(
+        1 for key, record in keyed(chaos).items() if reference.get(key) != record
+    )
+    retry_ok = not chaos.failures and retry_mismatches == 0
+    overhead = chaos_wall / clean_wall if clean_wall > 0 else float("inf")
+    print(f"faults retry chaos wall     {chaos_wall*1e3:9.2f} ms"
+          f"  (overhead {overhead:.2f}x, mismatches {retry_mismatches})")
+
+    # Persistent faults: skip must fail exactly the predicted set.
+    persistent = FaultPlan(seed=11, solver_fail_rate=0.5, solver_fail_attempts=99)
+    skipping = campaign(failure_policy="skip")
+    predicted = {
+        item.key
+        for item in skipping.work_items(kinds=("nominal",))
+        if persistent.hits_solver(item.key)
+    }
+    with injected(persistent):
+        partial = skipping.run(kinds=("nominal",))
+    failed = {failure.key for failure in partial.failures}
+    skip_ok = failed == predicted and all(
+        reference[r.key] == replace(r, wall_s=0.0) for r in partial.records
+    )
+    print(f"faults skip policy          {len(failed):9d} failed"
+          f"  (predicted {len(predicted)}, survivors intact: {skip_ok})")
+
+    # Journal replay throughput over a WAL with a settled half.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        journal = JobJournal(Path(tmp) / "journal.jsonl")
+        spec = ExperimentSpec(kind="campaign", array=ArraySpec(sizes=(16,)))
+        start = time.perf_counter()
+        tokens = []
+        for i in range(journal_entries):
+            variant = replace(spec, execution=ExecutionSpec(seed=i))
+            tokens.append(journal.record_submitted(variant.fingerprint(), variant))
+        append_wall = time.perf_counter() - start
+        for token in tokens[::2]:
+            journal.record_terminal(token, "done")
+        start = time.perf_counter()
+        outstanding = journal.replay()
+        replay_wall = time.perf_counter() - start
+        compacted = journal.compact()
+    journal_ok = len(outstanding) == journal_entries - len(tokens[::2])
+    replay_rate = journal_entries / replay_wall if replay_wall > 0 else float("inf")
+    print(f"faults journal replay       {replay_rate:9.0f} entries/s"
+          f"  ({journal_entries} appended, {len(outstanding)} outstanding, "
+          f"{compacted} compacted)")
+
+    return {
+        "campaign": {"items": len(reference), "fault_free_wall_s": round(clean_wall, 6)},
+        "retry": {
+            "fault_rate": transient.solver_fail_rate,
+            "wall_s": round(chaos_wall, 6),
+            "overhead_x": round(overhead, 2),
+            "mismatches": retry_mismatches,
+            "failures": len(chaos.failures),
+            "bit_identical": retry_ok,
+        },
+        "skip": {
+            "fault_rate": persistent.solver_fail_rate,
+            "predicted_failures": sorted(predicted),
+            "observed_failures": sorted(failed),
+            "isolation_exact": skip_ok,
+        },
+        "journal": {
+            "entries": journal_entries,
+            "append_wall_s": round(append_wall, 6),
+            "replay_wall_s": round(replay_wall, 6),
+            "replay_entries_per_s": round(replay_rate, 1),
+            "outstanding": len(outstanding),
+            "compacted_lines": compacted,
+            "consistent": journal_ok,
+        },
+    }
+
+
 def _environment() -> dict:
     return {
         "python": platform.python_version(),
@@ -612,7 +749,7 @@ def _environment() -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("mc", "sim", "ops", "service", "all"),
+    parser.add_argument("--suite", choices=("mc", "sim", "ops", "service", "faults", "all"),
                         default="all",
                         help="which bench suite(s) to run (default: all)")
     parser.add_argument("--samples", type=int, default=1000,
@@ -645,6 +782,11 @@ def main() -> int:
     parser.add_argument("--service-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
                         help="where to write the service JSON report")
+    parser.add_argument("--journal-entries", type=int, default=500,
+                        help="WAL submissions in the faults journal bench (default 500)")
+    parser.add_argument("--faults-output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_faults.json",
+                        help="where to write the chaos-bench JSON report")
     args = parser.parse_args()
 
     exit_code = 0
@@ -751,6 +893,36 @@ def main() -> int:
         )
         if speedup < 10.0:
             print("WARNING: warm-cache path is below the 10x acceptance floor")
+            exit_code = 1
+
+    if args.suite in ("faults", "all"):
+        started = time.time()
+        report = {
+            "bench": "fault_tolerance",
+            "description": (
+                "Chaos benches: campaign failure policies under injected "
+                "solver faults and durable-journal replay throughput"
+            ),
+            "timestamp_unix": int(started),
+            "environment": _environment(),
+        }
+        report.update(run_faults_bench(args.journal_entries))
+        report["harness_wall_s"] = round(time.time() - started, 3)
+
+        args.faults_output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.faults_output}")
+        print(
+            f"retry overhead: {report['retry']['overhead_x']}x, journal replay "
+            f"{report['journal']['replay_entries_per_s']} entries/s"
+        )
+        if not report["retry"]["bit_identical"]:
+            print("WARNING: retry policy did not reproduce fault-free records")
+            exit_code = 1
+        if not report["skip"]["isolation_exact"]:
+            print("WARNING: skip policy failed a different set than the fault plan predicts")
+            exit_code = 1
+        if not report["journal"]["consistent"]:
+            print("WARNING: journal replay returned an inconsistent outstanding set")
             exit_code = 1
 
     return exit_code

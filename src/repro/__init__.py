@@ -64,7 +64,7 @@ from .core import (
 )
 from .technology import TechnologyNode, n10
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalyticalDelayModel",

@@ -44,7 +44,8 @@ from typing import (
     Union,
 )
 
-from .core.campaign import SimulationCampaign
+from .core.campaign import CampaignError, SimulationCampaign
+from .core.failures import FAILURE_POLICIES
 from .core.montecarlo import MonteCarloTdpStudy
 from .core.spec import (
     EXECUTION_BACKENDS,
@@ -78,6 +79,14 @@ class ResultSet:
     ``payload`` holds the engine's typed rows so the reporting layer can
     render unit-aware tables without re-deriving them; it is not part of
     the serialised form.
+
+    A result may be *partial*: under the ``skip``/``retry`` failure
+    policies, items that failed every attempt appear as error rows
+    (``record == "failure"``, see
+    :meth:`~repro.core.failures.ItemFailure.to_record`) among the
+    records, and :attr:`failures` lists exactly those rows.  Because
+    failure rows are ordinary records, partiality survives every
+    serialisation round trip for free.
     """
 
     spec: ExperimentSpec
@@ -102,6 +111,13 @@ class ResultSet:
         """The flat records, one dictionary per measurement."""
         return list(self.records)
 
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """The typed error rows of a partial result (empty when complete)."""
+        return [
+            record for record in self.records if record.get("record") == "failure"
+        ]
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready report: spec, kind metadata and every record."""
         payload: Dict[str, Any] = {
@@ -111,6 +127,7 @@ class ResultSet:
         }
         payload.update(self.meta)
         payload["n_records"] = len(self.records)
+        payload["n_failures"] = len(self.failures)
         payload["records"] = [dict(record) for record in self.records]
         return payload
 
@@ -118,7 +135,9 @@ class ResultSet:
         return json.dumps(self.to_dict(), indent=indent)
 
     #: ``to_dict`` keys that are not kind-specific metadata.
-    _RESERVED_KEYS = frozenset({"schema_version", "kind", "spec", "n_records", "records"})
+    _RESERVED_KEYS = frozenset(
+        {"schema_version", "kind", "spec", "n_records", "n_failures", "records"}
+    )
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ResultSet":
@@ -170,7 +189,10 @@ class ResultSet:
         """
         from .reporting.tables import format_campaign_csv, record_headers
 
-        if self.kind == "campaign" and self.payload is not None:
+        # A partial campaign falls through to the generic layout: the
+        # campaign CSV's fixed columns have no home for failure rows, and
+        # silently dropping them would make a partial export look whole.
+        if self.kind == "campaign" and self.payload is not None and not self.failures:
             return format_campaign_csv(self.payload)
         headers = record_headers(self.records)
         buffer = io.StringIO()
@@ -282,8 +304,14 @@ def _run_campaign(spec: ExperimentSpec, workers: int) -> ResultSet:
     records = []
     for record in results:
         row = record.to_dict()
-        row["impact_percent"] = results.penalty_percent_for(record)
+        try:
+            row["impact_percent"] = results.penalty_percent_for(record)
+        except CampaignError:
+            # The corner survived but its nominal twin failed: the record
+            # stands on its own, the relative impact is uncomputable.
+            row["impact_percent"] = None
         records.append(row)
+    records.extend(failure.to_record() for failure in results.failures)
     return ResultSet(
         spec=spec,
         records=records,
@@ -349,6 +377,7 @@ def _run_operations(spec: ExperimentSpec, workers: int) -> ResultSet:
             records.extend(row.to_records())
     for rows in sigma.values():
         records.extend(row.to_record() for row in rows)
+    records.extend(failure.to_record() for failure in results.failures)
     return ResultSet(
         spec=spec,
         records=records,
@@ -403,6 +432,7 @@ def run(
     spec: SpecSource,
     workers: Optional[int] = None,
     cache: Optional["ResultCacheProtocol"] = None,
+    failure_policy: Optional[str] = None,
 ) -> ResultSet:
     """Run the experiment a spec describes and return its :class:`ResultSet`.
 
@@ -422,15 +452,33 @@ def run(
         without recomputation, and fresh results are stored on the way
         out — every kind (campaign, worst-case, operations, Monte-Carlo,
         yield) dedupes transparently.  Cached results carry the records
-        byte-for-byte but no typed ``payload``.
+        byte-for-byte but no typed ``payload``.  A *partial* result (one
+        with failure rows) is never cached: the fingerprint is neutral to
+        the failure knobs, so caching it would serve the partial result
+        to callers who would have computed a complete one.
+    failure_policy:
+        Optional override of ``execution.failure_policy`` (the CLI's
+        ``--failure-policy`` hook).  Fingerprint-neutral, like
+        ``workers``.
     """
     chosen = load_spec(spec)
+    if failure_policy is not None:
+        if failure_policy not in FAILURE_POLICIES:
+            raise SpecError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        chosen = chosen.with_execution(
+            ExecutionSpec.from_dict(
+                {**chosen.execution.to_dict(), "failure_policy": failure_policy}
+            )
+        )
     if cache is not None:
         hit = cache.get(chosen)
         if hit is not None:
             return hit
     effective = workers if workers is not None else resolve_workers(chosen.execution)
     result = _RUNNERS[chosen.kind](chosen, max(1, int(effective)))
-    if cache is not None:
+    if cache is not None and not result.failures:
         cache.put(chosen, result)
     return result

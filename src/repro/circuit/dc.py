@@ -23,8 +23,10 @@ butterfly curves are traced with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +36,68 @@ from .netlist import Circuit
 
 class ConvergenceError(RuntimeError):
     """Raised when the DC operating point cannot be found."""
+
+
+# -- retry rescue ladder ----------------------------------------------------------------
+#
+# When the campaign engine retries a failed work item it escalates the
+# solver's robustness instead of repeating the identical attempt: a
+# larger Newton iteration budget, and a small deterministic jitter on the
+# caller's initial guess so a retry does not start on exactly the
+# unstable ridge that defeated the first attempt.  The escalation level
+# is thread-local state (set via :func:`solver_rescue`) rather than a
+# parameter, because the solver sits many call layers below the retry
+# loop (campaign -> operation -> simulator -> transient/DC) and every
+# intermediate layer would otherwise have to forward it.
+
+_rescue_state = threading.local()
+_singular_state = threading.local()
+
+
+def rescue_level() -> int:
+    """The active escalation level (0 = normal solve, no escalation)."""
+    return getattr(_rescue_state, "level", 0)
+
+
+def _rescue_seed() -> int:
+    return getattr(_rescue_state, "seed", 0)
+
+
+@contextmanager
+def solver_rescue(level: int, seed: int = 0) -> Iterator[None]:
+    """Escalate solver robustness for the body (used by item retries).
+
+    ``level`` scales the Newton iteration budget by ``1 + level`` (DC)
+    and the transient step budget likewise, and perturbs user-supplied
+    initial guesses by up to ``5 mV × level`` with an rng seeded from
+    ``seed`` — deterministic per (seed, level), so retries are
+    reproducible.  Level 0 restores normal behaviour.
+    """
+    previous = (rescue_level(), _rescue_seed())
+    _rescue_state.level = max(0, int(level))
+    _rescue_state.seed = int(seed)
+    try:
+        yield
+    finally:
+        _rescue_state.level, _rescue_state.seed = previous
+
+
+def _perturbed_initial_voltages(
+    initial_voltages: Optional[Dict[str, float]],
+) -> Optional[Dict[str, float]]:
+    level = rescue_level()
+    if not level or not initial_voltages:
+        return initial_voltages
+    rng = np.random.default_rng((_rescue_seed() * 1_000_003 + level) % 2**32)
+    jitter_v = 0.005 * level
+    return {
+        name: float(value) + float(rng.uniform(-jitter_v, jitter_v))
+        for name, value in sorted(initial_voltages.items())
+    }
+
+
+def _saw_singular() -> bool:
+    return getattr(_singular_state, "seen", False)
 
 
 @dataclass
@@ -103,7 +167,10 @@ def _newton_solve(
         except RuntimeError:
             # Exactly singular Jacobian at this gmin: report non-convergence
             # so the caller's gmin-stepping fallback can regularise and retry
-            # instead of aborting the whole operating-point search.
+            # instead of aborting the whole operating-point search.  The
+            # thread-local flag lets the final ConvergenceError say so,
+            # which is what failure classification keys on.
+            _singular_state.seen = True
             return x, iteration, False, max_residual
         delta = np.asarray(delta).ravel()
         # Limit the per-iteration voltage step for robustness.
@@ -266,6 +333,14 @@ def dc_operating_point(
         the sources' own waveform values (used by :func:`dc_sweep`).
     """
     chosen_options = options if options is not None else NewtonOptions()
+    level = rescue_level()
+    if level:
+        chosen_options = replace(
+            chosen_options,
+            max_iterations=chosen_options.max_iterations * (1 + level),
+        )
+        initial_voltages = _perturbed_initial_voltages(initial_voltages)
+    _singular_state.seen = False
 
     for gmin_attempt in (gmin_s, gmin_s * 1e3, gmin_s * 1e6):
         assembler = MNAAssembler(circuit, gmin_s=gmin_attempt)
@@ -337,8 +412,9 @@ def dc_operating_point(
             max_residual_a=max_residual,
         )
 
+    singular_note = " after a singular Jacobian was encountered" if _saw_singular() else ""
     raise ConvergenceError(
-        "DC operating point did not converge "
+        f"DC operating point did not converge{singular_note} "
         f"(last max residual {max_residual:.3e} A)"
     )
 

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from .dc import ConvergenceError, NewtonOptions
+from .dc import ConvergenceError, NewtonOptions, rescue_level
 from .mna import CachedFactorSolver, JacobianTemplate, MNAAssembler
 from .netlist import Circuit
 from .waveform import TransientResult
@@ -76,6 +76,9 @@ class TransientSolver:
         # previously solved same-topology circuit (e.g. the same RC ladder
         # at a different patterning corner) so only the values are rebuilt.
         self.solver_cache = CachedFactorSolver(self.assembler, like=jacobian_like)
+        # Set when a time step hits an exactly singular system; surfaces in
+        # the ConvergenceError message so failures classify correctly.
+        self._singular_seen = False
 
     # -- single implicit step -----------------------------------------------------
 
@@ -124,6 +127,7 @@ class TransientSolver:
             try:
                 delta = solver.solve(c_factor, stamp, -residual)
             except RuntimeError:
+                self._singular_seen = True
                 return None
             delta = np.asarray(delta).ravel()
             if not np.all(np.isfinite(delta)):
@@ -180,6 +184,12 @@ class TransientSolver:
         dt_s = options.dt_initial_s
         stop_reason = "tstop"
         steps = 0
+        # Item-retry rescue: each escalation level buys a larger accepted-
+        # step budget and a lower dt floor, so a retry of an item that died
+        # on budget exhaustion or step underflow actually tries harder.
+        level = rescue_level()
+        max_steps = options.max_steps * (1 + level)
+        dt_min_s = options.dt_min_s / (10.0 ** level)
 
         # ``steps`` counts *accepted* steps only: a rejected (non-converged)
         # step is retried at half the size without consuming budget, so
@@ -187,9 +197,9 @@ class TransientSolver:
         # spuriously.  Rejections are still bounded — each one shrinks dt
         # and the solver raises once dt falls below ``dt_min_s``.
         while time_s < options.t_stop_s:
-            if steps >= options.max_steps:
+            if steps >= max_steps:
                 raise ConvergenceError(
-                    f"transient exceeded {options.max_steps} accepted steps "
+                    f"transient exceeded {max_steps} accepted steps "
                     f"before t_stop (reached t={time_s:.3e} s of "
                     f"{options.t_stop_s:.3e} s)"
                 )
@@ -197,10 +207,15 @@ class TransientSolver:
             solution = self._newton_step(x, time_s + dt_s, dt_s, x)
             if solution is None:
                 dt_s *= options.dt_shrink
-                if dt_s < options.dt_min_s:
+                if dt_s < dt_min_s:
+                    singular_note = (
+                        " after a singular Jacobian was encountered"
+                        if self._singular_seen
+                        else ""
+                    )
                     raise ConvergenceError(
                         f"transient step at t={time_s:.3e} s failed below the "
-                        f"minimum step size ({options.dt_min_s:.1e} s)"
+                        f"minimum step size ({dt_min_s:.1e} s){singular_note}"
                     )
                 continue
 

@@ -31,9 +31,10 @@ experiment server (see :mod:`repro.service`)::
 
 Global options select the overlay budget, the array sizes, the Monte-Carlo
 sample count, the random seed and the worker count, so parameter studies
-are one shell loop away.  Domain errors (bad specs, unknown operations,
-mismatched stores) exit with code 2 and a one-line message instead of a
-traceback.
+are one shell loop away.  Exit codes: 0 on success, 2 on domain errors
+(bad specs, unknown operations, mismatched stores — a one-line message,
+never a traceback), 3 when a ``run`` completes *partially* (a ``skip`` or
+``retry`` failure policy isolated per-item failures into error rows).
 """
 
 from __future__ import annotations
@@ -50,6 +51,7 @@ from .core.campaign import CAMPAIGN_METHODS, CampaignError
 from .core.comparison import ComparisonError, OptionComparison
 from .core.montecarlo import MonteCarloStudyError
 from .core.operations import OPERATION_NAMES, OperationError
+from .core.failures import FAILURE_POLICIES
 from .core.spec import (
     EXPERIMENT_KINDS,
     ArraySpec,
@@ -261,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the worker count the spec's executor backend resolves",
     )
     run_parser.add_argument(
+        "--failure-policy",
+        choices=FAILURE_POLICIES,
+        default=None,
+        metavar="POLICY",
+        help=(
+            "override the spec's per-item failure policy "
+            f"({'|'.join(FAILURE_POLICIES)}); skip/retry isolate failing "
+            "items into error rows and exit 3 on a partial result"
+        ),
+    )
+    run_parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -331,6 +344,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent experiment jobs (default: 2)",
     )
     serve_parser.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "durable job journal (JSONL WAL); defaults to "
+            "<cache-dir>/journal.jsonl when --cache-dir is set"
+        ),
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job deadline in seconds (default: none)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help=(
+            "on Ctrl-C, wait up to S seconds for in-flight jobs before "
+            "abandoning them to the journal (default: 10)"
+        ),
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
 
@@ -363,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json", "csv"),
         default="text",
         help="--wait report format (default: text)",
+    )
+    submit_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry connection-level failures N times with backoff (default: 2)",
     )
     submit_parser.add_argument(
         "--output",
@@ -573,30 +620,52 @@ def _serve(args: argparse.Namespace) -> str:
             max_entries=args.max_entries,
             workers=args.workers,
             verbose=args.verbose,
+            journal_path=args.journal,
+            job_timeout_s=args.job_timeout,
         )
     except OSError as exc:
         # Port already bound, unwritable --cache-dir, ...: a one-line
         # exit-2 message, not a traceback.
         raise ServiceError(f"cannot start the experiment server: {exc}") from None
     cache_note = args.cache_dir if args.cache_dir else "disabled"
+    journal_note = str(server.journal.path) if server.journal is not None else "disabled"
     print(
         f"repro serve: listening on {server.url} "
-        f"(workers={args.workers}, cache={cache_note})",
+        f"(workers={args.workers}, cache={cache_note}, journal={journal_note})",
         file=sys.stderr,
         flush=True,
     )
+    if server.recovered:
+        print(
+            f"repro serve: recovered {server.recovered} journaled job"
+            f"{'s' if server.recovered != 1 else ''} from a previous run",
+            file=sys.stderr,
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        # Graceful drain: close the listener first (no new submissions),
+        # then give in-flight jobs --drain-timeout seconds to settle.
+        server.stop_serving()
+        drained = server.drain(args.drain_timeout)
         server.shutdown()
-        if server.queue.stats()["in_flight"]:
+        if not drained:
             # Worker threads are non-daemon and cannot be interrupted
             # mid-experiment; exit hard instead of hanging until the
-            # abandoned computation finishes.
+            # abandoned computation finishes.  With a journal, the
+            # undrained jobs stay journaled and the next start replays
+            # them; without one they are lost (as before).
+            note = (
+                "journaled for recovery on the next start"
+                if server.journal is not None
+                else "no journal, they are lost"
+            )
             print(
-                "repro serve: stopped; abandoning in-flight experiments",
+                f"repro serve: drain timed out after {args.drain_timeout:g}s; "
+                f"abandoning in-flight experiments ({note})",
                 file=sys.stderr,
                 flush=True,
             )
@@ -610,7 +679,7 @@ def _submit(args: argparse.Namespace) -> str:
     from .service.client import DEFAULT_URL, ExperimentClient
 
     spec = load_spec(Path(args.spec))
-    client = ExperimentClient(args.url or DEFAULT_URL)
+    client = ExperimentClient(args.url or DEFAULT_URL, max_retries=args.retries)
     ticket = client.submit(spec)
     if not args.wait:
         import json as _json
@@ -626,7 +695,15 @@ def _submit(args: argparse.Namespace) -> str:
 def _dispatch(args: argparse.Namespace) -> str:
     """Produce the report text for one parsed invocation."""
     if args.command == "run":
-        result = run_experiment(load_spec(Path(args.spec)), workers=args.workers)
+        result = run_experiment(
+            load_spec(Path(args.spec)),
+            workers=args.workers,
+            failure_policy=args.failure_policy,
+        )
+        if result.failures:
+            # Partial result: isolated per-item failures became error
+            # rows.  The report still renders; main() exits 3.
+            args._partial = True
         return _format_result(result, args.format)
     if args.command == "serve":
         return _serve(args)
@@ -666,13 +743,16 @@ def _dispatch(args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code (2 on domain errors).
+    """CLI entry point; returns a process exit code.
 
-    Domain errors (bad specs, missing or unreadable spec files, an
-    unreachable experiment server, an unwritable ``--output`` path) exit
-    with code 2 and a one-line message — never a traceback.  ``--output``
-    files are written atomically, so a crashed or interrupted run never
-    leaves a half-written report behind.
+    Exit codes: 0 on success; 2 on domain errors (bad specs, missing or
+    unreadable spec files, an unreachable experiment server, an
+    unwritable ``--output`` path — a one-line message, never a
+    traceback); 3 when ``run`` produced a *partial* result (a ``skip``
+    or ``retry`` failure policy turned per-item failures into error
+    rows — the report is complete and valid, but some items failed).
+    ``--output`` files are written atomically, so a crashed or
+    interrupted run never leaves a half-written report behind.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -691,7 +771,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
     else:
         sys.stdout.write(report)
-    return 0
+    return 3 if getattr(args, "_partial", False) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -37,6 +37,12 @@ from .comparison import (
     OptionComparison,
     OverlayRequirement,
 )
+from .failures import (
+    FAILURE_POLICIES,
+    ItemFailure,
+    ItemTimeoutError,
+    classify_error,
+)
 from .montecarlo import MonteCarloStudyError, MonteCarloTdpStudy
 from .operations import (
     OPERATION_NAMES,
@@ -109,7 +115,11 @@ __all__ = [
     "CampaignResults",
     "CampaignScenario",
     "CampaignStore",
+    "FAILURE_POLICIES",
+    "ItemFailure",
+    "ItemTimeoutError",
     "SimulationCampaign",
+    "classify_error",
     "scenario_grid",
     "AttributionError",
     "AttributionResult",

@@ -34,16 +34,21 @@ import json
 import os
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..circuit.dc import ConvergenceError, solver_rescue
+from ..circuit.mna import MNAError
 from ..technology.node import TechnologyNode
+from ..testing import faults
 from ..variability.doe import StudyDOE, paper_doe
 from .analytical import AnalyticalDelayModel
+from .failures import FAILURE_POLICIES, ItemFailure, ItemTimeoutError, item_deadline
 from .operations import (
     OPERATION_NAMES,
+    OperationError,
     OperationMeasurement,
     OperationSimulators,
     create_operation,
@@ -65,6 +70,41 @@ _METHOD_TAGS = {"backward-euler": "be", "trapezoidal": "trap"}
 
 class CampaignError(RuntimeError):
     """Raised when a campaign cannot be configured, run or resumed."""
+
+
+class CampaignExecutionError(CampaignError):
+    """A work item failed under ``failure_policy="fail_fast"``.
+
+    Carries the typed :class:`~repro.core.failures.ItemFailure` so callers
+    (and the CLI's error path) can report what failed and why without
+    parsing the message.
+    """
+
+    def __init__(self, failure: ItemFailure) -> None:
+        super().__init__(
+            f"campaign item {failure.key!r} failed "
+            f"({failure.classification} after {failure.attempts} "
+            f"attempt{'s' if failure.attempts != 1 else ''}): {failure.message}"
+        )
+        self.failure = failure
+
+    def __reduce__(self):
+        # Default exception pickling would re-call __init__ with the
+        # formatted message; reconstruct from the failure instead so the
+        # typed record survives the pool's process boundary.
+        return (CampaignExecutionError, (self.failure,))
+
+
+#: Exceptions the execution wrapper treats as *item* failures (isolated,
+#: classified, retried) rather than campaign bugs (propagated).
+_ITEM_ERRORS = (
+    ConvergenceError,
+    MNAError,
+    OperationError,
+    ItemTimeoutError,
+    FloatingPointError,
+    ZeroDivisionError,
+)
 
 
 @dataclass(frozen=True)
@@ -260,10 +300,22 @@ def _record_from_measurement(
 
 
 class CampaignResults:
-    """The records a campaign run produced, in work-list order."""
+    """The records a campaign run produced, in work-list order.
 
-    def __init__(self, records: Sequence[CampaignRecord]) -> None:
+    Under the ``skip``/``retry`` failure policies the results may be
+    *partial*: ``failures`` lists the typed :class:`ItemFailure` record of
+    every item that produced no :class:`CampaignRecord`.  Strict lookups
+    (:meth:`record`, :meth:`nominal`) still raise on a missing key;
+    :meth:`get` is the tolerant twin the partial-aware views use.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[CampaignRecord],
+        failures: Sequence[ItemFailure] = (),
+    ) -> None:
         self.records: List[CampaignRecord] = list(records)
+        self.failures: List[ItemFailure] = list(failures)
         self._by_key: Dict[str, CampaignRecord] = {
             record.key: record for record in self.records
         }
@@ -279,6 +331,10 @@ class CampaignResults:
             return self._by_key[key]
         except KeyError:
             raise CampaignError(f"no campaign record with key {key!r}") from None
+
+    def get(self, key: str) -> Optional[CampaignRecord]:
+        """The record with this key, or ``None`` when the item failed."""
+        return self._by_key.get(key)
 
     def nominal(self, sim_key: str, n_wordlines: int) -> CampaignRecord:
         return self.record(f"n{n_wordlines}-nominal-{sim_key}")
@@ -405,11 +461,24 @@ class CampaignWorkerState:
     """
 
     def __init__(
-        self, node: TechnologyNode, n_bitline_pairs: int, max_segments: int
+        self,
+        node: TechnologyNode,
+        n_bitline_pairs: int,
+        max_segments: int,
+        failure_policy: str = "fail_fast",
+        max_retries: int = 2,
+        item_timeout_s: Optional[float] = None,
+        retry_backoff_s: float = 0.05,
+        in_pool_worker: bool = False,
     ) -> None:
         self.node = node
         self.n_bitline_pairs = n_bitline_pairs
         self.max_segments = max_segments
+        self.failure_policy = failure_policy
+        self.max_retries = max_retries
+        self.item_timeout_s = item_timeout_s
+        self.retry_backoff_s = retry_backoff_s
+        self.in_pool_worker = in_pool_worker
         self._bundles: Dict[Tuple[int, str], OperationSimulators] = {}
         self._options: Dict[str, object] = {}
 
@@ -465,8 +534,45 @@ class CampaignWorkerState:
         wall_s = time.perf_counter() - started
         return _record_from_measurement(item, measurement, wall_s)
 
-    def run_chunk(self, items: Sequence[CampaignItem]) -> List[CampaignRecord]:
-        return [self.run_item(item) for item in items]
+    def run_item_outcome(
+        self, item: CampaignItem
+    ) -> Union[CampaignRecord, ItemFailure]:
+        """Run one item under the failure policy: record, failure or raise.
+
+        Attempt schedule under ``retry``: the first retry repeats the
+        attempt unchanged (a transient fault — an injected one, or a
+        machine-level hiccup — then reproduces the fault-free result
+        bit-for-bit), later retries escalate the solver rescue ladder
+        (:func:`~repro.circuit.dc.solver_rescue`: bigger Newton/step
+        budgets, jittered start points) with capped exponential backoff
+        between attempts.  Solver errors are classified into a typed
+        :class:`ItemFailure`; ``fail_fast`` raises it wrapped in
+        :class:`CampaignExecutionError` instead of returning it.
+        """
+        faults.maybe_crash_worker(item.key, self.in_pool_worker)
+        attempts = 1 + (self.max_retries if self.failure_policy == "retry" else 0)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(min(self.retry_backoff_s * (2.0 ** (attempt - 1)), 2.0))
+            try:
+                with solver_rescue(max(0, attempt - 1), seed=item.seed):
+                    with item_deadline(self.item_timeout_s):
+                        faults.check_solver(item.key, attempt)
+                        return self.run_item(item)
+            except _ITEM_ERRORS as exc:
+                last_error = exc
+        failure = ItemFailure.from_exception(
+            item.key, last_error, attempts=attempts
+        )
+        if self.failure_policy == "fail_fast":
+            raise CampaignExecutionError(failure) from last_error
+        return failure
+
+    def run_chunk(
+        self, items: Sequence[CampaignItem]
+    ) -> List[Union[CampaignRecord, ItemFailure]]:
+        return [self.run_item_outcome(item) for item in items]
 
 
 #: Per-process worker state installed by the pool initializer (the node is
@@ -476,13 +582,30 @@ _worker_state: Optional[CampaignWorkerState] = None
 
 
 def _init_campaign_worker(
-    node: TechnologyNode, n_bitline_pairs: int, max_segments: int
+    node: TechnologyNode,
+    n_bitline_pairs: int,
+    max_segments: int,
+    failure_policy: str = "fail_fast",
+    max_retries: int = 2,
+    item_timeout_s: Optional[float] = None,
+    retry_backoff_s: float = 0.05,
 ) -> None:
     global _worker_state
-    _worker_state = CampaignWorkerState(node, n_bitline_pairs, max_segments)
+    _worker_state = CampaignWorkerState(
+        node,
+        n_bitline_pairs,
+        max_segments,
+        failure_policy=failure_policy,
+        max_retries=max_retries,
+        item_timeout_s=item_timeout_s,
+        retry_backoff_s=retry_backoff_s,
+        in_pool_worker=True,
+    )
 
 
-def _run_chunk_worker(items: Sequence[CampaignItem]) -> List[CampaignRecord]:
+def _run_chunk_worker(
+    items: Sequence[CampaignItem],
+) -> List[Union[CampaignRecord, ItemFailure]]:
     return _worker_state.run_chunk(items)
 
 
@@ -514,6 +637,23 @@ class SimulationCampaign:
         verified by the store).  The declarative spec layer uses this to
         stamp campaign stores with the spec ``schema_version`` so a store
         written under a different schema is rejected on resume.
+    failure_policy:
+        What a failed work item does to the campaign: ``fail_fast``
+        aborts the run (:class:`CampaignExecutionError`), ``skip``
+        records the typed :class:`ItemFailure` and continues, ``retry``
+        re-attempts with backoff and an escalated rescue ladder first.
+        Failure knobs are deliberately *not* part of :meth:`signature` —
+        they change how items execute, never what a record contains, so
+        a store resumed under a different policy stays valid.
+    max_retries:
+        Extra attempts per item under ``retry`` (total attempts is
+        ``1 + max_retries``).
+    item_timeout_s:
+        Optional wall-clock deadline per item attempt (SIGALRM-based, so
+        it can cut a runaway solve; see
+        :func:`~repro.core.failures.item_deadline` for where it applies).
+    retry_backoff_s:
+        Base of the capped exponential backoff between attempts.
     """
 
     def __init__(
@@ -526,6 +666,10 @@ class SimulationCampaign:
         seed: int = 2015,
         max_segments: int = 64,
         signature_extra: Optional[Mapping[str, object]] = None,
+        failure_policy: str = "fail_fast",
+        max_retries: int = 2,
+        item_timeout_s: Optional[float] = None,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.node = node
         self.doe = doe if doe is not None else paper_doe()
@@ -539,6 +683,19 @@ class SimulationCampaign:
             raise CampaignError(f"scenario labels must be unique, got {labels}")
         self.seed = seed
         self.max_segments = max_segments
+        if failure_policy not in FAILURE_POLICIES:
+            raise CampaignError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if max_retries < 0:
+            raise CampaignError("max_retries must be non-negative")
+        if item_timeout_s is not None and item_timeout_s <= 0.0:
+            raise CampaignError("item_timeout_s must be positive when set")
+        self.failure_policy = failure_policy
+        self.max_retries = int(max_retries)
+        self.item_timeout_s = item_timeout_s
+        self.retry_backoff_s = float(retry_backoff_s)
         self.signature_extra: Dict[str, object] = (
             dict(signature_extra) if signature_extra is not None else {}
         )
@@ -550,6 +707,9 @@ class SimulationCampaign:
         #: table2 then table3 through the same campaign) only simulate the
         #: first time, mirroring the disk store's resume semantics.
         self._memo: Dict[str, CampaignRecord] = {}
+        #: Typed failures of the most recent attempts, keyed by item key.
+        #: Not persisted to the store: a rerun retries failed items.
+        self._failures: Dict[str, ItemFailure] = {}
         self._local_state: Optional[CampaignWorkerState] = None
 
     @classmethod
@@ -574,6 +734,9 @@ class SimulationCampaign:
             seed=spec.execution.seed,
             max_segments=spec.execution.max_segments,
             signature_extra={"schema_version": spec.schema_version},
+            failure_policy=spec.execution.failure_policy,
+            max_retries=spec.execution.max_retries,
+            item_timeout_s=spec.execution.timeout_s,
         )
 
     # -- corner search (driver side) ---------------------------------------------------
@@ -699,12 +862,120 @@ class SimulationCampaign:
         except AttributeError:  # pragma: no cover - non-Linux fallback
             return os.cpu_count() or 1
 
-    def _commit(self, records: Sequence[CampaignRecord]) -> None:
-        """Checkpoint finished records into the memo (and the store)."""
-        for record in records:
-            self._memo[record.key] = record
+    def _commit(
+        self, outcomes: Sequence[Union[CampaignRecord, ItemFailure]]
+    ) -> None:
+        """Checkpoint finished outcomes into the memo (and the store).
+
+        Failures land in the in-memory failure map only — persisting them
+        would turn a transient machine problem into a permanent store
+        entry; this way a rerun retries exactly the failed items.
+        """
+        for outcome in outcomes:
+            if isinstance(outcome, ItemFailure):
+                self._failures[outcome.key] = outcome
+                continue
+            self._failures.pop(outcome.key, None)
+            self._memo[outcome.key] = outcome
             if self.store is not None:
-                self.store.save_record(record)
+                self.store.save_record(outcome)
+
+    def _worker_initargs(self) -> tuple:
+        return (
+            self.node,
+            self.doe.n_bitline_pairs,
+            self.max_segments,
+            self.failure_policy,
+            self.max_retries,
+            self.item_timeout_s,
+            self.retry_backoff_s,
+        )
+
+    def _requeue_lost(
+        self,
+        lost: Sequence[Sequence[CampaignItem]],
+        crash_counts: Dict[str, int],
+    ) -> List[List[CampaignItem]]:
+        """Items to resubmit after a pool break, poison items quarantined.
+
+        A broken pool loses *every* in-flight chunk, not just the one
+        whose worker died, so the culprit cannot be identified from the
+        break alone.  Each lost item is charged one crash and resubmitted
+        as a singleton chunk; :meth:`_run_pool` then switches to
+        isolation mode (one chunk per pool), where a second break charges
+        the true culprit alone — and two charges quarantine it as poison,
+        recorded as a typed ``worker_crash`` failure and never run again.
+        """
+        requeued: List[List[CampaignItem]] = []
+        for chunk in lost:
+            for item in chunk:
+                if item.key in self._memo:
+                    continue
+                count = crash_counts.get(item.key, 0) + 1
+                crash_counts[item.key] = count
+                if count >= 2:
+                    failure = ItemFailure(
+                        key=item.key,
+                        classification="worker_crash",
+                        error_type="BrokenProcessPool",
+                        message=(
+                            "a pool worker died twice while holding this "
+                            "item; quarantined as poison"
+                        ),
+                        attempts=count,
+                        stage="worker",
+                    )
+                    if self.failure_policy == "fail_fast":
+                        raise CampaignExecutionError(failure)
+                    self._failures[item.key] = failure
+                else:
+                    requeued.append([item])
+        return requeued
+
+    def _run_pool(self, chunks: List[List[CampaignItem]], effective: int) -> None:
+        """Fan chunks out over a process pool, surviving dead workers.
+
+        A worker killed mid-chunk (OOM, segfault, an injected crash)
+        breaks the whole ``ProcessPoolExecutor``; the executor cannot be
+        reused, so the pool is rebuilt and the lost chunks re-executed
+        (see :meth:`_requeue_lost` for the poison bookkeeping).  Chunks
+        that completed before the break stay committed either way.
+
+        After the first break the run switches to *isolation mode*: one
+        chunk per pool.  A shared break cannot tell the poison item from
+        innocent chunks that happened to be in flight, so the first
+        charge is collective — but every later charge must be precise,
+        or a fast-crashing poison item would repeatedly drag its
+        neighbours over the quarantine threshold.  Isolation pays one
+        pool spin-up per remaining chunk, which only matters on the
+        already-rare crash path.
+        """
+        crash_counts: Dict[str, int] = {}
+        pending = list(chunks)
+        isolate = False
+        while pending:
+            if isolate:
+                batch, pending = [pending[0]], pending[1:]
+            else:
+                batch, pending = pending, []
+            lost: List[List[CampaignItem]] = []
+            with ProcessPoolExecutor(
+                max_workers=min(effective, len(batch)),
+                initializer=_init_campaign_worker,
+                initargs=self._worker_initargs(),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_chunk_worker, chunk): chunk
+                    for chunk in batch
+                }
+                for future in as_completed(futures):
+                    try:
+                        self._commit(future.result())
+                    except BrokenExecutor:
+                        lost.append(futures[future])
+            if lost:
+                isolate = True
+                pending = self._requeue_lost(lost, crash_counts) + pending
 
     def run(
         self,
@@ -729,6 +1000,12 @@ class SimulationCampaign:
         ``clamp_to_cpus=False`` to force the pool regardless (used by the
         cross-process determinism tests).  ``kinds`` restricts the run to
         a subset of item kinds (see :meth:`work_items`).
+
+        Under ``failure_policy="skip"``/``"retry"`` the results may be
+        partial: items that failed every attempt (or were quarantined as
+        poison after killing two pool workers) come back as typed
+        :attr:`CampaignResults.failures` instead of records, and a later
+        ``run()`` retries exactly those items.
         """
         items = self.work_items(kinds=kinds)
         if self.store is not None:
@@ -736,6 +1013,8 @@ class SimulationCampaign:
             for key, record in self.store.load_records().items():
                 self._memo.setdefault(key, record)
         pending = [item for item in items if item.key not in self._memo]
+        for item in pending:
+            self._failures.pop(item.key, None)
         chunks = self._chunks(pending)
 
         effective = workers if workers is not None else 1
@@ -743,23 +1022,29 @@ class SimulationCampaign:
             effective = min(effective, self.available_cpus())
 
         if effective > 1 and len(chunks) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(effective, len(chunks)),
-                initializer=_init_campaign_worker,
-                initargs=(self.node, self.doe.n_bitline_pairs, self.max_segments),
-            ) as pool:
-                futures = [pool.submit(_run_chunk_worker, chunk) for chunk in chunks]
-                for future in as_completed(futures):
-                    self._commit(future.result())
+            self._run_pool(chunks, effective)
         else:
             if self._local_state is None:
                 self._local_state = CampaignWorkerState(
-                    self.node, self.doe.n_bitline_pairs, self.max_segments
+                    self.node,
+                    self.doe.n_bitline_pairs,
+                    self.max_segments,
+                    failure_policy=self.failure_policy,
+                    max_retries=self.max_retries,
+                    item_timeout_s=self.item_timeout_s,
+                    retry_backoff_s=self.retry_backoff_s,
                 )
             for chunk in chunks:
                 self._commit(self._local_state.run_chunk(chunk))
 
-        return CampaignResults([self._memo[item.key] for item in items])
+        return CampaignResults(
+            [self._memo[item.key] for item in items if item.key in self._memo],
+            failures=[
+                self._failures[item.key]
+                for item in items
+                if item.key in self._failures
+            ],
+        )
 
     # -- experiment views ---------------------------------------------------------------
 
@@ -779,15 +1064,21 @@ class SimulationCampaign:
         """Operation-suite rows: nominal value + per-option impact (%).
 
         Works for any operation scenario (including read, where the
-        impacts are exactly the Fig. 4 tdp values).
+        impacts are exactly the Fig. 4 tdp values).  Partial-result
+        aware: a size whose nominal item failed is omitted entirely, and
+        a failed corner item just drops its option from that row — the
+        typed failures stay visible in ``results.failures``.
         """
         chosen = self._scenario_or_default(scenario)
         rows: List[OperationImpactRow] = []
         for size in self.doe.array_sizes:
-            nominal = results.nominal(chosen.sim_key, size)
+            nominal = results.get(f"n{size}-nominal-{chosen.sim_key}")
+            if nominal is None:
+                continue
             deltas = {
                 option_name: results.penalty_percent(chosen, option_name, size)
                 for option_name in self.doe.option_names
+                if results.get(f"n{size}-{option_name}-{chosen.label}") is not None
             }
             rows.append(
                 OperationImpactRow(

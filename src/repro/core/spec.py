@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 from ..technology.node import TechnologyNode, n10
 from ..variability.doe import DOEError, StudyDOE
 from .campaign import CAMPAIGN_METHODS, CampaignScenario
+from .failures import FAILURE_POLICIES
 from .operations import OPERATION_NAMES, ensure_operation
 
 #: Version of the spec schema; bumped on incompatible layout changes.
@@ -59,7 +60,17 @@ EXECUTION_BACKENDS = ("serial", "process", "auto")
 #: backend-parity suite pins this), so two specs differing only in these
 #: fields are the same experiment to the result cache.  ``seed`` and
 #: ``max_segments`` DO enter the fingerprint: both change the records.
-FINGERPRINT_NEUTRAL_EXECUTION_FIELDS = ("backend", "workers", "store_dir")
+#: The failure knobs are neutral too: they change whether a run survives
+#: an item failure, never what a successful record contains (and partial
+#: results are never cached, so they cannot poison a fingerprint).
+FINGERPRINT_NEUTRAL_EXECUTION_FIELDS = (
+    "backend",
+    "workers",
+    "store_dir",
+    "failure_policy",
+    "max_retries",
+    "timeout_s",
+)
 
 
 class SpecError(ValueError):
@@ -379,6 +390,14 @@ class ExecutionSpec:
     seed: int = 2015
     store_dir: Optional[str] = None
     max_segments: int = 64
+    #: Per-item failure policy (see :data:`FAILURE_POLICIES`): fail_fast
+    #: aborts on the first failed item, skip records it as a typed error
+    #: row, retry re-attempts with backoff + rescue escalation first.
+    failure_policy: str = "fail_fast"
+    #: Extra attempts per item under ``failure_policy="retry"``.
+    max_retries: int = 2
+    #: Optional wall-clock deadline per item attempt, in seconds.
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -390,6 +409,15 @@ class ExecutionSpec:
             raise SpecError("execution.workers must be at least 1")
         if self.max_segments < 1:
             raise SpecError("execution.max_segments must be positive")
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise SpecError(
+                f"execution.failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}"
+            )
+        if self.max_retries < 0:
+            raise SpecError("execution.max_retries must be non-negative")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise SpecError("execution.timeout_s must be positive when set")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -398,6 +426,9 @@ class ExecutionSpec:
             "seed": self.seed,
             "store_dir": self.store_dir,
             "max_segments": self.max_segments,
+            "failure_policy": self.failure_policy,
+            "max_retries": self.max_retries,
+            "timeout_s": self.timeout_s,
         }
 
     @classmethod
@@ -405,9 +436,11 @@ class ExecutionSpec:
         payload = _require_mapping(payload, "execution")
         _check_unknown(cls, payload)
         data = dict(payload)
-        for name in ("workers", "seed", "max_segments"):
+        for name in ("workers", "seed", "max_segments", "max_retries"):
             if name in data:
                 data[name] = _coerce_int(data[name], f"execution.{name}")
+        if data.get("timeout_s") is not None:
+            data["timeout_s"] = _coerce_float(data["timeout_s"], "execution.timeout_s")
         if data.get("store_dir") is not None:
             data["store_dir"] = str(data["store_dir"])
         return cls(**data)
@@ -543,6 +576,12 @@ class ExperimentSpec:
         from dataclasses import replace
 
         return replace(self, scenarios=tuple(scenarios))
+
+    def with_execution(self, execution: ExecutionSpec) -> "ExperimentSpec":
+        """A copy of this spec with the execution section replaced."""
+        from dataclasses import replace
+
+        return replace(self, execution=execution)
 
     def describe(self) -> str:
         """One human line: kind, grid shape and execution settings."""

@@ -365,9 +365,18 @@ def format_result_set(result_set) -> str:
     kind = result_set.kind
     payload = result_set.payload
     if payload is None:
+        # The generic record table already includes any failure rows.
         return format_records(
             result_set.records, title=f"{kind} records (deserialised)"
         )
+    body = _format_typed_payload(kind, payload)
+    failures = getattr(result_set, "failures", None) or []
+    if failures:
+        body = body + "\n\n" + format_failures(failures)
+    return body
+
+
+def _format_typed_payload(kind: str, payload) -> str:
     if kind == "campaign":
         return format_campaign_text(payload)
     if kind == "worst_case":
@@ -392,3 +401,25 @@ def format_result_set(result_set) -> str:
         rows, requirement = payload
         return format_compliance(rows, requirement)
     raise ReportingError(f"no text renderer for experiment kind {kind!r}")
+
+
+def format_failures(failures) -> str:
+    """The partial-result failure section: one line per failed item.
+
+    ``failures`` are the failure records of a ResultSet (dicts with
+    ``key`` / ``classification`` / ``attempts`` / ``message``) — the
+    items a ``skip`` or ``retry`` failure policy isolated instead of
+    aborting the whole experiment.
+    """
+    lines = [f"Failed items ({len(failures)}) — result is PARTIAL:"]
+    for failure in failures:
+        key = failure.get("key", "?")
+        classification = failure.get("classification", "unexpected")
+        attempts = failure.get("attempts", 1)
+        message = str(failure.get("message", "")).splitlines()[0] if failure.get("message") else ""
+        attempt_note = f"{attempts} attempt{'s' if attempts != 1 else ''}"
+        line = f"  {key}: {classification} after {attempt_note}"
+        if message:
+            line += f" — {message}"
+        lines.append(line)
+    return "\n".join(lines)

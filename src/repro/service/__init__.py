@@ -6,9 +6,14 @@ service (all stdlib, no new dependencies):
 * :mod:`repro.service.cache`  — :class:`~repro.service.cache.ResultCache`,
   a content-addressed, LRU-bounded, atomically-written store of
   serialised ResultSets keyed by the spec fingerprint;
+* :mod:`repro.service.journal` — :class:`~repro.service.journal.JobJournal`,
+  an append-only JSONL write-ahead log that makes submissions durable
+  across crashes (``kill -9`` loses nothing journaled);
 * :mod:`repro.service.queue`  — :class:`~repro.service.queue.ExperimentQueue`,
   an async job manager (submit/status/result/cancel) that coalesces
-  identical in-flight experiments into one computation;
+  identical in-flight experiments into one computation, journals them
+  when durable, enforces per-job deadlines and replays unfinished work
+  on restart;
 * :mod:`repro.service.server` — :class:`~repro.service.server.ExperimentServer`,
   a threading JSON HTTP server exposing ``/v1/experiments`` and
   ``/v1/healthz``;
@@ -18,6 +23,7 @@ service (all stdlib, no new dependencies):
 
 from .cache import CacheStats, ResultCache
 from .client import ExperimentClient, ServiceError
+from .journal import JobJournal, JournalEntry
 from .queue import ExperimentQueue, JobError, JobState
 from .server import ExperimentServer
 
@@ -27,7 +33,9 @@ __all__ = [
     "ExperimentQueue",
     "ExperimentServer",
     "JobError",
+    "JobJournal",
     "JobState",
+    "JournalEntry",
     "ResultCache",
     "ServiceError",
 ]

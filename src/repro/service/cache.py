@@ -14,8 +14,12 @@ excluded) to a persisted :class:`~repro.api.ResultSet`:
 * ``schema_version`` checked on every read: an entry written by a
   different spec schema is invalidated (deleted and counted) instead of
   being deserialised into the wrong shape;
-* hit / miss / store / eviction / invalidation counters for the
-  service's ``/v1/healthz`` endpoint.
+* entries that no longer parse as JSON at all (truncated by a crash or
+  a full disk) are **quarantined** — renamed to ``<entry>.json.corrupt``
+  beside the store for post-mortems, counted, and treated as a miss; a
+  corrupt entry can never raise out of ``get`` or poison future reads;
+* hit / miss / store / eviction / invalidation / quarantine counters for
+  the service's ``/v1/healthz`` endpoint.
 
 Entries round-trip through ``ResultSet.to_dict()`` /
 ``ResultSet.from_dict()``: records come back byte-for-byte (JSON floats
@@ -34,6 +38,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..api import ResultSet
 from ..core.results import atomic_write_text
 from ..core.spec import SCHEMA_VERSION, ExperimentSpec, SpecError
+from ..testing import faults
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -47,6 +52,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     invalidations: int = 0
+    quarantined: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -116,7 +122,9 @@ class ResultCache:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
-            self._invalidate(path)
+            # Not-JSON means bytes went missing (truncation, bad disk) —
+            # keep the evidence instead of deleting it.
+            self._quarantine(path)
             return None
         if not isinstance(payload, dict) or payload.get("schema_version") != SCHEMA_VERSION:
             self._invalidate(path)
@@ -134,6 +142,23 @@ class ResultCache:
             pass
         self.stats.invalidations += 1
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``.json.corrupt``) and count it.
+
+        The quarantined file is invisible to ``*.json`` globbing, so it
+        neither counts against ``max_entries`` nor gets re-read; if even
+        the rename fails, fall back to deletion — a corrupt entry must
+        never survive under its fingerprint.
+        """
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+
     # -- write --------------------------------------------------------------------------
 
     def put(self, spec: ExperimentSpec, result: ResultSet) -> str:
@@ -146,6 +171,7 @@ class ResultCache:
         fingerprint = spec.fingerprint()
         path = self.path_for(fingerprint)
         text = result.to_json(indent=None)
+        text = faults.maybe_truncate_cache(fingerprint, text)
         with self._lock:
             atomic_write_text(path, text)
             self.stats.stores += 1
@@ -156,7 +182,16 @@ class ResultCache:
         entries = self._entries()
         if len(entries) <= self.max_entries:
             return
-        entries.sort(key=lambda entry: (entry.stat().st_mtime, entry.name))
+        def lru_key(entry: Path) -> tuple:
+            try:
+                mtime = entry.stat().st_mtime
+            except OSError:
+                # Raced with an invalidation/quarantine: sort it oldest
+                # so it is skipped by the unlink's own OSError guard.
+                mtime = 0.0
+            return (mtime, entry.name)
+
+        entries.sort(key=lru_key)
         excess = len(entries) - self.max_entries
         for entry in entries:
             if excess <= 0:

@@ -14,10 +14,20 @@ drives::
 Transport failures (connection refused, HTTP error statuses) surface as
 :class:`ServiceError` with the server's one-line ``error`` message when
 one was sent, so CLI callers can turn them into clean exit-2 messages.
+
+Connection-level failures — refused/reset connections, a server that
+died mid-response, socket timeouts — are retried ``max_retries`` times
+with capped exponential backoff before giving up.  Every protocol call
+is idempotent from the server's point of view (submission is
+content-addressed: re-POSTing a spec coalesces onto the in-flight
+computation or hits the cache), so blind retry is safe.  HTTP *error
+responses* are never retried: the server answered, and the answer would
+not change.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -40,12 +50,43 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
-class ExperimentClient:
-    """Submit, poll and fetch experiments over HTTP."""
+#: Failures worth retrying: the connection itself broke, so the server
+#: either never saw the request or never finished answering it.
+#: ``urllib.error.HTTPError`` is deliberately absent (it subclasses
+#: ``URLError`` but means "the server responded") and is handled first.
+_RETRYABLE_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
 
-    def __init__(self, base_url: str = DEFAULT_URL, timeout_s: float = 30.0) -> None:
+
+class ExperimentClient:
+    """Submit, poll and fetch experiments over HTTP.
+
+    ``timeout_s`` bounds each request on the socket; ``max_retries``
+    extra attempts (with ``backoff_s`` doubling per attempt, capped at
+    2 s) absorb transient connection failures.  ``max_retries=0``
+    restores single-shot behaviour.
+    """
+
+    def __init__(
+        self,
+        base_url: str = DEFAULT_URL,
+        timeout_s: float = 30.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.1,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_s < 0.0:
+            raise ValueError("backoff_s must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
 
     # -- transport ----------------------------------------------------------------------
 
@@ -55,29 +96,41 @@ class ExperimentClient:
         method: str = "GET",
         body: Optional[str] = None,
     ) -> tuple:
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=None if body is None else body.encode("utf-8"),
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return response.status, response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            text = exc.read().decode("utf-8", errors="replace")
+        attempts = 1 + self.max_retries
+        last_reason = "unknown error"
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(min(self.backoff_s * 2 ** (attempt - 1), 2.0))
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=None if body is None else body.encode("utf-8"),
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
             try:
-                message = json.loads(text).get("error", text)
-            except json.JSONDecodeError:
-                message = text or str(exc)
-            raise ServiceError(
-                f"server returned {exc.code} for {method} {path}: {message}",
-                status=exc.code,
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach the experiment server at {self.base_url}: {exc.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    return response.status, response.read().decode("utf-8")
+            except urllib.error.HTTPError as exc:
+                # The server responded; retrying would only repeat the
+                # same answer.  Surface its error message immediately.
+                text = exc.read().decode("utf-8", errors="replace")
+                try:
+                    message = json.loads(text).get("error", text)
+                except json.JSONDecodeError:
+                    message = text or str(exc)
+                raise ServiceError(
+                    f"server returned {exc.code} for {method} {path}: {message}",
+                    status=exc.code,
+                ) from None
+            except _RETRYABLE_ERRORS as exc:
+                last_reason = str(getattr(exc, "reason", None) or exc) or type(exc).__name__
+                continue
+        raise ServiceError(
+            f"cannot reach the experiment server at {self.base_url} "
+            f"after {attempts} attempt{'s' if attempts != 1 else ''}: {last_reason}"
+        )
 
     def _request_json(self, path: str, method: str = "GET", body: Optional[str] = None) -> Dict[str, Any]:
         status, text = self._request(path, method=method, body=body)

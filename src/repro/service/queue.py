@@ -15,7 +15,17 @@ result / cancel semantics on top of :func:`repro.api.run`:
 * an optional :class:`~repro.service.cache.ResultCache` short-circuits
   submissions whose fingerprint is already stored — the job is born
   ``done`` and marked ``cached`` — and absorbs fresh results for the
-  next submission.
+  next submission;
+* an optional :class:`~repro.service.journal.JobJournal` makes the queue
+  durable: every submission is journaled (fsynced) before dispatch and
+  marked terminal when it settles, and :meth:`ExperimentQueue.recover`
+  resubmits whatever a dead process left unfinished — completed work
+  re-serves from the cache, so a ``kill -9`` costs at most the jobs that
+  were mid-solve, re-executed;
+* an optional per-job deadline (``job_timeout_s``) fails runaway jobs so
+  one pathological spec cannot pin a worker forever, and
+  :meth:`ExperimentQueue.drain` waits for in-flight work during a
+  graceful shutdown.
 """
 
 from __future__ import annotations
@@ -31,8 +41,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from .. import api
 from ..api import ResultSet
-from ..core.spec import ExperimentSpec
+from ..core.spec import ExperimentSpec, SpecError
 from .cache import ResultCache
+from .journal import JobJournal
 
 __all__ = ["ExperimentQueue", "Job", "JobError", "JobState"]
 
@@ -68,6 +79,8 @@ class Job:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     result: Optional[ResultSet] = None
+    #: WAL token of this submission (``None`` when the queue is not durable).
+    journal_token: Optional[str] = None
 
     def to_status(self) -> Dict[str, Any]:
         """JSON-ready status view (no records — fetch the result for those)."""
@@ -99,10 +112,16 @@ class ExperimentQueue:
         workers: int = 2,
         cache: Optional[ResultCache] = None,
         runner: Callable[..., ResultSet] = api.run,
+        journal: Optional[JobJournal] = None,
+        job_timeout_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if job_timeout_s is not None and job_timeout_s <= 0.0:
+            raise ValueError("job_timeout_s must be positive when set")
         self.cache = cache
+        self.journal = journal
+        self.job_timeout_s = job_timeout_s
         self._runner = runner
         self._executor = ThreadPoolExecutor(
             max_workers=int(workers), thread_name_prefix="repro-job"
@@ -116,6 +135,7 @@ class ExperimentQueue:
         self._inflight: Dict[str, Future] = {}          # fingerprint -> future
         self._inflight_jobs: Dict[str, List[str]] = {}  # fingerprint -> job ids
         self._ids = itertools.count(1)
+        self._timers: Dict[str, threading.Timer] = {}  # fingerprint -> deadline
         self._counters = {
             "submitted": 0,
             "coalesced": 0,
@@ -123,6 +143,8 @@ class ExperimentQueue:
             "completed": 0,
             "failed": 0,
             "cancelled": 0,
+            "recovered": 0,
+            "timeouts": 0,
         }
 
     # -- submission ---------------------------------------------------------------------
@@ -150,6 +172,11 @@ class ExperimentQueue:
             )
             self._jobs[job.id] = job
             self._counters["submitted"] += 1
+            # WAL semantics: the submission is durable *before* anything
+            # observable happens, so a crash at any later point leaves a
+            # journaled obligation that recovery will honour.
+            if self.journal is not None:
+                job.journal_token = self.journal.record_submitted(fingerprint, spec)
 
             if hit is not None:
                 job.state = JobState.DONE
@@ -158,6 +185,7 @@ class ExperimentQueue:
                 job.finished_at = time.time()
                 self._counters["cache_hits"] += 1
                 self._counters["completed"] += 1
+                self._journal_terminal(job)
                 return self._snapshot(job)
 
             future = self._inflight.get(fingerprint)
@@ -173,6 +201,13 @@ class ExperimentQueue:
                 future = self._executor.submit(self._compute, spec, fingerprint)
                 self._inflight[fingerprint] = future
                 self._inflight_jobs[fingerprint] = []
+                if self.job_timeout_s is not None:
+                    timer = threading.Timer(
+                        self.job_timeout_s, self._expire, args=(fingerprint,)
+                    )
+                    timer.daemon = True
+                    self._timers[fingerprint] = timer
+                    timer.start()
             self._inflight_jobs[fingerprint].append(job.id)
             self._futures[job.id] = future
             future.add_done_callback(self._make_settler(job.id))
@@ -185,7 +220,10 @@ class ExperimentQueue:
                 if job is not None and job.state == JobState.QUEUED:
                     job.state = JobState.RUNNING
         result = self._runner(spec)
-        if self.cache is not None:
+        # Partial results (failure rows under skip/retry policies) are not
+        # cached: the fingerprint is failure-policy-neutral, so a cached
+        # partial would be served to callers entitled to a complete one.
+        if self.cache is not None and not getattr(result, "failures", None):
             try:
                 self.cache.put(spec, result)
             except OSError:
@@ -214,9 +252,20 @@ class ExperimentQueue:
                         job.state = JobState.DONE
                         job.result = future.result()
                         self._counters["completed"] += 1
+                self._journal_terminal(job)
                 self._release_inflight(job.fingerprint, job_id)
 
         return settle
+
+    def _journal_terminal(self, job: Job) -> None:
+        if self.journal is None or job.journal_token is None:
+            return
+        try:
+            self.journal.record_terminal(job.journal_token, job.state, error=job.error)
+        except OSError:
+            # A failed terminal append only means the job replays (as a
+            # cache hit) on the next restart; never fail the job over it.
+            pass
 
     def _release_inflight(self, fingerprint: str, job_id: str) -> None:
         jobs = self._inflight_jobs.get(fingerprint)
@@ -227,6 +276,37 @@ class ExperimentQueue:
         if not jobs:
             self._inflight.pop(fingerprint, None)
             self._inflight_jobs.pop(fingerprint, None)
+            timer = self._timers.pop(fingerprint, None)
+            if timer is not None:
+                timer.cancel()
+
+    def _expire(self, fingerprint: str) -> None:
+        """Deadline callback: fail every submission of a runaway computation.
+
+        The worker thread itself cannot be killed (CPython offers no safe
+        way); the computation keeps running but its jobs turn ``failed``,
+        its journal obligations settle, and its eventual result is
+        discarded by the settle callback's terminal-state guard.
+        """
+        with self._lock:
+            future = self._inflight.get(fingerprint)
+            if future is None:
+                return
+            for job_id in list(self._inflight_jobs.get(fingerprint, [])):
+                job = self._jobs.get(job_id)
+                if job is None or job.state in JobState.TERMINAL:
+                    continue
+                job.state = JobState.FAILED
+                job.error = f"deadline exceeded after {self.job_timeout_s:g} s"
+                job.finished_at = time.time()
+                self._counters["failed"] += 1
+                self._counters["timeouts"] += 1
+                self._journal_terminal(job)
+                self._futures.pop(job_id, None)
+            self._inflight.pop(fingerprint, None)
+            self._inflight_jobs.pop(fingerprint, None)
+            self._timers.pop(fingerprint, None)
+            future.cancel()
 
     # -- queries ------------------------------------------------------------------------
 
@@ -298,6 +378,7 @@ class ExperimentQueue:
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
                 self._counters["cancelled"] += 1
+                self._journal_terminal(job)
                 self._release_inflight(job.fingerprint, job_id)
                 self._futures.pop(job_id, None)
                 return True
@@ -326,7 +407,58 @@ class ExperimentQueue:
             payload: Dict[str, Any] = dict(self._counters)
             payload["in_flight"] = len(self._inflight)
             payload["jobs"] = len(self._jobs)
-            return payload
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats_dict()
+        return payload
+
+    # -- durability ---------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Resubmit every journaled-but-unfinished job; returns how many.
+
+        Called once at startup, before the HTTP listener opens.  Each
+        outstanding WAL entry is resubmitted under a *fresh* token and
+        only then marked ``recovered`` — a crash between the two steps
+        merely replays the entry once more next restart, where the
+        result cache (or in-flight coalescing) dedupes it.  Entries
+        whose journaled spec no longer validates are marked
+        ``unreplayable`` rather than wedging recovery forever.  Finishes
+        with :meth:`JobJournal.compact` so the WAL stays bounded.
+        """
+        if self.journal is None:
+            return 0
+        recovered = 0
+        for entry in self.journal.replay():
+            try:
+                spec = ExperimentSpec.from_dict(entry.spec)
+            except SpecError as exc:
+                self.journal.record_terminal(
+                    entry.token, "unreplayable", error=str(exc)
+                )
+                continue
+            self.submit(spec)
+            self.journal.record_terminal(entry.token, "recovered")
+            recovered += 1
+        with self._lock:
+            self._counters["recovered"] += recovered
+        self.journal.compact()
+        return recovered
+
+    def drain(self, timeout_s: float, poll_s: float = 0.05) -> bool:
+        """Wait up to ``timeout_s`` for in-flight work; True when idle.
+
+        Polls rather than joining the pool so a graceful shutdown can
+        give up after its budget: undrained jobs stay journaled, and the
+        next start's :meth:`recover` re-executes them.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while True:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
 
     # -- lifecycle ----------------------------------------------------------------------
 
@@ -340,6 +472,11 @@ class ExperimentQueue:
         with work still in flight (``repro serve`` on Ctrl-C) has to
         hard-exit after calling this.
         """
+        with self._lock:
+            timers = list(self._timers.values())
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
         self._executor.shutdown(wait=wait, cancel_futures=not wait)
         if not wait:
             for worker in list(getattr(self._executor, "_threads", ())):

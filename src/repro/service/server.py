@@ -37,13 +37,16 @@ import json
 import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
 from ..api import ResultSet, load_spec
 from ..core.spec import SpecError
+from ..testing import faults
 from .cache import ResultCache
+from .journal import JobJournal
 from .queue import ExperimentQueue, JobError, JobState
 
 __all__ = ["ExperimentServer", "RESULT_FORMATS"]
@@ -98,9 +101,23 @@ class _ExperimentHandler(BaseHTTPRequestHandler):
         query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
         return parsed.path.rstrip("/"), query
 
+    def _injected_drop(self) -> bool:
+        """Fault hook: drop the connection without responding when told to.
+
+        Inactive (one dict lookup on an unset env var) outside the fault
+        harness.  Exercises the client's connection-error retry path
+        exactly the way a mid-request crash would.
+        """
+        if faults.http_fault() == "drop":
+            self.close_connection = True
+            return True
+        return False
+
     # -- verbs --------------------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802
+        if self._injected_drop():
+            return
         path, _ = self._route()
         if path != "/v1/experiments":
             self._send_error(404, f"no POST route {path!r}")
@@ -116,6 +133,8 @@ class _ExperimentHandler(BaseHTTPRequestHandler):
         self._send_json(200 if job.cached else 201, job.to_status())
 
     def do_GET(self) -> None:  # noqa: N802
+        if self._injected_drop():
+            return
         path, query = self._route()
         if path == "/v1/healthz":
             self._send_json(200, self.server.health())
@@ -136,6 +155,8 @@ class _ExperimentHandler(BaseHTTPRequestHandler):
         self._send_error(404, f"no GET route {path!r}")
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self._injected_drop():
+            return
         path, _ = self._route()
         parts = path.split("/")
         if len(parts) == 4 and parts[1] == "v1" and parts[2] == "experiments":
@@ -217,9 +238,27 @@ class ExperimentServer:
         max_entries: int = 256,
         workers: int = 2,
         verbose: bool = False,
+        journal_path: Optional[Union[str, os.PathLike]] = None,
+        job_timeout_s: Optional[float] = None,
     ) -> None:
         self.cache = None if cache_dir is None else ResultCache(cache_dir, max_entries)
-        self.queue = ExperimentQueue(workers=workers, cache=self.cache)
+        # A cached server defaults to a durable one: the journal lives
+        # beside the cache entries (``.jsonl`` is invisible to the
+        # cache's ``*.json`` glob), so kill -9 recovery needs no extra
+        # configuration.  An explicitly passed path wins; a cacheless
+        # server stays non-durable unless a path is given.
+        if journal_path is None and cache_dir is not None:
+            journal_path = Path(cache_dir) / "journal.jsonl"
+        self.journal = None if journal_path is None else JobJournal(journal_path)
+        self.queue = ExperimentQueue(
+            workers=workers,
+            cache=self.cache,
+            journal=self.journal,
+            job_timeout_s=job_timeout_s,
+        )
+        #: Jobs replayed from the journal at construction (before the
+        #: listener opens, so recovered work is visible to the first poll).
+        self.recovered = self.queue.recover()
         self._http = _HTTPServer((host, port), _ExperimentHandler)
         self._http.queue = self.queue
         self._http.verbose = verbose
@@ -254,15 +293,29 @@ class ExperimentServer:
         self._served = True
         self._http.serve_forever()
 
-    def shutdown(self) -> None:
+    def stop_serving(self) -> None:
+        """Close the HTTP listener only; in-flight jobs keep computing.
+
+        First phase of a graceful shutdown: no new submissions can
+        arrive, but :meth:`drain` can still wait for the queue to empty.
+        Idempotent, and safe before :meth:`shutdown`.
+        """
         if self._served:
             # socketserver's shutdown event starts unset; calling
             # shutdown() on a server that never served would block.
             self._http.shutdown()
+            self._served = False
         self._http.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+
+    def drain(self, timeout_s: float) -> bool:
+        """Wait up to ``timeout_s`` for in-flight jobs; True when idle."""
+        return self.queue.drain(timeout_s)
+
+    def shutdown(self) -> None:
+        self.stop_serving()
         self.queue.shutdown(wait=False)
 
     def __enter__(self) -> "ExperimentServer":

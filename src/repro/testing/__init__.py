@@ -1,0 +1,19 @@
+"""Deterministic fault injection for tests and chaos benchmarks."""
+
+from .faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultPlanError,
+    InjectedSolverFault,
+    active_plan,
+    injected,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedSolverFault",
+    "active_plan",
+    "injected",
+]

@@ -1,0 +1,277 @@
+"""Deterministic, seedable fault injection.
+
+The fault-tolerance layer (failure policies, broken-worker recovery,
+cache quarantine, client retries, WAL replay) is only trustworthy if its
+recovery paths run in CI on every change — and real faults are rare and
+flaky.  This module injects them on demand, deterministically:
+
+* a :class:`FaultPlan` describes *which* faults to fire (by work-item
+  key, by seeded hash rate, or "first N requests");
+* the plan travels in the ``REPRO_FAULTS`` environment variable as one
+  JSON document, so it crosses process boundaries into campaign pool
+  workers and ``repro serve`` subprocesses without any plumbing;
+* one-shot budgets ("crash this worker at most twice", "drop the first
+  HTTP response") are counted through ``O_CREAT|O_EXCL`` marker files in
+  ``state_dir``, which is the only cross-process atomic counter the
+  stdlib offers.
+
+Production code calls the ``maybe_*``/``check_*`` hooks below at its
+injection sites; with ``REPRO_FAULTS`` unset every hook is a cheap
+no-op (one ``os.environ`` lookup), so the harness costs nothing when
+idle.  Hash-rate checks reuse the campaign's ``crc32(seed/key)`` idiom
+so a given (seed, key) either always faults or never does — reruns are
+bit-stable, never flaky.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from contextlib import contextmanager
+
+from ..circuit.dc import ConvergenceError
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedSolverFault",
+    "active_plan",
+    "injected",
+]
+
+#: Environment variable carrying the active plan as JSON.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class FaultPlanError(ValueError):
+    """An invalid fault plan (bad field, missing state_dir, bad JSON)."""
+
+
+class InjectedSolverFault(ConvergenceError):
+    """A synthetic solver failure raised by :func:`check_solver`.
+
+    Subclasses :class:`ConvergenceError` so it flows through exactly the
+    error-handling path a real non-convergence takes; the marker
+    attribute makes ``classify_error`` label it ``injected`` so partial
+    results clearly say the failure was synthetic.
+    """
+
+    failure_classification = "injected"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, deterministically.
+
+    ``solver_fail_attempts`` bounds how many attempts of an item the
+    solver fault fires on (1 = transient fault, a retry succeeds; a large
+    value = persistent fault).  ``worker_crash_limit`` bounds how many
+    times a worker dies while holding a given key — 2 exercises poison
+    quarantine, 1 exercises lost-chunk re-execution.  ``state_dir`` is
+    required by any fault with a cross-process budget.
+    """
+
+    seed: int = 0
+    state_dir: Optional[str] = None
+    solver_fail_keys: Tuple[str, ...] = ()
+    solver_fail_rate: float = 0.0
+    solver_fail_attempts: int = 1
+    worker_crash_keys: Tuple[str, ...] = ()
+    worker_crash_limit: int = 1
+    cache_truncate_fingerprints: Tuple[str, ...] = ()
+    cache_truncate_rate: float = 0.0
+    http_drop_first: int = 0
+    http_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("solver_fail_rate", "cache_truncate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= float(rate) <= 1.0:
+                raise FaultPlanError(f"{name} must be within [0, 1], got {rate!r}")
+        if self.solver_fail_attempts < 1:
+            raise FaultPlanError("solver_fail_attempts must be at least 1")
+        if self.worker_crash_limit < 1:
+            raise FaultPlanError("worker_crash_limit must be at least 1")
+        if self.http_drop_first < 0:
+            raise FaultPlanError("http_drop_first must be non-negative")
+        if self.http_delay_s < 0:
+            raise FaultPlanError("http_delay_s must be non-negative")
+        needs_state = self.worker_crash_keys or self.http_drop_first
+        if needs_state and not self.state_dir:
+            raise FaultPlanError(
+                "worker_crash_keys and http_drop_first need a state_dir "
+                "(their budgets are counted through marker files)"
+            )
+
+    # -- serialisation (the env-var wire format) ----------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultPlan":
+        names = {field.name for field in fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan fields: {sorted(unknown)}")
+        data = dict(payload)
+        for name in ("solver_fail_keys", "worker_crash_keys", "cache_truncate_fingerprints"):
+            if name in data:
+                data[name] = tuple(str(item) for item in data[name])  # type: ignore[union-attr]
+        return cls(**data)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    # -- pure predicates (usable by benches to predict hits) ----------------------------
+
+    def hits_solver(self, key: str, attempt: int = 0) -> bool:
+        """Whether the solver fault fires for ``key`` on 0-based ``attempt``."""
+        if attempt >= self.solver_fail_attempts:
+            return False
+        return key in self.solver_fail_keys or _hash_hit(
+            self.seed, f"solver/{key}", self.solver_fail_rate
+        )
+
+    def hits_cache(self, fingerprint: str) -> bool:
+        return fingerprint in self.cache_truncate_fingerprints or _hash_hit(
+            self.seed, f"cache/{fingerprint}", self.cache_truncate_rate
+        )
+
+
+def _hash_hit(seed: int, token: str, rate: float) -> bool:
+    if rate <= 0.0:
+        return False
+    bucket = zlib.crc32(f"{seed}/{token}".encode("utf-8")) % 1_000_000
+    return bucket < rate * 1_000_000
+
+
+# -- plan discovery ---------------------------------------------------------------------
+
+_plan_cache: Optional[Tuple[str, FaultPlan]] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan from ``REPRO_FAULTS``, or ``None`` (the common case).
+
+    A malformed plan raises :class:`FaultPlanError` instead of silently
+    disabling injection — a chaos test that thinks it is injecting
+    faults but is not would pass vacuously.
+    """
+    global _plan_cache
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return None
+    if _plan_cache is not None and _plan_cache[0] == raw:
+        return _plan_cache[1]
+    plan = FaultPlan.from_json(raw)
+    _plan_cache = (raw, plan)
+    return plan
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` (via the environment) for the body's duration."""
+    previous = os.environ.get(FAULTS_ENV)
+    os.environ[FAULTS_ENV] = plan.to_json()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = previous
+
+
+# -- cross-process one-shot budgets -----------------------------------------------------
+
+
+def _claim(state_dir: str, name: str, limit: int) -> bool:
+    """Atomically claim one of ``limit`` slots for ``name``; False when spent.
+
+    ``O_CREAT|O_EXCL`` makes each slot a single-winner race across
+    processes, so "crash at most N times" holds even when several pool
+    workers hold the same key concurrently.
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    safe = "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in name)
+    for slot in range(limit):
+        path = os.path.join(state_dir, f"{safe}.{slot}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+# -- injection hooks (called from production code) --------------------------------------
+
+
+def check_solver(key: str, attempt: int = 0) -> None:
+    """Raise :class:`InjectedSolverFault` if the plan targets this attempt."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.hits_solver(key, attempt):
+        raise InjectedSolverFault(
+            f"injected solver failure on item {key!r} (attempt {attempt + 1})"
+        )
+
+
+def maybe_crash_worker(key: str, in_pool_worker: bool) -> None:
+    """Kill the current process (as a crashed pool worker would die).
+
+    Only fires inside a campaign pool worker: crashing the serial path
+    would take down the caller (pytest, the CLI, the server) instead of
+    simulating a lost worker.  ``os._exit`` skips ``atexit``/finalisers,
+    which is exactly how a segfaulted or OOM-killed worker disappears.
+    """
+    plan = active_plan()
+    if plan is None or not in_pool_worker:
+        return
+    if key in plan.worker_crash_keys and plan.state_dir:
+        if _claim(plan.state_dir, f"crash-{key}", plan.worker_crash_limit):
+            os._exit(43)
+
+
+def maybe_truncate_cache(fingerprint: str, text: str) -> str:
+    """Return a torn prefix of ``text`` when the plan targets this entry."""
+    plan = active_plan()
+    if plan is None or not plan.hits_cache(fingerprint):
+        return text
+    return text[: max(1, len(text) // 2)]
+
+
+def http_fault() -> Optional[str]:
+    """``"drop"`` when the handler should sever the connection, else None.
+
+    Also applies the plan's fixed response delay (for client-timeout
+    tests) before answering.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    if plan.http_delay_s > 0.0:
+        time.sleep(plan.http_delay_s)
+    if plan.http_drop_first > 0 and plan.state_dir:
+        if _claim(plan.state_dir, "http-drop", plan.http_drop_first):
+            return "drop"
+    return None

@@ -439,3 +439,73 @@ class TestServiceVerbs:
             assert main(["submit", str(spec_path), "--url", server.url]) == 0
             ticket = json.loads(capsys.readouterr().out)
             assert ticket["cached"] is True and ticket["state"] == "done"
+
+
+class TestFailurePolicyVerbs:
+    """The fault-tolerance surface of the CLI: --failure-policy, the
+    partial-result exit code 3, and the serve/submit robustness knobs."""
+
+    def test_failure_policy_parser(self):
+        args = build_parser().parse_args(
+            ["run", "spec.json", "--failure-policy", "skip"]
+        )
+        assert args.failure_policy == "skip"
+        assert build_parser().parse_args(["run", "spec.json"]).failure_policy is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spec.json", "--failure-policy", "explode"])
+
+    def test_serve_parser_accepts_durability_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--journal", "runs/journal.jsonl",
+                "--job-timeout", "120",
+                "--drain-timeout", "3",
+            ]
+        )
+        assert args.journal == "runs/journal.jsonl"
+        assert args.job_timeout == 120.0
+        assert args.drain_timeout == 3.0
+        assert build_parser().parse_args(["serve"]).drain_timeout == 10.0
+
+    def test_submit_parser_accepts_retries(self):
+        assert build_parser().parse_args(["submit", "s.json", "--retries", "5"]).retries == 5
+        assert build_parser().parse_args(["submit", "s.json"]).retries == 2
+
+    def test_run_with_skip_policy_exits_three_on_a_partial_result(
+        self, tmp_path, capsys
+    ):
+        from repro.testing import FaultPlan
+        from repro.testing.faults import injected
+
+        spec_path = tmp_path / "campaign.json"
+        assert main(["spec", "dump", "--output", str(spec_path)] + FAST) == 0
+        capsys.readouterr()
+        # Every solver call faults: with `skip` the run still finishes,
+        # reports the failed items, and signals partiality via exit 3.
+        with injected(FaultPlan(solver_fail_rate=1.0, solver_fail_attempts=99)):
+            assert main(["run", str(spec_path), "--failure-policy", "skip"]) == 3
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out
+        assert "injected" in out
+
+    def test_run_partial_json_counts_failures(self, tmp_path, capsys):
+        from repro.testing import FaultPlan
+        from repro.testing.faults import injected
+
+        spec_path = tmp_path / "campaign.json"
+        assert main(["spec", "dump", "--output", str(spec_path)] + FAST) == 0
+        capsys.readouterr()
+        with injected(FaultPlan(solver_fail_rate=1.0, solver_fail_attempts=99)):
+            assert main(
+                ["run", str(spec_path), "--failure-policy", "skip", "--format", "json"]
+            ) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_failures"] > 0
+        assert any(r.get("record") == "failure" for r in payload["records"])
+
+    def test_clean_run_still_exits_zero_with_a_policy(self, tmp_path, capsys):
+        spec_path = tmp_path / "campaign.json"
+        assert main(["spec", "dump", "--output", str(spec_path)] + FAST) == 0
+        capsys.readouterr()
+        assert main(["run", str(spec_path), "--failure-policy", "retry"]) == 0

@@ -188,13 +188,25 @@ class TestResultCache:
         assert cache.stats.invalidations == 1
         assert cache.stats.misses == 1
 
-    def test_corrupt_entry_invalidates(self, tmp_path):
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = campaign_spec()
         cache.put(spec, tiny_result(spec))
-        cache.path_for(spec.fingerprint()).write_text("{ torn")
+        entry = cache.path_for(spec.fingerprint())
+        entry.write_text("{ torn")
         assert cache.get(spec) is None
-        assert cache.stats.invalidations == 1
+        # Quarantined, not deleted: the corrupt bytes survive for
+        # post-mortems under .json.corrupt, invisible to the store.
+        quarantined = entry.with_name(entry.name + ".corrupt")
+        assert not entry.exists()
+        assert quarantined.read_text() == "{ torn"
+        assert cache.stats.quarantined == 1
+        assert cache.stats.invalidations == 0
+        assert cache.stats.misses == 1
+        assert len(cache) == 0
+        # The next get is a plain miss and the next put repopulates.
+        cache.put(spec, tiny_result(spec))
+        assert cache.get(spec) is not None
 
     def test_lru_eviction_prefers_stale_entries(self, tmp_path):
         cache = ResultCache(tmp_path, max_entries=2)
@@ -450,3 +462,137 @@ class TestServerRoundTrip:
         with pytest.raises(ServiceError) as err:
             client._request_json("/v1/nope")
         assert err.value.status == 404
+
+
+# -- fault tolerance: retries, drops, truncation, restart recovery -----------------------
+
+
+class TestClientRetries:
+    def test_unreachable_server_reports_every_attempt(self):
+        client = ExperimentClient(
+            "http://127.0.0.1:9", timeout_s=0.5, max_retries=2, backoff_s=0.001
+        )
+        with pytest.raises(ServiceError, match="after 3 attempts"):
+            client.health()
+
+    def test_zero_retries_is_single_shot(self):
+        client = ExperimentClient(
+            "http://127.0.0.1:9", timeout_s=0.5, max_retries=0
+        )
+        with pytest.raises(ServiceError, match="after 1 attempt"):
+            client.health()
+
+    def test_retry_knob_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentClient(max_retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentClient(backoff_s=-0.1)
+
+    def test_http_errors_are_not_retried(self, client):
+        # The server answered: surface its message immediately (a retry
+        # would repeat the same 400).
+        with pytest.raises(ServiceError) as err:
+            client._request_json(
+                "/v1/experiments", method="POST", body='{"kind": "bogus"}'
+            )
+        assert err.value.status == 400
+
+    def test_dropped_response_is_retried_transparently(self, tmp_path):
+        from repro.testing import FaultPlan
+        from repro.testing.faults import injected
+
+        with ExperimentServer(workers=1) as server:
+            retrying = ExperimentClient(
+                server.url, timeout_s=10.0, max_retries=2, backoff_s=0.01
+            )
+            plan = FaultPlan(state_dir=str(tmp_path / "faults"), http_drop_first=1)
+            with injected(plan):
+                # First response severed mid-request; the retry succeeds
+                # and coalesces/dedupes on the server side.
+                health = retrying.health()
+            assert health["status"] == "ok"
+
+    def test_dropped_response_without_retries_fails(self, tmp_path):
+        from repro.testing import FaultPlan
+        from repro.testing.faults import injected
+
+        with ExperimentServer(workers=1) as server:
+            single_shot = ExperimentClient(server.url, timeout_s=10.0, max_retries=0)
+            plan = FaultPlan(state_dir=str(tmp_path / "faults"), http_drop_first=1)
+            with injected(plan):
+                with pytest.raises(ServiceError, match="after 1 attempt"):
+                    single_shot.health()
+
+
+class TestCacheTruncationFault:
+    def test_truncated_put_is_quarantined_on_read(self, tmp_path):
+        from repro.testing import FaultPlan
+        from repro.testing.faults import injected
+
+        cache = ResultCache(tmp_path)
+        spec = campaign_spec()
+        plan = FaultPlan(cache_truncate_fingerprints=(spec.fingerprint(),))
+        with injected(plan):
+            cache.put(spec, tiny_result(spec))
+        # The stored entry was torn mid-write; reading it quarantines.
+        assert cache.get(spec) is None
+        assert cache.stats.quarantined == 1
+        corrupt = list(tmp_path.glob("*.json.corrupt"))
+        assert len(corrupt) == 1
+
+
+class TestServerDurability:
+    def test_restart_recovers_journaled_jobs_byte_identically(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = campaign_spec()
+        # A dead server journaled this submission and was killed -9
+        # before computing it.
+        from repro.service.journal import JobJournal
+
+        JobJournal(cache_dir / "journal.jsonl").record_submitted(
+            spec.fingerprint(), spec
+        )
+        with ExperimentServer(cache_dir=cache_dir, workers=1) as server:
+            assert server.recovered == 1
+            recovered_client = ExperimentClient(server.url, timeout_s=30.0)
+            # The recovered job is visible and completes.
+            jobs = server.queue.jobs()
+            assert len(jobs) == 1
+            recovered_client.wait(jobs[0]["id"], timeout_s=120.0)
+            recovered_bytes = recovered_client.result_text(jobs[0]["id"], fmt="json")
+            # A fresh submission of the same spec re-serves the recovered
+            # computation from the cache, byte-identically.
+            ticket = recovered_client.submit(spec)
+            assert ticket["cached"] is True
+            assert (
+                recovered_client.result_text(ticket["id"], fmt="json")
+                == recovered_bytes
+            )
+            # And the journal is settled: nothing outstanding remains.
+            health = recovered_client.health()
+            assert health["queue"]["recovered"] == 1
+            assert health["queue"]["journal"]["outstanding"] == 0
+        # Parity with a direct run (the recovered records are the real
+        # computation, not a placeholder).
+        direct = run(spec)
+        assert_records_match(
+            ResultSet.from_json(recovered_bytes).records, direct.records
+        )
+
+    def test_journal_defaults_beside_the_cache(self, tmp_path):
+        with ExperimentServer(cache_dir=tmp_path / "cache", workers=1) as server:
+            assert server.journal is not None
+            assert server.journal.path == tmp_path / "cache" / "journal.jsonl"
+        with ExperimentServer(workers=1) as server:
+            assert server.journal is None
+
+    def test_stop_serving_then_drain_completes_inflight_work(self, tmp_path):
+        with ExperimentServer(cache_dir=tmp_path / "cache", workers=1) as server:
+            submitting = ExperimentClient(server.url, timeout_s=30.0)
+            ticket = submitting.submit(campaign_spec())
+            server.stop_serving()
+            # Listener closed, but the in-flight job still completes
+            # within the drain budget and settles its journal obligation.
+            assert server.drain(timeout_s=120.0) is True
+            assert server.queue.status(ticket["id"])["state"] == "done"
+            assert server.journal.outstanding_count() == 0
