@@ -49,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import platform
 import sys
 import time
@@ -419,9 +420,12 @@ def _scalar_ops_rows(node, doe):
     return rows
 
 
-def _campaign_ops_rows(node, doe, workers):
+def _campaign_ops_rows(node, doe, workers, solver="batched"):
     campaign = SimulationCampaign(
-        node, doe=doe, scenarios=scenario_grid(operations=OPS_BENCH_OPERATIONS)
+        node,
+        doe=doe,
+        scenarios=scenario_grid(operations=OPS_BENCH_OPERATIONS),
+        solver=solver,
     )
     results = campaign.run(workers=workers)
     return {
@@ -431,8 +435,6 @@ def _campaign_ops_rows(node, doe, workers):
 
 
 def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
-    import os
-
     node = n10()
     doe = StudyDOE(array_sizes=tuple(sizes))
 
@@ -440,6 +442,13 @@ def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
         repetitions, lambda: _scalar_ops_rows(node, doe)
     )
     print(f"scalar operation loop       {scalar_wall*1e3:9.2f} ms")
+
+    # The scalar-solver campaign at one worker: same engine, items run
+    # one at a time — the direct baseline of the batched solver tier.
+    scalar_solver_wall, scalar_solver_rows = _best_of(
+        repetitions, lambda: _campaign_ops_rows(node, doe, 1, solver="scalar")
+    )
+    print(f"ops campaign scalar tier    {scalar_solver_wall*1e3:9.2f} ms")
 
     walls = {}
     campaign_rows = {}
@@ -453,12 +462,12 @@ def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
         )
         print(
             f"ops campaign --workers {n_workers:<2}   {walls[n_workers]*1e3:9.2f} ms"
-            f"  (effective workers: {effective_workers[n_workers]})"
+            f"  (batched tier, effective workers: {effective_workers[n_workers]})"
         )
 
     reference = np.asarray(_operation_rows_as_values(scalar_rows))
     max_rel_diff = 0.0
-    for rows in campaign_rows.values():
+    for rows in list(campaign_rows.values()) + [scalar_solver_rows]:
         values = np.asarray(_operation_rows_as_values(rows))
         scale = np.maximum(np.abs(reference), 1e-30)
         max_rel_diff = max(
@@ -480,6 +489,13 @@ def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
                     "fresh corner search per operation, nothing shared"
                 ),
             },
+            "campaign_scalar_solver": {
+                "wall_s": round(scalar_solver_wall, 6),
+                "description": (
+                    "the campaign engine with solver=scalar at one worker: "
+                    "shared caches, items solved one at a time"
+                ),
+            },
         },
         "campaign": {
             f"workers_{n}": {
@@ -493,6 +509,7 @@ def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
                 f"workers_{n}": round(scalar_wall / wall, 2)
                 for n, wall in walls.items()
             },
+            "batched_vs_scalar_solver": round(scalar_solver_wall / walls[1], 2),
         },
         "parity": {"max_rel_diff": max_rel_diff},
         "summary": {
@@ -501,6 +518,7 @@ def run_ops_bench(sizes: tuple, workers: int, repetitions: int = 2) -> dict:
             "cpu_count": os.cpu_count(),
             "speedup_at_workers": round(scalar_wall / walls[workers], 2),
             "speedup_best": round(scalar_wall / best_wall, 2),
+            "solver_speedup": round(scalar_solver_wall / walls[1], 2),
         },
     }
 
@@ -739,12 +757,30 @@ def run_faults_bench(journal_entries: int = 500) -> dict:
     }
 
 
-def _environment() -> dict:
-    return {
+def _environment(workers: int | None = None) -> dict:
+    """Reproducibility block of every bench report.
+
+    ``cpu_count`` is the machine's CPU count; ``cpus_available`` is what
+    the process may actually use (cgroup/affinity-clamped), which is the
+    number worker requests are clamped to — recording both makes a
+    regression on a differently-clamped CI runner explainable from the
+    JSON alone.  Suites that take a ``--*-workers`` knob pass it in so
+    the requested and the clamped effective count land next to the
+    timings they shaped.
+    """
+    env = {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cpus_available": SimulationCampaign.available_cpus(),
     }
+    if workers is not None:
+        env["workers_requested"] = workers
+        env["workers_effective"] = min(
+            workers, SimulationCampaign.available_cpus()
+        )
+    return env
 
 
 def main() -> int:
@@ -823,7 +859,7 @@ def main() -> int:
                 "SimulationCampaign engine"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(),
+            "environment": _environment(args.sim_workers),
         }
         report.update(run_sim_bench(tuple(args.sim_sizes), args.sim_workers))
         report["harness_wall_s"] = round(time.time() - started, 3)
@@ -852,7 +888,7 @@ def main() -> int:
                 "vs per-operation scalar pipelines"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(),
+            "environment": _environment(args.ops_workers),
         }
         report.update(run_ops_bench(tuple(args.ops_sizes), args.ops_workers))
         report["harness_wall_s"] = round(time.time() - started, 3)
@@ -860,12 +896,17 @@ def main() -> int:
         args.ops_output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {args.ops_output}")
         speedup = report["summary"]["speedup_at_workers"]
+        solver_speedup = report["summary"]["solver_speedup"]
         print(
             f"ops campaign speedup at {args.ops_workers} workers: {speedup}x "
-            f"(parity max rel diff {report['parity']['max_rel_diff']:.2e})"
+            f"(batched solver tier {solver_speedup}x vs scalar tier, "
+            f"parity max rel diff {report['parity']['max_rel_diff']:.2e})"
         )
         if report["parity"]["max_rel_diff"] > 1e-12:
             print("WARNING: operation campaign rows diverge from the scalar pipelines")
+            exit_code = 1
+        if solver_speedup < 5.0:
+            print("WARNING: batched solver tier is below the 5x acceptance floor")
             exit_code = 1
 
     if args.suite in ("service", "all"):
@@ -877,7 +918,7 @@ def main() -> int:
                 "submission latency and concurrent-client throughput"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(),
+            "environment": _environment(args.service_clients),
         }
         report.update(
             run_service_bench(args.service_clients, args.service_requests)

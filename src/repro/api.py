@@ -312,10 +312,14 @@ def _run_campaign(spec: ExperimentSpec, workers: int) -> ResultSet:
             row["impact_percent"] = None
         records.append(row)
     records.extend(failure.to_record() for failure in results.failures)
+    meta: Dict[str, Any] = {"campaign": campaign.signature()}
+    meta["solver"] = campaign.solver
+    if campaign.last_run_stats:
+        meta["solver_stats"] = dict(campaign.last_run_stats)
     return ResultSet(
         spec=spec,
         records=records,
-        meta={"campaign": campaign.signature()},
+        meta=meta,
         payload=results,
     )
 

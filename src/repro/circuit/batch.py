@@ -1,0 +1,1327 @@
+"""Batched solver tier: lockstep Newton/transient over stacked work items.
+
+The campaign hot path solves thousands of *small, same-shaped* circuits —
+butterfly sweeps and write-margin sweeps differ only in element values, not
+topology.  This module stacks such lanes into ``(N, n, n)`` dense systems
+and iterates them jointly: one vectorised MOSFET kernel call, one batched
+``numpy.linalg.solve`` and one scatter per Newton *tick* replace N Python
+device loops and N separate solves.
+
+Parity is by construction, not by tolerance.  Every array expression below
+is the element-wise twin of the scalar solver it shadows
+(:func:`repro.circuit.dc._newton_solve`, :func:`repro.circuit.dc.dc_sweep`,
+:meth:`repro.circuit.transient.TransientSolver.run`): same operations, same
+order, same numpy ufuncs.  The decisive primitives were verified bitwise on
+the batched shapes — ``np.linalg.solve`` over a stacked batch equals the
+per-item solve, batched matmul equals the per-item matvec, and
+``np.bincount`` accumulates equal indices sequentially in emission order,
+reproducing the scalar ``+=`` sequence.  A lane therefore follows exactly
+the iterate trajectory the scalar oracle would, converges on the same tick
+with the same iteration count, and lands on the same bits.
+
+Control flow is per lane, iterations are shared.  Each DC lane runs a
+*generator* that mirrors the scalar control flow — including the full
+rescue ladder (gmin stepping, source stepping, pseudo-transient
+continuation) — statement for statement, yielding one Newton target
+``(assembler, b, x0)`` wherever the scalar code would call
+``_newton_solve`` and receiving the converged (or failed) iterate back.
+The group engine advances every active lane's current target by one
+Newton iteration per tick, so a lane deep inside a fold rescue iterates
+in the same vectorised tick as a lane cruising along its sweep — nothing
+serialises.  Robustness state stays per lane: converged lanes freeze,
+damping and step limiting are per-lane arrays, and the gmin variants a
+rescue needs are cheap :meth:`~repro.circuit.mna.MNAAssembler.clone_with_gmin`
+clones.  Lanes above the dense-solver size threshold (and lanes under an
+active rescue escalation) run the scalar path outright, counted in
+``SolverStats.scalar_fallbacks``.
+
+Transient lanes are driven differently: the adaptive step controller makes
+time points lane-specific, so each lane runs a generator that mirrors the
+scalar solver's control flow statement-for-statement and *yields* at every
+device-stamp evaluation.  The driver gathers all pending evaluations into
+one kernel call per tick and keeps the linear solves on each lane's own
+:class:`~repro.circuit.mna.CachedFactorSolver` — heterogeneous topologies
+batch fine because only the element-wise kernel is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from .dc import (
+    ConvergenceError,
+    DCResult,
+    DCSweepResult,
+    NewtonOptions,
+    _source_vector_with_overrides,
+    dc_operating_point,
+    dc_sweep,
+    rescue_level,
+)
+from .mna import MNAAssembler, NonlinearStamp, solver_stats
+from .mosfet import DeviceParams, batch_operating_points
+from .netlist import Circuit
+from .transient import StopCondition, TransientSolver
+from .waveform import TransientResult
+
+#: A lane outcome: the analysis result, or the exception that lane raised.
+#: Batched entry points never let one lane's failure poison its batch —
+#: exceptions are captured per lane and re-raised by the caller per item.
+LaneOutcome = Union[DCResult, DCSweepResult, TransientResult, BaseException]
+
+
+@dataclass(frozen=True)
+class SweepLaneSpec:
+    """One :func:`~repro.circuit.dc.dc_sweep` call, as batch input."""
+
+    circuit: Circuit
+    source_name: str
+    values: Sequence[float]
+    initial_voltages: Optional[Dict[str, float]] = None
+    options: Optional[NewtonOptions] = None
+    gmin_s: float = 1e-12
+
+
+@dataclass(frozen=True)
+class OperatingPointLaneSpec:
+    """One :func:`~repro.circuit.dc.dc_operating_point` call, as batch input."""
+
+    circuit: Circuit
+    initial_voltages: Optional[Dict[str, float]] = None
+    options: Optional[NewtonOptions] = None
+    gmin_s: float = 1e-12
+    source_overrides: Optional[Mapping[str, float]] = None
+
+
+@dataclass(frozen=True)
+class TransientLaneSpec:
+    """One :meth:`TransientSolver.run` call, as batch input.
+
+    The solver is constructed by the caller (it owns the Jacobian-template
+    donation policy); the batch driver only orchestrates its time loop.
+    """
+
+    solver: TransientSolver
+    initial_voltages: Optional[Dict[str, float]] = None
+    stop_condition: Optional[StopCondition] = None
+
+
+# -- DC lane generators -----------------------------------------------------------------
+#
+# Statement-for-statement mirrors of the scalar functions in dc.py, with
+# every _newton_solve call replaced by ``yield (assembler, b, x0)`` and the
+# thread-local singular flag replaced by per-generator accumulation (the
+# engine reports per-target singular events in the result tuple).  Keep
+# them in sync with dc.py: any change to the scalar ladder must be
+# mirrored here, or batched DC analyses lose bit-parity with the scalar
+# oracle.
+
+_TargetRequest = Tuple[MNAAssembler, np.ndarray, np.ndarray]
+#: (x, iterations, converged, max_residual, saw_singular)
+_TargetResult = Tuple[np.ndarray, int, bool, float, bool]
+_DCGen = Generator[_TargetRequest, _TargetResult, Union[DCResult, DCSweepResult]]
+
+
+class _AssemblerCache:
+    """Per-circuit cache of gmin variants of one base assembler.
+
+    The rescue ladders revisit a handful of gmin values; each variant is
+    a :meth:`~repro.circuit.mna.MNAAssembler.clone_with_gmin` of the base
+    (bitwise identical to, and ~15x cheaper than, a fresh construction),
+    built once and memoised together with its dense backend.
+    """
+
+    def __init__(self, base: MNAAssembler) -> None:
+        self.base = base
+        self._variants: Dict[float, MNAAssembler] = {base.gmin_s: base}
+
+    def get(self, gmin_s: float) -> MNAAssembler:
+        variant = self._variants.get(gmin_s)
+        if variant is None:
+            variant = self.base.clone_with_gmin(gmin_s)
+            self._variants[gmin_s] = variant
+        return variant
+
+
+def _gen_source_stepping(
+    cache: _AssemblerCache,
+    b_full: np.ndarray,
+    options: NewtonOptions,
+    gmin_s: float,
+) -> Generator[
+    _TargetRequest,
+    _TargetResult,
+    Tuple[Optional[np.ndarray], int, float, MNAAssembler, bool],
+]:
+    """Generator mirror of :func:`~repro.circuit.dc._source_stepping`."""
+    assembler = cache.get(gmin_s)
+    current = np.zeros(assembler.size)
+    total_iterations = 0
+    max_residual = float("inf")
+    saw_singular = False
+    alpha = 0.0
+    step = 0.1
+    min_step = 1.0 / 1024.0
+    while alpha < 1.0:
+        attempt = min(1.0, alpha + step)
+        candidate, iterations, converged, max_residual, singular = yield (
+            assembler,
+            attempt * b_full,
+            current,
+        )
+        saw_singular |= singular
+        total_iterations += iterations
+        if converged:
+            current = candidate
+            alpha = attempt
+            step = min(step * 2.0, 0.1)
+            continue
+        step /= 2.0
+        if step < min_step:
+            return None, total_iterations, max_residual, assembler, saw_singular
+    return current, total_iterations, max_residual, assembler, saw_singular
+
+
+def _gen_pseudo_transient(
+    cache: _AssemblerCache,
+    b_full: np.ndarray,
+    x0: np.ndarray,
+    options: NewtonOptions,
+    gmin_s: float,
+) -> Generator[
+    _TargetRequest,
+    _TargetResult,
+    Tuple[Optional[np.ndarray], int, float, MNAAssembler, bool],
+]:
+    """Generator mirror of :func:`~repro.circuit.dc._pseudo_transient`."""
+    x = x0.copy()
+    total_iterations = 0
+    max_residual = float("inf")
+    saw_singular = False
+    g_pt = 1e-2
+    for _outer in range(200):
+        assembler = cache.get(gmin_s + g_pt)
+        b_pt = b_full.copy()
+        b_pt[: assembler.n_nodes] += g_pt * x[: assembler.n_nodes]
+        solution, iterations, converged, _residual, singular = yield (
+            assembler,
+            b_pt,
+            x,
+        )
+        saw_singular |= singular
+        total_iterations += iterations
+        if not converged:
+            g_pt *= 10.0
+            if g_pt > 1e4:
+                return None, total_iterations, max_residual, assembler, saw_singular
+            continue
+        x = solution
+        g_pt *= 0.1
+        if g_pt < 1e-12:
+            assembler = cache.get(gmin_s)
+            solution, iterations, converged, max_residual, singular = yield (
+                assembler,
+                b_full,
+                x,
+            )
+            saw_singular |= singular
+            total_iterations += iterations
+            if converged:
+                return solution, total_iterations, max_residual, assembler, saw_singular
+            g_pt = 1e-4
+    return None, total_iterations, max_residual, assembler, saw_singular
+
+
+def _gen_operating_point(
+    cache: _AssemblerCache,
+    initial_voltages: Optional[Dict[str, float]],
+    options: NewtonOptions,
+    gmin_s: float,
+    source_overrides: Optional[Mapping[str, float]],
+) -> _DCGen:
+    """Generator mirror of :func:`~repro.circuit.dc.dc_operating_point`.
+
+    Covers escalation level 0 only — the batch entry points route lanes
+    under an active :func:`~repro.circuit.dc.solver_rescue` to the scalar
+    path outright.
+    """
+    saw_singular = False
+    max_residual = float("inf")
+    for gmin_attempt in (gmin_s, gmin_s * 1e3, gmin_s * 1e6):
+        assembler = cache.get(gmin_attempt)
+        b = _source_vector_with_overrides(assembler, source_overrides)
+        # (dc_operating_point re-zeroes the branch entries of x0 here;
+        # initial_solution already leaves them zero.)
+        x0 = assembler.initial_solution(initial_voltages)
+        solution, iterations, converged, max_residual, singular = yield (
+            assembler,
+            b,
+            x0,
+        )
+        saw_singular |= singular
+        if converged and gmin_attempt == gmin_s:
+            return DCResult(
+                voltages=assembler.solution_to_dict(solution),
+                iterations=iterations,
+                converged=True,
+                max_residual_a=max_residual,
+            )
+        if converged:
+            # Found a solution at elevated gmin: walk gmin back down using
+            # the converged solution as the new starting point.
+            current = solution
+            for step_gmin in (gmin_attempt / 10.0, gmin_attempt / 100.0, gmin_s):
+                step_assembler = cache.get(step_gmin)
+                b = _source_vector_with_overrides(step_assembler, source_overrides)
+                current, iterations, converged, max_residual, singular = yield (
+                    step_assembler,
+                    b,
+                    current,
+                )
+                saw_singular |= singular
+                if not converged:
+                    break
+            if converged:
+                return DCResult(
+                    voltages=step_assembler.solution_to_dict(current),
+                    iterations=iterations,
+                    converged=True,
+                    max_residual_a=max_residual,
+                )
+
+    assembler = cache.get(gmin_s)
+    b_full = _source_vector_with_overrides(assembler, source_overrides)
+    solution, iterations, max_residual, step_assembler, singular = yield from (
+        _gen_source_stepping(cache, b_full, options, gmin_s)
+    )
+    saw_singular |= singular
+    if solution is not None:
+        return DCResult(
+            voltages=step_assembler.solution_to_dict(solution),
+            iterations=iterations,
+            converged=True,
+            max_residual_a=max_residual,
+        )
+
+    x0 = assembler.initial_solution(initial_voltages)
+    solution, iterations, max_residual, pt_assembler, singular = yield from (
+        _gen_pseudo_transient(cache, b_full, x0, options, gmin_s)
+    )
+    saw_singular |= singular
+    if solution is not None:
+        return DCResult(
+            voltages=pt_assembler.solution_to_dict(solution),
+            iterations=iterations,
+            converged=True,
+            max_residual_a=max_residual,
+        )
+
+    singular_note = (
+        " after a singular Jacobian was encountered" if saw_singular else ""
+    )
+    raise ConvergenceError(
+        f"DC operating point did not converge{singular_note} "
+        f"(last max residual {max_residual:.3e} A)"
+    )
+
+
+def _gen_sweep_rescue(
+    cache: _AssemblerCache,
+    assembler: MNAAssembler,
+    b: np.ndarray,
+    current: np.ndarray,
+    value: float,
+    source_name: str,
+    options: NewtonOptions,
+    gmin_s: float,
+) -> Generator[_TargetRequest, _TargetResult, Tuple[np.ndarray, int]]:
+    """Generator mirror of :func:`~repro.circuit.dc._sweep_point_rescue`."""
+    node_names = assembler.node_names
+    solution, iterations, _residual, _asm, _singular = yield from (
+        _gen_pseudo_transient(cache, b, current, options, gmin_s)
+    )
+    if solution is None:
+        point = yield from _gen_operating_point(
+            cache,
+            initial_voltages={
+                node: float(current[assembler.index_of(node)])
+                for node in node_names
+            },
+            options=options,
+            gmin_s=gmin_s,
+            source_overrides={source_name: float(value)},
+        )
+        iterations += point.iterations
+        solution = assembler.initial_solution(
+            {node: point.voltages[node] for node in node_names}
+        )
+    return solution, iterations
+
+
+def _gen_dc_sweep(
+    cache: _AssemblerCache,
+    spec: SweepLaneSpec,
+    grid: np.ndarray,
+    options: NewtonOptions,
+) -> _DCGen:
+    """Generator mirror of :func:`~repro.circuit.dc.dc_sweep`."""
+    assembler = cache.base
+    first = yield from _gen_operating_point(
+        cache,
+        initial_voltages=spec.initial_voltages,
+        options=options,
+        gmin_s=spec.gmin_s,
+        source_overrides={spec.source_name: float(grid[0])},
+    )
+    node_names = assembler.node_names
+    iterations_total = first.iterations
+
+    current = assembler.initial_solution(
+        {node: first.voltages[node] for node in node_names}
+    )
+    # Hoisted per-point invariants (the scalar loop recomputes these per
+    # point, but they are deterministic: b0 is the t=0 source vector and
+    # the node indices never change, so copying is bitwise identical; the
+    # history is recorded as node-voltage snapshots and split per node at
+    # the end — a pure float64 passthrough).
+    b0 = assembler.source_vector(0.0)
+    branch = assembler.branch_index(spec.source_name)
+    node_pos = np.array(
+        [assembler.index_of(node) for node in node_names], dtype=np.int64
+    )
+    snapshots: List[np.ndarray] = [current[node_pos]]
+    for value in grid[1:]:
+        b = b0.copy()
+        b[branch] = float(value)
+        solution, iterations, converged, _residual, _singular = yield (
+            assembler,
+            b,
+            current,
+        )
+        iterations_total += iterations
+        if not converged:
+            solution, iterations = yield from _gen_sweep_rescue(
+                cache,
+                assembler,
+                b,
+                current,
+                float(value),
+                spec.source_name,
+                options,
+                spec.gmin_s,
+            )
+            iterations_total += iterations
+        current = solution
+        snapshots.append(current[node_pos])
+
+    stacked = np.stack(snapshots)
+    return DCSweepResult(
+        source_name=spec.source_name,
+        values=grid,
+        voltages={
+            node: np.ascontiguousarray(stacked[:, k])
+            for k, node in enumerate(node_names)
+        },
+        iterations_total=iterations_total,
+    )
+
+
+# -- DC lockstep engine -----------------------------------------------------------------
+#
+# All lanes of a group share one structural shape, so each tick evaluates
+# the active lanes' stamps in one kernel call and solves their Jacobians
+# in one batched dense solve.  Per-lane control state (damping, previous
+# residual, iteration count, singular flag) lives in flat arrays indexed
+# by lane; the generators above supply each lane's sequence of targets.
+
+
+class _DCLane:
+    """One generator-driven DC lane and its captured outcome."""
+
+    __slots__ = ("index", "gen", "base", "options", "outcome")
+
+    def __init__(
+        self,
+        index: int,
+        gen: _DCGen,
+        base: MNAAssembler,
+        options: NewtonOptions,
+    ) -> None:
+        self.index = index
+        self.gen = gen
+        self.base = base
+        self.options = options
+        self.outcome: Optional[LaneOutcome] = None
+
+
+def _structural_key(assembler: MNAAssembler) -> Tuple[int, int, int, int, int]:
+    plan = assembler.batch_plan()
+    return (
+        assembler.size,
+        assembler.n_nodes,
+        plan.n_devices,
+        int(plan.res_pos.size),
+        int(plan.stamp_rows.size),
+    )
+
+
+class _DCGroup:
+    """Lockstep Newton over one structurally identical set of lanes."""
+
+    def __init__(self, lanes: List[_DCLane]) -> None:
+        self.lanes = lanes
+        first = lanes[0].base
+        self.size = first.size
+        self.n_nodes = first.n_nodes
+        self.n_devices = first.batch_plan().n_devices
+        plans = [lane.base.batch_plan() for lane in lanes]
+        # Per-lane gather/scatter tables.  Lanes share lengths (the
+        # structural key) but not necessarily index patterns, so every
+        # table is 2-D and gathered with take_along_axis per tick.  The
+        # tables are gmin-independent, so one set serves every target a
+        # lane's rescue ladder produces.
+        self.drain_idx = np.stack([p.drain_idx for p in plans])
+        self.gate_idx = np.stack([p.gate_idx for p in plans])
+        self.source_idx = np.stack([p.source_idx for p in plans])
+        self.res_pos = np.stack([p.res_pos for p in plans])
+        self.res_dev = np.stack([p.res_dev for p in plans])
+        self.res_sign = np.stack([p.res_sign for p in plans])
+        self.stamp_flat = np.stack([p.stamp_flat for p in plans])
+        self.stamp_kind = np.stack([p.stamp_kind for p in plans])
+        self.stamp_dev = np.stack([p.stamp_dev for p in plans])
+        self.p_polarity = np.stack([p.params.polarity for p in plans])
+        self.p_vth = np.stack([p.params.vth_v for p in plans])
+        self.p_k = np.stack([p.params.k_a for p in plans])
+        self.p_alpha = np.stack([p.params.alpha for p in plans])
+        self.p_lambda = np.stack([p.params.lambda_per_v for p in plans])
+        opts = [lane.options for lane in lanes]
+        self.abs_tol = np.array([o.abs_tolerance_a for o in opts])
+        self.rel_tol = np.array([o.rel_tolerance for o in opts])
+        self.damping0 = np.array([o.damping for o in opts])
+        self.vstep_limit = np.array([o.max_voltage_step_v for o in opts])
+        self.max_iter = np.array([o.max_iterations for o in opts], dtype=np.int64)
+
+        n = len(lanes)
+        self.g_stack = np.zeros((n, self.size, self.size))
+        self.x = np.zeros((n, self.size))
+        self.b = np.zeros((n, self.size))
+        self.damping = self.damping0.copy()
+        self.prev_res = np.full(n, np.nan)
+        self.iter = np.zeros(n, dtype=np.int64)
+        self.singular = np.zeros(n, dtype=bool)
+        self.last_mr = np.full(n, np.inf)
+        #: Static gather tables keyed by the active-lane tuple.  The active
+        #: set only changes when a lane finishes its whole analysis, so the
+        #: per-tick index gathers amortise to nothing.  Only gmin- and
+        #: state-independent plan data may live here — x, b and g_stack
+        #: change per target and are gathered fresh each tick.
+        self._tables: Dict[bytes, Dict[str, object]] = {}
+        self.active: List[int] = []
+        for i in range(n):
+            if self._resume(i, None):
+                self.active.append(i)
+        #: The active set as an index array, rebuilt lazily — it only
+        #: changes when a lane finishes its whole analysis.
+        self._act_arr = np.asarray(self.active, dtype=np.int64)
+        self._act_dirty = False
+        #: Scratch for the extended kernel-eval state; the trailing
+        #: column is the implicit ground entry and must stay zero.
+        self._x_ext = np.zeros((n, self.size + 1))
+
+    # -- lane transitions ---------------------------------------------------------
+
+    def _resume(self, i: int, result: Optional[_TargetResult]) -> bool:
+        """Advance lane ``i``'s generator; install its next Newton target.
+
+        Returns ``False`` when the generator finished (result or exception
+        captured as the lane outcome).
+        """
+        lane = self.lanes[i]
+        try:
+            target = lane.gen.send(result)
+        except StopIteration as done:
+            lane.outcome = done.value
+            return False
+        except Exception as exc:  # noqa: BLE001 - lane isolation by design
+            lane.outcome = exc
+            return False
+        assembler, b, x0 = target
+        self.g_stack[i] = assembler.dense_system().g_dense
+        self.b[i] = b
+        self.x[i] = x0
+        self.damping[i] = self.damping0[i]
+        self.prev_res[i] = np.nan
+        self.iter[i] = 0
+        self.singular[i] = False
+        self.last_mr[i] = np.inf
+        return True
+
+    def _resolve(self, i: int, converged: bool, iterations: int) -> None:
+        """Report lane ``i``'s finished target back to its generator."""
+        result: _TargetResult = (
+            self.x[i].copy(),
+            int(iterations),
+            converged,
+            float(self.last_mr[i]),
+            bool(self.singular[i]),
+        )
+        if not self._resume(i, result):
+            self.active.remove(i)
+            self._act_dirty = True
+
+    # -- batched helpers ----------------------------------------------------------
+
+    def _tables_for(self, act: np.ndarray) -> Dict[str, object]:
+        """Static gather tables for one set of lanes (memoised).
+
+        The main tick always passes the full active set, whose tuple is
+        stable across target transitions; secondary-check subsets slice
+        these tables positionally instead of re-gathering.
+        """
+        key = act.tobytes()
+        tbl = self._tables.get(key)
+        if tbl is None:
+            if len(self._tables) > 64:
+                self._tables.clear()
+            na = act.size
+            kind = self.stamp_kind[act]
+            tbl = {
+                "rows": np.arange(na)[:, None],
+                "drain": self.drain_idx[act],
+                "gate": self.gate_idx[act],
+                "source": self.source_idx[act],
+                "res_dev": self.res_dev[act],
+                "res_sign": self.res_sign[act],
+                "res_pos": self.res_pos[act],
+                "res_flat": (
+                    self.res_pos[act] + (np.arange(na) * self.size)[:, None]
+                ).reshape(-1),
+                "stamp_dev": self.stamp_dev[act],
+                "stamp_kind": kind,
+                # Static decomposition of the stamp-kind dispatch: kind
+                # 0..5 is (±gds, ±gm, ±(gds+gm)); picking the component
+                # with choose and applying the sign by an exact ±1.0
+                # multiply reproduces the nested-where values bit for bit.
+                "stamp_pick": np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)[kind],
+                "stamp_sign": np.array([1.0, 1.0, -1.0, -1.0, -1.0, 1.0])[kind],
+                "stamp_flat": self.stamp_flat[act],
+                "p_polarity": self.p_polarity[act],
+                "p_vth": self.p_vth[act],
+                "p_k": self.p_k[act],
+                "p_alpha": self.p_alpha[act],
+                "p_lambda": self.p_lambda[act],
+            }
+            tbl["params_full"] = self._params_from(tbl, slice(None))
+            self._tables[key] = tbl
+        return tbl
+
+    @staticmethod
+    def _params_from(tbl: Dict[str, object], sel) -> DeviceParams:
+        return DeviceParams(
+            polarity=tbl["p_polarity"][sel].reshape(-1),
+            vth_v=tbl["p_vth"][sel].reshape(-1),
+            k_a=tbl["p_k"][sel].reshape(-1),
+            alpha=tbl["p_alpha"][sel].reshape(-1),
+            lambda_per_v=tbl["p_lambda"][sel].reshape(-1),
+        )
+
+    def _eval_devices(
+        self, act: np.ndarray, x_sel: np.ndarray, sel=slice(None)
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Kernel-evaluate the devices of ``act[sel]`` lanes at ``x_sel``."""
+        stats = solver_stats()
+        n_sel = x_sel.shape[0]
+        stats.stamp_evals += 1
+        stats.stamp_device_evals += n_sel * self.n_devices
+        tbl = self._tables_for(act)
+        x_ext = self._x_ext[:n_sel]
+        x_ext[:, :-1] = x_sel
+        rows = tbl["rows"][:n_sel]
+        vd = x_ext[rows, tbl["drain"][sel]]
+        vg = x_ext[rows, tbl["gate"][sel]]
+        vs = x_ext[rows, tbl["source"][sel]]
+        params = (
+            tbl["params_full"]
+            if isinstance(sel, slice)
+            else self._params_from(tbl, sel)
+        )
+        ids, gm, gds = batch_operating_points(
+            vd.reshape(-1),
+            vg.reshape(-1),
+            vs.reshape(-1),
+            params,
+        )
+        shape = (n_sel, self.n_devices)
+        return ids.reshape(shape), gm.reshape(shape), gds.reshape(shape)
+
+    def _residual(
+        self, act: np.ndarray, x_sel: np.ndarray, ids: np.ndarray, sel=slice(None)
+    ) -> np.ndarray:
+        """``G·x + I_nl(x) − b`` per lane, matching the scalar op order."""
+        # bincount accumulates equal indices sequentially in input order,
+        # reproducing the scalar per-device "+ids at drain, −ids at source"
+        # emission sequence bitwise.
+        tbl = self._tables_for(act)
+        n_sel = x_sel.shape[0]
+        rows = tbl["rows"][:n_sel]
+        weights = ids[rows, tbl["res_dev"][sel]] * tbl["res_sign"][sel]
+        if isinstance(sel, slice):
+            flat = tbl["res_flat"]
+        else:
+            flat = (
+                tbl["res_pos"][sel] + (np.arange(n_sel) * self.size)[:, None]
+            ).reshape(-1)
+        res_nl = np.bincount(
+            flat,
+            weights=weights.reshape(-1),
+            minlength=n_sel * self.size,
+        ).reshape(n_sel, self.size)
+        lane_idx = act[sel]
+        g_dot_x = np.matmul(self.g_stack[lane_idx], x_sel[:, :, None])[:, :, 0]
+        return g_dot_x + res_nl - self.b[lane_idx]
+
+    def _stamp_values(
+        self, act: np.ndarray, gm: np.ndarray, gds: np.ndarray
+    ) -> np.ndarray:
+        """Jacobian stamp values in scalar emission order, per lane."""
+        tbl = self._tables_for(act)
+        rows = tbl["rows"]
+        dev = tbl["stamp_dev"]
+        gds_e = gds[rows, dev]
+        gm_e = gm[rows, dev]
+        # choose is pure selection and the ±1.0 multiply is an exact IEEE
+        # negation, so this matches the former nested-where bit for bit.
+        picked = np.choose(tbl["stamp_pick"], (gds_e, gm_e, gds_e + gm_e))
+        return picked * tbl["stamp_sign"]
+
+    def _matrices(
+        self, act: np.ndarray, cont: np.ndarray, stamp_values: np.ndarray
+    ) -> np.ndarray:
+        """Dense Jacobians of the ``act[cont]`` lanes."""
+        tbl = self._tables_for(act)
+        n_sel = stamp_values.shape[0]
+        flat = tbl["stamp_flat"][cont] + (
+            np.arange(n_sel) * self.size * self.size
+        )[:, None]
+        scatter = np.bincount(
+            flat.reshape(-1),
+            weights=stamp_values.reshape(-1),
+            minlength=n_sel * self.size * self.size,
+        ).reshape(n_sel, self.size, self.size)
+        return self.g_stack[act[cont]] + scatter
+
+    # -- the tick ----------------------------------------------------------------
+
+    def run(self) -> None:
+        while self.active:
+            self._tick()
+
+    def _tick(self) -> None:
+        stats = solver_stats()
+        if self._act_dirty:
+            self._act_arr = np.asarray(self.active, dtype=np.int64)
+            self._act_dirty = False
+        act = self._act_arr
+        stats.batch_ticks += 1
+        stats.batch_lane_iterations += act.size
+        self.iter[act] += 1
+        x_act = self.x[act]
+        ids, gm, gds = self._eval_devices(act, x_act)
+        residual = self._residual(act, x_act, ids)
+        max_res = np.abs(residual).max(axis=1)
+        self.last_mr[act] = max_res
+        for pos in np.nonzero(max_res < self.abs_tol[act])[0]:
+            i = int(act[pos])
+            self._resolve(i, True, int(self.iter[i]))
+
+        cont = max_res >= self.abs_tol[act]
+        # NaN residuals fall through to the solve exactly as the scalar
+        # loop does (NaN < tol and NaN >= prev are both False).
+        cont |= np.isnan(max_res)
+        if not cont.any():
+            return
+        idx = act[cont]
+        x_c = x_act[cont]
+        res_c = residual[cont]
+        mr_c = max_res[cont]
+
+        has_prev = ~np.isnan(self.prev_res[idx])
+        d = self.damping[idx]
+        with np.errstate(invalid="ignore"):
+            worse = mr_c >= self.prev_res[idx]
+        stepped = np.where(
+            worse,
+            np.maximum(d * 0.5, self.damping0[idx] / 256.0),
+            np.minimum(d * 1.5, self.damping0[idx]),
+        )
+        self.damping[idx] = np.where(has_prev, stepped, d)
+        self.prev_res[idx] = mr_c
+
+        stamp_values = self._stamp_values(act, gm, gds)[cont]
+        matrices = self._matrices(act, cont, stamp_values)
+        stats.factorizations += idx.size
+        stats.dense_solves += idx.size
+        singular = np.zeros(idx.size, dtype=bool)
+        try:
+            delta = np.linalg.solve(matrices, -res_c[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            # One singular lane poisons the stacked call; redo per lane
+            # (bitwise identical to the batched solve) and mark offenders.
+            delta = np.zeros((idx.size, self.size))
+            for j in range(idx.size):
+                try:
+                    delta[j] = np.linalg.solve(matrices[j], -res_c[j])
+                except np.linalg.LinAlgError:
+                    singular[j] = True
+        for j in np.nonzero(singular)[0]:
+            i = int(idx[j])
+            # The scalar loop reports the pre-solve iterate and residual
+            # and lets the caller's gmin ladder regularise and retry.
+            self.singular[i] = True
+            self._resolve(i, False, int(self.iter[i]))
+        if singular.any():
+            keep = ~singular
+            idx = idx[keep]
+            if idx.size == 0:
+                return
+            x_c = x_c[keep]
+            delta = delta[keep]
+
+        node_delta = delta[:, : self.n_nodes]
+        max_step = np.abs(node_delta).max(axis=1)
+        limit = self.vstep_limit[idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(
+                (max_step > limit) & (limit > 0.0),
+                self.damping[idx] * (limit / max_step),
+                self.damping[idx],
+            )
+        x_new = x_c + scale[:, None] * delta
+        self.x[idx] = x_new
+
+        # Secondary convergence check on the update (scalar loop's "helps
+        # linear circuits finish in one extra iteration" branch).
+        x_node_max = np.abs(x_new[:, : self.n_nodes]).max(axis=1)
+        with np.errstate(invalid="ignore"):
+            update_small = max_step * scale < self.rel_tol[idx] * np.maximum(
+                1.0, x_node_max
+            )
+        still = np.ones(idx.size, dtype=bool)
+        if update_small.any():
+            sub = idx[update_small]
+            sub_pos = np.nonzero(cont)[0][update_small]
+            ids2, _gm2, _gds2 = self._eval_devices(
+                act, x_new[update_small], sub_pos
+            )
+            res2 = self._residual(act, x_new[update_small], ids2, sub_pos)
+            mr2 = np.abs(res2).max(axis=1)
+            # The scalar path overwrites max_residual here whether or not
+            # the check passes.
+            self.last_mr[sub] = mr2
+            passed = mr2 < self.abs_tol[sub] * 10.0
+            for j in np.nonzero(passed)[0]:
+                self._resolve(int(sub[j]), True, int(self.iter[int(sub[j])]))
+            keep = np.ones(idx.size, dtype=bool)
+            keep[np.nonzero(update_small)[0][passed]] = False
+            still = keep
+
+        for i in idx[still]:
+            i = int(i)
+            if self.iter[i] >= self.max_iter[i]:
+                self._resolve(i, False, int(self.max_iter[i]))
+
+
+def _run_dc_lockstep(lanes: List[_DCLane]) -> None:
+    groups: Dict[Tuple[int, int, int, int, int], List[_DCLane]] = {}
+    for lane in lanes:
+        groups.setdefault(_structural_key(lane.base), []).append(lane)
+    for members in groups.values():
+        _DCGroup(members).run()
+
+
+def batch_dc_sweep(specs: Sequence[SweepLaneSpec]) -> List[LaneOutcome]:
+    """Run many :func:`~repro.circuit.dc.dc_sweep` calls in lockstep.
+
+    Returns one outcome per spec, in order: a
+    :class:`~repro.circuit.dc.DCSweepResult` bitwise identical to the
+    scalar call, or the exception the scalar call would have raised.
+    Lanes above the dense-solver threshold and every lane under an active
+    rescue escalation run the scalar path directly.
+    """
+    outcomes: List[Optional[LaneOutcome]] = [None] * len(specs)
+    lanes: List[_DCLane] = []
+    stats = solver_stats()
+    for index, spec in enumerate(specs):
+        try:
+            grid = np.asarray(list(spec.values), dtype=float)
+            if grid.ndim != 1 or grid.size == 0:
+                raise ConvergenceError("a DC sweep needs at least one source value")
+            options = spec.options if spec.options is not None else NewtonOptions()
+            assembler = MNAAssembler(spec.circuit, gmin_s=spec.gmin_s)
+            assembler.branch_index(spec.source_name)
+            if rescue_level() or not assembler.use_dense_solver:
+                stats.scalar_fallbacks += 1
+                outcomes[index] = dc_sweep(
+                    spec.circuit,
+                    spec.source_name,
+                    spec.values,
+                    initial_voltages=spec.initial_voltages,
+                    options=spec.options,
+                    gmin_s=spec.gmin_s,
+                )
+                continue
+            cache = _AssemblerCache(assembler)
+            lanes.append(
+                _DCLane(
+                    index,
+                    _gen_dc_sweep(cache, spec, grid, options),
+                    assembler,
+                    options,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - lane isolation by design
+            outcomes[index] = exc
+    _run_dc_lockstep(lanes)
+    for lane in lanes:
+        outcomes[lane.index] = lane.outcome
+    return outcomes
+
+
+def batch_dc_operating_points(
+    specs: Sequence[OperatingPointLaneSpec],
+) -> List[LaneOutcome]:
+    """Run many :func:`~repro.circuit.dc.dc_operating_point` calls in lockstep.
+
+    Every Newton solve of every lane — including those deep inside the
+    gmin/source-stepping/pseudo-transient rescue ladder — runs in the
+    shared lockstep tick; results and iteration counts match the scalar
+    calls exactly.
+    """
+    outcomes: List[Optional[LaneOutcome]] = [None] * len(specs)
+    lanes: List[_DCLane] = []
+    stats = solver_stats()
+    for index, spec in enumerate(specs):
+        try:
+            options = spec.options if spec.options is not None else NewtonOptions()
+            assembler = MNAAssembler(spec.circuit, gmin_s=spec.gmin_s)
+            if rescue_level() or not assembler.use_dense_solver:
+                stats.scalar_fallbacks += 1
+                outcomes[index] = dc_operating_point(
+                    spec.circuit,
+                    initial_voltages=spec.initial_voltages,
+                    options=spec.options,
+                    gmin_s=spec.gmin_s,
+                    source_overrides=spec.source_overrides,
+                )
+                continue
+            cache = _AssemblerCache(assembler)
+            lanes.append(
+                _DCLane(
+                    index,
+                    _gen_operating_point(
+                        cache,
+                        spec.initial_voltages,
+                        options,
+                        spec.gmin_s,
+                        spec.source_overrides,
+                    ),
+                    assembler,
+                    options,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - lane isolation by design
+            outcomes[index] = exc
+    _run_dc_lockstep(lanes)
+    for lane in lanes:
+        outcomes[lane.index] = lane.outcome
+    return outcomes
+
+
+# -- transient lockstep driver ----------------------------------------------------------
+#
+# The generator below is a statement-for-statement transformation of
+# TransientSolver.run + _newton_step with every nonlinear_stamp(x) call
+# replaced by ``yield x``.  Keep the two in sync: any change to
+# transient.py's control flow must be mirrored here, or batched transients
+# lose bit-parity with the scalar solver.
+
+_StampRequest = np.ndarray
+
+
+def _lane_stamp(assembler: MNAAssembler,
+                ids: np.ndarray, gm: np.ndarray, gds: np.ndarray) -> NonlinearStamp:
+    """Assemble one lane's :class:`NonlinearStamp` from kernel outputs.
+
+    Emission order and accumulation order follow the assembler's batch
+    plan, which is built in ``nonlinear_stamp`` iteration order — the
+    values array and residual are bitwise identical to the scalar method.
+    """
+    plan = assembler.batch_plan()
+    weights = ids[plan.res_dev] * plan.res_sign
+    residual = np.bincount(
+        plan.res_pos, weights=weights, minlength=assembler.size
+    )
+    gds_e = gds[plan.stamp_dev]
+    gm_e = gm[plan.stamp_dev]
+    sum_e = gds_e + gm_e
+    kind = plan.stamp_kind
+    values = np.where(
+        kind == 0,
+        gds_e,
+        np.where(
+            kind == 1,
+            gm_e,
+            np.where(
+                kind == 2,
+                -sum_e,
+                np.where(kind == 3, -gds_e, np.where(kind == 4, -gm_e, sum_e)),
+            ),
+        ),
+    )
+    return NonlinearStamp(
+        rows=list(plan.stamp_rows),
+        cols=list(plan.stamp_cols),
+        values=values,
+        residual=residual,
+    )
+
+
+def _transient_lane(
+    spec: TransientLaneSpec,
+) -> Generator[_StampRequest, NonlinearStamp, TransientResult]:
+    """Generator mirror of :meth:`TransientSolver.run` (see note above)."""
+    solver = spec.solver
+    options = solver.options
+    assembler = solver.assembler
+    newton = options.newton
+    cache = solver.solver_cache
+    g_matrix = assembler.conductance_matrix
+    c_matrix = assembler.capacitance_matrix
+
+    x = assembler.initial_solution(spec.initial_voltages)
+    record_nodes = (
+        options.record_nodes if options.record_nodes is not None else assembler.node_names
+    )
+    for node in record_nodes:
+        assembler.index_of(node)
+
+    times: List[float] = [0.0]
+    history: Dict[str, List[float]] = {
+        node: [
+            float(x[assembler.index_of(node)])
+            if assembler.index_of(node) is not None
+            else 0.0
+        ]
+        for node in record_nodes
+    }
+
+    time_s = 0.0
+    dt_s = options.dt_initial_s
+    stop_reason = "tstop"
+    steps = 0
+    level = rescue_level()
+    max_steps = options.max_steps * (1 + level)
+    dt_min_s = options.dt_min_s / (10.0 ** level)
+
+    while time_s < options.t_stop_s:
+        if steps >= max_steps:
+            raise ConvergenceError(
+                f"transient exceeded {max_steps} accepted steps "
+                f"before t_stop (reached t={time_s:.3e} s of "
+                f"{options.t_stop_s:.3e} s)"
+            )
+        dt_s = min(dt_s, options.t_stop_s - time_s)
+
+        # ---- inlined _newton_step(x, time_s + dt_s, dt_s, x) ----
+        step_time_s = time_s + dt_s
+        c_dot_prev_over_dt = c_matrix.dot(x) / dt_s
+        b_now = assembler.source_vector(step_time_s)
+        if options.method == "trapezoidal":
+            c_factor = 2.0 / dt_s
+            b_prev = assembler.source_vector(step_time_s - dt_s)
+            stamp_prev = yield x
+            history_term = (
+                c_dot_prev_over_dt * 2.0
+                - g_matrix.dot(x)
+                - stamp_prev.residual
+                + b_prev
+            )
+            rhs_const = b_now + history_term
+        else:
+            c_factor = 1.0 / dt_s
+            rhs_const = b_now + c_dot_prev_over_dt
+        static = cache.static_matrix(c_factor)
+
+        solution: Optional[np.ndarray] = None
+        x_iter = x.copy()
+        for _iteration in range(newton.max_iterations):
+            stamp = yield x_iter
+            residual = static.dot(x_iter) + stamp.residual - rhs_const
+            max_residual = (
+                float(np.max(np.abs(residual))) if residual.size else 0.0
+            )
+            if max_residual < newton.abs_tolerance_a:
+                solution = x_iter
+                break
+            try:
+                delta = cache.solve(c_factor, stamp, -residual)
+            except RuntimeError:
+                solver._singular_seen = True
+                solution = None
+                break
+            delta = np.asarray(delta).ravel()
+            if not np.all(np.isfinite(delta)):
+                solution = None
+                break
+            node_delta = delta[: assembler.n_nodes]
+            max_step = (
+                float(np.max(np.abs(node_delta))) if node_delta.size else 0.0
+            )
+            scale = 1.0
+            if max_step > newton.max_voltage_step_v > 0.0:
+                scale = newton.max_voltage_step_v / max_step
+            x_iter = x_iter + scale * delta
+        else:
+            # Budget exhausted: one last residual check with the final iterate.
+            stamp = yield x_iter
+            residual = static.dot(x_iter) + stamp.residual - rhs_const
+            if float(np.max(np.abs(residual))) < newton.abs_tolerance_a * 100.0:
+                solution = x_iter
+        # ---- end _newton_step ----
+
+        if solution is None:
+            dt_s *= options.dt_shrink
+            if dt_s < dt_min_s:
+                singular_note = (
+                    " after a singular Jacobian was encountered"
+                    if solver._singular_seen
+                    else ""
+                )
+                raise ConvergenceError(
+                    f"transient step at t={time_s:.3e} s failed below the "
+                    f"minimum step size ({dt_min_s:.1e} s){singular_note}"
+                )
+            continue
+
+        steps += 1
+        time_s += dt_s
+        x = solution
+        times.append(time_s)
+        voltages_now: Dict[str, float] = {}
+        for node in record_nodes:
+            index = assembler.index_of(node)
+            value = 0.0 if index is None else float(x[index])
+            history[node].append(value)
+            voltages_now[node] = value
+
+        if spec.stop_condition is not None and spec.stop_condition(
+            time_s, voltages_now
+        ):
+            stop_reason = "stop-condition"
+            break
+
+        dt_s = min(dt_s * options.dt_growth, options.dt_max_s)
+
+    return TransientResult(
+        times_s=np.asarray(times),
+        voltages={node: np.asarray(values) for node, values in history.items()},
+        converged=True,
+        stop_reason=stop_reason,
+    )
+
+
+def batch_run_transients(specs: Sequence[TransientLaneSpec]) -> List[LaneOutcome]:
+    """Run many transient analyses with their device stamps batched.
+
+    Every active lane's pending stamp evaluation is concatenated into one
+    vectorised kernel call per tick; the implicit solves stay on each
+    lane's own :class:`~repro.circuit.mna.CachedFactorSolver`, so lanes
+    with different topologies (read ladders, write columns) batch
+    together.  Waveforms are bitwise identical to per-lane
+    :meth:`TransientSolver.run` calls.
+    """
+    outcomes: List[Optional[LaneOutcome]] = [None] * len(specs)
+    gens: Dict[int, Generator[_StampRequest, NonlinearStamp, TransientResult]] = {}
+    pending: Dict[int, np.ndarray] = {}
+    stats = solver_stats()
+    for index, spec in enumerate(specs):
+        gen = _transient_lane(spec)
+        try:
+            pending[index] = gen.send(None)
+            gens[index] = gen
+        except StopIteration as done:
+            outcomes[index] = done.value
+        except (ConvergenceError, RuntimeError, np.linalg.LinAlgError) as exc:
+            outcomes[index] = exc
+
+    while pending:
+        order = sorted(pending)
+        requests = [pending.pop(i) for i in order]
+        plans = [specs[i].solver.assembler.batch_plan() for i in order]
+        counts = [plan.n_devices for plan in plans]
+        stats.batch_ticks += 1
+        stats.batch_lane_iterations += len(order)
+        stats.stamp_evals += 1
+        stats.stamp_device_evals += sum(counts)
+        vd_parts: List[np.ndarray] = []
+        vg_parts: List[np.ndarray] = []
+        vs_parts: List[np.ndarray] = []
+        for x, plan in zip(requests, plans):
+            x_ext = np.concatenate([x, [0.0]])
+            vd_parts.append(x_ext[plan.drain_idx])
+            vg_parts.append(x_ext[plan.gate_idx])
+            vs_parts.append(x_ext[plan.source_idx])
+        params = DeviceParams.stack([plan.params for plan in plans])
+        ids, gm, gds = batch_operating_points(
+            np.concatenate(vd_parts),
+            np.concatenate(vg_parts),
+            np.concatenate(vs_parts),
+            params,
+        )
+        offsets = np.cumsum([0] + counts)
+        for pos, i in enumerate(order):
+            lo, hi = offsets[pos], offsets[pos + 1]
+            stamp = _lane_stamp(
+                specs[i].solver.assembler, ids[lo:hi], gm[lo:hi], gds[lo:hi]
+            )
+            gen = gens[i]
+            try:
+                pending[i] = gen.send(stamp)
+            except StopIteration as done:
+                outcomes[i] = done.value
+                del gens[i]
+            except (ConvergenceError, RuntimeError, np.linalg.LinAlgError) as exc:
+                outcomes[i] = exc
+                del gens[i]
+    return outcomes
+
+
+# -- prepared measurements --------------------------------------------------------------
+#
+# The measurement layers (read/write columns, butterfly margins, the
+# operation registry) split each measurement into *prepare* — build the
+# circuits and lane specs — and *finish* — turn solved lanes back into a
+# measurement.  The scalar entry points run prepare → run_lane_scalar →
+# finish, the campaign's batched tier runs prepare for a whole chunk and
+# solves every lane of every item in shared batches; both feed the same
+# finish, so the two tiers share one code path end to end.
+
+#: Any lane spec a :class:`PreparedWork` may carry.
+LaneSpec = Union[SweepLaneSpec, OperatingPointLaneSpec, TransientLaneSpec]
+
+
+@dataclass
+class PreparedWork:
+    """A deferred measurement: lane specs plus a ``finish`` continuation.
+
+    ``finish`` receives the lane results in ``lanes`` order and returns
+    the measurement.  A prepared item may carry zero lanes (a memo hit):
+    ``finish`` is then called with an empty list.
+    """
+
+    lanes: List[LaneSpec] = field(default_factory=list)
+    finish: Callable[[Sequence[Any]], Any] = lambda results: None
+
+    def mapped(self, wrap: Callable[[Any], Any]) -> "PreparedWork":
+        """A new prepared item whose finish post-processes this one's."""
+        inner = self.finish
+        return PreparedWork(
+            lanes=self.lanes, finish=lambda results: wrap(inner(results))
+        )
+
+    def run_scalar(self) -> Any:
+        """Solve the lanes with the scalar oracle and finish."""
+        return self.finish([run_lane_scalar(lane) for lane in self.lanes])
+
+
+def run_lane_scalar(lane: LaneSpec) -> Union[DCResult, DCSweepResult, TransientResult]:
+    """Solve one lane spec through the scalar solver it shadows."""
+    if isinstance(lane, SweepLaneSpec):
+        return dc_sweep(
+            lane.circuit,
+            lane.source_name,
+            lane.values,
+            initial_voltages=lane.initial_voltages,
+            options=lane.options,
+            gmin_s=lane.gmin_s,
+        )
+    if isinstance(lane, OperatingPointLaneSpec):
+        return dc_operating_point(
+            lane.circuit,
+            initial_voltages=lane.initial_voltages,
+            options=lane.options,
+            gmin_s=lane.gmin_s,
+            source_overrides=lane.source_overrides,
+        )
+    return lane.solver.run(
+        initial_voltages=lane.initial_voltages,
+        stop_condition=lane.stop_condition,
+    )
+
+
+def solve_prepared(items: Sequence[PreparedWork]) -> List[Any]:
+    """Solve many prepared measurements with their lanes batched jointly.
+
+    All sweep lanes across all items go into one :func:`batch_dc_sweep`
+    call (likewise operating points and transients), so same-topology
+    work from *different* items stacks into shared lockstep groups — the
+    batching is global over the chunk, not per measurement.
+
+    Returns one entry per item: the ``finish`` value, or the exception
+    that item hit (its first failed lane, or what ``finish`` raised).
+    Items never poison each other.
+    """
+    sweep_refs: List[Tuple[int, int]] = []
+    op_refs: List[Tuple[int, int]] = []
+    transient_refs: List[Tuple[int, int]] = []
+    sweep_specs: List[SweepLaneSpec] = []
+    op_specs: List[OperatingPointLaneSpec] = []
+    transient_specs: List[TransientLaneSpec] = []
+    lane_results: List[List[Any]] = []
+    for item_index, item in enumerate(items):
+        lane_results.append([None] * len(item.lanes))
+        for lane_index, lane in enumerate(item.lanes):
+            if isinstance(lane, SweepLaneSpec):
+                sweep_refs.append((item_index, lane_index))
+                sweep_specs.append(lane)
+            elif isinstance(lane, OperatingPointLaneSpec):
+                op_refs.append((item_index, lane_index))
+                op_specs.append(lane)
+            else:
+                transient_refs.append((item_index, lane_index))
+                transient_specs.append(lane)
+    for refs, outcomes in (
+        (sweep_refs, batch_dc_sweep(sweep_specs) if sweep_specs else []),
+        (op_refs, batch_dc_operating_points(op_specs) if op_specs else []),
+        (transient_refs, batch_run_transients(transient_specs) if transient_specs else []),
+    ):
+        for (item_index, lane_index), outcome in zip(refs, outcomes):
+            lane_results[item_index][lane_index] = outcome
+
+    results: List[Any] = []
+    for item, outcomes in zip(items, lane_results):
+        failed = next(
+            (o for o in outcomes if isinstance(o, BaseException)), None
+        )
+        if failed is not None:
+            results.append(failed)
+            continue
+        try:
+            results.append(item.finish(outcomes))
+        except Exception as exc:  # noqa: BLE001 - item isolation by design
+            results.append(exc)
+    return results

@@ -135,12 +135,15 @@ def _newton_solve(
 ) -> tuple[np.ndarray, int, bool, float]:
     """Newton iteration on ``G x + I_nl(x) = b`` starting from ``x0``.
 
-    The linear solves go through a :class:`CachedFactorSolver`, so the LU
-    factorisation of ``G`` is computed once and reused for every iteration
-    of a linear circuit (and whenever the device stamps are unchanged).
+    The linear solves go through the dense backend for small systems
+    (bitwise-shared with the batched solver tier) and through a
+    :class:`CachedFactorSolver` above the dense threshold, where the LU
+    factorisation of ``G`` is reused whenever the device stamps are
+    unchanged.
     """
-    solver = CachedFactorSolver(assembler)
-    g_matrix = assembler.conductance_matrix
+    dense = assembler.dense_system() if assembler.use_dense_solver else None
+    solver = None if dense is not None else CachedFactorSolver(assembler)
+    g_matrix = None if dense is not None else assembler.conductance_matrix
     x = x0.copy()
     max_residual = float("inf")
     # Adaptive damping: a full Newton step can limit-cycle across the kinks
@@ -152,7 +155,8 @@ def _newton_solve(
     previous_residual: Optional[float] = None
     for iteration in range(1, options.max_iterations + 1):
         stamp = assembler.nonlinear_stamp(x)
-        residual = g_matrix.dot(x) + stamp.residual - b
+        g_dot_x = dense.g_dense @ x if dense is not None else g_matrix.dot(x)
+        residual = g_dot_x + stamp.residual - b
         max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
         if max_residual < options.abs_tolerance_a:
             return x, iteration, True, max_residual
@@ -163,8 +167,11 @@ def _newton_solve(
                 damping = min(damping * 1.5, options.damping)
         previous_residual = max_residual
         try:
-            delta = solver.solve(0.0, stamp, -residual)
-        except RuntimeError:
+            if dense is not None:
+                delta = dense.solve(np.asarray(stamp.values), -residual)
+            else:
+                delta = solver.solve(0.0, stamp, -residual)
+        except (RuntimeError, np.linalg.LinAlgError):
             # Exactly singular Jacobian at this gmin: report non-convergence
             # so the caller's gmin-stepping fallback can regularise and retry
             # instead of aborting the whole operating-point search.  The
@@ -184,7 +191,8 @@ def _newton_solve(
         # one extra iteration).
         if max_step * scale < options.rel_tolerance * max(1.0, float(np.max(np.abs(x[: assembler.n_nodes]), initial=0.0))):
             stamp = assembler.nonlinear_stamp(x)
-            residual = g_matrix.dot(x) + stamp.residual - b
+            g_dot_x = dense.g_dense @ x if dense is not None else g_matrix.dot(x)
+            residual = g_dot_x + stamp.residual - b
             max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
             if max_residual < options.abs_tolerance_a * 10.0:
                 return x, iteration, True, max_residual
@@ -474,6 +482,49 @@ class DCSweepResult:
         return None
 
 
+def _sweep_point_rescue(
+    circuit: Circuit,
+    assembler: MNAAssembler,
+    b: np.ndarray,
+    current: np.ndarray,
+    value: float,
+    source_name: str,
+    options: NewtonOptions,
+    gmin_s: float,
+) -> tuple[np.ndarray, int]:
+    """Recover one sweep point whose warm start failed.
+
+    Warm start lost the branch (possible right at a fold).  The
+    branch-faithful rescue is pseudo-transient continuation anchored at
+    the previous point: it relaxes along the circuit dynamics, so it
+    stays on the current branch while it exists and crosses onto the
+    surviving one exactly when it folds — unlike the gmin ladder, which
+    can hop branches early.  Shared verbatim by the scalar sweep and the
+    batched tier's per-straggler fallback, so a rescued lane reproduces
+    the scalar trajectory bit-for-bit.
+    """
+    node_names = assembler.node_names
+    solution, iterations, _residual, _asm = _pseudo_transient(
+        circuit, b, current, options, gmin_s
+    )
+    if solution is None:
+        point = dc_operating_point(
+            circuit,
+            initial_voltages={
+                node: float(current[assembler.index_of(node)])
+                for node in node_names
+            },
+            options=options,
+            gmin_s=gmin_s,
+            source_overrides={source_name: float(value)},
+        )
+        iterations += point.iterations
+        solution = assembler.initial_solution(
+            {node: point.voltages[node] for node in node_names}
+        )
+    return solution, iterations
+
+
 def dc_sweep(
     circuit: Circuit,
     source_name: str,
@@ -538,31 +589,17 @@ def dc_sweep(
         )
         iterations_total += iterations
         if not converged:
-            # Warm start lost the branch (possible right at a fold).  The
-            # branch-faithful rescue is pseudo-transient continuation
-            # anchored at the previous point: it relaxes along the circuit
-            # dynamics, so it stays on the current branch while it exists
-            # and crosses onto the surviving one exactly when it folds —
-            # unlike the gmin ladder, which can hop branches early.
-            solution, iterations, _residual, _asm = _pseudo_transient(
-                circuit, b, current, chosen_options, gmin_s
+            solution, iterations = _sweep_point_rescue(
+                circuit,
+                assembler,
+                b,
+                current,
+                float(value),
+                source_name,
+                chosen_options,
+                gmin_s,
             )
             iterations_total += iterations
-            if solution is None:
-                point = dc_operating_point(
-                    circuit,
-                    initial_voltages={
-                        node: float(current[assembler.index_of(node)])
-                        for node in node_names
-                    },
-                    options=chosen_options,
-                    gmin_s=gmin_s,
-                    source_overrides={source_name: float(value)},
-                )
-                iterations_total += point.iterations
-                solution = assembler.initial_solution(
-                    {node: point.voltages[node] for node in node_names}
-                )
         current = solution
         for node in node_names:
             history[node].append(float(current[assembler.index_of(node)]))

@@ -17,6 +17,7 @@ ladders with thousands of nodes stay fast.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,15 +26,90 @@ from scipy import sparse
 from scipy.sparse.linalg import splu
 
 from .elements import Capacitor, CurrentSource, Resistor, VoltageSource
-from .mosfet import MOSFET
+from .mosfet import MOSFET, DeviceParams
 from .netlist import Circuit, NetlistError, is_ground
 
 #: Minimum conductance from every node to ground, for numerical robustness.
 DEFAULT_GMIN_S = 1e-12
 
+#: Largest MNA system solved through the dense LAPACK backend.  Small
+#: systems (SRAM cell butterflies, write-margin columns) factor faster as
+#: dense matrices, and — decisively — ``numpy.linalg.solve`` over a stacked
+#: ``(N, n, n)`` batch is bitwise identical per item to the single-system
+#: call, which makes the dense backend shareable between the scalar oracle
+#: and the batched solver tier.  Large ladder circuits stay on sparse LU.
+DENSE_SOLVER_MAX_UNKNOWNS = 64
+
 
 class MNAError(RuntimeError):
     """Raised when the MNA system cannot be assembled or is singular."""
+
+
+@dataclass
+class SolverStats:
+    """Cheap per-thread observability counters for the solver tier.
+
+    ``factorizations`` counts every matrix factorisation (sparse LU or a
+    dense solve, which factors internally); ``refactorizations`` is the
+    subset that replaced a still-cached factorisation because the stamp
+    values moved; ``stamp_evals`` counts nonlinear stamp evaluations and
+    ``stamp_device_evals`` the device lanes inside them (a batched call
+    evaluates many lanes per eval); ``batch_ticks``/``batch_lane_iterations``
+    describe the batched tier's lockstep loop.
+    """
+
+    factorizations: int = 0
+    refactorizations: int = 0
+    dense_solves: int = 0
+    sparse_solves: int = 0
+    stamp_evals: int = 0
+    stamp_device_evals: int = 0
+    batch_ticks: int = 0
+    batch_lane_iterations: int = 0
+    scalar_fallbacks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "factorizations": self.factorizations,
+            "refactorizations": self.refactorizations,
+            "dense_solves": self.dense_solves,
+            "sparse_solves": self.sparse_solves,
+            "stamp_evals": self.stamp_evals,
+            "stamp_device_evals": self.stamp_device_evals,
+            "batch_ticks": self.batch_ticks,
+            "batch_lane_iterations": self.batch_lane_iterations,
+            "scalar_fallbacks": self.scalar_fallbacks,
+        }
+
+    def snapshot(self) -> "SolverStats":
+        return SolverStats(**self.as_dict())
+
+    def delta_since(self, before: "SolverStats") -> "SolverStats":
+        return SolverStats(
+            **{
+                key: value - getattr(before, key)
+                for key, value in self.as_dict().items()
+            }
+        )
+
+
+_stats_state = threading.local()
+
+
+def solver_stats() -> SolverStats:
+    """The current thread's solver counters (created on first use)."""
+    stats = getattr(_stats_state, "stats", None)
+    if stats is None:
+        stats = SolverStats()
+        _stats_state.stats = stats
+    return stats
+
+
+def reset_solver_stats() -> SolverStats:
+    """Reset the current thread's counters and return the fresh object."""
+    stats = SolverStats()
+    _stats_state.stats = stats
+    return stats
 
 
 @dataclass
@@ -44,6 +120,82 @@ class NonlinearStamp:
     cols: List[int]
     values: List[float]
     residual: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Precomputed gather/scatter indices for vectorised stamp evaluation.
+
+    Built once per assembler; lets the batched tier evaluate every MOSFET
+    of every stacked lane in one kernel call and scatter the results with
+    ``numpy.bincount`` (whose sequential accumulation reproduces the
+    per-device add order of :meth:`MNAAssembler.nonlinear_stamp` bitwise).
+
+    Terminal indices use ``size`` as the ground sentinel — voltages are
+    gathered from the solution vector extended by one trailing zero.
+    """
+
+    size: int
+    n_devices: int
+    params: DeviceParams
+    drain_idx: np.ndarray
+    gate_idx: np.ndarray
+    source_idx: np.ndarray
+    #: Residual scatter (per device ``+ids`` at drain then ``-ids`` at
+    #: source, ground entries skipped) in scalar emission order.
+    res_pos: np.ndarray
+    res_dev: np.ndarray
+    res_sign: np.ndarray
+    #: Jacobian stamp scatter in :meth:`_device_stamp_pairs` emission
+    #: order; ``stamp_kind`` selects among the six per-device values
+    #: ``(gds, gm, -(gds+gm), -gds, -gm, gds+gm)``.
+    stamp_rows: np.ndarray
+    stamp_cols: np.ndarray
+    stamp_kind: np.ndarray
+    stamp_dev: np.ndarray
+
+    @property
+    def stamp_flat(self) -> np.ndarray:
+        """Row-major flat positions of the stamp entries (dense scatter)."""
+        return self.stamp_rows * self.size + self.stamp_cols
+
+
+class DenseSystem:
+    """Dense DC backend of one assembler (systems below the size threshold).
+
+    Holds ``G`` as a dense array plus the flat stamp-scatter positions, so
+    a Newton iteration assembles ``A = G + scatter(stamp values)`` and the
+    residual term ``G·x`` with plain dense ops — the exact operations the
+    batched tier applies per lane, which keeps the two tiers bit-identical.
+
+    ``G`` is scattered straight from the assembler's triplet arrays with
+    ``np.add.at`` (bitwise identical to ``csr.toarray()`` — scipy's
+    duplicate summation is insertion-ordered via a stable sort), so cheap
+    gmin-ladder clones never have to materialise a sparse matrix at all.
+    """
+
+    def __init__(self, assembler: "MNAAssembler") -> None:
+        self.size = assembler.size
+        rows, cols, values = assembler._g_triplets
+        self.g_dense = np.zeros((self.size, self.size))
+        np.add.at(self.g_dense, (np.asarray(rows), np.asarray(cols)), values)
+        self._stamp_flat = assembler.batch_plan().stamp_flat
+
+    def matrix(self, stamp_values: np.ndarray) -> np.ndarray:
+        """``G + J_nl`` as a dense array for one Newton iteration."""
+        scatter = np.bincount(
+            self._stamp_flat,
+            weights=stamp_values,
+            minlength=self.size * self.size,
+        ).reshape(self.size, self.size)
+        return self.g_dense + scatter
+
+    def solve(self, stamp_values: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(G + J_nl) x = rhs`` densely (raises ``LinAlgError``)."""
+        stats = solver_stats()
+        stats.factorizations += 1
+        stats.dense_solves += 1
+        return np.linalg.solve(self.matrix(stamp_values), rhs)
 
 
 class MNAAssembler:
@@ -80,8 +232,44 @@ class MNAAssembler:
         self.n_branches = len(self.voltage_sources)
         self.size = self.n_nodes + self.n_branches
 
-        self._g_matrix = self._build_conductance_matrix()
-        self._c_matrix = self._build_capacitance_matrix()
+        self._g_triplets = self._build_g_triplets()
+        self._c_triplets = self._build_c_triplets()
+        self._g_matrix: Optional[sparse.csr_matrix] = None
+        self._c_matrix: Optional[sparse.csr_matrix] = None
+        self._batch_plan: Optional[BatchPlan] = None
+        self._dense_system: Optional[DenseSystem] = None
+
+    def clone_with_gmin(self, gmin_s: float) -> "MNAAssembler":
+        """A cheap same-circuit assembler that differs only in ``gmin_s``.
+
+        The gmin ladder and pseudo-transient rescue revisit the same circuit
+        at many gmin values; a full construction re-validates the netlist
+        and rebuilds every element list, which dominates rescue cost.  The
+        clone shares the immutable pieces (node order, element lists, ``C``
+        triplets, batch plan) and rebuilds only the ``G`` triplets, whose
+        values are the only thing gmin touches.  The resulting matrices are
+        bitwise identical to ``MNAAssembler(circuit, gmin_s)``.
+        """
+        clone = object.__new__(MNAAssembler)
+        clone.circuit = self.circuit
+        clone.gmin_s = gmin_s
+        clone._node_names = self._node_names
+        clone._node_index = self._node_index
+        clone.voltage_sources = self.voltage_sources
+        clone.current_sources = self.current_sources
+        clone.mosfets = self.mosfets
+        clone.resistors = self.resistors
+        clone.capacitors = self.capacitors
+        clone.n_nodes = self.n_nodes
+        clone.n_branches = self.n_branches
+        clone.size = self.size
+        clone._g_triplets = clone._build_g_triplets()
+        clone._c_triplets = self._c_triplets
+        clone._g_matrix = None
+        clone._c_matrix = self._c_matrix
+        clone._batch_plan = self.batch_plan()
+        clone._dense_system = None
+        return clone
 
     # -- index helpers -------------------------------------------------------------
 
@@ -106,7 +294,7 @@ class MNAAssembler:
 
     # -- static matrices -------------------------------------------------------------
 
-    def _build_conductance_matrix(self) -> sparse.csr_matrix:
+    def _build_g_triplets(self) -> Tuple[List[int], List[int], List[float]]:
         rows: List[int] = []
         cols: List[int] = []
         values: List[float] = []
@@ -146,11 +334,9 @@ class MNAAssembler:
                 cols.extend([branch, n])
                 values.extend([-1.0, -1.0])
 
-        return sparse.csr_matrix(
-            (values, (rows, cols)), shape=(self.size, self.size)
-        )
+        return rows, cols, values
 
-    def _build_capacitance_matrix(self) -> sparse.csr_matrix:
+    def _build_c_triplets(self) -> Tuple[List[int], List[int], List[float]]:
         rows: List[int] = []
         cols: List[int] = []
         values: List[float] = []
@@ -172,16 +358,24 @@ class MNAAssembler:
                 rows.extend([p, n])
                 cols.extend([n, p])
                 values.extend([-c, -c])
-        return sparse.csr_matrix(
-            (values, (rows, cols)), shape=(self.size, self.size)
-        )
+        return rows, cols, values
 
     @property
     def conductance_matrix(self) -> sparse.csr_matrix:
+        if self._g_matrix is None:
+            rows, cols, values = self._g_triplets
+            self._g_matrix = sparse.csr_matrix(
+                (values, (rows, cols)), shape=(self.size, self.size)
+            )
         return self._g_matrix
 
     @property
     def capacitance_matrix(self) -> sparse.csr_matrix:
+        if self._c_matrix is None:
+            rows, cols, values = self._c_triplets
+            self._c_matrix = sparse.csr_matrix(
+                (values, (rows, cols)), shape=(self.size, self.size)
+            )
         return self._c_matrix
 
     # -- sources -----------------------------------------------------------------------
@@ -237,12 +431,75 @@ class MNAAssembler:
                 cols.append(col)
         return rows, cols
 
+    def batch_plan(self) -> BatchPlan:
+        """Precomputed device gather/scatter arrays (built once, cached)."""
+        if self._batch_plan is not None:
+            return self._batch_plan
+
+        ground = self.size
+        drain, gate, source = [], [], []
+        res_pos, res_dev, res_sign = [], [], []
+        stamp_rows, stamp_cols, stamp_kind, stamp_dev = [], [], [], []
+        for lane, device in enumerate(self.mosfets):
+            d = self.index_of(device.drain)
+            g = self.index_of(device.gate)
+            s = self.index_of(device.source)
+            drain.append(ground if d is None else d)
+            gate.append(ground if g is None else g)
+            source.append(ground if s is None else s)
+            if d is not None:
+                res_pos.append(d)
+                res_dev.append(lane)
+                res_sign.append(1.0)
+            if s is not None:
+                res_pos.append(s)
+                res_dev.append(lane)
+                res_sign.append(-1.0)
+            for kind, (row, col) in enumerate(self._device_stamp_pairs(d, g, s)):
+                if row is None or col is None:
+                    continue
+                stamp_rows.append(row)
+                stamp_cols.append(col)
+                stamp_kind.append(kind)
+                stamp_dev.append(lane)
+
+        self._batch_plan = BatchPlan(
+            size=self.size,
+            n_devices=len(self.mosfets),
+            params=DeviceParams.from_devices(self.mosfets),
+            drain_idx=np.asarray(drain, dtype=np.int64),
+            gate_idx=np.asarray(gate, dtype=np.int64),
+            source_idx=np.asarray(source, dtype=np.int64),
+            res_pos=np.asarray(res_pos, dtype=np.int64),
+            res_dev=np.asarray(res_dev, dtype=np.int64),
+            res_sign=np.asarray(res_sign),
+            stamp_rows=np.asarray(stamp_rows, dtype=np.int64),
+            stamp_cols=np.asarray(stamp_cols, dtype=np.int64),
+            stamp_kind=np.asarray(stamp_kind, dtype=np.int64),
+            stamp_dev=np.asarray(stamp_dev, dtype=np.int64),
+        )
+        return self._batch_plan
+
+    def dense_system(self) -> DenseSystem:
+        """The dense DC backend of this assembler (built once, cached)."""
+        if self._dense_system is None:
+            self._dense_system = DenseSystem(self)
+        return self._dense_system
+
+    @property
+    def use_dense_solver(self) -> bool:
+        """Whether DC solves of this system go through the dense backend."""
+        return self.size <= DENSE_SOLVER_MAX_UNKNOWNS
+
     def _voltage_at(self, solution: np.ndarray, node: str) -> float:
         index = self.index_of(node)
         return 0.0 if index is None else float(solution[index])
 
     def nonlinear_stamp(self, solution: np.ndarray) -> NonlinearStamp:
         """Linearised companion stamps of all MOSFETs around ``solution``."""
+        stats = solver_stats()
+        stats.stamp_evals += 1
+        stats.stamp_device_evals += len(self.mosfets)
         rows: List[int] = []
         cols: List[int] = []
         values: List[float] = []
@@ -451,6 +708,11 @@ class CachedFactorSolver:
                 data = static_data
             lu = splu(self.template.matrix(data))
             self.n_factorizations += 1
+            stats = solver_stats()
+            stats.factorizations += 1
+            if cached is not None:
+                stats.refactorizations += 1
             self._lu[c_factor] = (values.copy() if values.size else None, lu)
         self.n_solves += 1
+        solver_stats().sparse_solves += 1
         return lu.solve(rhs)

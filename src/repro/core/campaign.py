@@ -37,10 +37,11 @@ import zlib
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..circuit.batch import PreparedWork, solve_prepared
 from ..circuit.dc import ConvergenceError, solver_rescue
-from ..circuit.mna import MNAError
+from ..circuit.mna import MNAError, solver_stats
 from ..technology.node import TechnologyNode
 from ..testing import faults
 from ..variability.doe import StudyDOE, paper_doe
@@ -63,6 +64,13 @@ from .worst_case import WorstCaseStudy
 
 #: Transient methods a scenario may select.
 CAMPAIGN_METHODS = ("backward-euler", "trapezoidal")
+
+#: Solver tiers the campaign can execute items through.  ``scalar`` runs
+#: one item at a time through the per-circuit Newton/transient solvers
+#: (the rtol<=1e-12 oracle); ``batched`` stacks every pending item's
+#: circuit lanes into the lockstep tier (:mod:`repro.circuit.batch`) and
+#: solves them jointly — records are bitwise identical either way.
+CAMPAIGN_SOLVERS = ("scalar", "batched")
 
 #: Short method tags used in item keys and file names.
 _METHOD_TAGS = {"backward-euler": "be", "trapezoidal": "trap"}
@@ -239,6 +247,15 @@ class CampaignRecord:
     operation: str = "read"
     value: float = 0.0
     unit: str = "s"
+    #: Execution provenance (``compare=False``: which solver tier produced
+    #: a record — and how wide its batch was — is bookkeeping like
+    #: ``wall_s``, never part of record identity; the parity suite compares
+    #: scalar and batched records for full equality).
+    solver: str = field(default="scalar", compare=False)
+    batch_size: int = field(default=0, compare=False)
+    #: Per-batch :class:`~repro.circuit.mna.SolverStats` delta, attached to
+    #: every record the batch produced (empty on the scalar tier).
+    batch_stats: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def td_ps(self) -> float:
@@ -266,7 +283,12 @@ class CampaignRecord:
 
 
 def _record_from_measurement(
-    item: CampaignItem, measurement: OperationMeasurement, wall_s: float
+    item: CampaignItem,
+    measurement: OperationMeasurement,
+    wall_s: float,
+    solver: str = "scalar",
+    batch_size: int = 0,
+    batch_stats: Optional[Dict[str, int]] = None,
 ) -> CampaignRecord:
     scenario = item.scenario
     return CampaignRecord(
@@ -296,6 +318,9 @@ def _record_from_measurement(
         operation=measurement.operation,
         value=measurement.value,
         unit=measurement.unit,
+        solver=solver,
+        batch_size=batch_size,
+        batch_stats=dict(batch_stats) if batch_stats else {},
     )
 
 
@@ -470,6 +495,7 @@ class CampaignWorkerState:
         item_timeout_s: Optional[float] = None,
         retry_backoff_s: float = 0.05,
         in_pool_worker: bool = False,
+        solver: str = "scalar",
     ) -> None:
         self.node = node
         self.n_bitline_pairs = n_bitline_pairs
@@ -479,6 +505,7 @@ class CampaignWorkerState:
         self.item_timeout_s = item_timeout_s
         self.retry_backoff_s = retry_backoff_s
         self.in_pool_worker = in_pool_worker
+        self.solver = solver
         self._bundles: Dict[Tuple[int, str], OperationSimulators] = {}
         self._options: Dict[str, object] = {}
 
@@ -550,9 +577,24 @@ class CampaignWorkerState:
         :class:`CampaignExecutionError` instead of returning it.
         """
         faults.maybe_crash_worker(item.key, self.in_pool_worker)
+        return self._item_attempts(item, start_attempt=0, last_error=None)
+
+    def _item_attempts(
+        self,
+        item: CampaignItem,
+        start_attempt: int,
+        last_error: Optional[BaseException],
+    ) -> Union[CampaignRecord, ItemFailure]:
+        """Run attempts ``start_attempt..attempts-1`` of ``item``.
+
+        The batched tier enters at ``start_attempt=1`` after a failed joint
+        solve (attempt 0 happened inside the batch); the scalar tier enters
+        at 0.  Either way the total attempt budget and the rescue-ladder
+        schedule are identical, so a batch-quarantined item retries exactly
+        like a scalar failure would.
+        """
         attempts = 1 + (self.max_retries if self.failure_policy == "retry" else 0)
-        last_error: Optional[BaseException] = None
-        for attempt in range(attempts):
+        for attempt in range(start_attempt, attempts):
             if attempt:
                 time.sleep(min(self.retry_backoff_s * (2.0 ** (attempt - 1)), 2.0))
             try:
@@ -569,9 +611,128 @@ class CampaignWorkerState:
             raise CampaignExecutionError(failure) from last_error
         return failure
 
+    def prepare_item(self, item: CampaignItem) -> Tuple[PreparedWork, float]:
+        """Build the item's lane set (batched attempt 0) and its prep wall."""
+        simulators = self._simulators_for(item.scenario)
+        operation = create_operation(item.scenario.operation)
+        started = time.perf_counter()
+        if item.kind == "nominal":
+            prepared = operation.prepare_nominal(
+                simulators, item.n_wordlines, stored_value=item.scenario.stored_value
+            )
+        elif item.kind == "corner":
+            prepared = operation.prepare_with_patterning(
+                simulators,
+                item.n_wordlines,
+                self._option_for(item.option_name),
+                dict(item.corner_parameters),
+                stored_value=item.scenario.stored_value,
+            )
+        else:
+            raise CampaignError(f"unknown campaign item kind {item.kind!r}")
+        return prepared, time.perf_counter() - started
+
+    def prepare_chunk(
+        self, items: Sequence[CampaignItem]
+    ) -> List[Tuple[CampaignItem, Union[PreparedWork, BaseException], float]]:
+        """Phase 1 of the batched tier: build every item's lane set.
+
+        Returns ``(item, prepared-or-error, prep_wall)`` per item.  An
+        item error during preparation (including an injected fault for
+        attempt 0) is captured for the scalar retry ladder; a non-item
+        error (a bug) propagates, exactly as it would from
+        :meth:`run_item` on the scalar tier.
+        """
+        entries: List[
+            Tuple[CampaignItem, Union[PreparedWork, BaseException], float]
+        ] = []
+        for item in items:
+            faults.maybe_crash_worker(item.key, self.in_pool_worker)
+            started = time.perf_counter()
+            try:
+                faults.check_solver(item.key, 0)
+                work, prep_wall = self.prepare_item(item)
+            except _ITEM_ERRORS as exc:
+                entries.append((item, exc, time.perf_counter() - started))
+                continue
+            entries.append((item, work, prep_wall))
+        return entries
+
+    def finish_chunks(
+        self,
+        chunked_entries: Sequence[
+            Sequence[Tuple[CampaignItem, Union[PreparedWork, BaseException], float]]
+        ],
+    ) -> Iterator[List[Union[CampaignRecord, ItemFailure]]]:
+        """Phase 2 of the batched tier: one joint solve, per-chunk outcomes.
+
+        All prepared chunks are solved in a single jointly-vectorized
+        call (same-topology lanes from different chunks stack into one
+        system), then the outcome lists are yielded chunk by chunk, in
+        order, so the caller can checkpoint at the same granularity as a
+        scalar run.  An item whose preparation or joint solve failed is
+        quarantined to the scalar retry ladder starting at attempt 1 —
+        the joint solve *was* attempt 0 — so failure-policy semantics
+        (``fail_fast``/``skip``/``retry`` budgets, escalating rescue) are
+        unchanged.  ``item_timeout_s`` applies to scalar retries only: a
+        per-item deadline cannot be enforced inside a joint solve.
+        """
+        works = [
+            work
+            for entries in chunked_entries
+            for _, work, _ in entries
+            if isinstance(work, PreparedWork)
+        ]
+        stats_before = solver_stats().as_dict()
+        batch_started = time.perf_counter()
+        results = iter(solve_prepared(works))
+        batch_wall = time.perf_counter() - batch_started
+        batch_stats = {
+            key: value - stats_before.get(key, 0)
+            for key, value in solver_stats().as_dict().items()
+        }
+        batch_size = sum(1 for work in works if work.lanes)
+        share = batch_wall / batch_size if batch_size else 0.0
+        for entries in chunked_entries:
+            outcomes: List[Union[CampaignRecord, ItemFailure]] = []
+            for item, work, prep_wall in entries:
+                if isinstance(work, BaseException):
+                    outcomes.append(
+                        self._item_attempts(item, start_attempt=1, last_error=work)
+                    )
+                    continue
+                result = next(results)
+                if isinstance(result, BaseException):
+                    if not isinstance(result, _ITEM_ERRORS):
+                        raise result
+                    outcomes.append(
+                        self._item_attempts(item, start_attempt=1, last_error=result)
+                    )
+                    continue
+                outcomes.append(
+                    _record_from_measurement(
+                        item,
+                        result,
+                        prep_wall + (share if work.lanes else 0.0),
+                        solver="batched",
+                        batch_size=batch_size,
+                        batch_stats=batch_stats,
+                    )
+                )
+            yield outcomes
+
+    def run_chunk_batched(
+        self, items: Sequence[CampaignItem]
+    ) -> List[Union[CampaignRecord, ItemFailure]]:
+        """Batched tier over one chunk (the pool-worker entry point)."""
+        (outcomes,) = list(self.finish_chunks([self.prepare_chunk(items)]))
+        return outcomes
+
     def run_chunk(
         self, items: Sequence[CampaignItem]
     ) -> List[Union[CampaignRecord, ItemFailure]]:
+        if self.solver == "batched":
+            return self.run_chunk_batched(items)
         return [self.run_item_outcome(item) for item in items]
 
 
@@ -589,6 +750,7 @@ def _init_campaign_worker(
     max_retries: int = 2,
     item_timeout_s: Optional[float] = None,
     retry_backoff_s: float = 0.05,
+    solver: str = "scalar",
 ) -> None:
     global _worker_state
     _worker_state = CampaignWorkerState(
@@ -600,6 +762,7 @@ def _init_campaign_worker(
         item_timeout_s=item_timeout_s,
         retry_backoff_s=retry_backoff_s,
         in_pool_worker=True,
+        solver=solver,
     )
 
 
@@ -654,6 +817,13 @@ class SimulationCampaign:
         :func:`~repro.core.failures.item_deadline` for where it applies).
     retry_backoff_s:
         Base of the capped exponential backoff between attempts.
+    solver:
+        ``"batched"`` (default) stacks same-topology Newton/transient
+        work across items into jointly-vectorized solves;
+        ``"scalar"`` runs items one at a time.  Records are bitwise
+        identical either way, so — like the failure knobs — the solver
+        tier is *not* part of :meth:`signature` and a store written
+        under one tier resumes cleanly under the other.
     """
 
     def __init__(
@@ -670,6 +840,7 @@ class SimulationCampaign:
         max_retries: int = 2,
         item_timeout_s: Optional[float] = None,
         retry_backoff_s: float = 0.05,
+        solver: str = "batched",
     ) -> None:
         self.node = node
         self.doe = doe if doe is not None else paper_doe()
@@ -692,10 +863,20 @@ class SimulationCampaign:
             raise CampaignError("max_retries must be non-negative")
         if item_timeout_s is not None and item_timeout_s <= 0.0:
             raise CampaignError("item_timeout_s must be positive when set")
+        if solver not in CAMPAIGN_SOLVERS:
+            raise CampaignError(
+                f"solver must be one of {CAMPAIGN_SOLVERS}, got {solver!r}"
+            )
         self.failure_policy = failure_policy
         self.max_retries = int(max_retries)
         self.item_timeout_s = item_timeout_s
         self.retry_backoff_s = float(retry_backoff_s)
+        self.solver = solver
+        #: Solver-counter deltas of the most recent serial ``run()`` —
+        #: factorizations, stamp evaluations, batch ticks and so on.
+        #: Pool runs accumulate counters in worker processes, so this
+        #: stays empty there.
+        self.last_run_stats: Dict[str, int] = {}
         self.signature_extra: Dict[str, object] = (
             dict(signature_extra) if signature_extra is not None else {}
         )
@@ -737,6 +918,7 @@ class SimulationCampaign:
             failure_policy=spec.execution.failure_policy,
             max_retries=spec.execution.max_retries,
             item_timeout_s=spec.execution.timeout_s,
+            solver=spec.execution.solver,
         )
 
     # -- corner search (driver side) ---------------------------------------------------
@@ -889,6 +1071,7 @@ class SimulationCampaign:
             self.max_retries,
             self.item_timeout_s,
             self.retry_backoff_s,
+            self.solver,
         )
 
     def _requeue_lost(
@@ -977,6 +1160,34 @@ class SimulationCampaign:
                 isolate = True
                 pending = self._requeue_lost(lost, crash_counts) + pending
 
+    def _run_serial_batched(self, chunks: List[List[CampaignItem]]) -> None:
+        """Serial batched execution: one joint solve over every chunk.
+
+        All chunks are prepared first (cheap: circuit building and lane
+        specs), then solved in a single jointly-vectorized call — lanes
+        of the same topology stack across chunk boundaries, so e.g. the
+        SNM butterfly sweeps of every array size iterate as one stacked
+        Newton system.  Outcomes still commit chunk by chunk, in LPT
+        order; if preparation dies mid-campaign the chunks prepared
+        before the failure are solved and committed before the error
+        propagates, preserving the scalar tier's checkpoint granularity.
+        """
+        state = self._local_state
+        prepared: List[list] = []
+
+        def flush() -> None:
+            for outcomes in state.finish_chunks(prepared):
+                self._commit(outcomes)
+            prepared.clear()
+
+        try:
+            for chunk in chunks:
+                prepared.append(state.prepare_chunk(chunk))
+        except BaseException:
+            flush()
+            raise
+        flush()
+
     def run(
         self,
         workers: Optional[int] = None,
@@ -1021,6 +1232,7 @@ class SimulationCampaign:
         if clamp_to_cpus:
             effective = min(effective, self.available_cpus())
 
+        self.last_run_stats = {}
         if effective > 1 and len(chunks) > 1:
             self._run_pool(chunks, effective)
         else:
@@ -1033,9 +1245,18 @@ class SimulationCampaign:
                     max_retries=self.max_retries,
                     item_timeout_s=self.item_timeout_s,
                     retry_backoff_s=self.retry_backoff_s,
+                    solver=self.solver,
                 )
-            for chunk in chunks:
-                self._commit(self._local_state.run_chunk(chunk))
+            stats_before = solver_stats().as_dict()
+            if self.solver == "batched":
+                self._run_serial_batched(chunks)
+            else:
+                for chunk in chunks:
+                    self._commit(self._local_state.run_chunk(chunk))
+            self.last_run_stats = {
+                key: value - stats_before.get(key, 0)
+                for key, value in solver_stats().as_dict().items()
+            }
 
         return CampaignResults(
             [self._memo[item.key] for item in items if item.key in self._memo],

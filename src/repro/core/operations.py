@@ -38,6 +38,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..circuit.batch import PreparedWork
 from ..patterning.base import ParameterValues, PatterningOption
 from ..sram.margins import SRAMMarginAnalyzer
 from ..sram.read_path import ReadPathSimulator
@@ -181,6 +182,44 @@ class Operation(abc.ABC):
     ) -> OperationMeasurement:
         """The measurement with the column printed by ``option``."""
 
+    def prepare_nominal(
+        self, sims: OperationSimulators, n_cells: int, stored_value: int = 0
+    ) -> PreparedWork:
+        """Nominal measurement as prepared work for the batched solver tier.
+
+        The default carries no lanes and simply defers to the scalar
+        :meth:`measure_nominal` at finish time, so custom operations stay
+        correct (if unbatched) without overriding this.
+        """
+        return PreparedWork(
+            lanes=[],
+            finish=lambda _results: self.measure_nominal(
+                sims, n_cells, stored_value=stored_value
+            ),
+        )
+
+    def prepare_with_patterning(
+        self,
+        sims: OperationSimulators,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        stored_value: int = 0,
+        label: Optional[str] = None,
+    ) -> PreparedWork:
+        """Printed-corner measurement as prepared work (default: unbatched)."""
+        return PreparedWork(
+            lanes=[],
+            finish=lambda _results: self.measure_with_patterning(
+                sims,
+                n_cells,
+                option,
+                parameters,
+                stored_value=stored_value,
+                label=label,
+            ),
+        )
+
     @abc.abstractmethod
     def value_with_variation(
         self,
@@ -234,6 +273,18 @@ class ReadOperation(Operation):
             )
         )
 
+    def prepare_nominal(self, sims, n_cells, stored_value=0):
+        return sims.read.prepare_nominal(
+            n_cells, stored_value=stored_value
+        ).mapped(self._wrap)
+
+    def prepare_with_patterning(
+        self, sims, n_cells, option, parameters, stored_value=0, label=None
+    ):
+        return sims.read.prepare_with_patterning(
+            n_cells, option, parameters, label=label, stored_value=stored_value
+        ).mapped(self._wrap)
+
     def value_with_variation(self, sims, n_cells, rvar, cvar, rail_rvar=1.0):
         return sims.read.measure_with_variation(
             n_cells, rvar, cvar, vss_rvar=rail_rvar
@@ -276,6 +327,18 @@ class WriteOperation(Operation):
             )
         )
 
+    def prepare_nominal(self, sims, n_cells, stored_value=0):
+        return sims.write.prepare_nominal(
+            n_cells, write_value=stored_value
+        ).mapped(self._wrap)
+
+    def prepare_with_patterning(
+        self, sims, n_cells, option, parameters, stored_value=0, label=None
+    ):
+        return sims.write.prepare_with_patterning(
+            n_cells, option, parameters, label=label, write_value=stored_value
+        ).mapped(self._wrap)
+
     def value_with_variation(self, sims, n_cells, rvar, cvar, rail_rvar=1.0):
         return sims.write.measure_with_variation(
             n_cells, rvar, cvar, vss_rvar=rail_rvar
@@ -314,6 +377,16 @@ class _SnmOperation(Operation):
                 n_cells, option, parameters, mode=self.mode, label=label
             )
         )
+
+    def prepare_nominal(self, sims, n_cells, stored_value=0):
+        return sims.margins.prepare_nominal(n_cells, mode=self.mode).mapped(self._wrap)
+
+    def prepare_with_patterning(
+        self, sims, n_cells, option, parameters, stored_value=0, label=None
+    ):
+        return sims.margins.prepare_with_patterning(
+            n_cells, option, parameters, mode=self.mode, label=label
+        ).mapped(self._wrap)
 
     def value_with_variation(self, sims, n_cells, rvar, cvar, rail_rvar=1.0):
         return sims.margins.measure_with_variation(

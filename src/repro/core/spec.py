@@ -63,6 +63,8 @@ EXECUTION_BACKENDS = ("serial", "process", "auto")
 #: The failure knobs are neutral too: they change whether a run survives
 #: an item failure, never what a successful record contains (and partial
 #: results are never cached, so they cannot poison a fingerprint).
+#: ``solver`` is neutral for the same reason: the batched tier is pinned
+#: bit-identical to the scalar oracle by the parity suite.
 FINGERPRINT_NEUTRAL_EXECUTION_FIELDS = (
     "backend",
     "workers",
@@ -70,7 +72,14 @@ FINGERPRINT_NEUTRAL_EXECUTION_FIELDS = (
     "failure_policy",
     "max_retries",
     "timeout_s",
+    "solver",
 )
+
+#: Solver tiers of :class:`ExecutionSpec` (see
+#: :data:`repro.core.campaign.CAMPAIGN_SOLVERS`): ``batched`` stacks
+#: same-topology Newton/transient work across campaign items into
+#: jointly-vectorized solves; ``scalar`` runs one item at a time.
+EXECUTION_SOLVERS = ("scalar", "batched")
 
 
 class SpecError(ValueError):
@@ -398,6 +407,10 @@ class ExecutionSpec:
     max_retries: int = 2
     #: Optional wall-clock deadline per item attempt, in seconds.
     timeout_s: Optional[float] = None
+    #: Solver tier (see :data:`EXECUTION_SOLVERS`): ``batched`` jointly
+    #: vectorizes same-topology work across items, ``scalar`` is the
+    #: one-item-at-a-time oracle.  Bit-identical records either way.
+    solver: str = "batched"
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -418,6 +431,11 @@ class ExecutionSpec:
             raise SpecError("execution.max_retries must be non-negative")
         if self.timeout_s is not None and self.timeout_s <= 0.0:
             raise SpecError("execution.timeout_s must be positive when set")
+        if self.solver not in EXECUTION_SOLVERS:
+            raise SpecError(
+                f"execution.solver must be one of {EXECUTION_SOLVERS}, "
+                f"got {self.solver!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -429,6 +447,7 @@ class ExecutionSpec:
             "failure_policy": self.failure_policy,
             "max_retries": self.max_retries,
             "timeout_s": self.timeout_s,
+            "solver": self.solver,
         }
 
     @classmethod

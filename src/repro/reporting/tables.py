@@ -373,7 +373,42 @@ def format_result_set(result_set) -> str:
     failures = getattr(result_set, "failures", None) or []
     if failures:
         body = body + "\n\n" + format_failures(failures)
+    meta = getattr(result_set, "meta", None) or {}
+    if meta.get("solver_stats"):
+        body = body + "\n\n" + format_solver_summary(meta)
     return body
+
+
+def format_solver_summary(meta: Dict[str, object]) -> str:
+    """Solver-counter summary of a campaign run (``meta["solver_stats"]``).
+
+    Shows where the linear-algebra work went: full LU factorizations vs
+    cheap refactorizations, dense (batched-tier) vs sparse solves, and
+    the batched tier's tick/lane counters.  A pool-backed run accumulates
+    its counters in worker processes, so the section only appears when
+    the driver process did the solving (serial runs).
+    """
+    stats = dict(meta.get("solver_stats") or {})
+    labels = [
+        ("factorizations", "LU factorizations"),
+        ("refactorizations", "template refactorizations"),
+        ("dense_solves", "dense (batched) solves"),
+        ("sparse_solves", "sparse solves"),
+        ("stamp_evals", "stamp evaluations"),
+        ("stamp_device_evals", "device stamp evaluations"),
+        ("batch_ticks", "batched solver ticks"),
+        ("batch_lane_iterations", "batched lane iterations"),
+        ("scalar_fallbacks", "scalar fallbacks"),
+    ]
+    body = [
+        [label, f"{int(stats[key]):,}"] for key, label in labels if key in stats
+    ]
+    solver = meta.get("solver", "scalar")
+    return render_table(
+        ["Counter", "Count"],
+        body,
+        title=f"Solver summary ({solver} tier)",
+    )
 
 
 def _format_typed_payload(kind: str, payload) -> str:

@@ -34,7 +34,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..circuit.dc import NewtonOptions, dc_sweep
+from ..circuit.batch import PreparedWork, SweepLaneSpec
+from ..circuit.dc import NewtonOptions
 from ..circuit.elements import Resistor, VoltageSource
 from ..circuit.netlist import Circuit
 from ..patterning.base import ParameterValues, PatterningOption
@@ -252,6 +253,45 @@ class SRAMMarginAnalyzer:
 
     # -- butterfly measurement -----------------------------------------------------
 
+    def _prepare_butterfly(
+        self,
+        n_cells: int,
+        column: Optional[ColumnParasitics] = None,
+        mode: str = "hold",
+        points: Optional[int] = None,
+    ) -> PreparedWork:
+        """Both VTC sweeps of the butterfly plot, as two prepared lanes."""
+        chosen = column if column is not None else self.column_parasitics(n_cells)
+        n_points = points if points is not None else self.SWEEP_POINTS
+        vdd = self.node.operating_conditions.vdd_v
+        grid = np.linspace(0.0, vdd, n_points)
+
+        lanes = []
+        recorded_nodes = []
+        for driven, recorded in (("q", "qb"), ("qb", "q")):
+            circuit, initial = self._build_butterfly_circuit(chosen, mode, driven)
+            lanes.append(
+                SweepLaneSpec(
+                    circuit,
+                    "vsweep",
+                    grid,
+                    initial_voltages=initial,
+                    options=self.DC_SWEEP_NEWTON,
+                )
+            )
+            recorded_nodes.append(recorded)
+
+        def finish(sweeps) -> ButterflyCurves:
+            curves = [
+                sweep.voltage(recorded)
+                for sweep, recorded in zip(sweeps, recorded_nodes)
+            ]
+            return ButterflyCurves(
+                mode=mode, input_v=grid, qb_of_q=curves[0], q_of_qb=curves[1]
+            )
+
+        return PreparedWork(lanes=lanes, finish=finish)
+
     def butterfly(
         self,
         n_cells: int,
@@ -260,37 +300,19 @@ class SRAMMarginAnalyzer:
         points: Optional[int] = None,
     ) -> ButterflyCurves:
         """Trace both VTCs of the butterfly plot for one column."""
-        chosen = column if column is not None else self.column_parasitics(n_cells)
-        n_points = points if points is not None else self.SWEEP_POINTS
-        vdd = self.node.operating_conditions.vdd_v
-        grid = np.linspace(0.0, vdd, n_points)
+        return self._prepare_butterfly(
+            n_cells, column, mode=mode, points=points
+        ).run_scalar()
 
-        curves = {}
-        for driven, recorded in (("q", "qb"), ("qb", "q")):
-            circuit, initial = self._build_butterfly_circuit(chosen, mode, driven)
-            sweep = dc_sweep(
-                circuit,
-                "vsweep",
-                grid,
-                initial_voltages=initial,
-                options=self.DC_SWEEP_NEWTON,
-            )
-            curves[driven] = sweep.voltage(recorded)
-        return ButterflyCurves(
-            mode=mode, input_v=grid, qb_of_q=curves["q"], q_of_qb=curves["qb"]
-        )
-
-    def measure(
+    def _measurement_from_curves(
         self,
         n_cells: int,
-        column: Optional[ColumnParasitics] = None,
-        mode: str = "hold",
-        label: str = "nominal",
-        points: Optional[int] = None,
+        chosen: ColumnParasitics,
+        mode: str,
+        label: str,
+        curves: ButterflyCurves,
     ) -> MarginMeasurement:
-        """One SNM measurement (butterfly + largest square)."""
-        chosen = column if column is not None else self.column_parasitics(n_cells)
-        curves = self.butterfly(n_cells, chosen, mode=mode, points=points)
+        """The largest-square evaluation shared by both solver tiers."""
         lobe1, lobe2 = curves.lobe_sides_v()
         return MarginMeasurement(
             n_cells=n_cells,
@@ -305,7 +327,53 @@ class SRAMMarginAnalyzer:
             vdd_rail_resistance_ohm=chosen.vdd_rail_resistance_ohm,
         )
 
+    def prepare_measure(
+        self,
+        n_cells: int,
+        column: Optional[ColumnParasitics] = None,
+        mode: str = "hold",
+        label: str = "nominal",
+        points: Optional[int] = None,
+    ) -> PreparedWork:
+        """One SNM measurement as prepared work (butterfly + largest square)."""
+        chosen = column if column is not None else self.column_parasitics(n_cells)
+        prepared = self._prepare_butterfly(n_cells, chosen, mode=mode, points=points)
+        return prepared.mapped(
+            lambda curves: self._measurement_from_curves(
+                n_cells, chosen, mode, label, curves
+            )
+        )
+
+    def measure(
+        self,
+        n_cells: int,
+        column: Optional[ColumnParasitics] = None,
+        mode: str = "hold",
+        label: str = "nominal",
+        points: Optional[int] = None,
+    ) -> MarginMeasurement:
+        """One SNM measurement (butterfly + largest square)."""
+        chosen = column if column is not None else self.column_parasitics(n_cells)
+        curves = self.butterfly(n_cells, chosen, mode=mode, points=points)
+        return self._measurement_from_curves(n_cells, chosen, mode, label, curves)
+
     # -- public measurement entry points -------------------------------------------
+
+    def prepare_nominal(self, n_cells: int, mode: str = "hold") -> PreparedWork:
+        """Nominal SNM as prepared work; a memo hit carries zero lanes."""
+        if mode not in MARGIN_MODES:
+            raise MarginAnalysisError(f"mode must be one of {MARGIN_MODES}")
+        key = (n_cells, mode)
+        cached = self._nominal_cache.get(key)
+        if cached is not None:
+            return PreparedWork(lanes=[], finish=lambda _results: cached)
+        prepared = self.prepare_measure(n_cells, mode=mode, label="nominal")
+
+        def memoize(measurement: MarginMeasurement) -> MarginMeasurement:
+            self._nominal_cache[key] = measurement
+            return measurement
+
+        return prepared.mapped(memoize)
 
     def measure_nominal(self, n_cells: int, mode: str = "hold") -> MarginMeasurement:
         """Nominal SNM of an ``n_cells`` column (memoized per mode)."""
@@ -323,6 +391,24 @@ class SRAMMarginAnalyzer:
 
     def measure_read_snm(self, n_cells: int) -> MarginMeasurement:
         return self.measure_nominal(n_cells, mode="read")
+
+    def prepare_with_patterning(
+        self,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        mode: str = "hold",
+        label: Optional[str] = None,
+    ) -> PreparedWork:
+        """Printed-column SNM as prepared work."""
+        extraction = self.geometry.printed_extraction(n_cells, option, parameters)
+        column = self.column_parasitics(n_cells, extraction)
+        return self.prepare_measure(
+            n_cells,
+            column,
+            mode=mode,
+            label=label if label is not None else option.name,
+        )
 
     def measure_with_patterning(
         self,

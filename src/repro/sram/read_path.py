@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..circuit.batch import PreparedWork, TransientLaneSpec
 from ..circuit.mna import JacobianTemplate
 from ..circuit.transient import TransientOptions, TransientSolver
 from ..circuit.waveform import TransientResult
@@ -314,19 +315,14 @@ class ReadPathSimulator:
         )
         return build_read_circuit(spec)
 
-    def simulate_column(
+    def prepare_simulate_column(
         self,
         n_cells: int,
         column: ColumnParasitics,
         label: str,
         stored_value: int = 0,
-        return_waveforms: bool = False,
-    ):
-        """Run one read and measure td.
-
-        Returns a :class:`ReadMeasurement`, or a ``(measurement, result)``
-        tuple when ``return_waveforms`` is true.
-        """
+    ) -> PreparedWork:
+        """One read measurement as prepared work (a single transient lane)."""
         read_circuit = self.build_circuit(n_cells, column, stored_value)
         options = self._transient_options_for(column)
         # Corners of the same topology (segment count + stored value) share
@@ -340,36 +336,66 @@ class ReadPathSimulator:
         self._jacobian_template_cache.setdefault(
             template_key, solver.solver_cache.template
         )
-        result = solver.run(
+        lane = TransientLaneSpec(
+            solver,
             initial_voltages=read_circuit.initial_voltages,
             stop_condition=read_circuit.sense.stop_condition(),
         )
 
-        conditions = self.node.operating_conditions
-        wordline_time = result.crossing_time_s(
-            read_circuit.wordline_node,
-            conditions.effective_wordline_voltage_v / 2.0,
-            direction="rising",
-        )
-        sense_time = read_circuit.sense.firing_time_s(result)
-        if wordline_time is None:
-            raise ReadSimulationError("the word line never rose; check the waveform setup")
-        if sense_time is None:
-            raise ReadSimulationError(
-                f"the sense threshold was never reached within {options.t_stop_s:.3e} s "
-                f"(label={label!r}, n={n_cells})"
+        def finish(results) -> ReadMeasurement:
+            (result,) = results
+            conditions = self.node.operating_conditions
+            wordline_time = result.crossing_time_s(
+                read_circuit.wordline_node,
+                conditions.effective_wordline_voltage_v / 2.0,
+                direction="rising",
             )
-        measurement = ReadMeasurement(
-            n_cells=n_cells,
-            label=label,
-            td_s=sense_time - wordline_time,
-            wordline_time_s=wordline_time,
-            sense_time_s=sense_time,
-            bitline_resistance_ohm=column.bitline.total_resistance_ohm,
-            bitline_capacitance_f=column.bitline.total_capacitance_f,
-            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm,
-            stop_reason=result.stop_reason,
+            sense_time = read_circuit.sense.firing_time_s(result)
+            if wordline_time is None:
+                raise ReadSimulationError(
+                    "the word line never rose; check the waveform setup"
+                )
+            if sense_time is None:
+                raise ReadSimulationError(
+                    f"the sense threshold was never reached within "
+                    f"{options.t_stop_s:.3e} s (label={label!r}, n={n_cells})"
+                )
+            return ReadMeasurement(
+                n_cells=n_cells,
+                label=label,
+                td_s=sense_time - wordline_time,
+                wordline_time_s=wordline_time,
+                sense_time_s=sense_time,
+                bitline_resistance_ohm=column.bitline.total_resistance_ohm,
+                bitline_capacitance_f=column.bitline.total_capacitance_f,
+                vss_rail_resistance_ohm=column.vss_rail_resistance_ohm,
+                stop_reason=result.stop_reason,
+            )
+
+        return PreparedWork(lanes=[lane], finish=finish)
+
+    def simulate_column(
+        self,
+        n_cells: int,
+        column: ColumnParasitics,
+        label: str,
+        stored_value: int = 0,
+        return_waveforms: bool = False,
+    ):
+        """Run one read and measure td.
+
+        Returns a :class:`ReadMeasurement`, or a ``(measurement, result)``
+        tuple when ``return_waveforms`` is true.
+        """
+        prepared = self.prepare_simulate_column(
+            n_cells, column, label, stored_value=stored_value
         )
+        (lane,) = prepared.lanes
+        result = lane.solver.run(
+            initial_voltages=lane.initial_voltages,
+            stop_condition=lane.stop_condition,
+        )
+        measurement = prepared.finish([result])
         if return_waveforms:
             return measurement, result
         return measurement
@@ -393,6 +419,23 @@ class ReadPathSimulator:
             )
             self._nominal_measurement_cache[key] = cached
         return cached
+
+    def prepare_nominal(self, n_cells: int, stored_value: int = 0) -> PreparedWork:
+        """Nominal read time as prepared work; a memo hit carries zero lanes."""
+        key = (n_cells, stored_value)
+        cached = self._nominal_measurement_cache.get(key)
+        if cached is not None:
+            return PreparedWork(lanes=[], finish=lambda _results: cached)
+        column = self.column_parasitics(n_cells)
+        prepared = self.prepare_simulate_column(
+            n_cells, column, label="nominal", stored_value=stored_value
+        )
+
+        def memoize(measurement: ReadMeasurement) -> ReadMeasurement:
+            self._nominal_measurement_cache[key] = measurement
+            return measurement
+
+        return prepared.mapped(memoize)
 
     def printed_extraction(
         self,
@@ -420,6 +463,24 @@ class ReadPathSimulator:
                 self._printed_extraction_cache.clear()
             self._printed_extraction_cache[key] = cached
         return cached
+
+    def prepare_with_patterning(
+        self,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        label: Optional[str] = None,
+        stored_value: int = 0,
+    ) -> PreparedWork:
+        """Printed-column read time as prepared work."""
+        extraction = self.printed_extraction(n_cells, option, parameters)
+        column = self.column_parasitics(n_cells, extraction)
+        return self.prepare_simulate_column(
+            n_cells,
+            column,
+            label=label if label is not None else option.name,
+            stored_value=stored_value,
+        )
 
     def measure_with_patterning(
         self,

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..circuit.batch import PreparedWork, TransientLaneSpec
 from ..circuit.dc import NewtonOptions, dc_sweep
 from ..circuit.elements import PiecewiseLinear, Resistor, VoltageSource
 from ..circuit.mna import JacobianTemplate
@@ -352,19 +353,14 @@ class WritePathSimulator:
             record_nodes=base.record_nodes,
         )
 
-    def simulate_column(
+    def prepare_simulate_column(
         self,
         n_cells: int,
         column: ColumnParasitics,
         label: str,
         write_value: int = 0,
-        return_waveforms: bool = False,
-    ):
-        """Run one write and measure the write delay.
-
-        Returns a :class:`WriteMeasurement`, or a ``(measurement, result)``
-        tuple when ``return_waveforms`` is true.
-        """
+    ) -> PreparedWork:
+        """One write measurement as prepared work (a single transient lane)."""
         write_circuit = self.build_circuit(n_cells, column, write_value)
         options = self._transient_options_for(column)
         template_key = (write_circuit.segments, write_value)
@@ -386,36 +382,66 @@ class WritePathSimulator:
         def flip_complete(_time_s: float, voltages: Dict[str, float]) -> bool:
             return sign * (voltages[qb] - voltages[q]) >= target
 
-        result = solver.run(
+        lane = TransientLaneSpec(
+            solver,
             initial_voltages=write_circuit.initial_voltages,
             stop_condition=flip_complete,
         )
 
-        wordline_time = result.crossing_time_s(
-            write_circuit.wordline_node,
-            conditions.effective_wordline_voltage_v / 2.0,
-            direction="rising",
-        )
-        flip_time = result.crossover_time_s(q, qb)
-        if wordline_time is None:
-            raise WriteSimulationError("the word line never rose; check the waveform setup")
-        if flip_time is None:
-            raise WriteSimulationError(
-                f"the cell never flipped within {options.t_stop_s:.3e} s "
-                f"(label={label!r}, n={n_cells})"
+        def finish(results) -> WriteMeasurement:
+            (result,) = results
+            wordline_time = result.crossing_time_s(
+                write_circuit.wordline_node,
+                conditions.effective_wordline_voltage_v / 2.0,
+                direction="rising",
             )
-        measurement = WriteMeasurement(
-            n_cells=n_cells,
-            label=label,
-            write_value=write_value,
-            write_delay_s=flip_time - wordline_time,
-            wordline_time_s=wordline_time,
-            flip_time_s=flip_time,
-            bitline_resistance_ohm=column.bitline.total_resistance_ohm,
-            bitline_capacitance_f=column.bitline.total_capacitance_f,
-            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm,
-            stop_reason=result.stop_reason,
+            flip_time = result.crossover_time_s(q, qb)
+            if wordline_time is None:
+                raise WriteSimulationError(
+                    "the word line never rose; check the waveform setup"
+                )
+            if flip_time is None:
+                raise WriteSimulationError(
+                    f"the cell never flipped within {options.t_stop_s:.3e} s "
+                    f"(label={label!r}, n={n_cells})"
+                )
+            return WriteMeasurement(
+                n_cells=n_cells,
+                label=label,
+                write_value=write_value,
+                write_delay_s=flip_time - wordline_time,
+                wordline_time_s=wordline_time,
+                flip_time_s=flip_time,
+                bitline_resistance_ohm=column.bitline.total_resistance_ohm,
+                bitline_capacitance_f=column.bitline.total_capacitance_f,
+                vss_rail_resistance_ohm=column.vss_rail_resistance_ohm,
+                stop_reason=result.stop_reason,
+            )
+
+        return PreparedWork(lanes=[lane], finish=finish)
+
+    def simulate_column(
+        self,
+        n_cells: int,
+        column: ColumnParasitics,
+        label: str,
+        write_value: int = 0,
+        return_waveforms: bool = False,
+    ):
+        """Run one write and measure the write delay.
+
+        Returns a :class:`WriteMeasurement`, or a ``(measurement, result)``
+        tuple when ``return_waveforms`` is true.
+        """
+        prepared = self.prepare_simulate_column(
+            n_cells, column, label, write_value=write_value
         )
+        (lane,) = prepared.lanes
+        result = lane.solver.run(
+            initial_voltages=lane.initial_voltages,
+            stop_condition=lane.stop_condition,
+        )
+        measurement = prepared.finish([result])
         if return_waveforms:
             return measurement, result
         return measurement
@@ -531,6 +557,23 @@ class WritePathSimulator:
 
     # -- public measurement entry points -------------------------------------------
 
+    def prepare_nominal(self, n_cells: int, write_value: int = 0) -> PreparedWork:
+        """Nominal write delay as prepared work; a memo hit carries zero lanes."""
+        key = (n_cells, write_value)
+        cached = self._nominal_measurement_cache.get(key)
+        if cached is not None:
+            return PreparedWork(lanes=[], finish=lambda _results: cached)
+        column = self.column_parasitics(n_cells)
+        prepared = self.prepare_simulate_column(
+            n_cells, column, label="nominal", write_value=write_value
+        )
+
+        def memoize(measurement: WriteMeasurement) -> WriteMeasurement:
+            self._nominal_measurement_cache[key] = measurement
+            return measurement
+
+        return prepared.mapped(memoize)
+
     def measure_nominal(self, n_cells: int, write_value: int = 0) -> WriteMeasurement:
         """Nominal write delay of an ``n_cells`` column (memoized)."""
         key = (n_cells, write_value)
@@ -553,6 +596,24 @@ class WritePathSimulator:
             cached = self.measure_margin(n_cells, write_value=write_value)
             self._nominal_margin_cache[key] = cached
         return cached
+
+    def prepare_with_patterning(
+        self,
+        n_cells: int,
+        option: PatterningOption,
+        parameters: ParameterValues,
+        label: Optional[str] = None,
+        write_value: int = 0,
+    ) -> PreparedWork:
+        """Printed-column write delay as prepared work."""
+        extraction = self.geometry.printed_extraction(n_cells, option, parameters)
+        column = self.column_parasitics(n_cells, extraction)
+        return self.prepare_simulate_column(
+            n_cells,
+            column,
+            label=label if label is not None else option.name,
+            write_value=write_value,
+        )
 
     def measure_with_patterning(
         self,

@@ -275,13 +275,23 @@ class TestStoreAndResume:
         doe = StudyDOE(array_sizes=(16, 64))
         campaign = SimulationCampaign(node, doe=doe, store_dir=tmp_path / "store")
         true_run_item = CampaignWorkerState.run_item
+        true_prepare_item = CampaignWorkerState.prepare_item
 
+        # Inject at both tier entry points (the scalar tier runs items,
+        # the batched tier prepares them) so the checkpoint contract
+        # holds regardless of the campaign's solver.
         def failing_run_item(self, item):
             if item.n_wordlines == 16:               # the second (smaller) chunk
                 raise RuntimeError("injected mid-campaign failure")
             return true_run_item(self, item)
 
+        def failing_prepare_item(self, item):
+            if item.n_wordlines == 16:
+                raise RuntimeError("injected mid-campaign failure")
+            return true_prepare_item(self, item)
+
         monkeypatch.setattr(CampaignWorkerState, "run_item", failing_run_item)
+        monkeypatch.setattr(CampaignWorkerState, "prepare_item", failing_prepare_item)
         with pytest.raises(RuntimeError, match="injected"):
             campaign.run()
         # The chunk that finished before the failure is checkpointed...
@@ -290,6 +300,7 @@ class TestStoreAndResume:
         assert not any(key.startswith("n16-") for key in saved)
         # ...and a rerun only simulates the unfinished items.
         monkeypatch.setattr(CampaignWorkerState, "run_item", true_run_item)
+        monkeypatch.setattr(CampaignWorkerState, "prepare_item", true_prepare_item)
         resumed = SimulationCampaign(node, doe=doe, store_dir=tmp_path / "store")
         assert len(resumed.run()) == 8
 

@@ -211,6 +211,74 @@ class TestWorkerCrashRecovery:
             assert record == fault_free_records[key]
 
 
+class TestBatchQuarantine:
+    """Failure isolation inside the batched solver tier.
+
+    A whole campaign chunk is solved jointly in batched mode, so the
+    fault-injection contract tightens: a fault hitting one item of the
+    batch must quarantine exactly that item (its batch slot counts as
+    attempt 0), while the surviving batch mates keep their jointly-solved
+    records bit-identical to the scalar oracle.
+    """
+
+    def _campaign(self, solver, **overrides):
+        from repro.technology import n10
+
+        defaults = dict(
+            doe=StudyDOE(array_sizes=(16,)),
+            scenarios=scenario_grid(operations=("read_snm",)),
+            solver=solver,
+        )
+        defaults.update(overrides)
+        return SimulationCampaign(n10(), **defaults)
+
+    def test_fault_in_batch_quarantines_only_that_item(self):
+        oracle = self._campaign("scalar").run()
+        assert not oracle.failures
+        scalar_records = {r.key: strip_wall(r) for r in oracle.records}
+
+        campaign = self._campaign("batched", failure_policy="skip")
+        items = campaign.work_items()
+        assert len(items) >= 4  # nominal + the three paper options, one chunk
+        target = next(item.key for item in items if item.kind == "corner")
+        with injected(FaultPlan(solver_fail_keys=(target,), solver_fail_attempts=99)):
+            results = campaign.run()
+
+        assert [f.key for f in results.failures] == [target]
+        failure = results.failures[0]
+        assert failure.classification == "injected"
+        assert failure.attempts == 1  # the batch slot was the only attempt
+        survivors = {r.key: strip_wall(r) for r in results.records}
+        assert set(survivors) == set(scalar_records) - {target}
+        for key, record in survivors.items():
+            assert record == scalar_records[key]
+        # The survivors really were solved jointly, minus the quarantined
+        # item: the batch shrank by one.
+        for record in results.records:
+            assert record.solver == "batched"
+            assert record.batch_size == len(items) - 1
+
+    def test_transient_fault_in_batch_recovers_via_scalar_retry(self):
+        oracle = self._campaign("scalar").run()
+        scalar_records = {r.key: strip_wall(r) for r in oracle.records}
+
+        campaign = self._campaign(
+            "batched", failure_policy="retry", max_retries=2, retry_backoff_s=0.001
+        )
+        target = campaign.work_items()[0].key
+        # The fault fires on the batch attempt (attempt 0) only; the item
+        # drops to the scalar retry ladder and attempt 1 re-runs clean.
+        with injected(FaultPlan(solver_fail_keys=(target,), solver_fail_attempts=1)):
+            results = campaign.run()
+        assert not results.failures
+        produced = {r.key: strip_wall(r) for r in results.records}
+        assert produced == scalar_records
+        by_key = {r.key: r for r in results.records}
+        assert by_key[target].solver == "scalar"  # rescued off-batch
+        survivors = [r for r in results.records if r.key != target]
+        assert survivors and all(r.solver == "batched" for r in survivors)
+
+
 class TestInjectedSolverFault:
     def test_is_a_convergence_error_with_marker(self):
         from repro.circuit.dc import ConvergenceError

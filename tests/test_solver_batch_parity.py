@@ -1,0 +1,203 @@
+"""Parity of the batched circuit-solver tier against the scalar oracle.
+
+The batched tier (repro.circuit.batch) stacks same-topology Newton and
+transient work from many campaign items into jointly-vectorized solves.
+Its contract is parity by construction: every record must match the
+scalar one-item-at-a-time path bit-for-bit (``rtol <= 1e-12`` with zero
+atol, which in practice means exact equality — the two tiers share the
+elementwise numerics).  Covered here:
+
+- DC-sweep lanes (the SNM butterfly hot path) at batch sizes 1/3/17/64,
+  including a rescue-ladder-in-lockstep batch (starved Newton budget)
+  and the explicit scalar fallback under an active rescue context;
+- transient lanes (read and write measurements) through the
+  prepare/finish entry points;
+- the full campaign across all four operations and every paper
+  patterning option, batched vs scalar, record for record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.circuit.batch import (
+    SweepLaneSpec,
+    batch_dc_sweep,
+    run_lane_scalar,
+    solve_prepared,
+)
+from repro.circuit.dc import NewtonOptions, solver_rescue
+from repro.circuit.mna import reset_solver_stats, solver_stats
+from repro.core.campaign import SimulationCampaign, scenario_grid
+from repro.core.operations import OperationSimulators
+from repro.core.study import StudyDOE
+from repro.technology import n10
+
+RTOL = 1e-12
+
+#: Batch sizes from the issue: a singleton, a couple of odd sizes that
+#: exercise ragged bucket shapes, and one full-width batch.
+BATCH_SIZES = (1, 3, 17, 64)
+
+OPERATIONS = ("read", "write", "hold_snm", "read_snm")
+
+
+@pytest.fixture(scope="module")
+def node():
+    return n10()
+
+
+@pytest.fixture(scope="module")
+def sims(node):
+    return OperationSimulators(node, n_bitline_pairs=4, max_segments=64)
+
+
+def _butterfly_lanes(sims, count):
+    """``count`` butterfly sweep lanes cycling over mode and cell count."""
+    pool = []
+    for n_cells, mode in ((16, "hold"), (16, "read"), (64, "hold"), (64, "read")):
+        pool.extend(sims.margins._prepare_butterfly(n_cells, mode=mode).lanes)
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def _assert_sweep_equal(batched, scalar):
+    assert batched.source_name == scalar.source_name
+    assert batched.iterations_total == scalar.iterations_total
+    np.testing.assert_allclose(
+        np.asarray(batched.values), np.asarray(scalar.values), rtol=RTOL, atol=0.0
+    )
+    assert set(batched.voltages) == set(scalar.voltages)
+    for name in scalar.voltages:
+        np.testing.assert_allclose(
+            batched.voltages[name], scalar.voltages[name], rtol=RTOL, atol=0.0
+        )
+
+
+class TestSweepLaneParity:
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_butterfly_sweeps_match_scalar(self, sims, size):
+        lanes = _butterfly_lanes(sims, size)
+        batched = batch_dc_sweep(lanes)
+        for lane, outcome in zip(lanes, batched):
+            _assert_sweep_equal(outcome, run_lane_scalar(lane))
+
+    def test_rescue_ladder_in_lockstep(self, sims):
+        # A starved Newton budget forces sweep points through the rescue
+        # ladder inside the batch; the scalar path is starved identically,
+        # so the escalation schedule — and therefore every voltage — must
+        # still agree bit for bit.
+        starved = NewtonOptions(max_iterations=4, abs_tolerance_a=1e-8)
+        lanes = [
+            replace(lane, options=starved) for lane in _butterfly_lanes(sims, 6)
+        ]
+        batched = batch_dc_sweep(lanes)
+        for lane, outcome in zip(lanes, batched):
+            _assert_sweep_equal(outcome, run_lane_scalar(lane))
+
+    def test_active_rescue_context_falls_back_to_scalar(self, sims):
+        lanes = _butterfly_lanes(sims, 3)
+        reset_solver_stats()
+        with solver_rescue(2, seed=7):
+            batched = batch_dc_sweep(lanes)
+            scalars = [run_lane_scalar(lane) for lane in lanes]
+        assert solver_stats().scalar_fallbacks >= len(lanes)
+        for outcome, scalar in zip(batched, scalars):
+            _assert_sweep_equal(outcome, scalar)
+
+
+class TestPreparedMeasurementParity:
+    @pytest.mark.parametrize("operation", OPERATIONS)
+    def test_prepared_batch_matches_scalar_run(self, node, operation):
+        # Two independent simulator bundles so neither tier sees the
+        # other's memo caches or donated Jacobian templates.
+        scalar_sims = OperationSimulators(node, n_bitline_pairs=4)
+        batched_sims = OperationSimulators(node, n_bitline_pairs=4)
+
+        def prepare(sims):
+            if operation == "read":
+                return [
+                    sims.read.prepare_nominal(16, stored_value=sv) for sv in (0, 1)
+                ]
+            if operation == "write":
+                return [
+                    sims.write.prepare_nominal(16, write_value=wv) for wv in (0, 1)
+                ]
+            mode = "hold" if operation == "hold_snm" else "read"
+            return [
+                sims.margins.prepare_nominal(n, mode=mode) for n in (16, 64)
+            ]
+
+        scalar_results = [work.run_scalar() for work in prepare(scalar_sims)]
+        batched_results = solve_prepared(prepare(batched_sims))
+        assert len(batched_results) == len(scalar_results)
+        for batched, scalar in zip(batched_results, scalar_results):
+            assert not isinstance(batched, BaseException)
+            assert batched == scalar
+
+    def test_memo_hit_prepares_zero_lanes(self, node):
+        sims = OperationSimulators(node, n_bitline_pairs=4)
+        first = sims.read.prepare_nominal(16, stored_value=0)
+        assert first.lanes
+        measurement = first.run_scalar()
+        hit = sims.read.prepare_nominal(16, stored_value=0)
+        assert not hit.lanes
+        (cached,) = solve_prepared([hit])
+        assert cached == measurement
+
+
+class TestCampaignParity:
+    @pytest.mark.parametrize("size", (16, 64))
+    def test_all_operations_and_options_match_scalar(self, node, size):
+        doe = StudyDOE(array_sizes=(size,))
+        scenarios = scenario_grid(operations=OPERATIONS)
+        scalar = SimulationCampaign(
+            node, doe=doe, scenarios=scenarios, solver="scalar"
+        ).run()
+        batched = SimulationCampaign(
+            node, doe=doe, scenarios=scenarios, solver="batched"
+        ).run()
+        assert not scalar.failures and not batched.failures
+        scalar_by_key = {r.key: r for r in scalar.records}
+        assert set(scalar_by_key) == {r.key: r for r in batched.records}.keys()
+        # Every paper option appears as a corner record.
+        assert {r.option_name for r in batched.records if r.kind == "corner"} >= {
+            "LELELE",
+            "SADP",
+            "EUV",
+        }
+        for record in batched.records:
+            assert replace(record, wall_s=0.0) == replace(
+                scalar_by_key[record.key], wall_s=0.0
+            )
+
+    def test_batched_records_carry_provenance(self, node):
+        campaign = SimulationCampaign(
+            node,
+            doe=StudyDOE(array_sizes=(16,)),
+            scenarios=scenario_grid(operations=("read_snm",)),
+            solver="batched",
+        )
+        results = campaign.run()
+        assert results.records
+        for record in results.records:
+            assert record.solver == "batched"
+            assert record.batch_size >= 1
+            assert record.batch_stats.get("batch_ticks", 0) > 0
+        assert campaign.last_run_stats.get("batch_lane_iterations", 0) > 0
+
+    def test_singleton_batch(self, node):
+        doe = StudyDOE(array_sizes=(16,))
+        scenarios = scenario_grid(operations=("write",))
+        scalar = SimulationCampaign(
+            node, doe=doe, scenarios=scenarios, solver="scalar"
+        ).run(kinds=("nominal",))
+        batched = SimulationCampaign(
+            node, doe=doe, scenarios=scenarios, solver="batched"
+        ).run(kinds=("nominal",))
+        (a,) = scalar.records
+        (b,) = batched.records
+        assert b.batch_size == 1
+        assert replace(a, wall_s=0.0) == replace(b, wall_s=0.0)
