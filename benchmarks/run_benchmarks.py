@@ -24,6 +24,13 @@ records bit-for-bit under transient faults, the skip policy must fail
 exactly the items the fault plan predicts, and the durable job journal
 must replay at a usable rate — writing ``BENCH_faults.json``.
 
+``--suite obs`` is the observability bench: it interleaves traced and
+untraced serial runs of the operation campaign and gates on tracing
+being free in every sense that matters — records bit-identical with
+tracing on, wall-time overhead within 2%, and the named spans
+attributing at least 95% of the campaign wall — writing
+``BENCH_obs.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # both suites, full size
@@ -757,7 +764,135 @@ def run_faults_bench(journal_entries: int = 500) -> dict:
     }
 
 
-def _environment(workers: int | None = None) -> dict:
+def run_obs_bench(
+    sizes: tuple,
+    repetitions: int = 5,
+    trace_path: Path | None = None,
+) -> dict:
+    """Observability bench: traced vs untraced operation campaign.
+
+    Interleaves ``repetitions`` untraced and traced serial runs of the
+    operation-suite campaign (best-of-N wall of each, taken from the same
+    interleaved sequence so OS noise hits both paths alike) and reports
+    three gated properties:
+
+    * ``parity.bit_identical`` — the traced run must reproduce the
+      untraced records bit-for-bit (``wall_s`` aside);
+    * ``overhead_percent`` — the traced best wall relative to the
+      untraced best (acceptance ceiling: 2% at the full paper DOE);
+    * ``attribution`` — the named campaign phases must account for at
+      least 95% of the campaign wall in the final repetition's trace.
+    """
+    import tempfile
+    from dataclasses import replace
+
+    from repro.obs.trace import (
+        campaign_attribution,
+        disable_tracing,
+        enable_tracing,
+        read_trace,
+    )
+
+    node = n10()
+    doe = StudyDOE(array_sizes=tuple(sizes))
+
+    def run_campaign():
+        campaign = SimulationCampaign(
+            node, doe=doe, scenarios=scenario_grid(operations=OPS_BENCH_OPERATIONS)
+        )
+        return campaign.run(workers=1)
+
+    def keyed(results) -> dict:
+        return {r.key: replace(r, wall_s=0.0) for r in results.records}
+
+    owns_tmp = trace_path is None
+    tmp_dir = tempfile.TemporaryDirectory(prefix="repro-bench-obs-") if owns_tmp else None
+    trace_file = Path(tmp_dir.name) / "trace.jsonl" if owns_tmp else Path(trace_path)
+
+    try:
+        untraced_walls: list = []
+        traced_walls: list = []
+        untraced_results = traced_results = None
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            untraced_results = run_campaign()
+            untraced_walls.append(time.perf_counter() - start)
+
+            # enable_tracing truncates the file, so the trace left behind
+            # (and the attribution below) belongs to the last repetition.
+            enable_tracing(trace_file)
+            try:
+                start = time.perf_counter()
+                traced_results = run_campaign()
+                traced_walls.append(time.perf_counter() - start)
+            finally:
+                disable_tracing()
+
+        records = read_trace(trace_file)
+    finally:
+        if tmp_dir is not None:
+            tmp_dir.cleanup()
+
+    reference = keyed(untraced_results)
+    mismatches = sum(
+        1 for key, record in keyed(traced_results).items()
+        if reference.get(key) != record
+    )
+    bit_identical = (
+        not untraced_results.failures
+        and not traced_results.failures
+        and len(reference) == len(traced_results.records)
+        and mismatches == 0
+    )
+
+    untraced_best = min(untraced_walls)
+    traced_best = min(traced_walls)
+    overhead_percent = 100.0 * (traced_best / untraced_best - 1.0)
+    attribution = campaign_attribution(records)
+
+    print(f"obs untraced campaign       {untraced_best*1e3:9.2f} ms"
+          f"  (best of {repetitions}, {len(reference)} items)")
+    print(f"obs traced campaign         {traced_best*1e3:9.2f} ms"
+          f"  (overhead {overhead_percent:+.2f}%, {len(records)} spans)")
+    print(f"obs phase attribution       {attribution['coverage_percent']:9.1f} %"
+          f"  (mismatched records: {mismatches})")
+
+    return {
+        "doe": {
+            "array_sizes": list(doe.array_sizes),
+            "option_names": list(doe.option_names),
+            "operations": list(OPS_BENCH_OPERATIONS),
+            "items": len(reference),
+        },
+        "untraced": {
+            "best_wall_s": round(untraced_best, 6),
+            "walls_s": [round(wall, 6) for wall in untraced_walls],
+        },
+        "traced": {
+            "best_wall_s": round(traced_best, 6),
+            "walls_s": [round(wall, 6) for wall in traced_walls],
+            "spans": len(records),
+            "span_names": sorted({r.get("name", "?") for r in records}),
+            "trace_path": None if owns_tmp else str(trace_file),
+        },
+        "overhead_percent": round(overhead_percent, 3),
+        "parity": {
+            "bit_identical": bit_identical,
+            "mismatches": mismatches,
+            "records": len(reference),
+            "failures": len(untraced_results.failures)
+            + len(traced_results.failures),
+        },
+        "attribution": {
+            "campaign_runs": attribution["campaign_runs"],
+            "campaign_wall_s": round(attribution["campaign_wall_s"], 6),
+            "attributed_wall_s": round(attribution["attributed_wall_s"], 6),
+            "coverage_percent": round(attribution["coverage_percent"], 2),
+        },
+    }
+
+
+def bench_environment(workers: int | None = None) -> dict:
     """Reproducibility block of every bench report.
 
     ``cpu_count`` is the machine's CPU count; ``cpus_available`` is what
@@ -785,7 +920,7 @@ def _environment(workers: int | None = None) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("mc", "sim", "ops", "service", "faults", "all"),
+    parser.add_argument("--suite", choices=("mc", "sim", "ops", "service", "faults", "obs", "all"),
                         default="all",
                         help="which bench suite(s) to run (default: all)")
     parser.add_argument("--samples", type=int, default=1000,
@@ -823,6 +958,16 @@ def main() -> int:
     parser.add_argument("--faults-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_faults.json",
                         help="where to write the chaos-bench JSON report")
+    parser.add_argument("--obs-sizes", type=int, nargs="+", default=[16, 64, 256, 1024],
+                        help="array sizes of the observability bench (default: the paper DOE)")
+    parser.add_argument("--obs-reps", type=int, default=5,
+                        help="interleaved traced/untraced repetitions (default 5; "
+                             "best-of-N needs headroom against scheduler noise)")
+    parser.add_argument("--obs-trace", type=Path, default=None,
+                        help="keep the traced run's JSONL at this path (default: a temp file)")
+    parser.add_argument("--obs-output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
+                        help="where to write the observability JSON report")
     args = parser.parse_args()
 
     exit_code = 0
@@ -832,7 +977,7 @@ def main() -> int:
             "bench": "monte_carlo_tdp",
             "description": "Fig.5/Table IV Monte-Carlo benches: batched vs scalar pipeline",
             "timestamp_unix": int(started),
-            "environment": _environment(),
+            "environment": bench_environment(),
         }
         report.update(run_benches(args.samples, args.wordlines, args.skip_scalar))
         report["harness_wall_s"] = round(time.time() - started, 3)
@@ -859,7 +1004,7 @@ def main() -> int:
                 "SimulationCampaign engine"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(args.sim_workers),
+            "environment": bench_environment(args.sim_workers),
         }
         report.update(run_sim_bench(tuple(args.sim_sizes), args.sim_workers))
         report["harness_wall_s"] = round(time.time() - started, 3)
@@ -888,7 +1033,7 @@ def main() -> int:
                 "vs per-operation scalar pipelines"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(args.ops_workers),
+            "environment": bench_environment(args.ops_workers),
         }
         report.update(run_ops_bench(tuple(args.ops_sizes), args.ops_workers))
         report["harness_wall_s"] = round(time.time() - started, 3)
@@ -918,7 +1063,7 @@ def main() -> int:
                 "submission latency and concurrent-client throughput"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(args.service_clients),
+            "environment": bench_environment(args.service_clients),
         }
         report.update(
             run_service_bench(args.service_clients, args.service_requests)
@@ -945,7 +1090,7 @@ def main() -> int:
                 "solver faults and durable-journal replay throughput"
             ),
             "timestamp_unix": int(started),
-            "environment": _environment(),
+            "environment": bench_environment(),
         }
         report.update(run_faults_bench(args.journal_entries))
         report["harness_wall_s"] = round(time.time() - started, 3)
@@ -964,6 +1109,43 @@ def main() -> int:
             exit_code = 1
         if not report["journal"]["consistent"]:
             print("WARNING: journal replay returned an inconsistent outstanding set")
+            exit_code = 1
+
+    if args.suite in ("obs", "all"):
+        started = time.time()
+        report = {
+            "bench": "observability_overhead",
+            "description": (
+                "Observability benches: traced vs untraced operation "
+                "campaign — record parity, tracing overhead and span "
+                "attribution"
+            ),
+            "timestamp_unix": int(started),
+            "environment": bench_environment(),
+        }
+        report.update(
+            run_obs_bench(tuple(args.obs_sizes), args.obs_reps, args.obs_trace)
+        )
+        report["harness_wall_s"] = round(time.time() - started, 3)
+
+        args.obs_output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.obs_output}")
+        print(
+            f"tracing overhead: {report['overhead_percent']:+.2f}% "
+            f"(bit identical: {report['parity']['bit_identical']}, "
+            f"attribution {report['attribution']['coverage_percent']}%)"
+        )
+        if not report["parity"]["bit_identical"]:
+            print("WARNING: traced records diverge from the untraced run")
+            exit_code = 1
+        if report["attribution"]["coverage_percent"] < 95.0:
+            print("WARNING: named spans attribute less than 95% of the campaign wall")
+            exit_code = 1
+        full_doe = tuple(args.obs_sizes) == (16, 64, 256, 1024)
+        if full_doe and report["overhead_percent"] > 2.0:
+            # Gated at the full DOE only: on a tiny smoke DOE the wall is
+            # milliseconds and scheduler noise alone can exceed 2%.
+            print("WARNING: tracing overhead is above the 2% acceptance ceiling")
             exit_code = 1
 
     return exit_code

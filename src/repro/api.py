@@ -44,6 +44,7 @@ from typing import (
     Union,
 )
 
+from .circuit.mna import solver_stats
 from .core.campaign import CampaignError, SimulationCampaign
 from .core.failures import FAILURE_POLICIES
 from .core.montecarlo import MonteCarloTdpStudy
@@ -58,6 +59,8 @@ from .core.spec import (
 )
 from .core.worst_case import WorstCaseStudy
 from .core.yield_analysis import ReadTimeYieldAnalysis
+from .obs import metrics as obs_metrics
+from .obs.trace import span
 
 __all__ = [
     "EXECUTOR_BACKENDS",
@@ -480,9 +483,23 @@ def run(
     if cache is not None:
         hit = cache.get(chosen)
         if hit is not None:
+            obs_metrics.registry().inc(
+                "repro_runs_total", kind=chosen.kind, source="cache"
+            )
             return hit
     effective = workers if workers is not None else resolve_workers(chosen.execution)
-    result = _RUNNERS[chosen.kind](chosen, max(1, int(effective)))
+    stats_before = solver_stats().as_dict()
+    with span("api.run", kind=chosen.kind, workers=max(1, int(effective))):
+        result = _RUNNERS[chosen.kind](chosen, max(1, int(effective)))
+    obs_metrics.record_solver_delta(
+        {
+            key: value - stats_before.get(key, 0)
+            for key, value in solver_stats().as_dict().items()
+        }
+    )
+    obs_metrics.registry().inc(
+        "repro_runs_total", kind=chosen.kind, source="computed"
+    )
     if cache is not None and not result.failures:
         cache.put(chosen, result)
     return result

@@ -30,6 +30,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..obs.trace import span
 from .mna import CachedFactorSolver, MNAAssembler, MNAError
 from .netlist import Circuit
 
@@ -340,6 +341,19 @@ def dc_operating_point(
         Optional mapping of voltage-source names to DC values that replace
         the sources' own waveform values (used by :func:`dc_sweep`).
     """
+    with span("solver.dc"):
+        return _dc_operating_point(
+            circuit, initial_voltages, options, gmin_s, source_overrides
+        )
+
+
+def _dc_operating_point(
+    circuit: Circuit,
+    initial_voltages: Optional[Dict[str, float]],
+    options: Optional[NewtonOptions],
+    gmin_s: float,
+    source_overrides: Optional[Mapping[str, float]],
+) -> DCResult:
     chosen_options = options if options is not None else NewtonOptions()
     level = rescue_level()
     if level:

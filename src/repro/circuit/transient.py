@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.trace import span
 from .dc import ConvergenceError, NewtonOptions, rescue_level
 from .mna import CachedFactorSolver, JacobianTemplate, MNAAssembler
 from .netlist import Circuit
@@ -164,6 +165,16 @@ class TransientSolver:
             Optional predicate evaluated after every accepted step; the
             simulation ends as soon as it returns true.
         """
+        # One span for the whole analysis: _newton_step fires thousands
+        # of times per run, so per-step spans would swamp the trace.
+        with span("solver.transient"):
+            return self._run(initial_voltages, stop_condition)
+
+    def _run(
+        self,
+        initial_voltages: Optional[Dict[str, float]],
+        stop_condition: Optional[StopCondition],
+    ) -> TransientResult:
         options = self.options
         assembler = self.assembler
 

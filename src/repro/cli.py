@@ -280,6 +280,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+    run_parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a span trace (JSONL) of the run to FILE; inspect it "
+            "with 'repro report FILE'"
+        ),
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="per-phase wall-time report of a traced run (see run/serve --trace)",
+    )
+    report_parser.add_argument(
+        "path",
+        type=str,
+        help=(
+            "a trace JSONL file, or a campaign store / directory "
+            "containing trace.jsonl"
+        ),
+    )
+    report_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many of the slowest item spans to list (default: 10)",
+    )
+    report_parser.add_argument(
+        "--chrome-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "also export the trace as Chrome trace-event JSON for "
+            "chrome://tracing or Perfetto"
+        ),
+    )
+    report_parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
 
     spec_parser = subparsers.add_parser(
         "spec", help="create or validate declarative experiment specs"
@@ -372,6 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+    serve_parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="record a span trace (JSONL) of the server's lifetime to FILE",
     )
 
     submit_parser = subparsers.add_parser(
@@ -610,8 +664,11 @@ def _serve(args: argparse.Namespace) -> str:
     """Run the HTTP experiment server until interrupted."""
     import os
 
+    from .obs.trace import disable_tracing, enable_tracing
     from .service.server import ExperimentServer
 
+    if args.trace:
+        enable_tracing(args.trace)
     try:
         server = ExperimentServer(
             host=args.host,
@@ -652,6 +709,9 @@ def _serve(args: argparse.Namespace) -> str:
         server.stop_serving()
         drained = server.drain(args.drain_timeout)
         server.shutdown()
+        # Flush the span trace (merging any pool-worker files) before a
+        # possible hard exit below.
+        disable_tracing()
         if not drained:
             # Worker threads are non-daemon and cannot be interrupted
             # mid-experiment; exit hard instead of hanging until the
@@ -672,6 +732,34 @@ def _serve(args: argparse.Namespace) -> str:
             sys.stdout.flush()
             os._exit(0)
     return "server stopped"
+
+
+def _report(args: argparse.Namespace) -> str:
+    """Render the per-phase report of a trace file (or store directory)."""
+    import json as _json
+
+    from .obs.trace import read_trace, to_chrome_trace
+    from .reporting.tables import format_trace_summary
+
+    path = Path(args.path)
+    if path.is_dir():
+        candidate = path / "trace.jsonl"
+        if not candidate.is_file():
+            raise ReportingError(
+                f"{path} contains no trace.jsonl; pass the trace file "
+                "recorded with run/serve --trace"
+            )
+        path = candidate
+    if not path.is_file():
+        raise ReportingError(f"no trace file at {path}")
+    records = read_trace(path)
+    if not records:
+        raise ReportingError(f"{path} contains no span records")
+    if args.chrome_out:
+        atomic_write_text(
+            args.chrome_out, _json.dumps(to_chrome_trace(records)) + "\n"
+        )
+    return format_trace_summary(records, top_n=args.top)
 
 
 def _submit(args: argparse.Namespace) -> str:
@@ -695,16 +783,26 @@ def _submit(args: argparse.Namespace) -> str:
 def _dispatch(args: argparse.Namespace) -> str:
     """Produce the report text for one parsed invocation."""
     if args.command == "run":
-        result = run_experiment(
-            load_spec(Path(args.spec)),
-            workers=args.workers,
-            failure_policy=args.failure_policy,
-        )
+        from .obs.trace import disable_tracing, enable_tracing
+
+        if args.trace:
+            enable_tracing(args.trace)
+        try:
+            result = run_experiment(
+                load_spec(Path(args.spec)),
+                workers=args.workers,
+                failure_policy=args.failure_policy,
+            )
+        finally:
+            if args.trace:
+                disable_tracing()
         if result.failures:
             # Partial result: isolated per-item failures became error
             # rows.  The report still renders; main() exits 3.
             args._partial = True
         return _format_result(result, args.format)
+    if args.command == "report":
+        return _report(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "submit":

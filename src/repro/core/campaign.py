@@ -42,6 +42,13 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Uni
 from ..circuit.batch import PreparedWork, solve_prepared
 from ..circuit.dc import ConvergenceError, solver_rescue
 from ..circuit.mna import MNAError, solver_stats
+from ..obs import metrics as obs_metrics
+from ..obs.trace import (
+    _clear_inherited_tracer,
+    active_tracer,
+    enable_worker_tracing,
+    span,
+)
 from ..technology.node import TechnologyNode
 from ..testing import faults
 from ..variability.doe import StudyDOE, paper_doe
@@ -544,20 +551,28 @@ class CampaignWorkerState:
         simulators = self._simulators_for(item.scenario)
         operation = create_operation(item.scenario.operation)
         started = time.perf_counter()
-        if item.kind == "nominal":
-            measurement = operation.measure_nominal(
-                simulators, item.n_wordlines, stored_value=item.scenario.stored_value
-            )
-        elif item.kind == "corner":
-            measurement = operation.measure_with_patterning(
-                simulators,
-                item.n_wordlines,
-                self._option_for(item.option_name),
-                dict(item.corner_parameters),
-                stored_value=item.scenario.stored_value,
-            )
-        else:
-            raise CampaignError(f"unknown campaign item kind {item.kind!r}")
+        with span(
+            "item.measure",
+            item=item.key,
+            operation=item.scenario.operation,
+            kind=item.kind,
+        ):
+            if item.kind == "nominal":
+                measurement = operation.measure_nominal(
+                    simulators,
+                    item.n_wordlines,
+                    stored_value=item.scenario.stored_value,
+                )
+            elif item.kind == "corner":
+                measurement = operation.measure_with_patterning(
+                    simulators,
+                    item.n_wordlines,
+                    self._option_for(item.option_name),
+                    dict(item.corner_parameters),
+                    stored_value=item.scenario.stored_value,
+                )
+            else:
+                raise CampaignError(f"unknown campaign item kind {item.kind!r}")
         wall_s = time.perf_counter() - started
         return _record_from_measurement(item, measurement, wall_s)
 
@@ -616,20 +631,28 @@ class CampaignWorkerState:
         simulators = self._simulators_for(item.scenario)
         operation = create_operation(item.scenario.operation)
         started = time.perf_counter()
-        if item.kind == "nominal":
-            prepared = operation.prepare_nominal(
-                simulators, item.n_wordlines, stored_value=item.scenario.stored_value
-            )
-        elif item.kind == "corner":
-            prepared = operation.prepare_with_patterning(
-                simulators,
-                item.n_wordlines,
-                self._option_for(item.option_name),
-                dict(item.corner_parameters),
-                stored_value=item.scenario.stored_value,
-            )
-        else:
-            raise CampaignError(f"unknown campaign item kind {item.kind!r}")
+        with span(
+            "item.prepare",
+            item=item.key,
+            operation=item.scenario.operation,
+            kind=item.kind,
+        ):
+            if item.kind == "nominal":
+                prepared = operation.prepare_nominal(
+                    simulators,
+                    item.n_wordlines,
+                    stored_value=item.scenario.stored_value,
+                )
+            elif item.kind == "corner":
+                prepared = operation.prepare_with_patterning(
+                    simulators,
+                    item.n_wordlines,
+                    self._option_for(item.option_name),
+                    dict(item.corner_parameters),
+                    stored_value=item.scenario.stored_value,
+                )
+            else:
+                raise CampaignError(f"unknown campaign item kind {item.kind!r}")
         return prepared, time.perf_counter() - started
 
     def prepare_chunk(
@@ -685,13 +708,20 @@ class CampaignWorkerState:
         ]
         stats_before = solver_stats().as_dict()
         batch_started = time.perf_counter()
-        results = iter(solve_prepared(works))
-        batch_wall = time.perf_counter() - batch_started
-        batch_stats = {
-            key: value - stats_before.get(key, 0)
-            for key, value in solver_stats().as_dict().items()
-        }
-        batch_size = sum(1 for work in works if work.lanes)
+        with span(
+            "campaign.joint_solve", chunks=len(chunked_entries), works=len(works)
+        ) as solve_span:
+            results = iter(solve_prepared(works))
+            batch_wall = time.perf_counter() - batch_started
+            batch_stats = {
+                key: value - stats_before.get(key, 0)
+                for key, value in solver_stats().as_dict().items()
+            }
+            batch_size = sum(1 for work in works if work.lanes)
+            solve_span.annotate(
+                batch_size=batch_size,
+                solver_stats={k: v for k, v in batch_stats.items() if v},
+            )
         share = batch_wall / batch_size if batch_size else 0.0
         for entries in chunked_entries:
             outcomes: List[Union[CampaignRecord, ItemFailure]] = []
@@ -731,9 +761,14 @@ class CampaignWorkerState:
     def run_chunk(
         self, items: Sequence[CampaignItem]
     ) -> List[Union[CampaignRecord, ItemFailure]]:
-        if self.solver == "batched":
-            return self.run_chunk_batched(items)
-        return [self.run_item_outcome(item) for item in items]
+        with span(
+            "campaign.chunk",
+            items=len(items),
+            first=items[0].key if items else None,
+        ):
+            if self.solver == "batched":
+                return self.run_chunk_batched(items)
+            return [self.run_item_outcome(item) for item in items]
 
 
 #: Per-process worker state installed by the pool initializer (the node is
@@ -751,8 +786,17 @@ def _init_campaign_worker(
     item_timeout_s: Optional[float] = None,
     retry_backoff_s: float = 0.05,
     solver: str = "scalar",
+    trace_worker_dir: Optional[str] = None,
 ) -> None:
     global _worker_state
+    # A forked worker inherits the parent's tracer object; two processes
+    # appending to one file would interleave torn records, so the worker
+    # either gets its own trace-<pid>.jsonl (merged by the parent on
+    # chunk commit) or stops emitting entirely.
+    if trace_worker_dir is not None:
+        enable_worker_tracing(trace_worker_dir)
+    else:
+        _clear_inherited_tracer()
     _worker_state = CampaignWorkerState(
         node,
         n_bitline_pairs,
@@ -1052,17 +1096,38 @@ class SimulationCampaign:
         Failures land in the in-memory failure map only — persisting them
         would turn a transient machine problem into a permanent store
         entry; this way a rerun retries exactly the failed items.
+
+        Commit is also the observability checkpoint: each outcome feeds
+        the metrics registry (item wall-time histogram, per-operation and
+        failure counters), and any pool-worker trace files are merged
+        into the main trace here — the same granularity at which results
+        become durable.
         """
-        for outcome in outcomes:
-            if isinstance(outcome, ItemFailure):
-                self._failures[outcome.key] = outcome
-                continue
-            self._failures.pop(outcome.key, None)
-            self._memo[outcome.key] = outcome
-            if self.store is not None:
-                self.store.save_record(outcome)
+        with span("campaign.commit", outcomes=len(outcomes)):
+            for outcome in outcomes:
+                if isinstance(outcome, ItemFailure):
+                    obs_metrics.record_item_failure(outcome.classification)
+                    self._failures[outcome.key] = outcome
+                    continue
+                obs_metrics.registry().inc(
+                    "repro_items_total", operation=outcome.operation
+                )
+                obs_metrics.observe_item_wall(outcome.wall_s, outcome.operation)
+                self._failures.pop(outcome.key, None)
+                self._memo[outcome.key] = outcome
+                if self.store is not None:
+                    self.store.save_record(outcome)
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.merge_workers()
 
     def _worker_initargs(self) -> tuple:
+        tracer = active_tracer()
+        trace_worker_dir = (
+            str(tracer.worker_dir)
+            if tracer is not None and tracer.worker_dir is not None
+            else None
+        )
         return (
             self.node,
             self.doe.n_bitline_pairs,
@@ -1072,6 +1137,7 @@ class SimulationCampaign:
             self.item_timeout_s,
             self.retry_backoff_s,
             self.solver,
+            trace_worker_dir,
         )
 
     def _requeue_lost(
@@ -1182,7 +1248,8 @@ class SimulationCampaign:
 
         try:
             for chunk in chunks:
-                prepared.append(state.prepare_chunk(chunk))
+                with span("campaign.prepare", items=len(chunk)):
+                    prepared.append(state.prepare_chunk(chunk))
         except BaseException:
             flush()
             raise
@@ -1233,30 +1300,45 @@ class SimulationCampaign:
             effective = min(effective, self.available_cpus())
 
         self.last_run_stats = {}
-        if effective > 1 and len(chunks) > 1:
-            self._run_pool(chunks, effective)
-        else:
-            if self._local_state is None:
-                self._local_state = CampaignWorkerState(
-                    self.node,
-                    self.doe.n_bitline_pairs,
-                    self.max_segments,
-                    failure_policy=self.failure_policy,
-                    max_retries=self.max_retries,
-                    item_timeout_s=self.item_timeout_s,
-                    retry_backoff_s=self.retry_backoff_s,
-                    solver=self.solver,
-                )
-            stats_before = solver_stats().as_dict()
-            if self.solver == "batched":
-                self._run_serial_batched(chunks)
+        with span(
+            "campaign.run",
+            pending=len(pending),
+            chunks=len(chunks),
+            solver=self.solver,
+        ) as run_span:
+            if effective > 1 and len(chunks) > 1:
+                with span("campaign.pool", workers=effective, chunks=len(chunks)):
+                    self._run_pool(chunks, effective)
             else:
-                for chunk in chunks:
-                    self._commit(self._local_state.run_chunk(chunk))
-            self.last_run_stats = {
-                key: value - stats_before.get(key, 0)
-                for key, value in solver_stats().as_dict().items()
-            }
+                if self._local_state is None:
+                    self._local_state = CampaignWorkerState(
+                        self.node,
+                        self.doe.n_bitline_pairs,
+                        self.max_segments,
+                        failure_policy=self.failure_policy,
+                        max_retries=self.max_retries,
+                        item_timeout_s=self.item_timeout_s,
+                        retry_backoff_s=self.retry_backoff_s,
+                        solver=self.solver,
+                    )
+                stats_before = solver_stats().as_dict()
+                if self.solver == "batched":
+                    self._run_serial_batched(chunks)
+                else:
+                    for chunk in chunks:
+                        self._commit(self._local_state.run_chunk(chunk))
+                self.last_run_stats = {
+                    key: value - stats_before.get(key, 0)
+                    for key, value in solver_stats().as_dict().items()
+                }
+                run_span.annotate(
+                    solver_stats={
+                        k: v for k, v in self.last_run_stats.items() if v
+                    }
+                )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.merge_workers()
 
         return CampaignResults(
             [self._memo[item.key] for item in items if item.key in self._memo],

@@ -1,0 +1,64 @@
+"""Unified observability layer: metrics registry and structured tracing.
+
+The stack's telemetry used to live on three disconnected islands — the
+solver's :class:`~repro.circuit.mna.SolverStats` counters, the service
+layer's cache/queue dicts and the typed failure records.  This package
+pulls every number into one place:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms, with adapters that
+  absorb the existing islands into one ``repro_*`` namespace and a
+  Prometheus text-exposition renderer (``GET /v1/metrics``);
+* :mod:`repro.obs.trace` — structured span tracing
+  (``with span("campaign.chunk", item=key): ...``) emitting append-only
+  JSONL, with cross-process collection (pool workers write
+  ``trace-<pid>.jsonl``, the parent merges on chunk commit) and a
+  Chrome-trace exporter so any run opens in ``chrome://tracing``.
+
+Tracing is **off by default** and fingerprint-neutral: enabling it never
+changes a record, only records where the wall-clock time went.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    absorb_cache_stats,
+    absorb_queue_stats,
+    observe_item_wall,
+    record_item_failure,
+    record_solver_delta,
+    registry,
+    reset_registry,
+)
+from .trace import (
+    Tracer,
+    active_tracer,
+    campaign_attribution,
+    disable_tracing,
+    enable_tracing,
+    enable_worker_tracing,
+    read_trace,
+    span,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "Tracer",
+    "absorb_cache_stats",
+    "absorb_queue_stats",
+    "active_tracer",
+    "campaign_attribution",
+    "disable_tracing",
+    "enable_tracing",
+    "enable_worker_tracing",
+    "observe_item_wall",
+    "read_trace",
+    "record_item_failure",
+    "record_solver_delta",
+    "registry",
+    "reset_registry",
+    "span",
+    "to_chrome_trace",
+]

@@ -1,0 +1,385 @@
+"""Structured span tracing with JSONL emission and Chrome-trace export.
+
+Usage::
+
+    from repro.obs.trace import enable_tracing, span
+
+    enable_tracing("campaign-store/trace.jsonl")
+    with span("campaign.chunk", item="write/64"):
+        ...
+
+Spans are complete events: one JSON object per line is appended when the
+span *closes* (``ph: "X"`` with epoch-microsecond ``ts`` and
+perf-counter ``dur``), so a crash loses at most the open spans.  Tracing
+is **off by default**: ``span()`` then returns a shared no-op singleton
+whose enter/exit cost is two attribute lookups, and no file is touched.
+
+Cross-process collection mirrors the job journal's torn-tail tolerance:
+pool workers write ``<trace>.workers/trace-<pid>.jsonl``; the parent
+drains each worker file from a remembered byte offset up to the last
+complete newline on every chunk commit (and once more on close), so a
+worker killed mid-write never corrupts the merged trace — the torn tail
+is simply left unconsumed and unparsable lines are counted and skipped.
+
+``to_chrome_trace()`` converts the records to the Chrome trace-event
+JSON that ``chrome://tracing`` and Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CAMPAIGN_PHASES",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "campaign_attribution",
+    "disable_tracing",
+    "enable_tracing",
+    "enable_worker_tracing",
+    "read_trace",
+    "span",
+    "to_chrome_trace",
+]
+
+#: Span names whose union is the "accounted-for" share of a campaign run
+#: (used by ``repro report`` and the obs bench's ≥95% attribution gate).
+CAMPAIGN_PHASES = frozenset(
+    {
+        "campaign.prepare",
+        "campaign.joint_solve",
+        "campaign.commit",
+        "campaign.pool",
+        "campaign.chunk",
+        "item.prepare",
+        "item.measure",
+    }
+)
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; records itself to the tracer when it exits."""
+
+    __slots__ = ("_tracer", "name", "args", "depth", "_ts_us", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.depth = 0
+        self._ts_us = 0
+        self._start_ns = 0
+
+    def __enter__(self) -> "Span":
+        tls = self._tracer._tls
+        self.depth = getattr(tls, "depth", 0)
+        tls.depth = self.depth + 1
+        self._ts_us = time.time_ns() // 1000
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        dur_us = (time.perf_counter_ns() - self._start_ns) // 1000
+        tls = self._tracer._tls
+        tls.depth = max(0, getattr(tls, "depth", 1) - 1)
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "ph": "X",
+            "ts": self._ts_us,
+            "dur": dur_us,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "depth": self.depth,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.args:
+            record["args"] = self.args
+        self._tracer._emit(record)
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach extra key/values to the span record (merged into args)."""
+        self.args.update(attrs)
+
+
+class Tracer:
+    """Appends span records to one JSONL file; optionally merges workers."""
+
+    def __init__(self, path: Union[str, Path], worker_dir: Optional[Path] = None) -> None:
+        self.path = Path(path)
+        self.worker_dir = worker_dir
+        self.skipped_lines = 0
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._offsets: Dict[Path, int] = {}
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, dict(attrs))
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        # Open-per-append, like the journal: no descriptor to leak across
+        # fork, and each record is one atomic-enough write.
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+    # -- cross-process collection ---------------------------------------
+
+    def merge_workers(self) -> int:
+        """Drain complete lines from every worker file into the main trace.
+
+        Returns the number of records merged.  Safe to call while workers
+        are still writing: each file is consumed from a remembered byte
+        offset up to its last newline, so a torn tail is left for the
+        next merge and a record is never split.
+        """
+        if self.worker_dir is None:
+            return 0
+        try:
+            paths = sorted(self.worker_dir.glob("trace-*.jsonl"))
+        except OSError:
+            return 0
+        return sum(self._drain(path) for path in paths)
+
+    def _drain(self, worker_path: Path) -> int:
+        offset = self._offsets.get(worker_path, 0)
+        try:
+            with open(worker_path, "rb") as fh:
+                fh.seek(offset)
+                blob = fh.read()
+        except OSError:
+            return 0
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return 0
+        good: List[str] = []
+        for raw in blob[: end + 1].splitlines():
+            if not raw.strip():
+                continue
+            try:
+                json.loads(raw)
+            except ValueError:
+                self.skipped_lines += 1
+                continue
+            good.append(raw.decode("utf-8"))
+        self._offsets[worker_path] = offset + end + 1
+        if good:
+            with self._lock:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write("\n".join(good) + "\n")
+        return len(good)
+
+    def close(self) -> None:
+        """Final worker merge, then remove fully-drained worker files."""
+        if self.worker_dir is None:
+            return
+        self.merge_workers()
+        try:
+            for worker_path in self.worker_dir.glob("trace-*.jsonl"):
+                try:
+                    if worker_path.stat().st_size <= self._offsets.get(worker_path, 0):
+                        worker_path.unlink()
+                except OSError:
+                    pass
+            self.worker_dir.rmdir()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Module-level switch (default off)
+# ---------------------------------------------------------------------------
+
+_active: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _active
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """A span if tracing is enabled, else the shared no-op singleton."""
+    tracer = _active
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def enable_tracing(path: Union[str, Path]) -> Tracer:
+    """Start tracing to ``path`` (truncates it) and return the tracer.
+
+    A sibling ``<path>.workers/`` directory is prepared for pool workers;
+    stale worker files from an earlier run are removed so they cannot be
+    re-merged.
+    """
+    global _active
+    if _active is not None:
+        disable_tracing()
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    worker_dir = target.parent / (target.name + ".workers")
+    worker_dir.mkdir(parents=True, exist_ok=True)
+    for stale in worker_dir.glob("trace-*.jsonl"):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    target.write_text("", encoding="utf-8")
+    _active = Tracer(target, worker_dir=worker_dir)
+    return _active
+
+
+def enable_worker_tracing(worker_dir: Union[str, Path]) -> Tracer:
+    """Re-point this process's tracer at ``worker_dir/trace-<pid>.jsonl``.
+
+    Called from the pool-worker initializer: a forked child inherits the
+    parent's tracer object, but two processes appending to one file would
+    interleave torn records — so each worker gets its own file that the
+    parent merges on chunk commit.
+    """
+    global _active
+    target = Path(worker_dir) / f"trace-{os.getpid()}.jsonl"
+    _active = Tracer(target, worker_dir=None)
+    return _active
+
+
+def _clear_inherited_tracer() -> None:
+    """Drop a tracer object inherited across ``fork`` without closing it.
+
+    Pool-worker initializers call this when the parent traced to a
+    location the worker must not touch (or did not trace at all): the
+    parent's tracer keeps owning its file; the child simply stops
+    emitting.
+    """
+    global _active
+    _active = None
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Stop tracing; merges any remaining worker records first."""
+    global _active
+    tracer = _active
+    _active = None
+    if tracer is not None:
+        tracer.close()
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# Reading and exporting
+# ---------------------------------------------------------------------------
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load span records from a trace file, skipping torn/corrupt lines."""
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def to_chrome_trace(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span records to Chrome trace-event JSON (chrome://tracing)."""
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        event: Dict[str, Any] = {
+            "name": record.get("name", "?"),
+            "ph": record.get("ph", "X"),
+            "ts": record.get("ts", 0),
+            "dur": record.get("dur", 0),
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+            "cat": "repro",
+        }
+        if record.get("args"):
+            event["args"] = record["args"]
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _union_length_us(intervals: List[Tuple[int, int]]) -> int:
+    if not intervals:
+        return 0
+    intervals.sort()
+    total = 0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    return total + (current_end - current_start)
+
+
+def campaign_attribution(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """How much of the campaign wall time the named phases account for.
+
+    For every ``campaign.run`` span, clips same-process phase spans
+    (:data:`CAMPAIGN_PHASES`) to the run window and measures their
+    interval *union*, so nested spans (a commit inside a joint solve)
+    are never double-counted.
+    """
+    runs = [r for r in records if r.get("name") == "campaign.run"]
+    total_us = 0
+    attributed_us = 0
+    for run in runs:
+        start = int(run.get("ts", 0))
+        end = start + int(run.get("dur", 0))
+        pid = run.get("pid")
+        total_us += end - start
+        intervals: List[Tuple[int, int]] = []
+        for record in records:
+            if record.get("name") not in CAMPAIGN_PHASES or record.get("pid") != pid:
+                continue
+            s = max(int(record.get("ts", 0)), start)
+            e = min(int(record.get("ts", 0)) + int(record.get("dur", 0)), end)
+            if e > s:
+                intervals.append((s, e))
+        attributed_us += _union_length_us(intervals)
+    coverage = 100.0 * attributed_us / total_us if total_us else 0.0
+    return {
+        "campaign_runs": len(runs),
+        "campaign_wall_s": total_us / 1e6,
+        "attributed_wall_s": attributed_us / 1e6,
+        "coverage_percent": coverage,
+    }

@@ -411,6 +411,122 @@ def format_solver_summary(meta: Dict[str, object]) -> str:
     )
 
 
+def format_trace_summary(records, top_n: int = 10) -> str:
+    """Per-phase wall-time report of a span trace (``repro report``).
+
+    ``records`` are the dictionaries of :func:`repro.obs.trace.read_trace`.
+    Four sections: per-phase totals (count / wall / share of the trace
+    window), the campaign attribution (how much of ``campaign.run`` the
+    named phases account for — the obs bench gates this at ≥95%), the
+    ``top_n`` slowest item spans, and the solver-counter totals the
+    campaign spans carried.
+    """
+    from ..obs.trace import campaign_attribution
+
+    if not records:
+        raise ReportingError("trace contains no span records")
+
+    window_start = min(int(r.get("ts", 0)) for r in records)
+    window_end = max(int(r.get("ts", 0)) + int(r.get("dur", 0)) for r in records)
+    window_us = max(1, window_end - window_start)
+
+    totals: Dict[str, List[int]] = {}
+    for record in records:
+        entry = totals.setdefault(str(record.get("name", "?")), [0, 0])
+        entry[0] += 1
+        entry[1] += int(record.get("dur", 0))
+    phase_rows = [
+        [
+            name,
+            f"{count:,}",
+            f"{total_us / 1e6:.3f}",
+            f"{total_us / count / 1e3:.2f}",
+            f"{100.0 * total_us / window_us:.1f}%",
+        ]
+        for name, (count, total_us) in sorted(
+            totals.items(), key=lambda item: item[1][1], reverse=True
+        )
+    ]
+    sections = [
+        render_table(
+            ["Span", "Count", "Total [s]", "Mean [ms]", "Window share"],
+            phase_rows,
+            title=f"Trace summary ({len(records)} spans, "
+            f"{window_us / 1e6:.3f} s window)",
+        )
+    ]
+
+    attribution = campaign_attribution(records)
+    if attribution["campaign_runs"]:
+        sections.append(
+            "Campaign attribution: "
+            f"{attribution['attributed_wall_s']:.3f} s of "
+            f"{attribution['campaign_wall_s']:.3f} s campaign wall time "
+            f"({attribution['coverage_percent']:.1f}%) in named phases "
+            f"across {attribution['campaign_runs']} run(s)."
+        )
+
+    item_spans = [
+        record
+        for record in records
+        if isinstance(record.get("args"), dict) and "item" in record["args"]
+    ]
+    if item_spans and top_n > 0:
+        slowest = sorted(
+            item_spans, key=lambda r: int(r.get("dur", 0)), reverse=True
+        )[:top_n]
+        sections.append(
+            render_table(
+                ["Item", "Span", "Operation", "Wall [ms]"],
+                [
+                    [
+                        str(record["args"].get("item", "?")),
+                        str(record.get("name", "?")),
+                        str(record["args"].get("operation", "")),
+                        f"{int(record.get('dur', 0)) / 1e3:.2f}",
+                    ]
+                    for record in slowest
+                ],
+                title=f"Slowest {len(slowest)} item spans",
+            )
+        )
+
+    solver_totals: Dict[str, int] = {}
+    solver_label = None
+    # campaign.run spans carry the serial tier's full solver delta; fall
+    # back to the joint-solve spans' batch deltas when the run-level
+    # counters are absent (pool mode accumulates them in workers).
+    for source in ("campaign.run", "campaign.joint_solve"):
+        for record in records:
+            if record.get("name") != source:
+                continue
+            args = record.get("args")
+            if not isinstance(args, dict):
+                continue
+            if source == "campaign.run" and args.get("solver"):
+                solver_label = str(args["solver"])
+            stats = args.get("solver_stats")
+            if isinstance(stats, dict):
+                for key, value in stats.items():
+                    try:
+                        solver_totals[key] = solver_totals.get(key, 0) + int(value)
+                    except (TypeError, ValueError):
+                        continue
+        if solver_totals:
+            break
+    if solver_totals:
+        sections.append(
+            format_solver_summary(
+                {
+                    "solver_stats": solver_totals,
+                    "solver": solver_label or "unknown",
+                }
+            )
+        )
+
+    return "\n\n".join(sections)
+
+
 def _format_typed_payload(kind: str, payload) -> str:
     if kind == "campaign":
         return format_campaign_text(payload)

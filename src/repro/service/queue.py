@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .. import api
 from ..api import ResultSet
 from ..core.spec import ExperimentSpec, SpecError
+from ..obs.trace import span
 from .cache import ResultCache
 from .journal import JobJournal
 
@@ -158,6 +159,10 @@ class ExperimentQueue:
         """
         spec = api.load_spec(spec)
         fingerprint = spec.fingerprint()
+        with span("service.submit", kind=spec.kind, fingerprint=fingerprint):
+            return self._submit(spec, fingerprint)
+
+    def _submit(self, spec: ExperimentSpec, fingerprint: str) -> Job:
         # The cache read (disk I/O + ResultSet deserialisation) happens
         # outside the queue lock so concurrent submissions and status
         # polls never serialise behind it.  The benign race — another
@@ -219,7 +224,8 @@ class ExperimentQueue:
                 job = self._jobs.get(job_id)
                 if job is not None and job.state == JobState.QUEUED:
                     job.state = JobState.RUNNING
-        result = self._runner(spec)
+        with span("service.compute", kind=spec.kind, fingerprint=fingerprint):
+            result = self._runner(spec)
         # Partial results (failure rows under skip/retry policies) are not
         # cached: the fingerprint is failure-policy-neutral, so a cached
         # partial would be served to callers entitled to a complete one.

@@ -15,7 +15,11 @@ route                                       behaviour
                                             (``202`` while pending, ``500`` on failure)
 ``DELETE /v1/experiments/<id>``             cancel a queued job
 ``GET /v1/experiments``                     every known job, newest first
-``GET /v1/healthz``                         liveness + cache and queue statistics
+``GET /v1/healthz``                         liveness + cumulative cache/queue statistics
+                                            (restart-surviving, via the stats sidecar)
+``GET /v1/metrics``                         Prometheus text exposition of the process
+                                            metrics registry (solver, cache, queue,
+                                            failure counters, latency histograms)
 ==========================================  =============================================
 
 ``GET .../result`` always serves the serialised twin of the ResultSet
@@ -36,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
@@ -44,10 +49,13 @@ from urllib.parse import parse_qs, urlparse
 from .. import __version__
 from ..api import ResultSet, load_spec
 from ..core.spec import SpecError
+from ..obs import metrics as obs_metrics
+from ..obs.trace import active_tracer
 from ..testing import faults
 from .cache import ResultCache
 from .journal import JobJournal
 from .queue import ExperimentQueue, JobError, JobState
+from .sidecar import StatsSidecar, sidecar_path_for
 
 __all__ = ["ExperimentServer", "RESULT_FORMATS"]
 
@@ -84,6 +92,9 @@ class _ExperimentHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: str, content_type: str) -> None:
         payload = body.encode("utf-8")
+        obs_metrics.registry().inc(
+            "repro_http_requests_total", method=self.command, status=status
+        )
         self.send_response(status)
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
@@ -138,6 +149,11 @@ class _ExperimentHandler(BaseHTTPRequestHandler):
         path, query = self._route()
         if path == "/v1/healthz":
             self._send_json(200, self.server.health())
+            return
+        if path == "/v1/metrics":
+            self._send(
+                200, self.server.metrics_text(), "text/plain; version=0.0.4"
+            )
             return
         if path == "/v1/experiments":
             self._send_json(200, {"jobs": self.server.queue.jobs()})
@@ -211,15 +227,57 @@ class _HTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     queue: ExperimentQueue
     verbose: bool
+    sidecar: Optional[StatsSidecar] = None
+    started_at: float = 0.0
+
+    def _cumulative_stats(
+        self,
+    ) -> Tuple[Optional[Dict[str, Any]], Dict[str, Any]]:
+        """(cache, queue) stats with the persisted baseline layered in."""
+        cache = self.queue.cache
+        cache_stats = None if cache is None else cache.stats_dict()
+        queue_stats = self.queue.stats()
+        if self.sidecar is not None:
+            if cache_stats is not None:
+                cache_stats = self.sidecar.cumulative_cache(cache_stats)
+            queue_stats = self.sidecar.cumulative_queue(queue_stats)
+        return cache_stats, queue_stats
 
     def health(self) -> Dict[str, Any]:
-        cache = self.queue.cache
+        cache_stats, queue_stats = self._cumulative_stats()
+        if self.sidecar is not None:
+            # Every health check persists the totals, so liveness probes
+            # double as the sidecar's heartbeat and a kill -9 loses at
+            # most the counters since the last probe.
+            self.sidecar.persist(cache_stats, queue_stats)
+        tracer = active_tracer()
         return {
             "status": "ok",
             "version": __version__,
-            "cache": None if cache is None else cache.stats_dict(),
-            "queue": self.queue.stats(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "cache": cache_stats,
+            "queue": queue_stats,
+            "observability": {
+                "tracing": tracer is not None,
+                "trace_path": None if tracer is None else str(tracer.path),
+                "stats_sidecar": (
+                    None if self.sidecar is None else str(self.sidecar.path)
+                ),
+            },
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the process metrics registry.
+
+        Cache and queue totals are absorbed at scrape time so the
+        endpoint reflects the live (sidecar-cumulative) counters even if
+        no experiment ran since the registry was created.
+        """
+        cache_stats, queue_stats = self._cumulative_stats()
+        if cache_stats is not None:
+            obs_metrics.absorb_cache_stats(cache_stats)
+        obs_metrics.absorb_queue_stats(queue_stats)
+        return obs_metrics.registry().to_prometheus()
 
 
 class ExperimentServer:
@@ -259,9 +317,16 @@ class ExperimentServer:
         #: Jobs replayed from the journal at construction (before the
         #: listener opens, so recovered work is visible to the first poll).
         self.recovered = self.queue.recover()
+        #: Cumulative-stats sidecar: lives next to the cache dir so
+        #: /v1/healthz counters survive restarts (None when cacheless).
+        self.sidecar = (
+            None if cache_dir is None else StatsSidecar(sidecar_path_for(cache_dir))
+        )
         self._http = _HTTPServer((host, port), _ExperimentHandler)
         self._http.queue = self.queue
         self._http.verbose = verbose
+        self._http.sidecar = self.sidecar
+        self._http.started_at = time.time()
         self._thread: Optional[threading.Thread] = None
         self._served = False
 
@@ -316,6 +381,8 @@ class ExperimentServer:
 
     def shutdown(self) -> None:
         self.stop_serving()
+        if self.sidecar is not None:
+            self.sidecar.persist(*self._http._cumulative_stats())
         self.queue.shutdown(wait=False)
 
     def __enter__(self) -> "ExperimentServer":

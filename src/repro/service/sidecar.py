@@ -1,0 +1,151 @@
+"""Cumulative service-stats sidecar: counters that survive restarts.
+
+:class:`ResultCache` and :class:`ExperimentQueue` count in memory, so a
+restart used to zero ``/v1/healthz`` — a ``kill -9`` looked like a cache
+that had never hit.  :class:`StatsSidecar` persists the lifetime totals
+in a small JSON file **next to** the cache directory (``<cache-dir>`` →
+``<cache-dir>.stats.json``; deliberately outside it, because the cache
+treats every ``*.json`` inside its directory as an entry).
+
+The file holds the totals as of the last persist; a running server
+reports ``baseline + current in-memory counters`` and rewrites the file
+atomically on every health check and on shutdown.  Corrupt or missing
+sidecars load as zeros — observability must never block serving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..core.results import atomic_write_text
+
+__all__ = ["StatsSidecar", "sidecar_path_for"]
+
+CACHE_COUNTER_KEYS: Tuple[str, ...] = (
+    "hits",
+    "misses",
+    "stores",
+    "evictions",
+    "invalidations",
+    "quarantined",
+)
+QUEUE_COUNTER_KEYS: Tuple[str, ...] = (
+    "submitted",
+    "coalesced",
+    "cache_hits",
+    "completed",
+    "failed",
+    "cancelled",
+    "recovered",
+    "timeouts",
+)
+
+
+def sidecar_path_for(cache_dir: Union[str, Path]) -> Path:
+    """The sidecar file for a cache directory (a ``.stats.json`` sibling)."""
+    cache_path = Path(cache_dir)
+    if not cache_path.name:
+        # A root-like cache dir has no sibling slot; fall back to a name
+        # inside it that the cache's ``*.json`` entry glob cannot match.
+        return cache_path / "stats.sidecar"
+    return cache_path.parent / (cache_path.name + ".stats.json")
+
+
+class StatsSidecar:
+    """Loads a persisted counter baseline and layers live counters on it."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.baseline = self._load()
+
+    def _load(self) -> Dict[str, Dict[str, int]]:
+        empty: Dict[str, Dict[str, int]] = {"cache": {}, "queue": {}}
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return empty
+        if not isinstance(payload, dict):
+            return empty
+        loaded: Dict[str, Dict[str, int]] = {}
+        for section, keys in (
+            ("cache", CACHE_COUNTER_KEYS),
+            ("queue", QUEUE_COUNTER_KEYS),
+        ):
+            raw = payload.get(section)
+            values: Dict[str, int] = {}
+            if isinstance(raw, dict):
+                for key in keys:
+                    try:
+                        values[key] = int(raw.get(key, 0))
+                    except (TypeError, ValueError):
+                        values[key] = 0
+            loaded[section] = values
+        return loaded
+
+    def _merged(
+        self, section: str, keys: Tuple[str, ...], current: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        base = self.baseline.get(section, {})
+        merged: Dict[str, Any] = dict(current or {})
+        for key in keys:
+            try:
+                live = int(merged.get(key, 0))
+            except (TypeError, ValueError):
+                live = 0
+            merged[key] = live + int(base.get(key, 0))
+        return merged
+
+    def cumulative_cache(
+        self, current: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Cache stats with the persisted baseline added to each counter.
+
+        Non-counter fields (``entries``, ``max_entries``, ``cache_dir``)
+        pass through untouched — levels describe *now*, not a lifetime.
+        """
+        return self._merged("cache", CACHE_COUNTER_KEYS, current)
+
+    def cumulative_queue(
+        self, current: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Queue stats with the persisted baseline added to each counter."""
+        return self._merged("queue", QUEUE_COUNTER_KEYS, current)
+
+    def persist(
+        self,
+        cache_cumulative: Optional[Mapping[str, Any]],
+        queue_cumulative: Optional[Mapping[str, Any]],
+    ) -> None:
+        """Atomically write already-cumulative totals to the sidecar.
+
+        Callers pass the output of :meth:`cumulative_cache` /
+        :meth:`cumulative_queue`; the in-memory baseline is *not*
+        advanced, so re-persisting always recomputes ``baseline +
+        current`` from the live objects and never double-counts.
+        """
+
+        def totals(
+            current: Optional[Mapping[str, Any]], keys: Tuple[str, ...]
+        ) -> Dict[str, int]:
+            source = current or {}
+            out: Dict[str, int] = {}
+            for key in keys:
+                try:
+                    out[key] = int(source.get(key, 0))
+                except (TypeError, ValueError):
+                    out[key] = 0
+            return out
+
+        payload = {
+            "cache": totals(cache_cumulative, CACHE_COUNTER_KEYS),
+            "queue": totals(queue_cumulative, QUEUE_COUNTER_KEYS),
+        }
+        try:
+            atomic_write_text(
+                self.path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:
+            # A read-only or full disk costs persistence, never serving.
+            pass
