@@ -31,6 +31,15 @@ tracing on, wall-time overhead within 2%, and the named spans
 attributing at least 95% of the campaign wall — writing
 ``BENCH_obs.json``.
 
+``--suite yield_hs`` is the high-sigma yield bench: it runs the
+importance-sampling engine over every patterning corner and gates on
+the three properties that make a 6-sigma estimate *defensible* — the
+6-sigma confidence intervals are finite and two-sided, the 3-sigma
+estimates agree with a brute-force Monte-Carlo cross-check within
+combined confidence intervals, the effective sample size stays above
+an eighth of the proposal count, and the whole sweep fits in the
+simulator-call budget (1e5) — writing ``BENCH_yield.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # both suites, full size
@@ -892,6 +901,112 @@ def run_obs_bench(
     }
 
 
+def run_yield_hs_bench(
+    proposals: int = 4000,
+    pilot_samples: int = 512,
+    mc_samples: int = 20000,
+    max_calls: int = 100_000,
+    sizes: tuple = (64,),
+) -> dict:
+    """High-sigma yield bench: IS tail estimates with their quality gates.
+
+    Runs the ``yield_hs`` experiment over the full patterning corner set
+    and reports, per corner and sigma level, the fail probability with
+    its confidence interval, ESS, the FORM beta and the Monte-Carlo
+    cross-check.  The quality gates are in ``checks``:
+
+    * every 6-sigma estimate has a finite two-sided CI (the whole point
+      of importance sampling — brute force cannot produce one);
+    * every 3-sigma estimate agrees with brute-force MC within combined
+      confidence intervals (the parity oracle);
+    * the ESS never collapses below 1/8 of the proposal count (the
+      defensive mixture is doing its job);
+    * the full sweep stays within the real-simulator-call budget.
+    """
+    from repro.api import run
+    from repro.core.spec import (
+        ArraySpec,
+        ExperimentSpec,
+        HighSigmaSpec,
+        TechnologySpec,
+    )
+
+    spec = ExperimentSpec(
+        kind="yield_hs",
+        technology=TechnologySpec(overlay_three_sigma_nm=8.0),
+        array=ArraySpec(sizes=sizes),
+        high_sigma=HighSigmaSpec(
+            operation="read",
+            model="analytical",
+            sigma_levels=(3.0, 6.0),
+            proposals=proposals,
+            pilot_samples=pilot_samples,
+            mc_samples=mc_samples,
+            max_calls=max_calls,
+        ),
+    )
+    started = time.time()
+    result = run(spec)
+    wall = time.time() - started
+
+    rows = [r for r in result.records if r.get("record") == "high_sigma"]
+    meta = result.meta["high_sigma"]
+    six_sigma = [r for r in rows if r["sigma_level"] == 6.0]
+    three_sigma = [r for r in rows if r["sigma_level"] == 3.0]
+    checked = [r for r in three_sigma if r["mc_agrees"] is not None]
+
+    ess_floor = proposals / 8.0
+    checks = {
+        "six_sigma_rows": len(six_sigma),
+        "six_sigma_finite_ci": bool(six_sigma)
+        and all(
+            0.0 < r["ci_low"] <= r["fail_probability"] <= r["ci_high"] < 1.0
+            for r in six_sigma
+        ),
+        "mc_cross_checks": len(checked),
+        "mc_agreement": bool(checked) and all(r["mc_agrees"] for r in checked),
+        "ess_floor": ess_floor,
+        "ess_min": min(r["ess"] for r in rows) if rows else 0.0,
+        "ess_above_floor": bool(rows)
+        and all(r["ess"] >= ess_floor for r in rows),
+        "call_budget": max_calls,
+        "within_call_budget": meta["total_simulator_calls"] <= max_calls,
+    }
+    return {
+        "spec": {
+            "operation": meta["operation"],
+            "model": meta["model"],
+            "sigma_levels": meta["sigma_levels"],
+            "proposals": proposals,
+            "pilot_samples": pilot_samples,
+            "mc_samples": mc_samples,
+        },
+        "wall_s": round(wall, 3),
+        "corners": len(rows) // 2 if rows else 0,
+        "total_simulator_calls": meta["total_simulator_calls"],
+        "total_promoted": meta["total_promoted"],
+        "total_proposals": meta["total_proposals"],
+        "rows": [
+            {
+                "option": r["option"],
+                "overlay_three_sigma_nm": r["overlay_three_sigma_nm"],
+                "sigma_level": r["sigma_level"],
+                "threshold_percent": round(r["threshold"], 4),
+                "fail_probability": r["fail_probability"],
+                "ci_low": r["ci_low"],
+                "ci_high": r["ci_high"],
+                "sigma_equivalent": round(r["sigma_equivalent"], 3),
+                "ess": round(r["ess"], 1),
+                "beta": round(r["beta"], 3),
+                "mc_probability": r["mc_probability"],
+                "mc_agrees": r["mc_agrees"],
+            }
+            for r in rows
+        ],
+        "checks": checks,
+    }
+
+
 def bench_environment(workers: int | None = None) -> dict:
     """Reproducibility block of every bench report.
 
@@ -920,7 +1035,9 @@ def bench_environment(workers: int | None = None) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("mc", "sim", "ops", "service", "faults", "obs", "all"),
+    parser.add_argument("--suite",
+                        choices=("mc", "sim", "ops", "service", "faults", "obs",
+                                 "yield_hs", "all"),
                         default="all",
                         help="which bench suite(s) to run (default: all)")
     parser.add_argument("--samples", type=int, default=1000,
@@ -968,6 +1085,15 @@ def main() -> int:
     parser.add_argument("--obs-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
                         help="where to write the observability JSON report")
+    parser.add_argument("--yield-proposals", type=int, default=4000,
+                        help="IS proposal draws per corner/level in the "
+                             "high-sigma bench (default 4000)")
+    parser.add_argument("--yield-mc-samples", type=int, default=20000,
+                        help="brute-force cross-check draws in the "
+                             "high-sigma bench (default 20000)")
+    parser.add_argument("--yield-output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_yield.json",
+                        help="where to write the high-sigma yield JSON report")
     args = parser.parse_args()
 
     exit_code = 0
@@ -1146,6 +1272,48 @@ def main() -> int:
             # Gated at the full DOE only: on a tiny smoke DOE the wall is
             # milliseconds and scheduler noise alone can exceed 2%.
             print("WARNING: tracing overhead is above the 2% acceptance ceiling")
+            exit_code = 1
+
+    if args.suite in ("yield_hs", "all"):
+        started = time.time()
+        report = {
+            "bench": "high_sigma_yield",
+            "description": (
+                "High-sigma yield benches: importance-sampling tail "
+                "estimates vs brute-force Monte-Carlo at the checkable "
+                "levels, with ESS and call-budget gates"
+            ),
+            "timestamp_unix": int(started),
+            "environment": bench_environment(),
+        }
+        report.update(
+            run_yield_hs_bench(
+                proposals=args.yield_proposals,
+                mc_samples=args.yield_mc_samples,
+            )
+        )
+        report["harness_wall_s"] = round(time.time() - started, 3)
+
+        args.yield_output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.yield_output}")
+        checks = report["checks"]
+        print(
+            f"high-sigma sweep: {report['corners']} corners, "
+            f"{report['total_simulator_calls']} simulator calls, "
+            f"min ESS {checks['ess_min']:.0f} "
+            f"({checks['mc_cross_checks']} MC cross-checks)"
+        )
+        if not checks["six_sigma_finite_ci"]:
+            print("WARNING: a 6-sigma estimate lacks a finite two-sided CI")
+            exit_code = 1
+        if not checks["mc_agreement"]:
+            print("WARNING: a 3-sigma IS estimate disagrees with brute-force MC")
+            exit_code = 1
+        if not checks["ess_above_floor"]:
+            print("WARNING: effective sample size collapsed below the floor")
+            exit_code = 1
+        if not checks["within_call_budget"]:
+            print("WARNING: the sweep exceeded the simulator-call budget")
             exit_code = 1
 
     return exit_code

@@ -1,0 +1,74 @@
+"""Beyond the paper: high-sigma yield via importance sampling.
+
+Brute-force Monte-Carlo cannot see a 6-sigma failure: at a fail
+probability of ~1e-9 you would need ~1e10 samples for a single hit.
+The high-sigma engine (``repro.highsigma``) gets there with ~1e4
+*weighted* samples instead:
+
+1. **Dominant shift** — an HL-RF search on a quadratic surrogate of the
+   tdp metric finds the most probable failure point in the whitened
+   parameter space (the classic FORM reliability index beta).
+2. **Defensive mixture proposal** — samples are drawn half from the
+   nominal model and half from a variance-inflated shifted model, so
+   the failure region is actually visited while the importance weights
+   stay bounded.
+3. **Self-normalised estimator** — the exact likelihood ratio reweights
+   every draw back to the nominal model, giving the fail probability
+   with a delta-method confidence interval and an effective sample
+   size (ESS) diagnostic.
+
+At 3 sigma the tail is still cheap to brute-force, so the engine
+cross-checks itself against plain Monte-Carlo — the two confidence
+intervals must overlap.
+
+Run with::
+
+    python examples/high_sigma_yield.py
+"""
+
+from __future__ import annotations
+
+from repro.api import run
+from repro.core.spec import ArraySpec, ExperimentSpec, HighSigmaSpec, TechnologySpec
+
+
+def main() -> None:
+    spec = ExperimentSpec(
+        kind="yield_hs",
+        technology=TechnologySpec(overlay_three_sigma_nm=8.0),
+        array=ArraySpec(sizes=(64,), options=("LELELE", "SADP", "EUV")),
+        high_sigma=HighSigmaSpec(
+            operation="read",
+            model="analytical",       # "surface" / "circuit" use real solves
+            sigma_levels=(3.0, 6.0),  # 3-sigma has a Monte-Carlo cross-check
+            proposals=4000,
+            pilot_samples=512,
+            mc_samples=20000,
+        ),
+    )
+
+    result = run(spec)
+    print(result.to_text())
+    print()
+
+    meta = result.meta["high_sigma"]
+    print(
+        f"Total real simulator calls: {meta['total_simulator_calls']} "
+        f"(of which {meta['total_promoted']} were surrogate promotions) "
+        f"for {meta['total_proposals']} weighted proposals."
+    )
+
+    for record in result.records:
+        if record.get("sigma_level") == 6.0:
+            print(
+                f"{record['option']} @ {record['overlay_three_sigma_nm']} nm OL: "
+                f"P(fail) = {record['fail_probability']:.3e} "
+                f"[{record['ci_low']:.2e}, {record['ci_high']:.2e}] "
+                f"(sigma-equivalent {record['sigma_equivalent']:.2f}, "
+                f"ESS {record['ess']:.0f})"
+            )
+            break
+
+
+if __name__ == "__main__":
+    main()

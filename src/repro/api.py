@@ -424,12 +424,37 @@ def _run_yield(spec: ExperimentSpec, workers: int) -> ResultSet:
     )
 
 
+def _run_yield_hs(spec: ExperimentSpec, workers: int) -> ResultSet:
+    from .highsigma import HighSigmaYieldStudy
+
+    study = HighSigmaYieldStudy.from_spec(spec)
+    rows = study.rows()
+    meta = {
+        "high_sigma": {
+            "operation": study.operation_name,
+            "model": study.model,
+            "fail_direction": study.fail_direction,
+            "sigma_levels": list(study.sigma_levels),
+            "total_simulator_calls": study.total_simulator_calls,
+            "total_promoted": sum(row.n_promoted for row in rows),
+            "total_proposals": sum(row.n_proposals for row in rows),
+        }
+    }
+    return ResultSet(
+        spec=spec,
+        records=[row.to_record() for row in rows],
+        meta=meta,
+        payload=rows,
+    )
+
+
 _RUNNERS: Dict[str, Callable[[ExperimentSpec, int], ResultSet]] = {
     "campaign": _run_campaign,
     "worst_case": _run_worst_case,
     "operations": _run_operations,
     "monte_carlo": _run_monte_carlo,
     "yield": _run_yield,
+    "yield_hs": _run_yield_hs,
 }
 
 assert set(_RUNNERS) == set(EXPERIMENT_KINDS)

@@ -54,9 +54,11 @@ from .core.operations import OPERATION_NAMES, OperationError
 from .core.failures import FAILURE_POLICIES
 from .core.spec import (
     EXPERIMENT_KINDS,
+    HIGH_SIGMA_MODELS,
     ArraySpec,
     ExecutionSpec,
     ExperimentSpec,
+    HighSigmaSpec,
     OperationSpec,
     ScenarioSpec,
     SpecError,
@@ -66,6 +68,7 @@ from .core.spec import (
 from .core.study import MultiPatterningSRAMStudy, StudyError
 from .core.worst_case import WorstCaseStudyError
 from .core.yield_analysis import YieldAnalysisError
+from .highsigma import HighSigmaError
 from .reporting.figures import figure2_ascii, figure3_csv, figure5_ascii
 from .service.client import ServiceError
 from .reporting.tables import (
@@ -105,6 +108,7 @@ CLI_ERRORS = (
     DOEError,
     NodeError,
     ServiceError,
+    HighSigmaError,
 )
 
 #: Default array sizes when ``--sizes`` is not given (the paper's DOE).
@@ -210,6 +214,68 @@ def _campaign_axis_options() -> argparse.ArgumentParser:
     return axes
 
 
+def _high_sigma_options() -> argparse.ArgumentParser:
+    """The ``yield-hs`` options (shared with ``spec dump --kind yield_hs``)."""
+    hs = argparse.ArgumentParser(add_help=False)
+    hs.add_argument(
+        "--hs-operation",
+        choices=OPERATION_NAMES,
+        default="read",
+        help="operation whose tail is estimated (default: read)",
+    )
+    hs.add_argument(
+        "--hs-model",
+        choices=HIGH_SIGMA_MODELS,
+        default="analytical",
+        help="metric model: analytical tdp formula, calibrated response "
+        "surface, or real circuit solves (default: analytical)",
+    )
+    hs.add_argument(
+        "--sigma-levels",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="SIGMA",
+        help="tail levels to estimate in sigmas (default: 3 6)",
+    )
+    hs.add_argument(
+        "--threshold-percent",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="explicit failure threshold in percent (default: derive from sigma levels)",
+    )
+    hs.add_argument(
+        "--proposals",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="importance-sampling proposal draws per corner and level (default: 4000)",
+    )
+    hs.add_argument(
+        "--pilot-samples",
+        type=int,
+        default=512,
+        metavar="N",
+        help="pilot draws used to fit the target model per corner (default: 512)",
+    )
+    hs.add_argument(
+        "--mc-samples",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="brute-force Monte-Carlo draws for the low-sigma cross-check (default: 20000)",
+    )
+    hs.add_argument(
+        "--max-calls",
+        type=int,
+        default=100000,
+        metavar="N",
+        help="hard budget of real simulator calls per corner (default: 100000)",
+    )
+    return hs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common = _common_options()
     axes = _campaign_axis_options()
+    hs = _high_sigma_options()
     subparsers = parser.add_subparsers(dest="command", required=True)
     descriptions = {
         "table1": "worst-case bit-line RC variability per patterning option",
@@ -335,7 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     dump_parser = spec_sub.add_parser(
         "dump",
         help="print the spec JSON equivalent to a classic sub-command invocation",
-        parents=[common, axes],
+        parents=[common, axes, hs],
     )
     dump_parser.add_argument(
         "--kind",
@@ -521,6 +588,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=100.0,
         help="target violation rate in parts per million (default: 100)",
     )
+
+    yield_hs_parser = subparsers.add_parser(
+        "yield-hs",
+        help="high-sigma tail yield via importance sampling and surrogate surfaces",
+        parents=[common, hs],
+    )
+    yield_hs_parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="report format (default: text)",
+    )
     return parser
 
 
@@ -572,6 +651,19 @@ def _spec_from_args(
             mc_sigma=bool(getattr(args, "mc_sigma", False)),
             budget_percent=float(getattr(args, "budget", 10.0)),
             target_ppm=float(getattr(args, "ppm", 100.0)),
+        ),
+        high_sigma=HighSigmaSpec(
+            operation=getattr(args, "hs_operation", None) or "read",
+            model=getattr(args, "hs_model", None) or "analytical",
+            sigma_levels=tuple(
+                float(level)
+                for level in (getattr(args, "sigma_levels", None) or (3.0, 6.0))
+            ),
+            threshold_percent=getattr(args, "threshold_percent", None),
+            proposals=int(getattr(args, "proposals", None) or 4000),
+            pilot_samples=int(getattr(args, "pilot_samples", None) or 512),
+            mc_samples=int(getattr(args, "mc_samples", None) or 20000),
+            max_calls=int(getattr(args, "max_calls", None) or 100000),
         ),
         execution=ExecutionSpec(
             backend="process" if workers > 1 else "serial",
@@ -822,6 +914,8 @@ def _dispatch(args: argparse.Namespace) -> str:
         )
     if args.command == "yield":
         return _run_spec_command("yield", args)
+    if args.command == "yield-hs":
+        return _run_spec_command("yield_hs", args, fmt=args.format)
     if args.command == "table1":
         return _run_spec_command("worst_case", args)
     if args.command == "table4":

@@ -236,6 +236,28 @@ class Operation(abc.ABC):
         this fast path (no printing, no extraction).
         """
 
+    def prepare_value_with_variation(
+        self,
+        sims: OperationSimulators,
+        n_cells: int,
+        rvar: float,
+        cvar: float,
+        rail_rvar: float = 1.0,
+    ) -> PreparedWork:
+        """Ratio-scaled primary value as prepared work.
+
+        The high-sigma engine stacks many of these into one batched solve
+        when it promotes surrogate-uncertain samples.  The default defers
+        to the scalar :meth:`value_with_variation` (zero lanes), so custom
+        operations stay correct without overriding it.
+        """
+        return PreparedWork(
+            lanes=[],
+            finish=lambda _results: self.value_with_variation(
+                sims, n_cells, rvar, cvar, rail_rvar=rail_rvar
+            ),
+        )
+
 
 class ReadOperation(Operation):
     """The paper's read-time measurement, wrapped as an operation."""
@@ -289,6 +311,11 @@ class ReadOperation(Operation):
         return sims.read.measure_with_variation(
             n_cells, rvar, cvar, vss_rvar=rail_rvar
         ).td_s
+
+    def prepare_value_with_variation(self, sims, n_cells, rvar, cvar, rail_rvar=1.0):
+        return sims.read.prepare_with_variation(
+            n_cells, rvar, cvar, vss_rvar=rail_rvar
+        ).mapped(lambda measurement: measurement.td_s)
 
 
 class WriteOperation(Operation):
@@ -344,6 +371,11 @@ class WriteOperation(Operation):
             n_cells, rvar, cvar, vss_rvar=rail_rvar
         ).write_delay_s
 
+    def prepare_value_with_variation(self, sims, n_cells, rvar, cvar, rail_rvar=1.0):
+        return sims.write.prepare_with_variation(
+            n_cells, rvar, cvar, vss_rvar=rail_rvar
+        ).mapped(lambda measurement: measurement.write_delay_s)
+
 
 class _SnmOperation(Operation):
     """Shared implementation of the two butterfly-curve margins."""
@@ -392,6 +424,11 @@ class _SnmOperation(Operation):
         return sims.margins.measure_with_variation(
             n_cells, rvar, cvar, vss_rvar=rail_rvar, mode=self.mode
         ).snm_v
+
+    def prepare_value_with_variation(self, sims, n_cells, rvar, cvar, rail_rvar=1.0):
+        return sims.margins.prepare_with_variation(
+            n_cells, rvar, cvar, vss_rvar=rail_rvar, mode=self.mode
+        ).mapped(lambda measurement: measurement.snm_v)
 
 
 class HoldSnmOperation(_SnmOperation):

@@ -50,7 +50,19 @@ from .operations import OPERATION_NAMES, ensure_operation
 SCHEMA_VERSION = 1
 
 #: Experiment kinds :func:`repro.api.run` can dispatch.
-EXPERIMENT_KINDS = ("campaign", "worst_case", "operations", "monte_carlo", "yield")
+EXPERIMENT_KINDS = (
+    "campaign",
+    "worst_case",
+    "operations",
+    "monte_carlo",
+    "yield",
+    "yield_hs",
+)
+
+#: Metric models a ``yield_hs`` experiment may evaluate failures on:
+#: the paper's analytical tdp formula (read only), a calibrated
+#: operation response surface, or real batched circuit solves.
+HIGH_SIGMA_MODELS = ("analytical", "surface", "circuit")
 
 #: Executor backends of :class:`ExecutionSpec` (resolved by ``repro.api``).
 EXECUTION_BACKENDS = ("serial", "process", "auto")
@@ -383,6 +395,109 @@ class OperationSpec:
 
 
 @dataclass(frozen=True)
+class HighSigmaSpec:
+    """Settings of the ``yield_hs`` high-sigma yield experiment.
+
+    ``sigma_levels`` name the tail depths to estimate (thresholds are
+    ``mean ± level·std`` of the metric's corner distribution unless
+    ``threshold_percent`` pins one absolute threshold); ``proposals`` is
+    the importance-sampling draw count per level; ``max_calls`` caps the
+    real metric evaluations (surrogate fit + promoted solves) per
+    corner; ``mc_samples``/``mc_max_sigma`` steer the brute-force
+    Monte-Carlo cross-check that serves as the parity oracle at low
+    sigma.
+    """
+
+    operation: str = "read"
+    model: str = "analytical"
+    sigma_levels: Tuple[float, ...] = (3.0, 6.0)
+    threshold_percent: Optional[float] = None
+    proposals: int = 4000
+    pilot_samples: int = 512
+    surrogate_initial: int = 32
+    band_sigma: float = 2.0
+    mc_samples: int = 20000
+    mc_max_sigma: float = 3.5
+    max_calls: int = 100000
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        ensure_operation(self.operation, error=SpecError)
+        if self.model not in HIGH_SIGMA_MODELS:
+            raise SpecError(
+                f"high_sigma.model must be one of {HIGH_SIGMA_MODELS}, "
+                f"got {self.model!r}"
+            )
+        if self.model == "analytical" and self.operation != "read":
+            raise SpecError(
+                "high_sigma.model 'analytical' only covers the read "
+                "operation; use 'surface' or 'circuit' for "
+                f"{self.operation!r}"
+            )
+        if not self.sigma_levels:
+            raise SpecError("high_sigma.sigma_levels needs at least one level")
+        if any(level <= 0.0 for level in self.sigma_levels):
+            raise SpecError("high_sigma.sigma_levels must be positive")
+        if len(set(self.sigma_levels)) != len(self.sigma_levels):
+            raise SpecError(
+                f"high_sigma.sigma_levels must be unique, got {self.sigma_levels}"
+            )
+        if self.proposals < 100:
+            raise SpecError("high_sigma.proposals must be at least 100")
+        if self.pilot_samples < 2:
+            raise SpecError("high_sigma.pilot_samples must be at least 2")
+        if self.surrogate_initial < 1:
+            raise SpecError("high_sigma.surrogate_initial must be positive")
+        if not self.band_sigma >= 0.0:
+            raise SpecError("high_sigma.band_sigma must be non-negative")
+        if self.mc_samples < 2:
+            raise SpecError("high_sigma.mc_samples must be at least 2")
+        if not self.mc_max_sigma >= 0.0:
+            raise SpecError("high_sigma.mc_max_sigma must be non-negative")
+        if self.max_calls < 1:
+            raise SpecError("high_sigma.max_calls must be positive")
+        if not 0.0 < self.confidence < 1.0:
+            raise SpecError("high_sigma.confidence must be within (0, 1)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "operation": self.operation,
+            "model": self.model,
+            "sigma_levels": list(self.sigma_levels),
+            "threshold_percent": self.threshold_percent,
+            "proposals": self.proposals,
+            "pilot_samples": self.pilot_samples,
+            "surrogate_initial": self.surrogate_initial,
+            "band_sigma": self.band_sigma,
+            "mc_samples": self.mc_samples,
+            "mc_max_sigma": self.mc_max_sigma,
+            "max_calls": self.max_calls,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HighSigmaSpec":
+        payload = _require_mapping(payload, "high_sigma")
+        _check_unknown(cls, payload)
+        data = dict(payload)
+        if "sigma_levels" in data:
+            data["sigma_levels"] = _float_tuple(
+                data["sigma_levels"], "high_sigma.sigma_levels"
+            )
+        if data.get("threshold_percent") is not None:
+            data["threshold_percent"] = _coerce_float(
+                data["threshold_percent"], "high_sigma.threshold_percent"
+            )
+        for name in ("proposals", "pilot_samples", "surrogate_initial", "mc_samples", "max_calls"):
+            if name in data:
+                data[name] = _coerce_int(data[name], f"high_sigma.{name}")
+        for name in ("band_sigma", "mc_max_sigma", "confidence"):
+            if name in data:
+                data[name] = _coerce_float(data[name], f"high_sigma.{name}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ExecutionSpec:
     """How to execute: backend, worker count, seed, store, ladder resolution.
 
@@ -481,6 +596,8 @@ class ExperimentSpec:
                    optional Monte-Carlo σ tables (``mc_sigma``)
     monte_carlo    Monte-Carlo σ of the per-operation impact (Table IV)
     yield          spec-compliance / overlay-requirement analysis
+    yield_hs       high-sigma yield: surrogate-screened importance
+                   sampling with a brute-force cross-check at low sigma
     =============  =====================================================
     """
 
@@ -490,6 +607,7 @@ class ExperimentSpec:
     array: ArraySpec = field(default_factory=ArraySpec)
     scenarios: Tuple[ScenarioSpec, ...] = field(default_factory=lambda: (ScenarioSpec(),))
     operation: OperationSpec = field(default_factory=OperationSpec)
+    high_sigma: HighSigmaSpec = field(default_factory=HighSigmaSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
 
     def __post_init__(self) -> None:
@@ -521,6 +639,7 @@ class ExperimentSpec:
             "array": self.array.to_dict(),
             "scenarios": [scenario.to_dict() for scenario in self.scenarios],
             "operation": self.operation.to_dict(),
+            "high_sigma": self.high_sigma.to_dict(),
             "execution": self.execution.to_dict(),
         }
 
@@ -544,6 +663,8 @@ class ExperimentSpec:
             )
         if "operation" in data:
             data["operation"] = OperationSpec.from_dict(data["operation"])
+        if "high_sigma" in data:
+            data["high_sigma"] = HighSigmaSpec.from_dict(data["high_sigma"])
         if "execution" in data:
             data["execution"] = ExecutionSpec.from_dict(data["execution"])
         return cls(**data)
@@ -568,11 +689,16 @@ class ExperimentSpec:
         experiment; the execution fields in
         :data:`FINGERPRINT_NEUTRAL_EXECUTION_FIELDS` drop out, so the
         same study run serially or on eight workers hits the same cache
-        entry.
+        entry.  The ``high_sigma`` section only participates for
+        ``yield_hs`` experiments — no other kind reads it, so keeping it
+        out preserves every pre-existing fingerprint (and hence every
+        cached result) across the schema's growth.
         """
         payload = self.to_dict()
         for name in FINGERPRINT_NEUTRAL_EXECUTION_FIELDS:
             payload["execution"].pop(name)
+        if self.kind != "yield_hs":
+            payload.pop("high_sigma")
         return payload
 
     def fingerprint(self) -> str:

@@ -51,12 +51,39 @@ class ViolationEstimate:
     empirical_probability: float
     gaussian_probability: float
     n_samples: int
+    sample_max: Optional[float] = None
+
+    @property
+    def method(self) -> str:
+        """How :attr:`probability` was obtained.
+
+        ``"empirical"`` when the raw Monte-Carlo fraction resolves the
+        budget (at least three samples above it in expectation),
+        ``"gaussian_tail"`` when the working estimate falls back to the
+        fitted-normal extrapolation.
+        """
+        resolution = 1.0 / self.n_samples
+        if self.empirical_probability >= 3.0 * resolution:
+            return "empirical"
+        return "gaussian_tail"
+
+    @property
+    def beyond_sampled_range(self) -> bool:
+        """True when the Gaussian tail is queried past the largest sample.
+
+        Out there nothing constrains the fit: the estimate is a pure
+        extrapolation whose error grows with the distance, so consumers
+        should treat the number as indicative only (or switch to the
+        importance-sampling engine in :mod:`repro.highsigma`).
+        """
+        if self.method != "gaussian_tail" or self.sample_max is None:
+            return False
+        return self.budget_percent > self.sample_max
 
     @property
     def probability(self) -> float:
         """The working estimate: empirical when resolvable, Gaussian otherwise."""
-        resolution = 1.0 / self.n_samples
-        if self.empirical_probability >= 3.0 * resolution:
+        if self.method == "empirical":
             return self.empirical_probability
         return self.gaussian_probability
 
@@ -91,6 +118,8 @@ class ComplianceRow:
             "budget_percent": self.budget_percent,
             "violation_probability": self.violation.probability,
             "violation_ppm": self.violation.parts_per_million,
+            "method": self.violation.method,
+            "beyond_sampled_range": self.violation.beyond_sampled_range,
             "empirical_probability": self.violation.empirical_probability,
             "gaussian_probability": self.violation.gaussian_probability,
             "column_yield": self.column_yield,
@@ -146,6 +175,7 @@ def violation_probability(
         empirical_probability=empirical,
         gaussian_probability=gaussian,
         n_samples=record.n_samples,
+        sample_max=float(samples.max()) if samples.size else None,
     )
 
 

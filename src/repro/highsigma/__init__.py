@@ -1,0 +1,59 @@
+"""High-sigma yield estimation: importance sampling over surrogate surfaces.
+
+Fab-relevant failure rates live at 5-6σ, where brute-force Monte-Carlo
+needs ~1e9 samples and the Gaussian-tail extrapolation of
+:mod:`repro.core.yield_analysis` is an act of faith.  This package
+estimates those tail probabilities directly, with three cooperating
+engines:
+
+* :mod:`~repro.highsigma.space` — an analytic parameter space over the
+  :class:`~repro.variability.distributions.Distribution` family, giving
+  exact log-density importance weights and mean-shifted proposals;
+* :mod:`~repro.highsigma.surrogate` + :mod:`~repro.highsigma.shift` — a
+  fitted quadratic response surface (with cross terms and an
+  uncertainty band) used to pre-screen proposal draws, and the HL-RF
+  norm-minimising search for the dominant shift vector (the most
+  probable failure point) on it;
+* :mod:`~repro.highsigma.estimator` — self-normalised
+  importance-sampling estimates with effective-sample-size diagnostics
+  and delta-method / Wilson confidence intervals.
+
+:mod:`~repro.highsigma.study` wires them into the DOE:
+:class:`~repro.highsigma.study.HighSigmaYieldStudy` runs one estimate
+per (option × overlay) corner and sigma level, promoting
+surrogate-uncertain proposals to real solves.  The subsystem's oracle is
+parity at 3σ, where brute-force Monte-Carlo is still feasible: the IS
+and MC confidence intervals must overlap (pinned by
+``tests/test_highsigma.py`` and the ``--suite yield_hs`` bench).
+"""
+
+from .estimator import (
+    TailEstimate,
+    binomial_estimate,
+    intervals_overlap,
+    self_normalized_is_estimate,
+)
+from .shift import ShiftResult, find_dominant_shift
+from .space import ParameterSpace
+from .study import (
+    HighSigmaCornerRow,
+    HighSigmaEngine,
+    HighSigmaError,
+    HighSigmaYieldStudy,
+)
+from .surrogate import QuadraticSurrogate
+
+__all__ = [
+    "HighSigmaCornerRow",
+    "HighSigmaEngine",
+    "HighSigmaError",
+    "HighSigmaYieldStudy",
+    "ParameterSpace",
+    "QuadraticSurrogate",
+    "ShiftResult",
+    "TailEstimate",
+    "binomial_estimate",
+    "find_dominant_shift",
+    "intervals_overlap",
+    "self_normalized_is_estimate",
+]

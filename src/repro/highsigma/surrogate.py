@@ -1,0 +1,175 @@
+"""Quadratic response-surface surrogate with an uncertainty band.
+
+This generalises :class:`repro.core.operations.OperationResponseSurface`
+(first-order, three fixed axes) into a fitted quadratic with cross
+terms over an arbitrary whitened parameter space: features are
+``[1, u_i, u_i * u_j (i <= j)]`` and the coefficients come from a
+least-squares fit of observed (u, value) pairs.
+
+The surrogate is deliberately honest about what it does not know: the
+fit's residual standard deviation defines an *uncertainty band*.  The
+high-sigma engine only trusts a surrogate prediction when the predicted
+margin clears the band; draws inside the band are promoted to real
+batched circuit solves and folded back into the fit (active
+refinement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class SurrogateError(RuntimeError):
+    """Raised when a surrogate is used before it can be fitted."""
+
+
+def quadratic_features(U: np.ndarray) -> np.ndarray:
+    """Feature matrix ``[1, u_i, u_i*u_j (i<=j)]`` for points (n, d)."""
+    U = np.atleast_2d(np.asarray(U, dtype=float))
+    n, d = U.shape
+    cols = [np.ones(n)]
+    for i in range(d):
+        cols.append(U[:, i])
+    for i in range(d):
+        for j in range(i, d):
+            cols.append(U[:, i] * U[:, j])
+    return np.column_stack(cols)
+
+
+def n_quadratic_features(dimension: int) -> int:
+    return 1 + dimension + dimension * (dimension + 1) // 2
+
+
+class QuadraticSurrogate:
+    """A refittable quadratic surface over whitened coordinates."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise SurrogateError("surrogate dimension must be positive")
+        self.dimension = int(dimension)
+        self._points: List[np.ndarray] = []
+        self._values: List[float] = []
+        self._coef: Optional[np.ndarray] = None
+        self._residual_std = 0.0
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._values)
+
+    @property
+    def min_observations(self) -> int:
+        """Observations needed before a fit is attempted (features + 2)."""
+        return n_quadratic_features(self.dimension) + 2
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coef is not None
+
+    @property
+    def residual_std(self) -> float:
+        """Std of fit residuals — the half-width unit of the trust band."""
+        return self._residual_std
+
+    # -- fitting ---------------------------------------------------------
+
+    def observe(self, U: np.ndarray, values: np.ndarray) -> None:
+        """Record evaluated points; call :meth:`refit` to absorb them."""
+        U = np.atleast_2d(np.asarray(U, dtype=float))
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        if U.shape[0] != values.shape[0]:
+            raise SurrogateError("points and values must pair one-to-one")
+        if U.shape[1] != self.dimension:
+            raise SurrogateError(
+                f"expected {self.dimension}-dimensional points"
+            )
+        keep = np.isfinite(values) & np.all(np.isfinite(U), axis=1)
+        for row, val in zip(U[keep], values[keep]):
+            self._points.append(row.copy())
+            self._values.append(float(val))
+
+    def refit(self) -> bool:
+        """Least-squares refit over everything observed so far.
+
+        Returns True when a fit was produced.  Underdetermined data
+        (fewer observations than features + 2) leaves any previous fit
+        in place.
+        """
+        if self.n_observations < self.min_observations:
+            return False
+        U = np.vstack(self._points)
+        y = np.asarray(self._values)
+        F = quadratic_features(U)
+        coef, _, _, _ = np.linalg.lstsq(F, y, rcond=None)
+        residuals = y - F @ coef
+        dof = max(len(y) - F.shape[1], 1)
+        self._coef = coef
+        self._residual_std = float(np.sqrt(np.sum(residuals**2) / dof))
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def predict(self, U: np.ndarray) -> np.ndarray:
+        """Surrogate values at whitened points (n, d) → (n,)."""
+        if self._coef is None:
+            raise SurrogateError("surrogate is not fitted yet")
+        return quadratic_features(U) @ self._coef
+
+    def predict_one(self, u: np.ndarray) -> float:
+        return float(self.predict(np.atleast_2d(u))[0])
+
+    def gradient(self, u: np.ndarray) -> np.ndarray:
+        """Analytic gradient of the fitted quadratic at one point."""
+        if self._coef is None:
+            raise SurrogateError("surrogate is not fitted yet")
+        u = np.asarray(u, dtype=float).reshape(self.dimension)
+        d = self.dimension
+        coef = self._coef
+        grad = coef[1 : 1 + d].copy()
+        # Cross/square coefficients are laid out (i, j) with i <= j in
+        # the same order quadratic_features emits them.
+        k = 1 + d
+        for i in range(d):
+            for j in range(i, d):
+                c = coef[k]
+                k += 1
+                if i == j:
+                    grad[i] += 2.0 * c * u[i]
+                else:
+                    grad[i] += c * u[j]
+                    grad[j] += c * u[i]
+        return grad
+
+
+def initial_design(
+    dimension: int, n_points: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Whitened seed points for the first surrogate fit.
+
+    Origin, then ± axis excursions at 1σ / 3σ / 6σ (the sigma range the
+    engine will be queried over), then scaled random Gaussian fill —
+    enough geometry to pin curvature along every axis before any
+    proposal is screened.
+    """
+    points = [np.zeros(dimension)]
+    for radius in (1.0, 3.0, 6.0):
+        for axis in range(dimension):
+            e = np.zeros(dimension)
+            e[axis] = radius
+            points.append(e.copy())
+            points.append(-e)
+    while len(points) < n_points:
+        points.append(rng.standard_normal(dimension) * 2.5)
+    return np.vstack(points[: max(n_points, len(points))])
+
+
+__all__ = [
+    "QuadraticSurrogate",
+    "SurrogateError",
+    "initial_design",
+    "n_quadratic_features",
+    "quadratic_features",
+]

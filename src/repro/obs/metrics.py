@@ -29,6 +29,7 @@ __all__ = [
     "absorb_cache_stats",
     "absorb_queue_stats",
     "observe_item_wall",
+    "record_high_sigma",
     "record_item_failure",
     "record_solver_delta",
     "registry",
@@ -95,6 +96,9 @@ _HELP: Dict[str, str] = {
     "repro_journal_outstanding": "Journaled jobs not yet resolved.",
     "repro_journal_skipped_lines": "Torn/corrupt journal lines skipped on scan.",
     "repro_http_requests_total": "HTTP requests served, by method and status.",
+    "repro_highsigma_proposals_total": "High-sigma IS proposal draws screened on the surrogate.",
+    "repro_highsigma_promoted_solves_total": "Surrogate-uncertain proposals promoted to real solves.",
+    "repro_highsigma_simulator_calls_total": "Real metric evaluations spent by the high-sigma engine.",
 }
 
 _CACHE_COUNTER_KEYS = (
@@ -326,6 +330,38 @@ def record_solver_delta(
     for key, value in delta.items():
         if value:
             reg.inc(f"repro_solver_{key}_total", float(value))
+
+
+def record_high_sigma(
+    operation: str,
+    proposals: int,
+    promoted: int,
+    simulator_calls: int,
+    reg: Optional[MetricsRegistry] = None,
+) -> None:
+    """Count one high-sigma estimate's proposal/promotion/call spend.
+
+    The proposals-vs-promoted ratio is the engine's efficiency headline:
+    how many draws the surrogate screened for free versus how many
+    needed a real solve.
+    """
+    reg = reg if reg is not None else registry()
+    if proposals:
+        reg.inc(
+            "repro_highsigma_proposals_total", float(proposals), operation=operation
+        )
+    if promoted:
+        reg.inc(
+            "repro_highsigma_promoted_solves_total",
+            float(promoted),
+            operation=operation,
+        )
+    if simulator_calls:
+        reg.inc(
+            "repro_highsigma_simulator_calls_total",
+            float(simulator_calls),
+            operation=operation,
+        )
 
 
 def absorb_cache_stats(

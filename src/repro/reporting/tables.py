@@ -285,14 +285,22 @@ def format_compliance(rows, requirement) -> str:
             row.label,
             f"{row.violation.probability:.3e}",
             f"{row.violation.parts_per_million:.1f}",
+            row.violation.method
+            + (" [extrapolated]" if row.violation.beyond_sampled_range else ""),
             f"{row.column_yield:.6f}",
             f"{row.array_yield:.6f}",
         ]
         for row in rows
     ]
     table = format_csv(
-        ["option", "violation_probability", "ppm", "column_yield", "array_yield"], body
+        ["option", "violation_probability", "ppm", "method", "column_yield", "array_yield"],
+        body,
     )
+    if any(row.violation.beyond_sampled_range for row in rows):
+        table += (
+            "\n[extrapolated]: the Gaussian tail was queried beyond the largest "
+            "sampled tdp — treat as indicative only."
+        )
     if requirement.achievable:
         closing = (
             f"{requirement.option_name} meets the {requirement.target_ppm:g} ppm "
@@ -309,6 +317,66 @@ def format_compliance(rows, requirement) -> str:
         + table
         + "\n"
         + closing
+    )
+
+
+def format_high_sigma(rows) -> str:
+    """High-sigma yield: one line per corner and sigma level.
+
+    ``rows`` are :class:`repro.highsigma.HighSigmaCornerRow` objects.
+    Each line shows the importance-sampling tail estimate (fail
+    probability, ppm, the equivalent Gaussian sigma), its effective
+    sample size and confidence interval, and — at the levels cheap
+    enough to brute-force — the Monte-Carlo cross-check verdict.
+    """
+    if not rows:
+        raise ReportingError("no high-sigma rows to format")
+    body = []
+    for row in rows:
+        if row.mc_probability is None:
+            check = "-"
+        else:
+            verdict = "agree" if row.mc_agrees else "DISAGREE"
+            check = f"{row.mc_probability:.3e} ({verdict})"
+        overlay = row.overlay_three_sigma_nm
+        body.append(
+            [
+                row.array_label,
+                row.option_name,
+                "-" if overlay is None else f"{overlay:g}",
+                f"{row.sigma_level:g}",
+                f"{row.threshold:+.3f}",
+                f"{row.fail_probability:.3e}",
+                f"{row.ppm:.4g}",
+                f"{row.sigma_equivalent:.2f}",
+                f"{row.ess:.0f}",
+                f"{row.ci_low:.3e}",
+                f"{row.ci_high:.3e}",
+                check,
+            ]
+        )
+    first = rows[0]
+    title = (
+        f"High-sigma yield ({first.operation}, {first.model} model, "
+        f"{first.confidence:.0%} confidence)"
+    )
+    return render_table(
+        [
+            "Array",
+            "Option",
+            "Overlay [nm]",
+            "Level [sigma]",
+            "Threshold [%]",
+            "Fail prob",
+            "ppm",
+            "Sigma-equiv",
+            "ESS",
+            "CI low",
+            "CI high",
+            "MC check",
+        ],
+        body,
+        title=title,
     )
 
 
@@ -551,6 +619,8 @@ def _format_typed_payload(kind: str, payload) -> str:
     if kind == "yield":
         rows, requirement = payload
         return format_compliance(rows, requirement)
+    if kind == "yield_hs":
+        return format_high_sigma(payload)
     raise ReportingError(f"no text renderer for experiment kind {kind!r}")
 
 

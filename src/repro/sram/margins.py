@@ -443,14 +443,32 @@ class SRAMMarginAnalyzer:
         the VSS and VDD rails distort together — they are drawn on the same
         metal1 tracks as the bit lines).
         """
+        scaled = self._scaled_column(n_cells, rvar, cvar, vss_rvar)
+        return self.measure(n_cells, scaled, mode=mode, label=label)
+
+    def _scaled_column(
+        self, n_cells: int, rvar: float, cvar: float, vss_rvar: float
+    ) -> ColumnParasitics:
         column = self.column_parasitics(n_cells)
-        scaled = ColumnParasitics(
+        return ColumnParasitics(
             bitline=column.bitline.scaled(rvar, cvar),
             bitline_bar=column.bitline_bar.scaled(rvar, cvar),
             vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
             vdd_rail_resistance_ohm=column.vdd_rail_resistance_ohm * vss_rvar,
         )
-        return self.measure(n_cells, scaled, mode=mode, label=label)
+
+    def prepare_with_variation(
+        self,
+        n_cells: int,
+        rvar: float = 1.0,
+        cvar: float = 1.0,
+        vss_rvar: float = 1.0,
+        mode: str = "hold",
+        label: str = "scaled",
+    ) -> PreparedWork:
+        """Ratio-scaled SNM as prepared work (batched promotion path)."""
+        scaled = self._scaled_column(n_cells, rvar, cvar, vss_rvar)
+        return self.prepare_measure(n_cells, scaled, mode=mode, label=label)
 
     def degradation_percent(
         self,

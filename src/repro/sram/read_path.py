@@ -500,6 +500,17 @@ class ReadPathSimulator:
             stored_value=stored_value,
         )
 
+    def _scaled_column(
+        self, n_cells: int, rvar: float, cvar: float, vss_rvar: float
+    ) -> ColumnParasitics:
+        column = self.column_parasitics(n_cells)
+        return ColumnParasitics(
+            bitline=column.bitline.scaled(rvar, cvar),
+            bitline_bar=column.bitline_bar.scaled(rvar, cvar),
+            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
+            vdd_rail_resistance_ohm=column.vdd_rail_resistance_ohm * vss_rvar,
+        )
+
     def measure_with_variation(
         self,
         n_cells: int,
@@ -515,14 +526,25 @@ class ReadPathSimulator:
         bit-line R and C are multiplied by ``rvar``/``cvar`` (and the VSS
         rail by ``vss_rvar``).
         """
-        column = self.column_parasitics(n_cells)
-        scaled = ColumnParasitics(
-            bitline=column.bitline.scaled(rvar, cvar),
-            bitline_bar=column.bitline_bar.scaled(rvar, cvar),
-            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
-            vdd_rail_resistance_ohm=column.vdd_rail_resistance_ohm * vss_rvar,
-        )
+        scaled = self._scaled_column(n_cells, rvar, cvar, vss_rvar)
         return self.simulate_column(n_cells, scaled, label=label)
+
+    def prepare_with_variation(
+        self,
+        n_cells: int,
+        rvar: float,
+        cvar: float,
+        vss_rvar: float = 1.0,
+        label: str = "scaled",
+    ) -> PreparedWork:
+        """Ratio-scaled read time as prepared work.
+
+        The high-sigma engine promotes surrogate-uncertain Monte-Carlo
+        draws through this: many scaled columns become lanes in one
+        batched transient solve instead of a per-sample loop.
+        """
+        scaled = self._scaled_column(n_cells, rvar, cvar, vss_rvar)
+        return self.prepare_simulate_column(n_cells, scaled, label=label)
 
     def penalty_percent(
         self,

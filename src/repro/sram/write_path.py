@@ -651,6 +651,17 @@ class WritePathSimulator:
             label=label if label is not None else option.name,
         )
 
+    def _scaled_column(
+        self, n_cells: int, rvar: float, cvar: float, vss_rvar: float
+    ) -> ColumnParasitics:
+        column = self.column_parasitics(n_cells)
+        return ColumnParasitics(
+            bitline=column.bitline.scaled(rvar, cvar),
+            bitline_bar=column.bitline_bar.scaled(rvar, cvar),
+            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
+            vdd_rail_resistance_ohm=column.vdd_rail_resistance_ohm * vss_rvar,
+        )
+
     def measure_with_variation(
         self,
         n_cells: int,
@@ -661,14 +672,23 @@ class WritePathSimulator:
         write_value: int = 0,
     ) -> WriteMeasurement:
         """Write delay with the nominal column scaled by explicit RC ratios."""
-        column = self.column_parasitics(n_cells)
-        scaled = ColumnParasitics(
-            bitline=column.bitline.scaled(rvar, cvar),
-            bitline_bar=column.bitline_bar.scaled(rvar, cvar),
-            vss_rail_resistance_ohm=column.vss_rail_resistance_ohm * vss_rvar,
-            vdd_rail_resistance_ohm=column.vdd_rail_resistance_ohm * vss_rvar,
-        )
+        scaled = self._scaled_column(n_cells, rvar, cvar, vss_rvar)
         return self.simulate_column(n_cells, scaled, label=label, write_value=write_value)
+
+    def prepare_with_variation(
+        self,
+        n_cells: int,
+        rvar: float,
+        cvar: float,
+        vss_rvar: float = 1.0,
+        label: str = "scaled",
+        write_value: int = 0,
+    ) -> PreparedWork:
+        """Ratio-scaled write delay as prepared work (batched promotion path)."""
+        scaled = self._scaled_column(n_cells, rvar, cvar, vss_rvar)
+        return self.prepare_simulate_column(
+            n_cells, scaled, label=label, write_value=write_value
+        )
 
     def penalty_percent(
         self,

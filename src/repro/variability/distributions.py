@@ -36,6 +36,21 @@ class Distribution(abc.ABC):
     def std(self) -> float:
         """Analytical standard deviation."""
 
+    @abc.abstractmethod
+    def logpdf(self, x):
+        """Log density (or log mass) at ``x``; scalar in, scalar out,
+        array in, array out.  Exact log densities are what make
+        importance-sampling weights analytic: the high-sigma engine
+        reweights proposal draws by ``exp(logpdf_target - logpdf_proposal)``
+        without any numerical normalisation."""
+
+    @abc.abstractmethod
+    def shifted(self, mu: float) -> "Distribution":
+        """The same-family distribution re-centred at ``mu``.
+
+        The mean-shift importance sampler builds its proposal components
+        with this: same spread and shape, new location."""
+
 
 @dataclass(frozen=True)
 class NormalDistribution(Distribution):
@@ -65,6 +80,16 @@ class NormalDistribution(Distribution):
 
     def std(self) -> float:
         return self.sigma
+
+    def logpdf(self, x):
+        if self.sigma == 0.0:
+            raise DistributionError("a degenerate normal has no density")
+        z = (np.asarray(x, dtype=float) - self.mu) / self.sigma
+        out = -0.5 * z * z - math.log(self.sigma) - 0.5 * math.log(2.0 * math.pi)
+        return float(out) if np.isscalar(x) else out
+
+    def shifted(self, mu: float) -> "NormalDistribution":
+        return NormalDistribution(mu=float(mu), sigma=self.sigma)
 
 
 @dataclass(frozen=True)
@@ -110,6 +135,30 @@ class TruncatedNormalDistribution(Distribution):
         variance_factor = 1.0 - 2.0 * a * phi / cdf_width
         return self.sigma * math.sqrt(max(variance_factor, 0.0))
 
+    def logpdf(self, x):
+        if self.sigma == 0.0:
+            raise DistributionError("a degenerate truncated normal has no density")
+        arr = np.asarray(x, dtype=float)
+        z = (arr - self.mu) / self.sigma
+        # The parent normal's log density, renormalised by the truncated
+        # mass erf(a/sqrt(2)); outside the ±a·sigma support the density is
+        # exactly zero (log → -inf), which is what makes IS weights of
+        # out-of-support proposal draws vanish instead of misbehaving.
+        log_mass = math.log(math.erf(self.n_sigma / math.sqrt(2.0)))
+        body = (
+            -0.5 * z * z
+            - math.log(self.sigma)
+            - 0.5 * math.log(2.0 * math.pi)
+            - log_mass
+        )
+        out = np.where(np.abs(z) <= self.n_sigma, body, -np.inf)
+        return float(out) if np.isscalar(x) else out
+
+    def shifted(self, mu: float) -> "TruncatedNormalDistribution":
+        return TruncatedNormalDistribution(
+            mu=float(mu), sigma=self.sigma, n_sigma=self.n_sigma
+        )
+
 
 @dataclass(frozen=True)
 class CornerDistribution(Distribution):
@@ -136,3 +185,15 @@ class CornerDistribution(Distribution):
 
     def std(self) -> float:
         return self.excursion
+
+    def logpdf(self, x):
+        # Discrete two-point law: log *mass*, log(1/2) on each corner.
+        # Matching is tolerant to float round-off so standardise →
+        # unstandardise round trips stay on-support.
+        arr = np.asarray(x, dtype=float)
+        on_corner = np.isclose(np.abs(arr - self.mu), self.excursion)
+        out = np.where(on_corner, math.log(0.5), -np.inf)
+        return float(out) if np.isscalar(x) else out
+
+    def shifted(self, mu: float) -> "CornerDistribution":
+        return CornerDistribution(excursion=self.excursion, mu=float(mu))

@@ -69,6 +69,66 @@ class TestViolationProbability:
         with pytest.raises(YieldAnalysisError):
             violation_probability(record, budget_percent=0.0)
 
+    def test_method_labels_the_working_estimate(self):
+        resolvable = violation_probability(
+            record_from_samples([0.0] * 50 + [20.0] * 50), budget_percent=10.0
+        )
+        assert resolvable.method == "empirical"
+        tail = violation_probability(
+            record_from_samples([0.0, 0.5, -0.5, 0.2, -0.2] * 10), budget_percent=10.0
+        )
+        assert tail.method == "gaussian_tail"
+
+    def test_beyond_sampled_range_flag(self):
+        samples = [0.0, 0.5, -0.5, 0.2, -0.2] * 10
+        beyond = violation_probability(record_from_samples(samples), budget_percent=10.0)
+        assert beyond.method == "gaussian_tail"
+        assert beyond.sample_max == pytest.approx(0.5)
+        assert beyond.beyond_sampled_range
+
+        # A budget inside the sampled range that the empirical fraction still
+        # cannot resolve (only one sample above it) is interpolation, not
+        # extrapolation.
+        inside = violation_probability(
+            record_from_samples([0.0] * 99 + [5.0]), budget_percent=4.0
+        )
+        assert inside.method == "gaussian_tail"
+        assert not inside.beyond_sampled_range
+
+        # The empirical estimate is never flagged.
+        empirical = violation_probability(
+            record_from_samples([0.0] * 50 + [20.0] * 50), budget_percent=10.0
+        )
+        assert not empirical.beyond_sampled_range
+
+    def test_flag_reaches_record_and_text_table(self):
+        from repro.core.yield_analysis import ComplianceRow
+        from repro.reporting.tables import format_compliance
+
+        estimate = violation_probability(
+            record_from_samples([0.0, 0.5, -0.5, 0.2, -0.2] * 10), budget_percent=10.0
+        )
+        row = ComplianceRow(
+            option_name="LELELE",
+            overlay_three_sigma_nm=8.0,
+            budget_percent=10.0,
+            violation=estimate,
+            column_yield=1.0 - estimate.probability,
+            array_yield=1.0 - estimate.probability,
+        )
+        record = row.to_record()
+        assert record["method"] == "gaussian_tail"
+        assert record["beyond_sampled_range"] is True
+
+        class _Requirement:
+            achievable = False
+            option_name = "LELELE"
+            target_ppm = 100.0
+
+        text = format_compliance([row], _Requirement())
+        assert "gaussian_tail [extrapolated]" in text
+        assert "beyond the largest" in text
+
 
 class TestArrayYield:
     def test_perfect_columns_give_unit_yield(self):

@@ -34,7 +34,7 @@ GOLDEN_SPECS = sorted(GOLDEN_DIR.glob("*.json"))
 class TestGoldenSpecs:
     def test_golden_directory_covers_every_operation(self):
         names = {path.stem for path in GOLDEN_SPECS}
-        assert {"smoke", "read", "write", "hold_snm", "read_snm"} <= names
+        assert {"smoke", "read", "write", "hold_snm", "read_snm", "yield_hs"} <= names
 
     @pytest.mark.parametrize("path", GOLDEN_SPECS, ids=lambda p: p.stem)
     def test_golden_spec_round_trips_losslessly(self, path):

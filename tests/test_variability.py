@@ -62,6 +62,92 @@ class TestDistributions:
             CornerDistribution(excursion=-1.0)
 
 
+class TestLogPdf:
+    def test_normal_closed_form(self):
+        dist = NormalDistribution(mu=2.0, sigma=0.5)
+        x = 2.7
+        z = (x - 2.0) / 0.5
+        expected = -0.5 * z * z - np.log(0.5) - 0.5 * np.log(2.0 * np.pi)
+        assert dist.logpdf(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_normal_standard_at_origin(self):
+        # The standard normal's density peak: 1/sqrt(2*pi).
+        assert NormalDistribution().logpdf(0.0) == pytest.approx(
+            -0.5 * np.log(2.0 * np.pi), rel=1e-12
+        )
+
+    def test_scalar_in_scalar_out_array_in_array_out(self):
+        dist = NormalDistribution(sigma=1.0)
+        assert isinstance(dist.logpdf(0.5), float)
+        out = dist.logpdf(np.array([0.0, 1.0, 2.0]))
+        assert isinstance(out, np.ndarray) and out.shape == (3,)
+
+    def test_degenerate_normal_has_no_density(self):
+        with pytest.raises(DistributionError):
+            NormalDistribution(sigma=0.0).logpdf(0.0)
+
+    def test_truncated_renormalisation(self):
+        # Inside the support the truncated density is the parent normal's
+        # divided by the kept mass erf(a/sqrt(2)).
+        import math
+
+        dist = TruncatedNormalDistribution(mu=1.0, sigma=2.0, n_sigma=3.0)
+        parent = NormalDistribution(mu=1.0, sigma=2.0)
+        log_mass = math.log(math.erf(3.0 / math.sqrt(2.0)))
+        for x in (1.0, -3.0, 6.9):
+            assert dist.logpdf(x) == pytest.approx(
+                parent.logpdf(x) - log_mass, rel=1e-12
+            )
+
+    def test_truncated_zero_outside_support(self):
+        dist = TruncatedNormalDistribution(mu=0.0, sigma=1.0, n_sigma=2.0)
+        assert dist.logpdf(2.5) == -np.inf
+        assert dist.logpdf(-2.5) == -np.inf
+        assert np.isfinite(dist.logpdf(1.999))
+
+    def test_truncated_density_integrates_to_one(self):
+        dist = TruncatedNormalDistribution(mu=0.0, sigma=1.0, n_sigma=3.0)
+        grid = np.linspace(-3.0, 3.0, 20001)
+        total = np.trapezoid(np.exp(dist.logpdf(grid)), grid)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_corner_log_mass(self):
+        dist = CornerDistribution(excursion=3.0, mu=1.0)
+        assert dist.logpdf(4.0) == pytest.approx(np.log(0.5))
+        assert dist.logpdf(-2.0) == pytest.approx(np.log(0.5))
+        assert dist.logpdf(0.0) == -np.inf
+
+    def test_corner_tolerates_round_off(self):
+        dist = CornerDistribution(excursion=3.0)
+        assert np.isfinite(dist.logpdf(3.0 * (1.0 + 1e-12)))
+
+
+class TestShifted:
+    def test_normal_shift_keeps_spread(self):
+        dist = NormalDistribution(mu=2.0, sigma=0.5).shifted(7.0)
+        assert dist.mean() == 7.0
+        assert dist.std() == 0.5
+
+    def test_truncated_shift_moves_support(self):
+        rng = np.random.default_rng(7)
+        dist = TruncatedNormalDistribution(mu=0.0, sigma=1.0, n_sigma=2.0).shifted(10.0)
+        samples = dist.sample(rng, size=2000)
+        assert np.max(np.abs(samples - 10.0)) <= 2.0 + 1e-12
+        assert dist.n_sigma == 2.0
+
+    def test_corner_shift_moves_both_points(self):
+        rng = np.random.default_rng(8)
+        dist = CornerDistribution(excursion=3.0).shifted(5.0)
+        samples = dist.sample(rng, size=100)
+        assert set(np.unique(samples)) <= {2.0, 8.0}
+
+    def test_shift_preserves_density_shape(self):
+        # logpdf at mu + delta is invariant under the shift.
+        base = NormalDistribution(mu=0.0, sigma=1.3)
+        moved = base.shifted(4.0)
+        assert moved.logpdf(4.0 + 0.7) == pytest.approx(base.logpdf(0.7), rel=1e-12)
+
+
 class TestStatistics:
     def test_summary_statistics(self):
         summary = SummaryStatistics.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
@@ -82,6 +168,26 @@ class TestStatistics:
     def test_empty_samples_rejected(self):
         with pytest.raises(StatisticsError):
             SummaryStatistics.from_samples([])
+
+    def test_tail_percentiles_on_small_samples(self):
+        # With fewer than 100 samples the 1st/99th percentiles interpolate
+        # between order statistics and stay inside the sampled range.
+        summary = SummaryStatistics.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum <= summary.percentile_1 <= summary.percentile_99 <= summary.maximum
+        assert summary.percentile_1 == pytest.approx(np.percentile([1, 2, 3, 4, 5], 1.0))
+        assert summary.percentile_99 == pytest.approx(np.percentile([1, 2, 3, 4, 5], 99.0))
+
+    def test_tail_percentiles_single_sample(self):
+        summary = SummaryStatistics.from_samples([7.0])
+        assert summary.percentile_1 == 7.0
+        assert summary.percentile_99 == 7.0
+        assert summary.std == 0.0
+
+    def test_tail_percentiles_bracket_bulk(self):
+        rng = np.random.default_rng(13)
+        samples = rng.normal(0.0, 1.0, size=41).tolist()
+        summary = SummaryStatistics.from_samples(samples)
+        assert summary.percentile_1 < summary.median < summary.percentile_99
 
     def test_non_finite_samples_rejected(self):
         with pytest.raises(StatisticsError):
@@ -154,6 +260,49 @@ class TestMonteCarloEngine:
     def test_run_until_stops_between_bounds(self):
         run = self.make_engine().run_until(lambda r: r, relative_std_error=0.05, min_samples=50, max_samples=2000)
         assert 50 <= len(run) <= 2000
+
+    def test_run_until_stops_at_max_samples_exactly(self):
+        # An unreachable precision target must stop at max_samples on the
+        # nose, even when max_samples is not a multiple of the batch size.
+        run = self.make_engine().run_until(
+            lambda r: r,
+            relative_std_error=0.001,
+            min_samples=10,
+            max_samples=157,
+            batch=100,
+        )
+        assert len(run) == 157
+
+    def test_run_until_estimator_independent_of_batch_size(self):
+        # Batch size controls only how often convergence is checked; with a
+        # fixed seed the same samples are drawn in the same order, so
+        # stopping at the cap yields identical runs for any batch.
+        runs = [
+            self.make_engine(seed=9).run_until(
+                lambda r: r,
+                relative_std_error=0.0001,
+                min_samples=10,
+                max_samples=300,
+                batch=batch,
+            )
+            for batch in (1, 7, 100, 300)
+        ]
+        reference = runs[0].values(lambda r: r)
+        for run in runs[1:]:
+            assert len(run) == 300
+            assert run.values(lambda r: r) == reference
+
+    def test_run_until_can_stop_mid_batch_budget(self):
+        # min_samples below batch still honours the convergence check at
+        # the first batch boundary, never overshooting max_samples.
+        run = self.make_engine().run_until(
+            lambda r: r,
+            relative_std_error=0.5,
+            min_samples=2,
+            max_samples=50,
+            batch=100,
+        )
+        assert len(run) <= 50
 
     def test_invalid_configuration_rejected(self):
         with pytest.raises(MonteCarloError):
