@@ -75,6 +75,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs import history as bench_history  # noqa: E402
 from repro.core.analytical import model_from_technology  # noqa: E402
 from repro.core.campaign import SimulationCampaign, scenario_grid  # noqa: E402
 from repro.core.montecarlo import MonteCarloTdpStudy  # noqa: E402
@@ -777,24 +778,34 @@ def run_obs_bench(
     sizes: tuple,
     repetitions: int = 5,
     trace_path: Path | None = None,
+    profile_path: Path | None = None,
 ) -> dict:
-    """Observability bench: traced vs untraced operation campaign.
+    """Observability bench: traced/profiled vs untraced operation campaign.
 
-    Interleaves ``repetitions`` untraced and traced serial runs of the
-    operation-suite campaign (best-of-N wall of each, taken from the same
-    interleaved sequence so OS noise hits both paths alike) and reports
-    three gated properties:
+    Interleaves ``repetitions`` untraced, traced and sampling-profiled
+    serial runs of the operation-suite campaign (best-of-N wall of each,
+    taken from the same interleaved sequence so OS noise hits all paths
+    alike) and reports four gated properties:
 
-    * ``parity.bit_identical`` — the traced run must reproduce the
-      untraced records bit-for-bit (``wall_s`` aside);
+    * ``parity.bit_identical`` — the traced and profiled runs must
+      reproduce the untraced records bit-for-bit (``wall_s`` aside);
     * ``overhead_percent`` — the traced best wall relative to the
       untraced best (acceptance ceiling: 2% at the full paper DOE);
+    * ``profiler_overhead_percent`` — the profiled best wall relative
+      to the untraced best (ceiling: 5% at the full paper DOE);
     * ``attribution`` — the named campaign phases must account for at
       least 95% of the campaign wall in the final repetition's trace.
     """
     import tempfile
     from dataclasses import replace
 
+    from repro.obs.profile import (
+        disable_profiling,
+        enable_profiling,
+        phase_totals,
+        read_folded,
+        top_frames,
+    )
     from repro.obs.trace import (
         campaign_attribution,
         disable_tracing,
@@ -814,14 +825,23 @@ def run_obs_bench(
     def keyed(results) -> dict:
         return {r.key: replace(r, wall_s=0.0) for r in results.records}
 
-    owns_tmp = trace_path is None
-    tmp_dir = tempfile.TemporaryDirectory(prefix="repro-bench-obs-") if owns_tmp else None
-    trace_file = Path(tmp_dir.name) / "trace.jsonl" if owns_tmp else Path(trace_path)
+    # A scratch dir always exists; explicit --obs-trace/--obs-profile paths
+    # simply redirect the corresponding artifact outside it.
+    tmp_dir = tempfile.TemporaryDirectory(prefix="repro-bench-obs-")
+    trace_file = (
+        Path(trace_path) if trace_path is not None
+        else Path(tmp_dir.name) / "trace.jsonl"
+    )
+    profile_file = (
+        Path(profile_path) if profile_path is not None
+        else Path(tmp_dir.name) / "profile.folded"
+    )
 
     try:
         untraced_walls: list = []
         traced_walls: list = []
-        untraced_results = traced_results = None
+        profiled_walls: list = []
+        untraced_results = traced_results = profiled_results = None
         for _ in range(repetitions):
             start = time.perf_counter()
             untraced_results = run_campaign()
@@ -837,32 +857,52 @@ def run_obs_bench(
             finally:
                 disable_tracing()
 
+            # Same truncation semantics: the folded file belongs to the
+            # last repetition's profiled run.
+            enable_profiling(profile_file)
+            try:
+                start = time.perf_counter()
+                profiled_results = run_campaign()
+                profiled_walls.append(time.perf_counter() - start)
+            finally:
+                disable_profiling()
+
         records = read_trace(trace_file)
+        folded = read_folded(profile_file)
     finally:
-        if tmp_dir is not None:
-            tmp_dir.cleanup()
+        tmp_dir.cleanup()
 
     reference = keyed(untraced_results)
     mismatches = sum(
-        1 for key, record in keyed(traced_results).items()
+        1
+        for results in (traced_results, profiled_results)
+        for key, record in keyed(results).items()
         if reference.get(key) != record
     )
     bit_identical = (
         not untraced_results.failures
         and not traced_results.failures
+        and not profiled_results.failures
         and len(reference) == len(traced_results.records)
+        and len(reference) == len(profiled_results.records)
         and mismatches == 0
     )
 
     untraced_best = min(untraced_walls)
     traced_best = min(traced_walls)
+    profiled_best = min(profiled_walls)
     overhead_percent = 100.0 * (traced_best / untraced_best - 1.0)
+    profiler_overhead_percent = 100.0 * (profiled_best / untraced_best - 1.0)
     attribution = campaign_attribution(records)
+    n_profile_samples = sum(folded.values())
 
     print(f"obs untraced campaign       {untraced_best*1e3:9.2f} ms"
           f"  (best of {repetitions}, {len(reference)} items)")
     print(f"obs traced campaign         {traced_best*1e3:9.2f} ms"
           f"  (overhead {overhead_percent:+.2f}%, {len(records)} spans)")
+    print(f"obs profiled campaign       {profiled_best*1e3:9.2f} ms"
+          f"  (overhead {profiler_overhead_percent:+.2f}%, "
+          f"{n_profile_samples} samples)")
     print(f"obs phase attribution       {attribution['coverage_percent']:9.1f} %"
           f"  (mismatched records: {mismatches})")
 
@@ -882,15 +922,25 @@ def run_obs_bench(
             "walls_s": [round(wall, 6) for wall in traced_walls],
             "spans": len(records),
             "span_names": sorted({r.get("name", "?") for r in records}),
-            "trace_path": None if owns_tmp else str(trace_file),
+            "trace_path": None if trace_path is None else str(trace_file),
+        },
+        "profiled": {
+            "best_wall_s": round(profiled_best, 6),
+            "walls_s": [round(wall, 6) for wall in profiled_walls],
+            "samples": n_profile_samples,
+            "hot_frames": [[frame, count] for frame, count in top_frames(folded, 5)],
+            "phase_samples": phase_totals(folded),
+            "profile_path": None if profile_path is None else str(profile_file),
         },
         "overhead_percent": round(overhead_percent, 3),
+        "profiler_overhead_percent": round(profiler_overhead_percent, 3),
         "parity": {
             "bit_identical": bit_identical,
             "mismatches": mismatches,
             "records": len(reference),
             "failures": len(untraced_results.failures)
-            + len(traced_results.failures),
+            + len(traced_results.failures)
+            + len(profiled_results.failures),
         },
         "attribution": {
             "campaign_runs": attribution["campaign_runs"],
@@ -1033,6 +1083,152 @@ def bench_environment(workers: int | None = None) -> dict:
     return env
 
 
+#: Per-suite gated metrics for the history regression gate: metric name
+#: (as extracted by :func:`_suite_metrics`) → direction.  "higher" =
+#: throughput/speedup (regression when it drops), "lower" = wall/latency
+#: (regression when it grows).
+GATED_METRICS: dict = {
+    "mc": {"batch_samples_per_s": "higher", "speedup_geomean": "higher"},
+    "sim": {"speedup_at_workers": "higher"},
+    "ops": {"solver_speedup": "higher", "speedup_at_workers": "higher"},
+    "service": {
+        "speedup_warm_vs_cold": "higher",
+        "submissions_per_s": "higher",
+    },
+    "faults": {"replay_entries_per_s": "higher"},
+    "obs": {
+        "untraced_best_wall_s": "lower",
+        "traced_best_wall_s": "lower",
+        "profiled_best_wall_s": "lower",
+    },
+    "yield_hs": {"wall_s": "lower", "total_simulator_calls": "lower"},
+}
+
+
+def _suite_metrics(suite: str, report: dict) -> dict:
+    """Pull the gate-relevant scalars out of one suite's report."""
+    if suite == "mc":
+        metrics = {"batch_samples_per_s": report["summary"]["batch_samples_per_s"]}
+        if "speedup_geomean" in report["summary"]:
+            metrics["speedup_geomean"] = report["summary"]["speedup_geomean"]
+        return metrics
+    if suite == "sim":
+        return {"speedup_at_workers": report["summary"]["speedup_at_workers"]}
+    if suite == "ops":
+        return {
+            "solver_speedup": report["summary"]["solver_speedup"],
+            "speedup_at_workers": report["summary"]["speedup_at_workers"],
+        }
+    if suite == "service":
+        return {
+            "speedup_warm_vs_cold": report["speedup_warm_vs_cold"],
+            "submissions_per_s": report["throughput"]["submissions_per_s"],
+        }
+    if suite == "faults":
+        return {
+            "replay_entries_per_s": report["journal"]["replay_entries_per_s"],
+        }
+    if suite == "obs":
+        return {
+            "untraced_best_wall_s": report["untraced"]["best_wall_s"],
+            "traced_best_wall_s": report["traced"]["best_wall_s"],
+            "profiled_best_wall_s": report["profiled"]["best_wall_s"],
+        }
+    if suite == "yield_hs":
+        return {
+            "wall_s": report["wall_s"],
+            "total_simulator_calls": report["total_simulator_calls"],
+        }
+    raise ValueError(f"unknown suite {suite!r}")
+
+
+def _suite_config(suite: str, args) -> dict:
+    """The knobs that shape a suite's timings — history entries only
+    compare against entries recorded under an identical config, so a
+    smoke run is never judged against full-DOE baselines."""
+    if suite == "mc":
+        return {
+            "samples": args.samples,
+            "wordlines": args.wordlines,
+            "skip_scalar": bool(args.skip_scalar),
+        }
+    if suite == "sim":
+        return {"sizes": list(args.sim_sizes), "workers": args.sim_workers}
+    if suite == "ops":
+        return {"sizes": list(args.ops_sizes), "workers": args.ops_workers}
+    if suite == "service":
+        return {
+            "clients": args.service_clients,
+            "requests": args.service_requests,
+        }
+    if suite == "faults":
+        return {"journal_entries": args.journal_entries}
+    if suite == "obs":
+        return {"sizes": list(args.obs_sizes), "reps": args.obs_reps}
+    if suite == "yield_hs":
+        return {
+            "proposals": args.yield_proposals,
+            "mc_samples": args.yield_mc_samples,
+        }
+    raise ValueError(f"unknown suite {suite!r}")
+
+
+def _report_header(bench: str, description: str, started: float,
+                   workers: int | None = None) -> dict:
+    """The provenance block every BENCH_*.json starts with."""
+    return {
+        "bench": bench,
+        "description": description,
+        "bench_schema_version": bench_history.BENCH_SCHEMA_VERSION,
+        "timestamp_unix": int(started),
+        "timestamp_utc": bench_history.utc_timestamp(started),
+        "environment": bench_environment(workers),
+    }
+
+
+def _history_step(args, suite: str, report: dict) -> bool:
+    """``--check``/``--record`` handling for one finished suite.
+
+    Checks against the existing history *before* recording, so a fresh
+    measurement never contributes to its own baseline.  Returns True
+    when the regression gate fired.
+    """
+    if not (args.record or args.check):
+        return False
+    metrics = _suite_metrics(suite, report)
+    config = _suite_config(suite, args)
+    regressed = False
+    if args.check:
+        problems = bench_history.validate_report(report)
+        if problems:
+            print(f"history[{suite}]: report provenance invalid: {problems}")
+            regressed = True
+        findings = bench_history.check_metrics(
+            bench_history.load_entries(args.history_dir, suite),
+            metrics,
+            GATED_METRICS[suite],
+            config=config,
+        )
+        print(f"history[{suite}] gate:")
+        print(bench_history.format_findings(findings))
+        if bench_history.has_regressions(findings):
+            regressed = True
+    if args.record:
+        entry = bench_history.append_entry(
+            args.history_dir,
+            suite,
+            metrics,
+            environment=report.get("environment"),
+            config=config,
+            unix=report.get("timestamp_unix"),
+        )
+        print(
+            f"history[{suite}]: recorded {sorted(entry['metrics'])} "
+            f"to {bench_history.history_path(args.history_dir, suite)}"
+        )
+    return regressed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
@@ -1082,6 +1278,9 @@ def main() -> int:
                              "best-of-N needs headroom against scheduler noise)")
     parser.add_argument("--obs-trace", type=Path, default=None,
                         help="keep the traced run's JSONL at this path (default: a temp file)")
+    parser.add_argument("--obs-profile", type=Path, default=None,
+                        help="keep the profiled run's folded stacks at this path "
+                             "(default: a temp file)")
     parser.add_argument("--obs-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
                         help="where to write the observability JSON report")
@@ -1094,17 +1293,26 @@ def main() -> int:
     parser.add_argument("--yield-output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_yield.json",
                         help="where to write the high-sigma yield JSON report")
+    parser.add_argument("--record", action="store_true",
+                        help="append each suite's gated metrics to the history "
+                             "(benchmarks/history/<suite>.jsonl)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate each suite against its rolling history "
+                             f"(exit {bench_history.REGRESSION_EXIT_CODE} on regression)")
+    parser.add_argument("--history-dir", type=Path,
+                        default=Path(__file__).resolve().parent / "history",
+                        help="bench-history directory (default: benchmarks/history)")
     args = parser.parse_args()
 
     exit_code = 0
+    regressed = False
     if args.suite in ("mc", "all"):
         started = time.time()
-        report = {
-            "bench": "monte_carlo_tdp",
-            "description": "Fig.5/Table IV Monte-Carlo benches: batched vs scalar pipeline",
-            "timestamp_unix": int(started),
-            "environment": bench_environment(),
-        }
+        report = _report_header(
+            "monte_carlo_tdp",
+            "Fig.5/Table IV Monte-Carlo benches: batched vs scalar pipeline",
+            started,
+        )
         report.update(run_benches(args.samples, args.wordlines, args.skip_scalar))
         report["harness_wall_s"] = round(time.time() - started, 3)
 
@@ -1120,18 +1328,17 @@ def main() -> int:
             if summary["speedup_min"] < 10.0 and args.samples >= 1000:
                 print("WARNING: batched path is below the 10x acceptance floor")
                 exit_code = 1
+        regressed |= _history_step(args, "mc", report)
 
     if args.suite in ("sim", "all"):
         started = time.time()
-        report = {
-            "bench": "simulation_campaign",
-            "description": (
-                "Fig.4/Tables II-III benches: sequential pipelines vs the "
-                "SimulationCampaign engine"
-            ),
-            "timestamp_unix": int(started),
-            "environment": bench_environment(args.sim_workers),
-        }
+        report = _report_header(
+            "simulation_campaign",
+            "Fig.4/Tables II-III benches: sequential pipelines vs the "
+            "SimulationCampaign engine",
+            started,
+            args.sim_workers,
+        )
         report.update(run_sim_bench(tuple(args.sim_sizes), args.sim_workers))
         report["harness_wall_s"] = round(time.time() - started, 3)
 
@@ -1149,18 +1356,17 @@ def main() -> int:
         if full_doe and args.sim_workers >= 4 and speedup < 3.0:
             print("WARNING: campaign is below the 3x acceptance floor")
             exit_code = 1
+        regressed |= _history_step(args, "sim", report)
 
     if args.suite in ("ops", "all"):
         started = time.time()
-        report = {
-            "bench": "operation_suite",
-            "description": (
-                "Operation-suite benches: write + hold/read SNM campaign "
-                "vs per-operation scalar pipelines"
-            ),
-            "timestamp_unix": int(started),
-            "environment": bench_environment(args.ops_workers),
-        }
+        report = _report_header(
+            "operation_suite",
+            "Operation-suite benches: write + hold/read SNM campaign "
+            "vs per-operation scalar pipelines",
+            started,
+            args.ops_workers,
+        )
         report.update(run_ops_bench(tuple(args.ops_sizes), args.ops_workers))
         report["harness_wall_s"] = round(time.time() - started, 3)
 
@@ -1179,18 +1385,17 @@ def main() -> int:
         if solver_speedup < 5.0:
             print("WARNING: batched solver tier is below the 5x acceptance floor")
             exit_code = 1
+        regressed |= _history_step(args, "ops", report)
 
     if args.suite in ("service", "all"):
         started = time.time()
-        report = {
-            "bench": "experiment_service",
-            "description": (
-                "HTTP experiment server benches: cold vs warm-cache "
-                "submission latency and concurrent-client throughput"
-            ),
-            "timestamp_unix": int(started),
-            "environment": bench_environment(args.service_clients),
-        }
+        report = _report_header(
+            "experiment_service",
+            "HTTP experiment server benches: cold vs warm-cache "
+            "submission latency and concurrent-client throughput",
+            started,
+            args.service_clients,
+        )
         report.update(
             run_service_bench(args.service_clients, args.service_requests)
         )
@@ -1206,18 +1411,16 @@ def main() -> int:
         if speedup < 10.0:
             print("WARNING: warm-cache path is below the 10x acceptance floor")
             exit_code = 1
+        regressed |= _history_step(args, "service", report)
 
     if args.suite in ("faults", "all"):
         started = time.time()
-        report = {
-            "bench": "fault_tolerance",
-            "description": (
-                "Chaos benches: campaign failure policies under injected "
-                "solver faults and durable-journal replay throughput"
-            ),
-            "timestamp_unix": int(started),
-            "environment": bench_environment(),
-        }
+        report = _report_header(
+            "fault_tolerance",
+            "Chaos benches: campaign failure policies under injected "
+            "solver faults and durable-journal replay throughput",
+            started,
+        )
         report.update(run_faults_bench(args.journal_entries))
         report["harness_wall_s"] = round(time.time() - started, 3)
 
@@ -1236,21 +1439,22 @@ def main() -> int:
         if not report["journal"]["consistent"]:
             print("WARNING: journal replay returned an inconsistent outstanding set")
             exit_code = 1
+        regressed |= _history_step(args, "faults", report)
 
     if args.suite in ("obs", "all"):
         started = time.time()
-        report = {
-            "bench": "observability_overhead",
-            "description": (
-                "Observability benches: traced vs untraced operation "
-                "campaign — record parity, tracing overhead and span "
-                "attribution"
-            ),
-            "timestamp_unix": int(started),
-            "environment": bench_environment(),
-        }
+        report = _report_header(
+            "observability_overhead",
+            "Observability benches: traced/profiled vs untraced operation "
+            "campaign — record parity, tracing and profiler overhead, span "
+            "attribution",
+            started,
+        )
         report.update(
-            run_obs_bench(tuple(args.obs_sizes), args.obs_reps, args.obs_trace)
+            run_obs_bench(
+                tuple(args.obs_sizes), args.obs_reps, args.obs_trace,
+                args.obs_profile,
+            )
         )
         report["harness_wall_s"] = round(time.time() - started, 3)
 
@@ -1273,19 +1477,20 @@ def main() -> int:
             # milliseconds and scheduler noise alone can exceed 2%.
             print("WARNING: tracing overhead is above the 2% acceptance ceiling")
             exit_code = 1
+        if full_doe and report["profiler_overhead_percent"] > 5.0:
+            print("WARNING: sampling-profiler overhead is above the 5% ceiling")
+            exit_code = 1
+        regressed |= _history_step(args, "obs", report)
 
     if args.suite in ("yield_hs", "all"):
         started = time.time()
-        report = {
-            "bench": "high_sigma_yield",
-            "description": (
-                "High-sigma yield benches: importance-sampling tail "
-                "estimates vs brute-force Monte-Carlo at the checkable "
-                "levels, with ESS and call-budget gates"
-            ),
-            "timestamp_unix": int(started),
-            "environment": bench_environment(),
-        }
+        report = _report_header(
+            "high_sigma_yield",
+            "High-sigma yield benches: importance-sampling tail "
+            "estimates vs brute-force Monte-Carlo at the checkable "
+            "levels, with ESS and call-budget gates",
+            started,
+        )
         report.update(
             run_yield_hs_bench(
                 proposals=args.yield_proposals,
@@ -1315,7 +1520,14 @@ def main() -> int:
         if not checks["within_call_budget"]:
             print("WARNING: the sweep exceeded the simulator-call budget")
             exit_code = 1
+        regressed |= _history_step(args, "yield_hs", report)
 
+    if regressed:
+        print(
+            "PERF REGRESSION: at least one gated metric fell outside its "
+            "history tolerance band"
+        )
+        return bench_history.REGRESSION_EXIT_CODE
     return exit_code
 
 

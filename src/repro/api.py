@@ -59,6 +59,7 @@ from .core.spec import (
 )
 from .core.worst_case import WorstCaseStudy
 from .core.yield_analysis import ReadTimeYieldAnalysis
+from .obs import convergence as obs_convergence
 from .obs import metrics as obs_metrics
 from .obs.trace import span
 
@@ -516,12 +517,12 @@ def run(
     stats_before = solver_stats().as_dict()
     with span("api.run", kind=chosen.kind, workers=max(1, int(effective))):
         result = _RUNNERS[chosen.kind](chosen, max(1, int(effective)))
-    obs_metrics.record_solver_delta(
-        {
-            key: value - stats_before.get(key, 0)
-            for key, value in solver_stats().as_dict().items()
-        }
-    )
+    solver_delta = {
+        key: value - stats_before.get(key, 0)
+        for key, value in solver_stats().as_dict().items()
+    }
+    obs_metrics.record_solver_delta(solver_delta)
+    obs_convergence.record_lane_stats(solver_delta)
     obs_metrics.registry().inc(
         "repro_runs_total", kind=chosen.kind, source="computed"
     )

@@ -62,6 +62,7 @@ from typing import (
 
 import numpy as np
 
+from ..obs.convergence import lane_group_label, record_convergence, record_rescue
 from .dc import (
     ConvergenceError,
     DCResult,
@@ -262,6 +263,8 @@ def _gen_operating_point(
     saw_singular = False
     max_residual = float("inf")
     for gmin_attempt in (gmin_s, gmin_s * 1e3, gmin_s * 1e6):
+        if gmin_attempt != gmin_s:
+            record_rescue("batch_dc", "gmin_step")
         assembler = cache.get(gmin_attempt)
         b = _source_vector_with_overrides(assembler, source_overrides)
         # (dc_operating_point re-zeroes the branch entries of x0 here;
@@ -305,6 +308,7 @@ def _gen_operating_point(
 
     assembler = cache.get(gmin_s)
     b_full = _source_vector_with_overrides(assembler, source_overrides)
+    record_rescue("batch_dc", "source_step")
     solution, iterations, max_residual, step_assembler, singular = yield from (
         _gen_source_stepping(cache, b_full, options, gmin_s)
     )
@@ -318,6 +322,7 @@ def _gen_operating_point(
         )
 
     x0 = assembler.initial_solution(initial_voltages)
+    record_rescue("batch_dc", "pseudo_transient")
     solution, iterations, max_residual, pt_assembler, singular = yield from (
         _gen_pseudo_transient(cache, b_full, x0, options, gmin_s)
     )
@@ -351,6 +356,7 @@ def _gen_sweep_rescue(
 ) -> Generator[_TargetRequest, _TargetResult, Tuple[np.ndarray, int]]:
     """Generator mirror of :func:`~repro.circuit.dc._sweep_point_rescue`."""
     node_names = assembler.node_names
+    record_rescue("batch_dc_sweep", "sweep_point")
     solution, iterations, _residual, _asm, _singular = yield from (
         _gen_pseudo_transient(cache, b, current, options, gmin_s)
     )
@@ -484,6 +490,7 @@ class _DCGroup:
 
     def __init__(self, lanes: List[_DCLane]) -> None:
         self.lanes = lanes
+        solver_stats().batch_lanes += len(lanes)
         first = lanes[0].base
         self.size = first.size
         self.n_nodes = first.n_nodes
@@ -738,6 +745,7 @@ class _DCGroup:
         act = self._act_arr
         stats.batch_ticks += 1
         stats.batch_lane_iterations += act.size
+        stats.batch_lane_slots += len(self.lanes)
         self.iter[act] += 1
         x_act = self.x[act]
         ids, gm, gds = self._eval_devices(act, x_act)
@@ -851,6 +859,22 @@ def _run_dc_lockstep(lanes: List[_DCLane]) -> None:
         groups.setdefault(_structural_key(lane.base), []).append(lane)
     for members in groups.values():
         _DCGroup(members).run()
+        # Convergence telemetry per *lane outcome* (not per lockstep
+        # target — a sweep lane yields hundreds of targets, and the
+        # registry lock must stay off that path).
+        label = lane_group_label(len(members))
+        for lane in members:
+            outcome = lane.outcome
+            if isinstance(outcome, DCSweepResult):
+                record_convergence(
+                    "batch_dc_sweep", outcome.iterations_total, True, lane_group=label
+                )
+            elif isinstance(outcome, DCResult):
+                record_convergence(
+                    "batch_dc", outcome.iterations, True, lane_group=label
+                )
+            elif isinstance(outcome, BaseException):
+                record_convergence("batch_dc", 0, False, lane_group=label)
 
 
 def batch_dc_sweep(specs: Sequence[SweepLaneSpec]) -> List[LaneOutcome]:
@@ -1168,6 +1192,7 @@ def batch_run_transients(specs: Sequence[TransientLaneSpec]) -> List[LaneOutcome
         except (ConvergenceError, RuntimeError, np.linalg.LinAlgError) as exc:
             outcomes[index] = exc
 
+    stats.batch_lanes += len(gens)
     while pending:
         order = sorted(pending)
         requests = [pending.pop(i) for i in order]
@@ -1175,6 +1200,10 @@ def batch_run_transients(specs: Sequence[TransientLaneSpec]) -> List[LaneOutcome
         counts = [plan.n_devices for plan in plans]
         stats.batch_ticks += 1
         stats.batch_lane_iterations += len(order)
+        # This driver re-queues every unfinished lane each tick, so slots
+        # equal iterations here; the counter stays coherent with the DC
+        # lockstep engine's occupancy ratio.
+        stats.batch_lane_slots += len(order)
         stats.stamp_evals += 1
         stats.stamp_device_evals += sum(counts)
         vd_parts: List[np.ndarray] = []
@@ -1207,6 +1236,17 @@ def batch_run_transients(specs: Sequence[TransientLaneSpec]) -> List[LaneOutcome
             except (ConvergenceError, RuntimeError, np.linalg.LinAlgError) as exc:
                 outcomes[i] = exc
                 del gens[i]
+    label = lane_group_label(len(specs))
+    for outcome in outcomes:
+        if isinstance(outcome, TransientResult):
+            record_convergence(
+                "batch_transient",
+                max(0, len(outcome.times_s) - 1),
+                True,
+                lane_group=label,
+            )
+        elif isinstance(outcome, BaseException):
+            record_convergence("batch_transient", 0, False, lane_group=label)
     return outcomes
 
 

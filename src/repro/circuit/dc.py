@@ -30,6 +30,11 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..obs.convergence import (
+    record_convergence,
+    record_rescue,
+    residual_recorder,
+)
 from ..obs.trace import span
 from .mna import CachedFactorSolver, MNAAssembler, MNAError
 from .netlist import Circuit
@@ -147,6 +152,10 @@ def _newton_solve(
     g_matrix = None if dense is not None else assembler.conductance_matrix
     x = x0.copy()
     max_residual = float("inf")
+    # Residual decay telemetry: one module-global check while disabled
+    # (the common case), a bounded reservoir submission when on.
+    recorder = residual_recorder()
+    residual_log: Optional[List[float]] = [] if recorder is not None else None
     # Adaptive damping: a full Newton step can limit-cycle across the kinks
     # of the compact model (the linear/saturation hand-off) without the
     # residual ever dropping below tolerance.  Halving the step whenever
@@ -159,7 +168,11 @@ def _newton_solve(
         g_dot_x = dense.g_dense @ x if dense is not None else g_matrix.dot(x)
         residual = g_dot_x + stamp.residual - b
         max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
+        if residual_log is not None:
+            residual_log.append(max_residual)
         if max_residual < options.abs_tolerance_a:
+            if recorder is not None:
+                recorder.record("dc", residual_log, True)
             return x, iteration, True, max_residual
         if previous_residual is not None:
             if max_residual >= previous_residual:
@@ -179,6 +192,8 @@ def _newton_solve(
             # thread-local flag lets the final ConvergenceError say so,
             # which is what failure classification keys on.
             _singular_state.seen = True
+            if recorder is not None:
+                recorder.record("dc", residual_log, False)
             return x, iteration, False, max_residual
         delta = np.asarray(delta).ravel()
         # Limit the per-iteration voltage step for robustness.
@@ -196,7 +211,11 @@ def _newton_solve(
             residual = g_dot_x + stamp.residual - b
             max_residual = float(np.max(np.abs(residual))) if residual.size else 0.0
             if max_residual < options.abs_tolerance_a * 10.0:
+                if recorder is not None:
+                    recorder.record("dc", residual_log, True)
                 return x, iteration, True, max_residual
+    if recorder is not None:
+        recorder.record("dc", residual_log, False)
     return x, options.max_iterations, False, max_residual
 
 
@@ -341,10 +360,17 @@ def dc_operating_point(
         Optional mapping of voltage-source names to DC values that replace
         the sources' own waveform values (used by :func:`dc_sweep`).
     """
-    with span("solver.dc"):
-        return _dc_operating_point(
-            circuit, initial_voltages, options, gmin_s, source_overrides
-        )
+    with span("solver.dc") as dc_span:
+        try:
+            result = _dc_operating_point(
+                circuit, initial_voltages, options, gmin_s, source_overrides
+            )
+        except ConvergenceError:
+            record_convergence("dc", 0, False)
+            raise
+        dc_span.annotate(iterations=result.iterations, converged=result.converged)
+        record_convergence("dc", result.iterations, result.converged)
+        return result
 
 
 def _dc_operating_point(
@@ -365,6 +391,8 @@ def _dc_operating_point(
     _singular_state.seen = False
 
     for gmin_attempt in (gmin_s, gmin_s * 1e3, gmin_s * 1e6):
+        if gmin_attempt != gmin_s:
+            record_rescue("dc", "gmin_step")
         assembler = MNAAssembler(circuit, gmin_s=gmin_attempt)
         b = _source_vector_with_overrides(assembler, source_overrides)
         x0 = assembler.initial_solution(initial_voltages)
@@ -407,6 +435,7 @@ def _dc_operating_point(
     # state instead of oscillating around the unstable ridge.
     assembler = MNAAssembler(circuit, gmin_s=gmin_s)
     b_full = _source_vector_with_overrides(assembler, source_overrides)
+    record_rescue("dc", "source_step")
     solution, iterations, max_residual, step_assembler = _source_stepping(
         circuit, b_full, chosen_options, gmin_s
     )
@@ -423,6 +452,7 @@ def _dc_operating_point(
     # the fold of a bistable cell — and Newton must cross onto the
     # surviving branch).
     x0 = assembler.initial_solution(initial_voltages)
+    record_rescue("dc", "pseudo_transient")
     solution, iterations, max_residual, pt_assembler = _pseudo_transient(
         circuit, b_full, x0, chosen_options, gmin_s
     )
@@ -518,6 +548,7 @@ def _sweep_point_rescue(
     the scalar trajectory bit-for-bit.
     """
     node_names = assembler.node_names
+    record_rescue("dc_sweep", "sweep_point")
     solution, iterations, _residual, _asm = _pseudo_transient(
         circuit, b, current, options, gmin_s
     )
@@ -576,6 +607,23 @@ def dc_sweep(
         raise ConvergenceError("a DC sweep needs at least one source value")
     chosen_options = options if options is not None else NewtonOptions()
 
+    with span("solver.dc_sweep", points=int(grid.size)) as sweep_span:
+        result = _dc_sweep(
+            circuit, source_name, grid, initial_voltages, chosen_options, gmin_s
+        )
+        sweep_span.annotate(iterations=result.iterations_total)
+        record_convergence("dc_sweep", result.iterations_total, True)
+        return result
+
+
+def _dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    grid: np.ndarray,
+    initial_voltages: Optional[Dict[str, float]],
+    chosen_options: NewtonOptions,
+    gmin_s: float,
+) -> DCSweepResult:
     assembler = MNAAssembler(circuit, gmin_s=gmin_s)
     assembler.branch_index(source_name)  # raises early for a bad source name
 

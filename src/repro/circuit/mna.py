@@ -55,7 +55,11 @@ class SolverStats:
     values moved; ``stamp_evals`` counts nonlinear stamp evaluations and
     ``stamp_device_evals`` the device lanes inside them (a batched call
     evaluates many lanes per eval); ``batch_ticks``/``batch_lane_iterations``
-    describe the batched tier's lockstep loop.
+    describe the batched tier's lockstep loop.  ``batch_lanes`` counts
+    lanes launched into lockstep groups and ``batch_lane_slots`` the
+    lane slots offered across ticks (active or not), so
+    ``batch_lane_iterations / batch_lane_slots`` is the active-lane
+    fraction and ``scalar_fallbacks / batch_lanes`` the demotion rate.
     """
 
     factorizations: int = 0
@@ -66,6 +70,8 @@ class SolverStats:
     stamp_device_evals: int = 0
     batch_ticks: int = 0
     batch_lane_iterations: int = 0
+    batch_lanes: int = 0
+    batch_lane_slots: int = 0
     scalar_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -78,6 +84,8 @@ class SolverStats:
             "stamp_device_evals": self.stamp_device_evals,
             "batch_ticks": self.batch_ticks,
             "batch_lane_iterations": self.batch_lane_iterations,
+            "batch_lanes": self.batch_lanes,
+            "batch_lane_slots": self.batch_lane_slots,
             "scalar_fallbacks": self.scalar_fallbacks,
         }
 

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.convergence import record_convergence, record_step_rejections
 from ..obs.trace import span
 from .dc import ConvergenceError, NewtonOptions, rescue_level
 from .mna import CachedFactorSolver, JacobianTemplate, MNAAssembler
@@ -167,14 +168,32 @@ class TransientSolver:
         """
         # One span for the whole analysis: _newton_step fires thousands
         # of times per run, so per-step spans would swamp the trace.
-        with span("solver.transient"):
-            return self._run(initial_voltages, stop_condition)
+        # Convergence telemetry follows the same rule — one histogram
+        # observation and one rejection-counter add per run, never per
+        # step.
+        with span("solver.transient") as tr_span:
+            rejections = 0
+            try:
+                result, steps, rejections = self._run(
+                    initial_voltages, stop_condition
+                )
+            except ConvergenceError:
+                record_convergence("transient", 0, False)
+                raise
+            finally:
+                record_step_rejections("transient", rejections)
+            tr_span.annotate(
+                steps=steps, rejected=rejections, stop=result.stop_reason
+            )
+            record_convergence("transient", steps, True)
+            return result
 
     def _run(
         self,
         initial_voltages: Optional[Dict[str, float]],
         stop_condition: Optional[StopCondition],
-    ) -> TransientResult:
+    ) -> "tuple[TransientResult, int, int]":
+        """Run the time loop; returns (result, accepted steps, rejections)."""
         options = self.options
         assembler = self.assembler
 
@@ -195,6 +214,7 @@ class TransientSolver:
         dt_s = options.dt_initial_s
         stop_reason = "tstop"
         steps = 0
+        rejections = 0
         # Item-retry rescue: each escalation level buys a larger accepted-
         # step budget and a lower dt floor, so a retry of an item that died
         # on budget exhaustion or step underflow actually tries harder.
@@ -217,6 +237,7 @@ class TransientSolver:
             dt_s = min(dt_s, options.t_stop_s - time_s)
             solution = self._newton_step(x, time_s + dt_s, dt_s, x)
             if solution is None:
+                rejections += 1
                 dt_s *= options.dt_shrink
                 if dt_s < dt_min_s:
                     singular_note = (
@@ -247,12 +268,13 @@ class TransientSolver:
 
             dt_s = min(dt_s * options.dt_growth, options.dt_max_s)
 
-        return TransientResult(
+        result = TransientResult(
             times_s=np.asarray(times),
             voltages={node: np.asarray(values) for node, values in history.items()},
             converged=True,
             stop_reason=stop_reason,
         )
+        return result, steps, rejections
 
 
 def run_transient(

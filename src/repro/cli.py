@@ -357,6 +357,17 @@ def build_parser() -> argparse.ArgumentParser:
             "with 'repro report FILE'"
         ),
     )
+    run_parser.add_argument(
+        "--profile",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "sample the run's call stacks (~101 Hz, pool workers "
+            "included) into FILE as folded/collapsed flamegraph stacks; "
+            "inspect with 'repro report --flame FILE'"
+        ),
+    )
 
     report_parser = subparsers.add_parser(
         "report",
@@ -367,7 +378,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         help=(
             "a trace JSONL file, or a campaign store / directory "
-            "containing trace.jsonl"
+            "containing trace.jsonl (with --flame: a folded-stacks "
+            "file from run/serve --profile, or a directory containing "
+            "profile.folded)"
+        ),
+    )
+    report_parser.add_argument(
+        "--flame",
+        action="store_true",
+        help=(
+            "render a folded-stacks profile (phase totals, hottest "
+            "frames and stacks) instead of a span-trace report"
         ),
     )
     report_parser.add_argument(
@@ -493,6 +514,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="record a span trace (JSONL) of the server's lifetime to FILE",
+    )
+    serve_parser.add_argument(
+        "--profile",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "sample the server's call stacks for its lifetime into FILE "
+            "(folded stacks; see 'repro report --flame')"
+        ),
+    )
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a running experiment server",
+    )
+    top_parser.add_argument(
+        "--url",
+        type=str,
+        default=None,
+        metavar="URL",
+        help="server base URL (default: http://127.0.0.1:8765)",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default: 2)",
+    )
+    top_parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until Ctrl-C)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame with lifetime totals and exit",
     )
 
     submit_parser = subparsers.add_parser(
@@ -756,11 +818,14 @@ def _serve(args: argparse.Namespace) -> str:
     """Run the HTTP experiment server until interrupted."""
     import os
 
+    from .obs.profile import disable_profiling, enable_profiling
     from .obs.trace import disable_tracing, enable_tracing
     from .service.server import ExperimentServer
 
     if args.trace:
         enable_tracing(args.trace)
+    if args.profile:
+        enable_profiling(args.profile)
     try:
         server = ExperimentServer(
             host=args.host,
@@ -801,8 +866,9 @@ def _serve(args: argparse.Namespace) -> str:
         server.stop_serving()
         drained = server.drain(args.drain_timeout)
         server.shutdown()
-        # Flush the span trace (merging any pool-worker files) before a
-        # possible hard exit below.
+        # Flush the span trace and profile (merging any pool-worker
+        # files) before a possible hard exit below.
+        disable_profiling()
         disable_tracing()
         if not drained:
             # Worker threads are non-daemon and cannot be interrupted
@@ -833,6 +899,8 @@ def _report(args: argparse.Namespace) -> str:
     from .obs.trace import read_trace, to_chrome_trace
     from .reporting.tables import format_trace_summary
 
+    if args.flame:
+        return _flame_report(args)
     path = Path(args.path)
     if path.is_dir():
         candidate = path / "trace.jsonl"
@@ -852,6 +920,47 @@ def _report(args: argparse.Namespace) -> str:
             args.chrome_out, _json.dumps(to_chrome_trace(records)) + "\n"
         )
     return format_trace_summary(records, top_n=args.top)
+
+
+def _flame_report(args: argparse.Namespace) -> str:
+    """Render a folded-stacks profile (``repro report --flame``)."""
+    from .obs.profile import read_folded
+    from .reporting.tables import format_flame_summary
+
+    path = Path(args.path)
+    if path.is_dir():
+        candidate = path / "profile.folded"
+        if not candidate.is_file():
+            raise ReportingError(
+                f"{path} contains no profile.folded; pass the folded "
+                "stacks recorded with run/serve --profile"
+            )
+        path = candidate
+    if not path.is_file():
+        raise ReportingError(f"no profile file at {path}")
+    samples = read_folded(path)
+    if not samples:
+        raise ReportingError(f"{path} contains no profile samples")
+    return format_flame_summary(samples, top_n=args.top)
+
+
+def _top(args: argparse.Namespace) -> str:
+    """Run the live dashboard until interrupted (or --count frames)."""
+    from .obs.dashboard import DashboardError, run_top
+    from .service.client import DEFAULT_URL
+
+    try:
+        frames = run_top(
+            args.url or DEFAULT_URL,
+            interval_s=args.interval,
+            count=args.count,
+            once=args.once,
+        )
+    except DashboardError as exc:
+        raise ServiceError(
+            f"{exc} — is 'repro serve' running?"
+        ) from None
+    return f"repro top: {frames} frame{'s' if frames != 1 else ''} rendered"
 
 
 def _submit(args: argparse.Namespace) -> str:
@@ -875,10 +984,13 @@ def _submit(args: argparse.Namespace) -> str:
 def _dispatch(args: argparse.Namespace) -> str:
     """Produce the report text for one parsed invocation."""
     if args.command == "run":
+        from .obs.profile import disable_profiling, enable_profiling
         from .obs.trace import disable_tracing, enable_tracing
 
         if args.trace:
             enable_tracing(args.trace)
+        if args.profile:
+            enable_profiling(args.profile)
         try:
             result = run_experiment(
                 load_spec(Path(args.spec)),
@@ -886,6 +998,8 @@ def _dispatch(args: argparse.Namespace) -> str:
                 failure_policy=args.failure_policy,
             )
         finally:
+            if args.profile:
+                disable_profiling()
             if args.trace:
                 disable_tracing()
         if result.failures:
@@ -895,6 +1009,8 @@ def _dispatch(args: argparse.Namespace) -> str:
         return _format_result(result, args.format)
     if args.command == "report":
         return _report(args)
+    if args.command == "top":
+        return _top(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "submit":

@@ -43,6 +43,11 @@ from ..circuit.batch import PreparedWork, solve_prepared
 from ..circuit.dc import ConvergenceError, solver_rescue
 from ..circuit.mna import MNAError, solver_stats
 from ..obs import metrics as obs_metrics
+from ..obs.profile import (
+    _clear_inherited_profiler,
+    active_profiler,
+    enable_worker_profiling,
+)
 from ..obs.trace import (
     _clear_inherited_tracer,
     active_tracer,
@@ -787,16 +792,23 @@ def _init_campaign_worker(
     retry_backoff_s: float = 0.05,
     solver: str = "scalar",
     trace_worker_dir: Optional[str] = None,
+    profile_worker_dir: Optional[str] = None,
 ) -> None:
     global _worker_state
     # A forked worker inherits the parent's tracer object; two processes
     # appending to one file would interleave torn records, so the worker
     # either gets its own trace-<pid>.jsonl (merged by the parent on
-    # chunk commit) or stops emitting entirely.
+    # chunk commit) or stops emitting entirely.  Same story for the
+    # sampling profiler: the worker samples into its own
+    # profile-<pid>.folded (summed by the parent at stop).
     if trace_worker_dir is not None:
         enable_worker_tracing(trace_worker_dir)
     else:
         _clear_inherited_tracer()
+    if profile_worker_dir is not None:
+        enable_worker_profiling(profile_worker_dir)
+    else:
+        _clear_inherited_profiler()
     _worker_state = CampaignWorkerState(
         node,
         n_bitline_pairs,
@@ -1128,6 +1140,12 @@ class SimulationCampaign:
             if tracer is not None and tracer.worker_dir is not None
             else None
         )
+        profiler = active_profiler()
+        profile_worker_dir = (
+            str(profiler.worker_dir)
+            if profiler is not None and profiler.worker_dir is not None
+            else None
+        )
         return (
             self.node,
             self.doe.n_bitline_pairs,
@@ -1138,6 +1156,7 @@ class SimulationCampaign:
             self.retry_backoff_s,
             self.solver,
             trace_worker_dir,
+            profile_worker_dir,
         )
 
     def _requeue_lost(

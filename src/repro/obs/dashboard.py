@@ -1,0 +1,347 @@
+"""``repro top``: a live terminal dashboard over the service endpoints.
+
+Polls a running experiment server's ``/v1/metrics`` (Prometheus text)
+and ``/v1/healthz`` (JSON) and renders one compact frame per interval:
+queue depth and job totals, cache hit rate, solver throughput (counter
+deltas between polls), failure classes, and p50/p99 item latency read
+straight out of the ``repro_item_wall_seconds`` histogram buckets via
+the shared :func:`~repro.obs.metrics.histogram_quantile` helper — the
+same math ``repro report`` uses, so the dashboard and the post-mortem
+report can never disagree about what "p99" means.
+
+Everything is stdlib (``urllib``), and rendering is split from polling:
+:func:`parse_prometheus_text` and :func:`render_frame` are pure
+functions the test suite drives with canned text, while :func:`run_top`
+owns the network loop and the screen.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import histogram_quantile
+
+__all__ = [
+    "DashboardError",
+    "fetch_health",
+    "fetch_metrics",
+    "parse_prometheus_text",
+    "render_frame",
+    "run_top",
+]
+
+#: (name, sorted (label, value) tuple) — same series identity the
+#: registry uses, minus the histogram's ``le`` label.
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Counters whose poll-to-poll delta is the "solver throughput" row.
+SOLVER_RATE_METRICS = (
+    ("repro_solver_sparse_solves_total", "sparse solves"),
+    ("repro_solver_dense_solves_total", "dense solves"),
+    ("repro_solver_factorizations_total", "factorizations"),
+    ("repro_items_total", "items"),
+)
+
+
+class DashboardError(RuntimeError):
+    """The server could not be polled (connection refused, bad body, ...)."""
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    """Parse ``a="x",b="y"`` (the inside of a label block)."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {text[eq:]!r}")
+        j = eq + 2
+        value: List[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                value.append({"n": "\n", "\\": "\\", '"': '"'}.get(text[j], text[j]))
+            else:
+                value.append(text[j])
+            j += 1
+        labels[name] = "".join(value)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Any]:
+    """Parse Prometheus 0.0.4 text into samples and assembled histograms.
+
+    Returns ``{"samples": {(name, labels): value}, "histograms":
+    {(name, labels): {"buckets": [...], "counts": [...], "count": n,
+    "sum": s}}}`` where histogram bucket series (``_bucket`` + ``le``)
+    are folded back into cumulative bucket arrays sorted by bound.
+    Unparsable lines are skipped — a dashboard must survive a metric it
+    does not know.
+    """
+    samples: Dict[SeriesKey, float] = {}
+    raw_buckets: Dict[SeriesKey, List[Tuple[float, float]]] = {}
+    histograms: Dict[SeriesKey, Dict[str, Any]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if "{" in line:
+                name = line[: line.index("{")]
+                label_text = line[line.index("{") + 1 : line.rindex("}")]
+                labels = _parse_labels(label_text) if label_text else {}
+                value = float(line[line.rindex("}") + 1 :].strip())
+            else:
+                name, value_text = line.split(None, 1)
+                labels = {}
+                value = float(value_text)
+        except (ValueError, IndexError):
+            continue
+        if name.endswith("_bucket") and "le" in labels:
+            le = labels.pop("le")
+            bound = float("inf") if le in ("+Inf", "inf") else float(le)
+            key = (name[: -len("_bucket")], tuple(sorted(labels.items())))
+            raw_buckets.setdefault(key, []).append((bound, value))
+            continue
+        samples[(name, tuple(sorted(labels.items())))] = value
+    for key, pairs in raw_buckets.items():
+        pairs.sort(key=lambda bv: bv[0])
+        finite = [(b, c) for b, c in pairs if b != float("inf")]
+        name, labels = key
+        total = samples.get((name + "_count", labels))
+        if total is None:
+            total = pairs[-1][1] if pairs else 0.0
+        histograms[key] = {
+            "buckets": [b for b, _ in finite],
+            "counts": [int(c) for _, c in finite],
+            "count": int(total),
+            "sum": samples.get((name + "_sum", labels), 0.0),
+        }
+    return {"samples": samples, "histograms": histograms}
+
+
+def _sum_by_name(samples: Mapping[SeriesKey, float], name: str) -> float:
+    return sum(v for (n, _), v in samples.items() if n == name)
+
+
+def _by_label(
+    samples: Mapping[SeriesKey, float], name: str, label: str
+) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for (n, labels), value in samples.items():
+        if n != name:
+            continue
+        key = dict(labels).get(label, "?")
+        out[key] = out.get(key, 0.0) + value
+    return out
+
+
+def _merged_histogram(
+    histograms: Mapping[SeriesKey, Dict[str, Any]], name: str
+) -> Optional[Dict[str, Any]]:
+    """Sum a histogram's label series (fixed buckets make this exact)."""
+    merged: Optional[Dict[str, Any]] = None
+    for (n, _), hist in histograms.items():
+        if n != name:
+            continue
+        if merged is None:
+            merged = {
+                "buckets": list(hist["buckets"]),
+                "counts": list(hist["counts"]),
+                "count": hist["count"],
+                "sum": hist["sum"],
+            }
+        elif merged["buckets"] == hist["buckets"]:
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], hist["counts"])
+            ]
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Polling
+# ---------------------------------------------------------------------------
+
+
+def _get(url: str, timeout_s: float) -> bytes:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            return response.read()
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise DashboardError(f"cannot poll {url}: {exc}") from None
+
+
+def fetch_metrics(base_url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    text = _get(base_url.rstrip("/") + "/v1/metrics", timeout_s).decode("utf-8")
+    return parse_prometheus_text(text)
+
+
+def fetch_health(base_url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    body = _get(base_url.rstrip("/") + "/v1/healthz", timeout_s)
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise DashboardError(f"healthz returned invalid JSON: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Rendering (pure)
+# ---------------------------------------------------------------------------
+
+
+def _fmt_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "    -"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:5.1f}ms"
+    return f"{seconds:5.2f}s"
+
+
+def render_frame(
+    metrics: Mapping[str, Any],
+    health: Mapping[str, Any],
+    prev_samples: Optional[Mapping[SeriesKey, float]] = None,
+    dt_s: Optional[float] = None,
+) -> str:
+    """One dashboard frame from a metrics parse and a health document.
+
+    ``prev_samples``/``dt_s`` (the previous poll) turn monotonic
+    counters into rates; the first frame shows lifetime totals instead.
+    """
+    samples = metrics["samples"]
+    histograms = metrics["histograms"]
+    lines: List[str] = []
+    uptime = health.get("uptime_s")
+    lines.append(
+        f"repro top — server ok, version {health.get('version', '?')}"
+        + (f", up {uptime:.0f}s" if isinstance(uptime, (int, float)) else "")
+    )
+
+    queue = health.get("queue") or {}
+    lines.append(
+        "queue    "
+        f"depth {int(_sum_by_name(samples, 'repro_queue_in_flight')):>4d}   "
+        f"submitted {int(queue.get('submitted', 0)):>6d}   "
+        f"completed {int(queue.get('completed', 0)):>6d}   "
+        f"failed {int(queue.get('failed', 0)):>4d}   "
+        f"cancelled {int(queue.get('cancelled', 0)):>4d}"
+    )
+
+    cache = health.get("cache")
+    if cache:
+        hits = float(cache.get("hits", 0))
+        misses = float(cache.get("misses", 0))
+        lookups = hits + misses
+        rate = 100.0 * hits / lookups if lookups else 0.0
+        lines.append(
+            "cache    "
+            f"hit rate {rate:5.1f}%   "
+            f"hits {int(hits):>6d}   misses {int(misses):>6d}   "
+            f"entries {int(cache.get('entries', 0)):>5d}"
+        )
+    else:
+        lines.append("cache    disabled")
+
+    solver_parts: List[str] = []
+    for name, label in SOLVER_RATE_METRICS:
+        now = _sum_by_name(samples, name)
+        if prev_samples is not None and dt_s and dt_s > 0:
+            rate = max(0.0, now - _sum_by_name(prev_samples, name)) / dt_s
+            solver_parts.append(f"{label} {rate:8.1f}/s")
+        else:
+            solver_parts.append(f"{label} {int(now):>8d}")
+    lines.append("solver   " + "   ".join(solver_parts))
+
+    failures = _by_label(samples, "repro_item_failures_total", "classification")
+    if failures:
+        worst = sorted(failures.items(), key=lambda kv: (-kv[1], kv[0]))[:4]
+        lines.append(
+            "failures "
+            + "   ".join(f"{name} {int(count)}" for name, count in worst)
+        )
+    else:
+        lines.append("failures none")
+
+    wall = _merged_histogram(histograms, "repro_item_wall_seconds")
+    if wall and wall["count"]:
+        p50 = histogram_quantile(0.50, wall["buckets"], wall["counts"], wall["count"])
+        p99 = histogram_quantile(0.99, wall["buckets"], wall["counts"], wall["count"])
+        lines.append(
+            "latency  "
+            f"items {wall['count']:>6d}   "
+            f"p50 {_fmt_latency(p50)}   p99 {_fmt_latency(p99)}"
+        )
+    else:
+        lines.append("latency  no items observed yet")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The loop
+# ---------------------------------------------------------------------------
+
+
+def run_top(
+    base_url: str,
+    interval_s: float = 2.0,
+    count: Optional[int] = None,
+    once: bool = False,
+    stream=None,
+    clear: Optional[bool] = None,
+) -> int:
+    """Poll and render until interrupted (or ``count`` frames).
+
+    ``once`` renders a single frame with lifetime totals (scripting /
+    smoke-test mode).  Frames are separated by an ANSI home+clear when
+    writing to a TTY, by a blank line otherwise.  Raises
+    :class:`DashboardError` when the very first poll fails — a
+    dashboard that cannot connect at all should fail loudly — while a
+    server restarting mid-session only shows a reconnect notice.
+    Returns the number of frames rendered.
+    """
+    stream = stream if stream is not None else sys.stdout
+    if once:
+        count = 1
+    frames = 0
+    prev_samples: Optional[Dict[SeriesKey, float]] = None
+    prev_time: Optional[float] = None
+    use_ansi = clear if clear is not None else bool(getattr(stream, "isatty", lambda: False)())
+    try:
+        while count is None or frames < count:
+            try:
+                metrics = fetch_metrics(base_url)
+                health = fetch_health(base_url)
+            except DashboardError:
+                if frames == 0:
+                    raise
+                stream.write("\nrepro top: reconnecting ...\n")
+                stream.flush()
+                time.sleep(interval_s)
+                continue
+            now = time.monotonic()
+            dt_s = None if prev_time is None else now - prev_time
+            frame = render_frame(metrics, health, prev_samples, dt_s)
+            if use_ansi:
+                stream.write("\x1b[H\x1b[2J")
+            elif frames:
+                stream.write("\n")
+            stream.write(frame + "\n")
+            stream.flush()
+            prev_samples = metrics["samples"]
+            prev_time = now
+            frames += 1
+            if count is not None and frames >= count:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -1,0 +1,258 @@
+"""Bench-history store and noise-aware perf-regression gate.
+
+The bench harness (``benchmarks/run_benchmarks.py``) measures, this
+module remembers and judges:
+
+* ``append_entry`` adds one line to an append-only per-suite JSONL file
+  (``benchmarks/history/<suite>.jsonl``) carrying the suite's gated
+  metrics plus the environment and configuration that produced them;
+* ``check_metrics`` compares a fresh measurement against the rolling
+  history — the baseline is the **median** of the last ``window``
+  matching entries and the tolerance band is MAD-derived, so one noisy
+  CI run neither poisons the baseline nor trips the gate, while a real
+  2x regression lands far outside any plausible band.
+
+Entries only compare against history recorded under the **same
+configuration** (same DOE sizes, worker counts, sample counts): a smoke
+run must never be judged against full-DOE baselines.  The gate is
+deliberately conservative with sparse history — fewer than
+``min_samples`` comparable entries means "no baseline yet", which
+passes (and ``--record`` grows the history until the gate arms).
+
+A detected regression exits the harness with :data:`REGRESSION_EXIT_CODE`
+(4), distinct from the correctness-gate failures (1) so CI can tell
+"slower" from "wrong".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "REGRESSION_EXIT_CODE",
+    "append_entry",
+    "check_metrics",
+    "format_findings",
+    "has_regressions",
+    "history_path",
+    "load_entries",
+    "utc_timestamp",
+    "validate_report",
+]
+
+#: Version of the bench-report and history-entry schema.  Bump when a
+#: report's key layout changes incompatibly; ``--check`` refuses to
+#: compare entries across versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: Process exit code of a perf regression — distinct from 1 (a bench
+#: correctness gate failed) so CI can route the two differently.
+REGRESSION_EXIT_CODE = 4
+
+
+def utc_timestamp(unix: Optional[float] = None) -> str:
+    """ISO-8601 UTC timestamp (second resolution, trailing ``Z``)."""
+    moment = datetime.fromtimestamp(
+        time.time() if unix is None else float(unix), tz=timezone.utc
+    )
+    return moment.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def history_path(history_dir: Path, suite: str) -> Path:
+    return Path(history_dir) / f"{suite}.jsonl"
+
+
+def append_entry(
+    history_dir: Path,
+    suite: str,
+    metrics: Mapping[str, float],
+    environment: Optional[Mapping[str, Any]] = None,
+    config: Optional[Mapping[str, Any]] = None,
+    unix: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append one measurement to the suite's history file and return it."""
+    unix = time.time() if unix is None else float(unix)
+    entry = {
+        "suite": str(suite),
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "timestamp_utc": utc_timestamp(unix),
+        "unix": unix,
+        "metrics": {str(k): float(v) for k, v in metrics.items()},
+        "environment": dict(environment or {}),
+        "config": dict(config or {}),
+    }
+    path = history_path(history_dir, suite)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_entries(history_dir: Path, suite: str) -> List[Dict[str, Any]]:
+    """Load a suite's history, skipping corrupt/truncated lines.
+
+    The file is append-only and may end in a torn line after a crashed
+    run; a torn tail must not wedge every later ``--check``.
+    """
+    path = history_path(history_dir, suite)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("metrics"), dict):
+            entries.append(entry)
+    return entries
+
+
+def validate_report(report: Mapping[str, Any]) -> List[str]:
+    """Provenance check of a freshly written BENCH_*.json report.
+
+    Returns a list of problems (empty = valid): every report must carry
+    the schema version and a parseable UTC timestamp so history entries
+    and artifacts stay self-describing.
+    """
+    problems: List[str] = []
+    version = report.get("bench_schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"bench_schema_version is {version!r}, expected {BENCH_SCHEMA_VERSION}"
+        )
+    stamp = report.get("timestamp_utc")
+    if not isinstance(stamp, str):
+        problems.append("timestamp_utc missing")
+    else:
+        try:
+            datetime.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")
+        except ValueError:
+            problems.append(f"timestamp_utc {stamp!r} is not ISO-8601 UTC")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _comparable(
+    entry: Mapping[str, Any], config: Optional[Mapping[str, Any]]
+) -> bool:
+    if entry.get("schema_version") != BENCH_SCHEMA_VERSION:
+        return False
+    if config is not None and entry.get("config") != dict(config):
+        return False
+    return True
+
+
+def check_metrics(
+    entries: Sequence[Mapping[str, Any]],
+    metrics: Mapping[str, float],
+    gates: Mapping[str, str],
+    config: Optional[Mapping[str, Any]] = None,
+    window: int = 10,
+    min_samples: int = 3,
+    rel_floor: float = 0.10,
+    mad_k: float = 4.0,
+) -> List[Dict[str, Any]]:
+    """Judge fresh ``metrics`` against the rolling history.
+
+    For each gated metric the baseline is the median of its last
+    ``window`` values among comparable entries (same config, same
+    schema version), and the tolerance is::
+
+        tol = max(rel_floor, mad_k * MAD / |baseline|)
+
+    so quiet histories fall back to a ±10% band while noisy ones widen
+    proportionally.  ``gates`` maps metric name to direction:
+    ``"higher"`` (throughput/speedups — regression = current below
+    ``baseline * (1 - tol)``) or ``"lower"`` (walls/latency —
+    regression = current above ``baseline * (1 + tol)``).
+
+    Returns one finding per gated metric with status ``"ok"``,
+    ``"regression"``, ``"insufficient-history"`` or ``"missing"``.
+    """
+    findings: List[Dict[str, Any]] = []
+    comparable = [e for e in entries if _comparable(e, config)]
+    for name, direction in gates.items():
+        if direction not in ("higher", "lower"):
+            raise ValueError(f"gate direction must be higher/lower, got {direction!r}")
+        finding: Dict[str, Any] = {"metric": name, "direction": direction}
+        if name not in metrics:
+            finding["status"] = "missing"
+            findings.append(finding)
+            continue
+        current = float(metrics[name])
+        finding["current"] = current
+        values = [
+            float(e["metrics"][name])
+            for e in comparable
+            if name in e.get("metrics", {})
+        ][-window:]
+        finding["samples"] = len(values)
+        if len(values) < min_samples:
+            finding["status"] = "insufficient-history"
+            findings.append(finding)
+            continue
+        baseline = _median(values)
+        mad = _median([abs(v - baseline) for v in values])
+        scale = abs(baseline) if baseline else 1.0
+        tolerance = max(float(rel_floor), float(mad_k) * mad / scale)
+        finding["baseline"] = baseline
+        finding["tolerance"] = tolerance
+        if direction == "higher":
+            limit = baseline * (1.0 - tolerance)
+            regressed = current < limit
+        else:
+            limit = baseline * (1.0 + tolerance)
+            regressed = current > limit
+        finding["limit"] = limit
+        finding["status"] = "regression" if regressed else "ok"
+        findings.append(finding)
+    return findings
+
+
+def has_regressions(findings: Sequence[Mapping[str, Any]]) -> bool:
+    return any(f.get("status") == "regression" for f in findings)
+
+
+def format_findings(findings: Sequence[Mapping[str, Any]]) -> str:
+    """One human-readable line per finding (harness/CI log output)."""
+    lines: List[str] = []
+    for f in findings:
+        status = f.get("status", "?")
+        name = f.get("metric", "?")
+        if status in ("ok", "regression"):
+            arrow = ">=" if f.get("direction") == "higher" else "<="
+            lines.append(
+                f"  {status.upper():22s} {name}: {f['current']:.4g} "
+                f"(baseline {f['baseline']:.4g}, needs {arrow} {f['limit']:.4g}, "
+                f"n={f['samples']})"
+            )
+        elif status == "insufficient-history":
+            lines.append(
+                f"  {'INSUFFICIENT-HISTORY':22s} {name}: "
+                f"{f.get('current', float('nan')):.4g} "
+                f"({f.get('samples', 0)} comparable entries, gate not armed)"
+            )
+        else:
+            lines.append(f"  {'MISSING':22s} {name}: not in this report")
+    return "\n".join(lines)

@@ -21,7 +21,7 @@ cheap way to assert what a block of work contributed.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
@@ -75,6 +75,15 @@ _HELP: Dict[str, str] = {
     "repro_solver_batch_ticks_total": "Batched-tier lockstep Newton/transient ticks.",
     "repro_solver_batch_lane_iterations_total": "Per-lane iterations inside batched ticks.",
     "repro_solver_scalar_fallbacks_total": "Batched-tier lanes demoted to the scalar path.",
+    "repro_solver_batch_lanes_total": "Lanes launched into batched lockstep groups.",
+    "repro_solver_batch_lane_slots_total": "Lane slots offered across batched ticks (occupancy denominator).",
+    "repro_solver_iterations": "Iterations-to-converge per solve, by solver kind.",
+    "repro_solver_converged_total": "Solves that converged, by solver kind.",
+    "repro_solver_nonconverged_total": "Solves that failed to converge, by solver kind.",
+    "repro_solver_rescue_total": "Entries into robustness-ladder stages, by kind and stage.",
+    "repro_solver_step_rejections_total": "Transient steps rejected and retried at a smaller dt.",
+    "repro_solver_lane_occupancy": "Active-lane fraction of batched ticks over the last run.",
+    "repro_solver_scalar_fallback_rate": "Fraction of batched lanes demoted to the scalar path over the last run.",
     "repro_cache_hits_total": "Result-cache hits (lifetime, sidecar-cumulative).",
     "repro_cache_misses_total": "Result-cache misses (lifetime, sidecar-cumulative).",
     "repro_cache_stores_total": "Result-cache stores (lifetime, sidecar-cumulative).",
@@ -294,6 +303,64 @@ class MetricsRegistry:
                 lines.append(f"{name}_count{_render_labels(labels)} {hist['count']}")
 
         return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles (shared by ``repro top`` and the trace report)
+# ---------------------------------------------------------------------------
+
+
+def cumulate(values: Sequence[float], buckets: Sequence[float]) -> List[int]:
+    """Cumulative (``le``) bucket counts of raw observations.
+
+    Lets code holding raw samples (e.g. per-item walls from a trace)
+    reuse :func:`histogram_quantile` with the exact bucket semantics of
+    a registry histogram.
+    """
+    counts = [0] * len(buckets)
+    for value in values:
+        for i, bound in enumerate(buckets):
+            if value <= bound:
+                counts[i] += 1
+    return counts
+
+
+def histogram_quantile(
+    q: float,
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    count: Optional[int] = None,
+) -> Optional[float]:
+    """Estimate the q-quantile of a cumulative-bucket (``le``) histogram.
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``;
+    ``count`` is the total including the implicit +Inf bucket (defaults
+    to ``counts[-1]``).  Interpolates linearly inside the containing
+    bucket, Prometheus-style, assuming a lower edge of 0 for the first
+    bucket; observations beyond the last finite bound clamp to it.
+    Returns None when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if not buckets:
+        return None
+    total = int(count) if count is not None else (int(counts[-1]) if counts else 0)
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_bound = 0.0
+    prev_cum = 0
+    for bound, cum in zip(buckets, counts):
+        if cum >= rank:
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                return float(bound)
+            frac = (rank - prev_cum) / in_bucket
+            return float(prev_bound + (bound - prev_bound) * frac)
+        prev_bound, prev_cum = float(bound), int(cum)
+    # The quantile falls in the +Inf bucket: the honest answer is "at
+    # least the largest finite bound".
+    return float(buckets[-1])
 
 
 # ---------------------------------------------------------------------------

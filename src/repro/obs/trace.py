@@ -27,10 +27,12 @@ JSON that ``chrome://tracing`` and Perfetto load directly.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,12 +40,15 @@ __all__ = [
     "CAMPAIGN_PHASES",
     "Span",
     "Tracer",
+    "active_span_stacks",
     "active_tracer",
     "campaign_attribution",
+    "current_trace_ids",
     "disable_tracing",
     "enable_tracing",
     "enable_worker_tracing",
     "read_trace",
+    "set_stack_tracking",
     "span",
     "to_chrome_trace",
 ]
@@ -80,17 +85,111 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+# ---------------------------------------------------------------------------
+# Per-thread open-span stacks
+#
+# Keyed by thread ident so a *different* thread (the sampling profiler)
+# can ask "what phase is thread T inside right now".  All mutation is a
+# plain list append/pop under the GIL; readers snapshot with tuple().
+# ---------------------------------------------------------------------------
+
+_thread_stacks: Dict[int, List[Any]] = {}
+
+#: When True, ``span()`` keeps the per-thread stacks populated even with
+#: tracing disabled (set by the sampling profiler, which needs phase
+#: attribution without paying for JSONL emission).
+_stack_tracking = False
+
+
+def _push_span(span_obj: Any) -> Optional[Any]:
+    """Push an entered span; returns the previous top (the parent)."""
+    tid = threading.get_ident()
+    stack = _thread_stacks.get(tid)
+    if stack is None:
+        stack = _thread_stacks[tid] = []
+    parent = stack[-1] if stack else None
+    stack.append(span_obj)
+    return parent
+
+
+def _pop_span() -> None:
+    tid = threading.get_ident()
+    stack = _thread_stacks.get(tid)
+    if stack:
+        stack.pop()
+        if not stack:
+            _thread_stacks.pop(tid, None)
+
+
+def set_stack_tracking(enabled: bool) -> None:
+    """Keep span stacks live while tracing is off (profiler support)."""
+    global _stack_tracking
+    _stack_tracking = bool(enabled)
+
+
+def active_span_stacks() -> Dict[int, Tuple[str, ...]]:
+    """Snapshot of every thread's open-span names, outermost first."""
+    out: Dict[int, Tuple[str, ...]] = {}
+    for tid, stack in list(_thread_stacks.items()):
+        names = tuple(getattr(s, "name", "?") for s in tuple(stack))
+        if names:
+            out[tid] = names
+    return out
+
+
+def current_trace_ids() -> Optional[Tuple[str, Optional[int]]]:
+    """``(trace_id, innermost span id)`` when tracing is on, else None.
+
+    The span id is None when the calling thread is outside any span.
+    Used to correlate server access-log lines and journal records with
+    the trace file.
+    """
+    tracer = _active
+    if tracer is None:
+        return None
+    stack = _thread_stacks.get(threading.get_ident())
+    sid: Optional[int] = None
+    if stack:
+        sid = getattr(stack[-1], "sid", None)
+    return tracer.trace_id, sid
+
+
+class _StackSpan:
+    """Stack-only span: feeds phase attribution, emits nothing.
+
+    Returned by :func:`span` while the sampling profiler is on but
+    tracing is off, so profiler samples still carry a ``phase:`` root.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_StackSpan":
+        _push_span(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        _pop_span()
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
 
 class Span:
     """A live span; records itself to the tracer when it exits."""
 
-    __slots__ = ("_tracer", "name", "args", "depth", "_ts_us", "_start_ns")
+    __slots__ = ("_tracer", "name", "args", "depth", "sid", "_parent_sid", "_ts_us", "_start_ns")
 
     def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]) -> None:
         self._tracer = tracer
         self.name = name
         self.args = args
         self.depth = 0
+        self.sid = 0
+        self._parent_sid: Optional[int] = None
         self._ts_us = 0
         self._start_ns = 0
 
@@ -98,12 +197,16 @@ class Span:
         tls = self._tracer._tls
         self.depth = getattr(tls, "depth", 0)
         tls.depth = self.depth + 1
+        self.sid = next(self._tracer._span_ids)
+        parent = _push_span(self)
+        self._parent_sid = getattr(parent, "sid", None)
         self._ts_us = time.time_ns() // 1000
         self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         dur_us = (time.perf_counter_ns() - self._start_ns) // 1000
+        _pop_span()
         tls = self._tracer._tls
         tls.depth = max(0, getattr(tls, "depth", 1) - 1)
         record: Dict[str, Any] = {
@@ -114,7 +217,10 @@ class Span:
             "pid": os.getpid(),
             "tid": threading.get_ident(),
             "depth": self.depth,
+            "id": self.sid,
         }
+        if self._parent_sid is not None:
+            record["parent"] = self._parent_sid
         if exc_type is not None:
             record["error"] = exc_type.__name__
         if self.args:
@@ -130,12 +236,21 @@ class Span:
 class Tracer:
     """Appends span records to one JSONL file; optionally merges workers."""
 
-    def __init__(self, path: Union[str, Path], worker_dir: Optional[Path] = None) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        worker_dir: Optional[Path] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.path = Path(path)
         self.worker_dir = worker_dir
+        #: Shared by the parent tracer and its pool workers, so every
+        #: record (and every correlated log/journal line) names one run.
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self.skipped_lines = 0
         self._lock = threading.Lock()
         self._tls = threading.local()
+        self._span_ids = itertools.count(1)
         self._offsets: Dict[Path, int] = {}
 
     def span(self, name: str, **attrs: Any) -> Span:
@@ -223,10 +338,16 @@ def active_tracer() -> Optional[Tracer]:
     return _active
 
 
-def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
-    """A span if tracing is enabled, else the shared no-op singleton."""
+def span(name: str, **attrs: Any) -> Union[Span, "_StackSpan", _NullSpan]:
+    """A span if tracing is enabled, else the shared no-op singleton.
+
+    While the sampling profiler is on (and tracing off), a stack-only
+    span is returned instead so samples keep their phase attribution.
+    """
     tracer = _active
     if tracer is None:
+        if _stack_tracking:
+            return _StackSpan(name)
         return _NULL_SPAN
     return tracer.span(name, **attrs)
 
@@ -265,8 +386,13 @@ def enable_worker_tracing(worker_dir: Union[str, Path]) -> Tracer:
     parent merges on chunk commit.
     """
     global _active
+    inherited = _active
     target = Path(worker_dir) / f"trace-{os.getpid()}.jsonl"
-    _active = Tracer(target, worker_dir=None)
+    _active = Tracer(
+        target,
+        worker_dir=None,
+        trace_id=inherited.trace_id if inherited is not None else None,
+    )
     return _active
 
 

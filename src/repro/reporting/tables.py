@@ -465,6 +465,8 @@ def format_solver_summary(meta: Dict[str, object]) -> str:
         ("stamp_evals", "stamp evaluations"),
         ("stamp_device_evals", "device stamp evaluations"),
         ("batch_ticks", "batched solver ticks"),
+        ("batch_lanes", "batched lanes launched"),
+        ("batch_lane_slots", "batched lane slots"),
         ("batch_lane_iterations", "batched lane iterations"),
         ("scalar_fallbacks", "scalar fallbacks"),
     ]
@@ -539,6 +541,28 @@ def format_trace_summary(records, top_n: int = 10) -> str:
         for record in records
         if isinstance(record.get("args"), dict) and "item" in record["args"]
     ]
+    if item_spans:
+        # The same bucket/quantile math the live dashboard applies to
+        # repro_item_wall_seconds, so "p99" means one thing everywhere.
+        from ..obs.metrics import (
+            DEFAULT_LATENCY_BUCKETS_S,
+            cumulate,
+            histogram_quantile,
+        )
+
+        walls_s = [int(r.get("dur", 0)) / 1e6 for r in item_spans]
+        counts = cumulate(walls_s, DEFAULT_LATENCY_BUCKETS_S)
+        p50 = histogram_quantile(
+            0.50, DEFAULT_LATENCY_BUCKETS_S, counts, len(walls_s)
+        )
+        p99 = histogram_quantile(
+            0.99, DEFAULT_LATENCY_BUCKETS_S, counts, len(walls_s)
+        )
+        sections.append(
+            f"Item latency: {len(walls_s)} item spans, "
+            f"p50 {p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms "
+            f"(histogram-bucket estimate)"
+        )
     if item_spans and top_n > 0:
         slowest = sorted(
             item_spans, key=lambda r: int(r.get("dur", 0)), reverse=True
@@ -592,6 +616,118 @@ def format_trace_summary(records, top_n: int = 10) -> str:
             )
         )
 
+    convergence = format_convergence_summary(records)
+    if convergence:
+        sections.append(convergence)
+
+    return "\n\n".join(sections)
+
+
+#: Solver spans that annotate their convergence outcome (iterations or
+#: accepted steps, converged flag, transient rejections).
+CONVERGENCE_SPANS = ("solver.dc", "solver.dc_sweep", "solver.transient")
+
+
+def format_convergence_summary(records) -> str:
+    """Solver-convergence section of a trace report.
+
+    Aggregates the iteration/step annotations the solver wrappers put on
+    their spans (serial tier only — pool workers trace into their own
+    files that ``read_trace`` already merges).  Returns "" when the
+    trace carries no solver spans (e.g. a pre-convergence-telemetry
+    trace), so callers can append conditionally.
+    """
+    rows = []
+    for name in CONVERGENCE_SPANS:
+        iterations: List[int] = []
+        nonconverged = 0
+        rejected = 0
+        for record in records:
+            if record.get("name") != name:
+                continue
+            args = record.get("args")
+            if not isinstance(args, dict):
+                continue
+            count = args.get("iterations", args.get("steps"))
+            try:
+                iterations.append(int(count))
+            except (TypeError, ValueError):
+                continue
+            if args.get("converged") is False:
+                nonconverged += 1
+            try:
+                rejected += int(args.get("rejected", 0))
+            except (TypeError, ValueError):
+                pass
+        if not iterations:
+            continue
+        mean = sum(iterations) / len(iterations)
+        rows.append(
+            [
+                name,
+                f"{len(iterations):,}",
+                f"{mean:.1f}",
+                f"{max(iterations):,}",
+                f"{nonconverged:,}",
+                f"{rejected:,}",
+            ]
+        )
+    if not rows:
+        return ""
+    return render_table(
+        ["Solver span", "Solves", "Mean iters", "Max iters",
+         "Non-conv", "Rejected steps"],
+        rows,
+        title="Solver convergence (from span annotations)",
+    )
+
+
+def format_flame_summary(samples: Dict[str, int], top_n: int = 10) -> str:
+    """Report of a folded-stack profile (``repro report --flame``).
+
+    ``samples`` maps folded stacks to sample counts (the format
+    :func:`repro.obs.profile.read_folded` returns).  Three sections:
+    samples per span phase (directly comparable with the trace report's
+    per-phase wall shares), the hottest leaf frames, and the ``top_n``
+    hottest whole stacks.
+    """
+    from ..obs.profile import phase_totals, top_frames, top_stacks
+
+    if not samples:
+        raise ReportingError("profile contains no samples")
+    total = sum(samples.values())
+
+    phases = phase_totals(samples)
+    sections = [
+        render_table(
+            ["Phase (innermost span)", "Samples", "Share"],
+            [
+                [phase, f"{count:,}", f"{100.0 * count / total:.1f}%"]
+                for phase, count in phases.items()
+            ],
+            title=f"Profile summary ({total:,} samples, "
+            f"{len(samples):,} distinct stacks)",
+        )
+    ]
+
+    frames = top_frames(samples, top_n)
+    if frames:
+        sections.append(
+            render_table(
+                ["Hot frame (leaf)", "Samples", "Share"],
+                [
+                    [frame, f"{count:,}", f"{100.0 * count / total:.1f}%"]
+                    for frame, count in frames
+                ],
+                title=f"Hottest {len(frames)} frames",
+            )
+        )
+
+    stacks = top_stacks(samples, top_n)
+    lines = [f"Hottest {len(stacks)} stacks:"]
+    for stack, count in stacks:
+        lines.append(f"  {count:>7,}  {stack}")
+    sections.append("\n".join(lines))
     return "\n\n".join(sections)
 
 

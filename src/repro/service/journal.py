@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from ..core.results import atomic_write_text
+from ..obs import trace as obs_trace
 
 __all__ = ["JobJournal", "JournalEntry"]
 
@@ -82,15 +83,22 @@ class JobJournal:
     def record_submitted(self, fingerprint: str, spec) -> str:
         """Journal a submission (durably, before dispatch); returns its token."""
         token = uuid.uuid4().hex[:16]
-        self._append(
-            {
-                "event": "submitted",
-                "token": token,
-                "fingerprint": fingerprint,
-                "spec": spec.to_dict(),
-                "unix": round(time.time(), 3),
-            }
-        )
+        payload: Dict[str, Any] = {
+            "event": "submitted",
+            "token": token,
+            "fingerprint": fingerprint,
+            "spec": spec.to_dict(),
+            "unix": round(time.time(), 3),
+        }
+        # When the server runs with --trace, stamp the submission with
+        # the active trace/span ids so a journaled job can be matched
+        # to its spans in the trace file during a post-mortem.
+        ids = obs_trace.current_trace_ids()
+        if ids is not None:
+            payload["trace_id"], span_id = ids
+            if span_id is not None:
+                payload["span_id"] = span_id
+        self._append(payload)
         return token
 
     def record_terminal(

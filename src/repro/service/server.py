@@ -50,6 +50,7 @@ from .. import __version__
 from ..api import ResultSet, load_spec
 from ..core.spec import SpecError
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..obs.trace import active_tracer
 from ..testing import faults
 from .cache import ResultCache
@@ -88,6 +89,16 @@ class _ExperimentHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if self.server.verbose:
+            # Suffix the access-log line with the active trace/span ids
+            # so a slow request can be looked up in the span trace
+            # recorded by ``serve --trace``.
+            ids = obs_trace.current_trace_ids()
+            if ids is not None:
+                trace_id, span_id = ids
+                suffix = f" trace={trace_id}"
+                if span_id is not None:
+                    suffix += f" span={span_id}"
+                format += suffix.replace("%", "%%")
             super().log_message(format, *args)
 
     def _send(self, status: int, body: str, content_type: str) -> None:
